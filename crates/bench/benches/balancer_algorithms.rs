@@ -1,0 +1,63 @@
+//! The load-balancer computations (target partitioning + transfer plan)
+//! run inside the adaption loop; they must be negligible next to the data
+//! movement they trigger.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eris_core::balancer::{target_boundaries, transfer_plan, BalanceAlgorithm};
+
+fn skewed_weights(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            if i % 7 == 0 {
+                100.0
+            } else {
+                1.0 + (i % 3) as f64
+            }
+        })
+        .collect()
+}
+
+fn even_bounds(n: usize, domain: u64) -> Vec<u64> {
+    (0..n as u64).map(|i| domain / n as u64 * i).collect()
+}
+
+fn bench_target_boundaries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balancer/target_boundaries");
+    for n in [8usize, 64, 512] {
+        let bounds = even_bounds(n, 1 << 30);
+        let weights = skewed_weights(n);
+        for (name, algo) in [
+            ("one_shot", BalanceAlgorithm::OneShot),
+            ("ma1", BalanceAlgorithm::MovingAverage(1)),
+            ("ma8", BalanceAlgorithm::MovingAverage(8)),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(target_boundaries(
+                        black_box(&bounds),
+                        1 << 30,
+                        black_box(&weights),
+                        algo,
+                    ))
+                    .len()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_transfer_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balancer/transfer_plan");
+    for n in [8usize, 64, 512] {
+        let old = even_bounds(n, 1 << 30);
+        let new = target_boundaries(&old, 1 << 30, &skewed_weights(n), BalanceAlgorithm::OneShot);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(transfer_plan(black_box(&old), black_box(&new), 1 << 30)).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_target_boundaries, bench_transfer_plan);
+criterion_main!(benches);

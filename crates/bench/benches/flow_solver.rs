@@ -1,0 +1,41 @@
+//! The max-min fair bandwidth solver is on the critical path of every
+//! simulated epoch; it must stay fast for 512-AEU machines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eris_numa::{Flow, FlowSolver, NodeId};
+
+fn bench_solver_scaling(c: &mut Criterion) {
+    let topo = eris_numa::sgi_machine();
+    let mut g = c.benchmark_group("flow_solver/sgi");
+    for flows in [64usize, 512, 4096] {
+        let set: Vec<Flow> = (0..flows)
+            .map(|i| {
+                Flow::new(
+                    NodeId((i % 64) as u16),
+                    NodeId(((i * 17 + 5) % 64) as u16),
+                    4096 + i as u64,
+                )
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
+            let solver = FlowSolver::new(&topo);
+            b.iter(|| black_box(solver.solve(black_box(&set))).rates.len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_solver_local_only(c: &mut Criterion) {
+    // The common case in steady state: one local flow per AEU.
+    let topo = eris_numa::sgi_machine();
+    let set: Vec<Flow> = (0..512)
+        .map(|i| Flow::new(NodeId((i / 8) as u16), NodeId((i / 8) as u16), 65536))
+        .collect();
+    c.bench_function("flow_solver/sgi_512_local_flows", |b| {
+        let solver = FlowSolver::new(&topo);
+        b.iter(|| black_box(solver.solve(black_box(&set))).rates.len())
+    });
+}
+
+criterion_group!(benches, bench_solver_scaling, bench_solver_local_only);
+criterion_main!(benches);

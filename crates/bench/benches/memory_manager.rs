@@ -1,0 +1,73 @@
+//! Ablation: per-node memory managers with thread-local caching vs. naked
+//! central allocation.  Section 3.1: *"To scale with a high number of cores
+//! per multiprocessor, our memory managers use thread-local caching
+//! mechanisms and thus decrease contention on the local memory management."*
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eris_mem::{NodeAllocator, ThreadCache};
+use eris_numa::NodeId;
+use std::sync::Arc;
+
+fn bench_contended_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_manager/contended_alloc_free");
+    g.sample_size(20);
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("central_only", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let central = Arc::new(NodeAllocator::new(NodeId(0), 1 << 34));
+                    let start = std::time::Instant::now();
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let central = Arc::clone(&central);
+                            std::thread::spawn(move || {
+                                for _ in 0..iters {
+                                    let a = central.alloc(64);
+                                    black_box(a.vaddr);
+                                    central.free(a);
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                    start.elapsed()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("thread_cached", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let central = Arc::new(NodeAllocator::new(NodeId(0), 1 << 34));
+                    let start = std::time::Instant::now();
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let central = Arc::clone(&central);
+                            std::thread::spawn(move || {
+                                let mut cache = ThreadCache::new(central);
+                                for _ in 0..iters {
+                                    let a = cache.alloc(64);
+                                    black_box(a.vaddr);
+                                    cache.free(a);
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                    start.elapsed()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_contended_alloc);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation: CSB+-tree vs. a flat sorted array for the range partition
+//! tables.  The paper chose the CSB+-tree because it "scales with an
+//! increasing number of ranges, respectively AEUs, compared to a simple
+//! array".
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eris_index::csb_tree::{CsbTree, FlatRangeMap};
+
+fn bench_lookup_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_tables/owner_lookup");
+    for ranges in [8usize, 64, 512, 4096, 32768] {
+        let entries: Vec<(u64, u32)> = (0..ranges).map(|i| (i as u64 * 1000, i as u32)).collect();
+        let csb = CsbTree::build(entries.clone());
+        let flat = FlatRangeMap::build(entries);
+        let domain = ranges as u64 * 1000;
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::new("csb", ranges), &ranges, |b, _| {
+            b.iter(|| {
+                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % domain;
+                black_box(csb.lookup(black_box(i)))
+            })
+        });
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::new("flat_array", ranges), &ranges, |b, _| {
+            b.iter(|| {
+                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % domain;
+                black_box(flat.lookup(black_box(i)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    // Routing tables are rebuilt on every rebalance; the rebuild must be
+    // cheap relative to the data movement it accompanies.
+    let entries: Vec<(u64, u32)> = (0..512).map(|i| (i * 1000, i as u32)).collect();
+    c.bench_function("partition_tables/csb_rebuild_512_ranges", |b| {
+        b.iter(|| black_box(CsbTree::build(black_box(entries.clone()))).len())
+    });
+}
+
+criterion_group!(benches, bench_lookup_scaling, bench_rebuild);
+criterion_main!(benches);

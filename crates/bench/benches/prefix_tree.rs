@@ -1,0 +1,114 @@
+//! Microbenchmarks of the generalized prefix tree, including the prefix
+//! length ablation (the paper's default is 8 bit; Section 4.1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eris_index::{PrefixTree, PrefixTreeConfig};
+
+fn filled(cfg: PrefixTreeConfig, n: u64) -> PrefixTree {
+    let mut t = PrefixTree::with_config(cfg, 0);
+    for k in 0..n {
+        t.upsert(k, k);
+    }
+    t
+}
+
+fn bench_lookup_by_prefix_len(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_tree/lookup_by_prefix_bits");
+    let n: u64 = 1 << 18;
+    for bits in [4u32, 8, 16] {
+        let t = filled(PrefixTreeConfig::new(bits, 32), n);
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % n;
+                black_box(t.lookup(black_box(i)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_upsert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_tree/upsert");
+    for n in [1u64 << 14, 1 << 18] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut t = filled(PrefixTreeConfig::new(8, 32), n);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % n;
+                black_box(t.upsert(black_box(i), i))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch_lookup(c: &mut Criterion) {
+    // The command-grouping optimization: batched lookups per data command.
+    let n: u64 = 1 << 18;
+    let t = filled(PrefixTreeConfig::new(8, 32), n);
+    let keys: Vec<u64> = (0..256).map(|i| (i * 104729) % n).collect();
+    let mut out = Vec::new();
+    c.bench_function("prefix_tree/batch_lookup_256", |b| {
+        b.iter(|| {
+            t.lookup_batch(black_box(&keys), &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
+fn bench_range_scan(c: &mut Criterion) {
+    let n: u64 = 1 << 18;
+    let t = filled(PrefixTreeConfig::new(8, 32), n);
+    c.bench_function("prefix_tree/scan_64k_range", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            t.scan_range(black_box(1000), black_box(1000 + (1 << 16)), |_, v| {
+                sum = sum.wrapping_add(v)
+            });
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_flatten_rebuild(c: &mut Criterion) {
+    // The copy-transfer path of the load balancer.
+    let n: u64 = 1 << 16;
+    let t = filled(PrefixTreeConfig::new(8, 32), n);
+    c.bench_function("prefix_tree/flatten_64k", |b| {
+        b.iter(|| black_box(t.flatten()).len())
+    });
+    let flat = t.flatten();
+    c.bench_function("prefix_tree/rebuild_64k", |b| {
+        b.iter(|| {
+            black_box(PrefixTree::build_from_sorted(
+                PrefixTreeConfig::new(8, 32),
+                0,
+                black_box(&flat),
+            ))
+            .len()
+        })
+    });
+}
+
+fn bench_split_off(c: &mut Criterion) {
+    // The link-transfer (shrink) path.
+    c.bench_function("prefix_tree/split_off_half_64k", |b| {
+        b.iter_batched(
+            || filled(PrefixTreeConfig::new(8, 32), 1 << 16),
+            |mut t| black_box(t.split_off(1 << 15)).len(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lookup_by_prefix_len,
+    bench_upsert,
+    bench_batch_lookup,
+    bench_range_scan,
+    bench_flatten_rebuild,
+    bench_split_off
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: scan sharing on vs. off.  N coalesced scan commands answered
+//! by one sweep must approach 1/N of the cost of N separate sweeps.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eris_column::{Aggregate, Column, Predicate, SharedScan};
+use eris_numa::NodeId;
+
+fn column(rows: u64) -> Column {
+    let mut c = Column::new_local(NodeId(0), 0, 64 * 1024);
+    c.extend((0..rows).map(|i| i % 10_000));
+    c.into_column()
+}
+
+fn preds(n: usize) -> Vec<Predicate> {
+    (0..n)
+        .map(|i| Predicate::Range {
+            lo: (i as u64) * 500,
+            hi: (i as u64) * 500 + 2_000,
+        })
+        .collect()
+}
+
+fn bench_shared_vs_separate(c: &mut Criterion) {
+    let col = column(1 << 18);
+    let mut g = c.benchmark_group("scan_sharing");
+    for n in [1usize, 4, 16] {
+        let ps = preds(n);
+        g.bench_with_input(BenchmarkId::new("shared_sweep", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = SharedScan::new();
+                for p in &ps {
+                    s.add(*p, usize::MAX, Aggregate::Sum);
+                }
+                let (results, examined) = s.execute(&col);
+                black_box((results.len(), examined))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("separate_sweeps", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for p in &ps {
+                    total = total.wrapping_add(col.sum(*p, usize::MAX));
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan_kernels(c: &mut Criterion) {
+    let col = column(1 << 18);
+    let mut g = c.benchmark_group("scan_kernels");
+    g.bench_function("count_all", |b| {
+        b.iter(|| black_box(col.count(Predicate::All, usize::MAX)))
+    });
+    g.bench_function("sum_range", |b| {
+        b.iter(|| black_box(col.sum(Predicate::Range { lo: 100, hi: 5_000 }, usize::MAX)))
+    });
+    g.bench_function("count_equals", |b| {
+        b.iter(|| black_box(col.count(Predicate::Equals(1234), usize::MAX)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shared_vs_separate, bench_scan_kernels);
+criterion_main!(benches);

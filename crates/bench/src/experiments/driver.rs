@@ -1,0 +1,116 @@
+//! Shared experiment plumbing: generators and throughput measurement.
+
+use eris_core::prelude::*;
+use eris_core::DataObjectId;
+
+/// A tiny xorshift so generators are cheap, seedable, and `Send`.
+#[derive(Clone)]
+pub struct XorShift(pub u64);
+
+impl XorShift {
+    pub fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform in `[0, n)`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Load an index with `real` keys spread over its domain at stride `scale`
+/// (the scale-model loading scheme: key `i*scale` stands for the i-th of
+/// `real*scale` dense keys).
+pub fn load_strided_index(e: &mut Engine, object: DataObjectId, real: u64, scale: u64) {
+    e.bulk_load_index(object, (0..real).map(move |i| (i * scale, i)));
+}
+
+/// Attach uniform lookup generators to every AEU: `batch` keys per epoch,
+/// drawn from the loaded strided key set.
+pub fn attach_lookup_gens(
+    e: &mut Engine,
+    object: DataObjectId,
+    real: u64,
+    scale: u64,
+    batch: usize,
+) {
+    for a in e.aeu_ids() {
+        let mut rng = XorShift::new(a.0 as u64 + 1);
+        e.set_generator(
+            a,
+            Some(Box::new(move |_, out| {
+                let keys: Vec<u64> = (0..batch).map(|_| rng.below(real) * scale).collect();
+                out.push(DataCommand {
+                    object,
+                    ticket: 0,
+                    payload: Payload::Lookup { keys },
+                });
+            })),
+        );
+    }
+}
+
+/// Attach uniform upsert generators (updates of loaded keys).
+pub fn attach_upsert_gens(
+    e: &mut Engine,
+    object: DataObjectId,
+    real: u64,
+    scale: u64,
+    batch: usize,
+) {
+    for a in e.aeu_ids() {
+        let mut rng = XorShift::new(a.0 as u64 + 101);
+        e.set_generator(
+            a,
+            Some(Box::new(move |_, out| {
+                let pairs: Vec<(u64, u64)> = (0..batch)
+                    .map(|_| (rng.below(real) * scale, rng.next()))
+                    .collect();
+                out.push(DataCommand {
+                    object,
+                    ticket: 0,
+                    payload: Payload::Upsert { pairs },
+                });
+            })),
+        );
+    }
+}
+
+/// Attach a full-scan generator to AEU 0 (one multicast scan per epoch,
+/// keeping the scan pipeline full).
+pub fn attach_scan_gen(e: &mut Engine, object: DataObjectId) {
+    e.set_generator(
+        AeuId(0),
+        Some(Box::new(move |epoch, out| {
+            out.push(DataCommand {
+                object,
+                ticket: epoch,
+                payload: Payload::Scan {
+                    pred: Predicate::All,
+                    agg: Aggregate::Sum,
+                    snapshot: u64::MAX,
+                },
+            });
+        })),
+    );
+}
+
+/// Run a warmup then a measured window; returns the operation tallies and
+/// the virtual seconds actually elapsed in the window.
+pub fn measure(e: &mut Engine, warmup_s: f64, window_s: f64) -> (OpCounts, f64) {
+    e.run_for_virtual_secs(warmup_s);
+    let t0 = e.clock().now_secs();
+    let ops = e.run_for_virtual_secs(window_s);
+    let elapsed = e.clock().now_secs() - t0;
+    (ops, elapsed)
+}

@@ -1,0 +1,132 @@
+//! Energy-awareness exploration (beyond the paper's evaluation): the
+//! future-work question of Section 6.
+//!
+//! *"Another important research direction is how to realize energy
+//! awareness on such a data-oriented architecture, because AEUs always run
+//! at full speed and are thus consuming a high amount of energy.  Here, we
+//! want to investigate the impact of frequency scaling ... on the energy
+//! consumption."*
+//!
+//! The experiment runs a CPU-bound workload (small, cache-resident index:
+//! lookups dominated by traversal work) and a memory-bound workload (a
+//! full-column scan at the IMC bandwidth limit) while sweeping the AEU core
+//! frequency.  Energy per operation uses the classic DVFS proxy
+//! `P ∝ P_static + f³`: memory-bound AEUs barely lose throughput at lower
+//! frequency, so their energy per row *drops* — the headroom the paper
+//! hypothesizes a data-oriented balancer could exploit.
+
+use super::driver::{attach_lookup_gens, attach_scan_gen, load_strided_index, measure};
+use crate::{fmt_rate, TextTable};
+use eris_core::prelude::*;
+
+/// Relative dynamic+static power at relative frequency `f` (nominal = 1).
+fn relative_power(f: f64) -> f64 {
+    const STATIC_SHARE: f64 = 0.3;
+    STATIC_SHARE + (1.0 - STATIC_SHARE) * f * f * f
+}
+
+pub struct Row {
+    pub freq: f64,
+    pub lookup_rate: f64,
+    pub lookup_energy: f64,
+    pub scan_gbps: f64,
+    pub scan_energy: f64,
+}
+
+pub fn sweep(quick: bool) -> Vec<Row> {
+    let freqs: &[f64] = if quick {
+        &[1.0, 0.6]
+    } else {
+        &[1.0, 0.8, 0.6, 0.4]
+    };
+    let window = if quick { 3e-4 } else { 1e-3 };
+    let mut rows = Vec::new();
+    for &freq in freqs {
+        let params = CostParams {
+            frequency_scale: freq,
+            ..Default::default()
+        };
+
+        // CPU-bound: small cache-resident index, lookups are traversal work.
+        let real_keys: u64 = 1 << 16;
+        let mut e = Engine::new(
+            eris_numa::amd_machine(),
+            EngineConfig {
+                params,
+                ..Default::default()
+            },
+        );
+        let idx = e.create_index("keys", real_keys);
+        load_strided_index(&mut e, idx, real_keys, 1);
+        attach_lookup_gens(&mut e, idx, real_keys, 1, 256);
+        let (ops, secs) = measure(&mut e, 1e-4, window);
+        let lookup_rate = ops.lookups as f64 / secs;
+
+        // Memory-bound: full-column scan, 8 GB modelled.
+        let real_rows: u64 = if quick { 1 << 17 } else { 1 << 20 };
+        let scale = (1u64 << 30) / real_rows;
+        let mut e = Engine::new(
+            eris_numa::amd_machine(),
+            EngineConfig {
+                params,
+                size_scale: scale,
+                ..Default::default()
+            },
+        );
+        let col = e.create_column("col");
+        e.bulk_load_column(col, 0..real_rows);
+        attach_scan_gen(&mut e, col);
+        let (ops, secs) = measure(&mut e, 1e-4, window);
+        let scan_gbps = ops.scan_rows as f64 * 8.0 / (secs * 1e9);
+
+        rows.push(Row {
+            freq,
+            lookup_rate,
+            lookup_energy: relative_power(freq) / lookup_rate,
+            scan_gbps,
+            scan_energy: relative_power(freq) / scan_gbps,
+        });
+    }
+    rows
+}
+
+pub fn run(quick: bool) {
+    println!("Energy exploration (Section 6 future work): AEU frequency scaling");
+    println!("(CPU-bound: cache-resident lookups; memory-bound: full-column scan; AMD machine)\n");
+    let rows = sweep(quick);
+    let base = &rows[0];
+    let mut t = TextTable::new(&[
+        "frequency",
+        "lookup throughput",
+        "lookup energy/op",
+        "scan bandwidth",
+        "scan energy/row",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}%", r.freq * 100.0),
+            format!(
+                "{} ({:.0}%)",
+                fmt_rate(r.lookup_rate),
+                100.0 * r.lookup_rate / base.lookup_rate
+            ),
+            format!("{:.2}x", r.lookup_energy / base.lookup_energy),
+            format!(
+                "{:.1} GB/s ({:.0}%)",
+                r.scan_gbps,
+                100.0 * r.scan_gbps / base.scan_gbps
+            ),
+            format!("{:.2}x", r.scan_energy / base.scan_energy),
+        ]);
+    }
+    t.print();
+    let last = rows.last().unwrap();
+    println!(
+        "\nat {:.0}% frequency: CPU-bound lookups keep {:.0}% of their throughput, \
+         memory-bound scans keep {:.0}% — scans save {:.0}% energy per row",
+        last.freq * 100.0,
+        100.0 * last.lookup_rate / base.lookup_rate,
+        100.0 * last.scan_gbps / base.scan_gbps,
+        100.0 * (1.0 - last.scan_energy / base.scan_energy),
+    );
+}

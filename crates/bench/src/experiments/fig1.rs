@@ -1,0 +1,118 @@
+//! Figure 1 — index lookup and column scan scalability on the SGI UV 2000.
+//!
+//! The paper scales from 1 to 64 multiprocessors with a 1-billion-key index
+//! (lookups) and full-column scans, reporting *more than linear* lookup
+//! speedup — smaller per-AEU partitions keep more of each tree in cache —
+//! and scan bandwidth limited only by each multiprocessor's local memory
+//! bandwidth.
+
+use super::driver::{attach_lookup_gens, attach_scan_gen, load_strided_index, measure};
+use crate::{fmt_rate, scale_for, TextTable};
+use eris_core::prelude::*;
+
+/// One measured point.
+pub struct Row {
+    pub nodes: usize,
+    pub lookup_mops: f64,
+    pub lookup_speedup: f64,
+    pub scan_gbps: f64,
+    pub scan_speedup: f64,
+}
+
+pub fn sweep(quick: bool) -> Vec<Row> {
+    let node_counts: &[usize] = if quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
+    let virtual_keys: u64 = 1 << 30; // 1B keys
+    let real_keys: u64 = if quick { 1 << 17 } else { 1 << 20 };
+    let scale = scale_for(virtual_keys, real_keys);
+    let virtual_rows: u64 = 8u64 << 30; // 8B column entries
+    let real_rows: u64 = if quick { 1 << 18 } else { 1 << 21 };
+    let row_scale = scale_for(virtual_rows, real_rows);
+
+    let mut rows = Vec::new();
+    let (mut base_lookup, mut base_scan) = (0.0f64, 0.0f64);
+    for &m in node_counts {
+        // Lookup arm.
+        let mut e = Engine::new(
+            eris_numa::sgi_machine(),
+            EngineConfig {
+                active_nodes: Some(m),
+                size_scale: scale,
+                ..Default::default()
+            },
+        );
+        let idx = e.create_index("keys", virtual_keys);
+        load_strided_index(&mut e, idx, real_keys, scale);
+        attach_lookup_gens(&mut e, idx, real_keys, scale, 1536);
+        let (ops, secs) = measure(&mut e, 2e-4, 1e-3);
+        let lookup_rate = ops.lookups as f64 / secs;
+
+        // Scan arm.
+        let mut e = Engine::new(
+            eris_numa::sgi_machine(),
+            EngineConfig {
+                active_nodes: Some(m),
+                size_scale: row_scale,
+                ..Default::default()
+            },
+        );
+        let col = e.create_column("col");
+        e.bulk_load_column(col, 0..real_rows);
+        attach_scan_gen(&mut e, col);
+        let (ops, secs) = measure(&mut e, 2e-4, 1e-3);
+        let scan_gbps = ops.scan_rows as f64 * 8.0 / (secs * 1e9);
+
+        if base_lookup == 0.0 {
+            base_lookup = lookup_rate;
+            base_scan = scan_gbps;
+        }
+        rows.push(Row {
+            nodes: m,
+            lookup_mops: lookup_rate / 1e6,
+            lookup_speedup: lookup_rate / base_lookup,
+            scan_gbps,
+            scan_speedup: scan_gbps / base_scan,
+        });
+    }
+    rows
+}
+
+pub fn run(quick: bool) {
+    println!("Figure 1: Index Lookup and Column Scan Scalability of ERIS on the SGI UV 2000");
+    println!("(1B-key index lookups; 8B-entry column scans; x = active multiprocessors)\n");
+    let rows = sweep(quick);
+    let mut t = TextTable::new(&[
+        "multiprocessors",
+        "lookup throughput",
+        "lookup speedup",
+        "scan bandwidth",
+        "scan speedup",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.nodes.to_string(),
+            fmt_rate(r.lookup_mops * 1e6),
+            format!("{:.2}x", r.lookup_speedup),
+            format!("{:.1} GB/s", r.scan_gbps),
+            format!("{:.2}x", r.scan_speedup),
+        ]);
+    }
+    t.print();
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        let linear = last.nodes as f64 / first.nodes as f64;
+        println!(
+            "\nlookup speedup at {} nodes: {:.1}x (linear would be {:.0}x) — {}",
+            last.nodes,
+            last.lookup_speedup,
+            linear,
+            if last.lookup_speedup >= 0.95 * linear {
+                "≈ linear or better"
+            } else {
+                "sublinear"
+            }
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Figure 13 — load balancer experiments on the AMD machine.
+//!
+//! Section 4.3: lookups over 512 M keys; after 10 time units the workload
+//! collapses to half the key range (128M..384M), then shifts left by 8 M
+//! keys four more times, 20 units apart.  Four configurations: no load
+//! balancer, One-Shot, MA-1, and MA-8.  Expected shapes: One-Shot dips
+//! deepest but recovers fastest after each change; MA-1 dips least but
+//! recovers slowest; MA-8 is the best compromise; without balancing the
+//! throughput stays degraded.
+//!
+//! Virtual time is scaled: one paper second = one millisecond here, and the
+//! data volume is scaled by the same factor (256K keys instead of 512M), so
+//! transfer times and phase lengths keep the paper's *ratio* — a One-Shot
+//! repartitioning costs a dip of roughly one time unit, exactly like the
+//! paper's seconds-long dip against 20-second phases.
+
+use super::driver::{load_strided_index, XorShift};
+use crate::{fmt_rate, scale_for, TextTable};
+use eris_core::prelude::*;
+use eris_core::DataObjectId;
+use eris_workloads::DynamicWorkload;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One throughput sample.
+pub struct Sample {
+    /// Time in scaled units (1 unit = 1 paper second = 1 virtual ms).
+    pub t_units: f64,
+    pub mops: f64,
+}
+
+/// Balancer configurations compared in the figure.
+pub fn configs() -> Vec<(&'static str, Option<BalanceAlgorithm>)> {
+    vec![
+        ("no balancing", None),
+        ("One-Shot", Some(BalanceAlgorithm::OneShot)),
+        ("MA-1", Some(BalanceAlgorithm::MovingAverage(1))),
+        ("MA-8", Some(BalanceAlgorithm::MovingAverage(8))),
+    ]
+}
+
+/// Run one configuration over the Section 4.3 timeline; returns samples
+/// per time unit.
+pub fn run_config(algorithm: Option<BalanceAlgorithm>, quick: bool) -> Vec<Sample> {
+    const UNIT_S: f64 = 1e-3; // one paper second, scaled 1000x
+    const TIME_COMPRESSION: u64 = 1000;
+    let virtual_keys: u64 = 512 << 20;
+    let real_keys: u64 = if quick { 1 << 16 } else { 1 << 18 };
+    let scale = scale_for(virtual_keys, real_keys);
+    let schedule = DynamicWorkload::paper_schedule(virtual_keys);
+    let duration_units = if quick { 35 } else { schedule.duration_s() };
+
+    let mut e = Engine::new(
+        eris_numa::amd_machine(),
+        EngineConfig {
+            size_scale: scale,
+            // Transfers move time-compressed volumes (see module docs).
+            transfer_scale: Some((scale / TIME_COMPRESSION).max(1)),
+            balancer: BalancerConfig {
+                enabled: algorithm.is_some(),
+                algorithm: algorithm.unwrap_or(BalanceAlgorithm::OneShot),
+                threshold_cv: 0.12,
+                period_s: 0.5 * UNIT_S,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let idx = e.create_index("keys", virtual_keys);
+    load_strided_index(&mut e, idx, real_keys, scale);
+
+    // The hot range is shared with the generators through two atomics the
+    // harness updates as virtual time crosses phase boundaries.
+    let hot_lo = Arc::new(AtomicU64::new(0));
+    let hot_hi = Arc::new(AtomicU64::new(virtual_keys));
+    for a in e.aeu_ids() {
+        let mut rng = XorShift::new(a.0 as u64 + 31);
+        let (lo, hi) = (Arc::clone(&hot_lo), Arc::clone(&hot_hi));
+        e.set_generator(
+            a,
+            Some(Box::new(move |_, out| {
+                let lo = lo.load(Ordering::Relaxed);
+                let hi = hi.load(Ordering::Relaxed);
+                // Draw loaded (strided) keys within the hot range.
+                let lo_i = lo / scale;
+                let hi_i = (hi / scale).max(lo_i + 1);
+                let keys: Vec<u64> = (0..64)
+                    .map(|_| (lo_i + rng.below(hi_i - lo_i)) * scale)
+                    .collect();
+                out.push(DataCommand {
+                    object: DataObjectId(0),
+                    ticket: 0,
+                    payload: Payload::Lookup { keys },
+                });
+            })),
+        );
+    }
+
+    let mut samples = Vec::new();
+    let mut last_ops = 0u64;
+    for unit in 0..duration_units {
+        let (lo, hi) = schedule.range_at(unit as f64);
+        hot_lo.store(lo, Ordering::Relaxed);
+        hot_hi.store(hi, Ordering::Relaxed);
+        let end = (unit + 1) as f64 * UNIT_S;
+        while e.clock().now_secs() < end {
+            e.run_epoch();
+        }
+        let ops = e.results().counts().lookups;
+        let window_ops = ops - last_ops;
+        last_ops = ops;
+        samples.push(Sample {
+            t_units: (unit + 1) as f64,
+            mops: window_ops as f64 / UNIT_S / 1e6,
+        });
+    }
+    samples
+}
+
+pub fn run(quick: bool) {
+    println!("Figure 13: Load Balancer Experiments on the AMD Machine");
+    println!("(scale model of 512M keys; hot range halves at t=10, then shifts left by 1/64 of the domain every 20 units)\n");
+    let mut all: Vec<(&'static str, Vec<Sample>)> = Vec::new();
+    for (name, algo) in configs() {
+        all.push((name, run_config(algo, quick)));
+    }
+    let mut t = TextTable::new(&["t", "no balancing", "One-Shot", "MA-1", "MA-8"]);
+    let len = all[0].1.len();
+    for i in 0..len {
+        t.row(vec![
+            format!("{:.0}", all[0].1[i].t_units),
+            fmt_rate(all[0].1[i].mops * 1e6),
+            fmt_rate(all[1].1[i].mops * 1e6),
+            fmt_rate(all[2].1[i].mops * 1e6),
+            fmt_rate(all[3].1[i].mops * 1e6),
+        ]);
+    }
+    t.print();
+
+    // Summary: steady-state throughput in the last phase window.
+    println!("\nmean throughput over the final 10 units:");
+    for (name, s) in &all {
+        let tail: f64 = s[s.len() - 10..].iter().map(|x| x.mops).sum::<f64>() / 10.0;
+        println!("  {name:13} {}", fmt_rate(tail * 1e6));
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 8 — lookup/upsert throughput vs. index size, ERIS against the
+//! NUMA-agnostic shared index, on all three machines.
+//!
+//! Expected shapes (Section 4.2.1): the shared index wins for small
+//! indexes on the small Intel machine (ERIS pays its routing overhead);
+//! as indexes and machines grow, ERIS takes over — ≈1.6× on the AMD
+//! machine at 1 B keys and ≈3.5× on the SGI machine at 16 B keys — and
+//! upserts behave like lookups at lower absolute rates.
+
+use super::driver::{attach_lookup_gens, attach_upsert_gens, load_strided_index, measure};
+use crate::{fmt_rate, fmt_size, scale_for, TextTable};
+use eris_core::baseline::SharedIndexBench;
+use eris_core::prelude::*;
+use eris_numa::Topology;
+
+pub struct Row {
+    pub keys: u64,
+    pub eris_lookup: f64,
+    pub shared_lookup: f64,
+    pub eris_upsert: f64,
+    pub shared_upsert: f64,
+}
+
+fn machine(name: &str) -> Topology {
+    match name {
+        "intel" => eris_numa::intel_machine(),
+        "amd" => eris_numa::amd_machine(),
+        "sgi" => eris_numa::sgi_machine(),
+        _ => unreachable!(),
+    }
+}
+
+fn eris_rates(name: &str, virtual_keys: u64, real_keys: u64, quick: bool) -> (f64, f64) {
+    let scale = scale_for(virtual_keys, real_keys);
+    let window = if quick { 3e-4 } else { 1e-3 };
+    let mut rates = (0.0, 0.0);
+    for upsert in [false, true] {
+        let mut e = Engine::new(
+            machine(name),
+            EngineConfig {
+                size_scale: scale,
+                ..Default::default()
+            },
+        );
+        let idx = e.create_index("keys", virtual_keys.max(real_keys * scale));
+        load_strided_index(&mut e, idx, real_keys, scale);
+        if upsert {
+            attach_upsert_gens(&mut e, idx, real_keys, scale, 128);
+        } else {
+            attach_lookup_gens(&mut e, idx, real_keys, scale, 128);
+        }
+        let (ops, secs) = measure(&mut e, 1e-4, window);
+        if upsert {
+            rates.1 = ops.upserts as f64 / secs;
+        } else {
+            rates.0 = ops.lookups as f64 / secs;
+        }
+    }
+    rates
+}
+
+fn shared_rates(name: &str, virtual_keys: u64, real_keys: u64, quick: bool) -> (f64, f64) {
+    let scale = scale_for(virtual_keys, real_keys);
+    let window = if quick { 3e-4 } else { 1e-3 };
+    let mut b = SharedIndexBench::new(
+        machine(name),
+        PrefixTreeConfig::new(8, 64),
+        CostParams::default(),
+        real_keys,
+        scale,
+        42,
+    );
+    b.load_dense(real_keys);
+    // Paper order: insert phase first, then lookup phase.
+    let up = b.run_upsert_phase(window).ops_per_sec();
+    let lk = b.run_lookup_phase(window).ops_per_sec();
+    (lk, up)
+}
+
+pub fn sweep(name: &str, quick: bool) -> Vec<Row> {
+    let sizes: &[u64] = match (name, quick) {
+        ("sgi", false) => &[16 << 20, 256 << 20, 1 << 30, 4 << 30, 16 << 30, 32 << 30],
+        ("sgi", true) => &[16 << 20, 16 << 30],
+        (_, false) => &[16 << 20, 64 << 20, 256 << 20, 1 << 30, 2 << 30],
+        (_, true) => &[16 << 20, 1 << 30],
+    };
+    let real_keys: u64 = if quick { 1 << 16 } else { 1 << 19 };
+    sizes
+        .iter()
+        .map(|&keys| {
+            let (el, eu) = eris_rates(name, keys, real_keys, quick);
+            let (sl, su) = shared_rates(name, keys, real_keys, quick);
+            Row {
+                keys,
+                eris_lookup: el,
+                shared_lookup: sl,
+                eris_upsert: eu,
+                shared_upsert: su,
+            }
+        })
+        .collect()
+}
+
+pub fn run(quick: bool) {
+    println!("Figure 8: Lookup/Upsert Throughput Depending on Index Size");
+    println!("(ERIS vs. NUMA-agnostic shared index; uniform keys over a dense domain)\n");
+    for name in ["intel", "amd", "sgi"] {
+        println!("--- {} ---", machine(name).name());
+        let rows = sweep(name, quick);
+        let mut t = TextTable::new(&[
+            "index size",
+            "ERIS lookup",
+            "shared lookup",
+            "lookup ratio",
+            "ERIS upsert",
+            "shared upsert",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                fmt_size(r.keys),
+                fmt_rate(r.eris_lookup),
+                fmt_rate(r.shared_lookup),
+                format!("{:.2}x", r.eris_lookup / r.shared_lookup),
+                fmt_rate(r.eris_upsert),
+                fmt_rate(r.shared_upsert),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}

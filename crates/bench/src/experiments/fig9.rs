@@ -1,0 +1,111 @@
+//! Figure 9 — scan bandwidth of ERIS against naive allocation strategies
+//! on the SGI machine.
+//!
+//! An 8-billion-entry column is scanned by all workers, with the column
+//! memory (1) on a single multiprocessor (*Single RAM*), (2) interleaved
+//! across all multiprocessors (*Interleaved*), or (3) NUMA-local per AEU
+//! (*ERIS*).  Expected shapes: Single RAM bound by one memory controller,
+//! Interleaved bound by the link mesh, ERIS ≈6.6× Interleaved and ≈93.6%
+//! of the system's accumulated local memory bandwidth.
+//!
+//! The paper uses 61 multiprocessors / 488 cores (the largest batch-system
+//! working set on their machine); we mirror that.
+
+use super::driver::{attach_scan_gen, measure};
+use crate::{scale_for, TextTable};
+use eris_core::baseline::{ScanPlacement, SharedScanBench};
+use eris_core::prelude::*;
+use eris_numa::NodeId;
+
+const ACTIVE_NODES: usize = 61;
+
+pub struct Result {
+    pub single_ram_gbps: f64,
+    pub interleaved_gbps: f64,
+    pub eris_gbps: f64,
+    pub aggregate_local_gbps: f64,
+}
+
+pub fn run_measurement(quick: bool) -> Result {
+    let virtual_rows: u64 = 8u64 << 30;
+    let real_rows: usize = if quick { 1 << 18 } else { 1 << 21 };
+    let scale = scale_for(virtual_rows, real_rows as u64);
+
+    // Baselines: one shared column, workers on the active nodes.
+    let mut single = SharedScanBench::new(
+        eris_numa::sgi_machine(),
+        ScanPlacement::SingleRam(NodeId(0)),
+        CostParams::default(),
+        real_rows,
+        scale,
+    );
+    let (b, d) = single.scan_once();
+    let single_ram_gbps = b as f64 / d;
+
+    let mut inter = SharedScanBench::new(
+        eris_numa::sgi_machine(),
+        ScanPlacement::Interleaved,
+        CostParams::default(),
+        real_rows,
+        scale,
+    );
+    let (b, d) = inter.scan_once();
+    let interleaved_gbps = b as f64 / d;
+
+    // ERIS: the engine with NUMA-local partitions.
+    let mut e = Engine::new(
+        eris_numa::sgi_machine(),
+        EngineConfig {
+            active_nodes: Some(ACTIVE_NODES),
+            size_scale: scale,
+            ..Default::default()
+        },
+    );
+    let col = e.create_column("col");
+    e.bulk_load_column(col, 0..real_rows as u64);
+    attach_scan_gen(&mut e, col);
+    let (ops, secs) = measure(&mut e, 2e-4, if quick { 5e-4 } else { 2e-3 });
+    let eris_gbps = ops.scan_rows as f64 * 8.0 / (secs * 1e9);
+
+    let aggregate_local_gbps = eris_numa::sgi_machine()
+        .nodes()
+        .take(ACTIVE_NODES)
+        .map(|n| eris_numa::sgi_machine().node_spec(n).local_bandwidth_gbps)
+        .sum();
+
+    Result {
+        single_ram_gbps,
+        interleaved_gbps,
+        eris_gbps,
+        aggregate_local_gbps,
+    }
+}
+
+pub fn run(quick: bool) {
+    println!("Figure 9: Scan Bandwidth of ERIS vs. Naive Memory Allocation (SGI machine)");
+    println!("(8B-entry column, {ACTIVE_NODES} multiprocessors)\n");
+    let r = run_measurement(quick);
+    let mut t = TextTable::new(&[
+        "strategy",
+        "scan bandwidth",
+        "vs. interleaved",
+        "% of local aggregate",
+    ]);
+    for (name, gbps) in [
+        ("Single RAM", r.single_ram_gbps),
+        ("Interleaved", r.interleaved_gbps),
+        ("ERIS (NUMA-local)", r.eris_gbps),
+    ] {
+        t.row(vec![
+            name.into(),
+            format!("{gbps:.1} GB/s"),
+            format!("{:.1}x", gbps / r.interleaved_gbps),
+            format!("{:.1}%", 100.0 * gbps / r.aggregate_local_gbps),
+        ]);
+    }
+    t.print();
+    println!(
+        "\naccumulated local memory bandwidth of the system: {:.1} GB/s",
+        r.aggregate_local_gbps
+    );
+}

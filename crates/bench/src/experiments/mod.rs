@@ -1,0 +1,43 @@
+//! One module per table/figure of the paper's evaluation section.
+
+pub mod driver;
+pub mod energy;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig5;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod zipf;
+
+/// All experiment ids, in paper order.
+pub const ALL: &[&str] = &[
+    "table1", "table2", "fig1", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "energy", "zipf",
+];
+
+/// Run one experiment by id (with `quick` shrinking the sweep for CI).
+pub fn run(id: &str, quick: bool) {
+    match id {
+        "table1" => table1::run(),
+        "table2" => table2::run(),
+        "fig1" => fig1::run(quick),
+        "fig5" => fig5::run(quick),
+        "fig8" => fig8::run(quick),
+        "fig9" => fig9::run(quick),
+        "fig10" => fig10::run(quick),
+        "fig11" => fig11::run(quick),
+        "fig12" => fig12::run(quick),
+        "fig13" => fig13::run(quick),
+        "energy" => energy::run(quick),
+        "zipf" => zipf::run(quick),
+        other => {
+            eprintln!("unknown experiment '{other}'; available: {ALL:?}");
+            std::process::exit(2);
+        }
+    }
+}

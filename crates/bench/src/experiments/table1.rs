@@ -1,0 +1,45 @@
+//! Table 1 — machine specification overview.
+
+use crate::TextTable;
+use eris_numa::machines::machine_specs;
+use eris_numa::{amd_machine, intel_machine, sgi_machine};
+
+pub fn run() {
+    println!("Table 1: Machine Specification Overview\n");
+    let mut t = TextTable::new(&["", "Intel machine", "AMD machine", "SGI machine"]);
+    let s = machine_specs();
+    let get = |f: fn(&eris_numa::MachineSpec) -> &'static str| -> Vec<String> {
+        s.iter().map(|m| f(m).to_string()).collect()
+    };
+    let rows: Vec<(&str, Vec<String>)> = vec![
+        ("processors", get(|m| m.processors)),
+        ("cores", get(|m| m.cores)),
+        ("memory", get(|m| m.memory)),
+        ("LLC", get(|m| m.llc)),
+        ("interconnect", get(|m| m.interconnect)),
+        ("OS", get(|m| m.os)),
+    ];
+    for (label, cells) in rows {
+        t.row(vec![
+            label.into(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    t.print();
+
+    // Cross-check the simulated topologies against the specs.
+    println!("\nSimulated topologies:");
+    for topo in [intel_machine(), amd_machine(), sgi_machine()] {
+        println!(
+            "  {:13} {:3} nodes, {:3} cores, {:5} GiB, {:6.1} GB/s aggregate local bandwidth, {} links",
+            topo.name(),
+            topo.num_nodes(),
+            topo.num_cores(),
+            topo.total_memory_gib(),
+            topo.aggregate_local_bandwidth_gbps(),
+            topo.links().len(),
+        );
+    }
+}

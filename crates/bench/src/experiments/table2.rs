@@ -1,0 +1,50 @@
+//! Table 2 — memory read bandwidth and latency per distance class.
+//!
+//! The paper measures these with BenchIT; here they come back out of the
+//! calibrated cost model, and the bandwidth column is additionally
+//! *re-measured* through the flow solver (a single saturating reader per
+//! class), so the table validates the simulation stack end to end.
+
+use crate::TextTable;
+use eris_numa::{CostModel, Flow, FlowSolver, Topology};
+
+pub fn run() {
+    println!("Table 2: Memory Read Bandwidth (GB/s) and Read Latency (ns)\n");
+    for topo in [
+        eris_numa::intel_machine(),
+        eris_numa::amd_machine(),
+        eris_numa::sgi_machine(),
+    ] {
+        print_machine(&topo);
+        println!();
+    }
+}
+
+fn print_machine(topo: &Topology) {
+    println!("{}:", topo.name());
+    let cm = CostModel::new(topo);
+    let mut t = TextTable::new(&[
+        "distance",
+        "bandwidth (GB/s)",
+        "latency (ns)",
+        "solver (GB/s)",
+    ]);
+    let solver = FlowSolver::new(topo);
+    for row in cm.table2_rows() {
+        // Find a representative (src, home) pair of this class and push one
+        // full-rate flow through the solver.
+        let pair = topo
+            .nodes()
+            .flat_map(|a| topo.nodes().map(move |b| (a, b)))
+            .find(|&(a, b)| cm.distance_class(a, b) == row.class)
+            .expect("class came from some pair");
+        let solved = solver.solve(&[Flow::new(pair.0, pair.1, 1 << 30)]).rates[0];
+        t.row(vec![
+            row.class.label(),
+            format!("{:.1}", row.bandwidth_gbps),
+            format!("{:.0}", row.latency_ns),
+            format!("{solved:.1}"),
+        ]);
+    }
+    t.print();
+}

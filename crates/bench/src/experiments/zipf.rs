@@ -1,0 +1,115 @@
+//! Zipf-skew ablation (beyond the paper's evaluation).
+//!
+//! The paper's dynamic experiment (Figure 13) uses hot *ranges*; real
+//! analytical workloads are often Zipf-skewed per key.  This ablation
+//! sweeps the Zipf exponent θ and measures steady-state lookup throughput
+//! with the load balancer off and on (MA-8): the data-oriented
+//! architecture degrades under skew because the hottest partitions become
+//! the critical path, and range rebalancing claws most of it back —
+//! *unless* the skew concentrates on single keys (θ → 1.2), where a range
+//! split cannot divide one hot key; the residual gap quantifies the limit
+//! of range partitioning the paper's Section 5 alludes to.
+
+use super::driver::load_strided_index;
+use crate::{fmt_rate, scale_for, TextTable};
+use eris_core::prelude::*;
+use eris_core::DataObjectId;
+use eris_workloads::{KeyGen, Zipf};
+
+pub struct Row {
+    pub theta: f64,
+    pub unbalanced: f64,
+    pub balanced: f64,
+}
+
+fn run_config(theta: f64, balance: bool, quick: bool) -> f64 {
+    let virtual_keys: u64 = 256 << 20;
+    let real_keys: u64 = if quick { 1 << 15 } else { 1 << 17 };
+    let scale = scale_for(virtual_keys, real_keys);
+    let mut e = Engine::new(
+        eris_numa::amd_machine(),
+        EngineConfig {
+            size_scale: scale,
+            // The time axis is compressed ~1000x relative to a real run
+            // (milliseconds of virtual time stand for seconds); transfers
+            // move time-compressed volumes accordingly (cf. Figure 13).
+            transfer_scale: Some((scale / 1000).max(1)),
+            balancer: BalancerConfig {
+                enabled: balance,
+                algorithm: BalanceAlgorithm::MovingAverage(8),
+                threshold_cv: 0.15,
+                period_s: 2e-4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let idx = e.create_index("keys", virtual_keys);
+    load_strided_index(&mut e, idx, real_keys, scale);
+    for a in e.aeu_ids() {
+        // Scrambled Zipf: hot *ranks* spread over the key domain, so the
+        // hotspots are key-level, not one contiguous range.
+        let mut gen = Zipf::new(a.0 as u64 + 1, real_keys, theta, true);
+        e.set_generator(
+            a,
+            Some(Box::new(move |_, out| {
+                let keys: Vec<u64> = (0..64).map(|_| gen.next_key() * scale).collect();
+                out.push(DataCommand {
+                    object: DataObjectId(0),
+                    ticket: 0,
+                    payload: Payload::Lookup { keys },
+                });
+            })),
+        );
+    }
+    // Warmup (and balancing convergence), then measure.
+    e.run_for_virtual_secs(3e-3);
+    let t0 = e.clock().now_secs();
+    let ops = e.run_for_virtual_secs(if quick { 1e-3 } else { 2e-3 });
+    ops.lookups as f64 / (e.clock().now_secs() - t0)
+}
+
+pub fn sweep(quick: bool) -> Vec<Row> {
+    let thetas: &[f64] = if quick {
+        &[0.0, 0.99]
+    } else {
+        &[0.0, 0.5, 0.8, 0.99, 1.2]
+    };
+    thetas
+        .iter()
+        .map(|&theta| Row {
+            theta,
+            unbalanced: run_config(theta, false, quick),
+            balanced: run_config(theta, true, quick),
+        })
+        .collect()
+}
+
+pub fn run(quick: bool) {
+    println!("Zipf-skew ablation (beyond the paper): lookup throughput vs. skew (AMD machine)");
+    println!("(256M modelled keys; scrambled Zipf ranks; balancer = MA-8 on access frequency)\n");
+    let rows = sweep(quick);
+    let mut t = TextTable::new(&["theta", "no balancing", "MA-8 balancing", "recovered"]);
+    let base = rows[0].unbalanced;
+    for r in &rows {
+        t.row(vec![
+            format!("{:.2}", r.theta),
+            format!(
+                "{} ({:.0}%)",
+                fmt_rate(r.unbalanced),
+                100.0 * r.unbalanced / base
+            ),
+            format!(
+                "{} ({:.0}%)",
+                fmt_rate(r.balanced),
+                100.0 * r.balanced / base
+            ),
+            format!(
+                "{:+.0}%",
+                100.0 * (r.balanced - r.unbalanced) / r.unbalanced
+            ),
+        ]);
+    }
+    t.print();
+    println!("\n(θ=0 is uniform; higher θ concentrates accesses on fewer keys)");
+}

@@ -1,0 +1,64 @@
+//! # eris-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation (see DESIGN.md for
+//! the experiment index).  Every module exposes a `run()` that executes the
+//! experiment on the simulated machines and prints the same rows/series the
+//! paper reports; the `experiments` binary dispatches by id.
+//!
+//! Absolute numbers are simulator-scale; the reproduction targets the
+//! *shapes*: who wins, by what factor, and where the crossovers fall.
+//! EXPERIMENTS.md records paper-vs-measured for every artifact.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::TextTable;
+
+/// Scale-model helper: the paper's experiments run at tera-scale; this
+/// harness loads `real` elements and models `virtual_size` of them, so the
+/// cost model sees paper-scale structures while the wall-clock stays
+/// laptop-scale (see DESIGN.md "Hardware substitution").
+pub fn scale_for(virtual_size: u64, real: u64) -> u64 {
+    (virtual_size / real).max(1)
+}
+
+/// Pretty-print a size like `16M`, `2B`.
+pub fn fmt_size(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{}B", n / 1_000_000_000)
+    } else if n >= 1_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000 {
+        format!("{}K", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Pretty-print ops/s like `12.3 M/s`.
+pub fn fmt_rate(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e9 {
+        format!("{:.2} G/s", ops_per_sec / 1e9)
+    } else if ops_per_sec >= 1e6 {
+        format!("{:.2} M/s", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.2} K/s", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.2} /s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_size(16_000_000), "16M");
+        assert_eq!(fmt_size(2_000_000_000), "2B");
+        assert_eq!(fmt_size(512), "512");
+        assert_eq!(fmt_rate(12_300_000.0), "12.30 M/s");
+        assert_eq!(scale_for(1 << 30, 1 << 20), 1024);
+        assert_eq!(scale_for(100, 1000), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Scan sharing: many scan commands, one pass over the data.
+//!
+//! Section 3.1: *"an AEU is able to execute multiple scan commands on the
+//! same partition with a single scan and is thereby implementing scan
+//! sharing in combination with MVCC to ensure isolation."*
+//!
+//! A [`SharedScan`] collects the coalesced scan commands of one processing
+//! round — each with its own predicate, snapshot, and aggregate — and
+//! executes them in a single sweep of the column.  Because each consumer
+//! carries its own snapshot, isolation is preserved even though the sweep
+//! is shared.
+
+use crate::column::{Column, Predicate};
+
+/// The aggregate a scan command computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Number of matching rows.
+    Count,
+    /// Sum of matching values (wrapping).
+    Sum,
+    /// Minimum and maximum of matching values.
+    MinMax,
+}
+
+/// Result of one consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateResult {
+    Count(u64),
+    Sum(u64),
+    /// `None` when no row matched.
+    MinMax(Option<(u64, u64)>),
+}
+
+struct Consumer {
+    pred: Predicate,
+    snapshot: usize,
+    agg: Aggregate,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    matched: bool,
+}
+
+/// A batch of scan commands answered by a single pass.
+pub struct SharedScan {
+    consumers: Vec<Consumer>,
+}
+
+impl SharedScan {
+    pub fn new() -> Self {
+        SharedScan {
+            consumers: Vec::new(),
+        }
+    }
+
+    /// Register one scan command; returns its consumer index.
+    pub fn add(&mut self, pred: Predicate, snapshot: usize, agg: Aggregate) -> usize {
+        self.consumers.push(Consumer {
+            pred,
+            snapshot,
+            agg,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            matched: false,
+        });
+        self.consumers.len() - 1
+    }
+
+    /// Number of registered consumers.
+    pub fn len(&self) -> usize {
+        self.consumers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.consumers.is_empty()
+    }
+
+    /// Execute all consumers in one sweep.  Returns the rows examined —
+    /// the *maximum* snapshot across consumers, not the sum: that the data
+    /// is read once for N commands is exactly the scan-sharing win the
+    /// virtual-time model charges for.
+    pub fn execute(mut self, column: &Column) -> (Vec<AggregateResult>, usize) {
+        let sweep = self.consumers.iter().map(|c| c.snapshot).max().unwrap_or(0);
+        let examined = column.scan(Predicate::All, sweep, |row, v| {
+            for c in &mut self.consumers {
+                if row < c.snapshot && c.pred.matches(v) {
+                    c.count += 1;
+                    c.sum = c.sum.wrapping_add(v);
+                    if v < c.min {
+                        c.min = v;
+                    }
+                    if v > c.max {
+                        c.max = v;
+                    }
+                    c.matched = true;
+                }
+            }
+        });
+        let results = self
+            .consumers
+            .iter()
+            .map(|c| match c.agg {
+                Aggregate::Count => AggregateResult::Count(c.count),
+                Aggregate::Sum => AggregateResult::Sum(c.sum),
+                Aggregate::MinMax => AggregateResult::MinMax(c.matched.then_some((c.min, c.max))),
+            })
+            .collect();
+        (results, examined)
+    }
+}
+
+impl Default for SharedScan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eris_numa::NodeId;
+
+    fn column(n: u64) -> Column {
+        let mut c = Column::new_local(NodeId(0), 0, 32);
+        c.extend(0..n);
+        c.into_column()
+    }
+
+    #[test]
+    fn shared_scan_matches_individual_scans() {
+        let c = column(100);
+        let mut s = SharedScan::new();
+        s.add(Predicate::All, 100, Aggregate::Count);
+        s.add(Predicate::Range { lo: 10, hi: 20 }, 100, Aggregate::Sum);
+        s.add(Predicate::Equals(42), 100, Aggregate::MinMax);
+        let (r, examined) = s.execute(&c);
+        assert_eq!(examined, 100, "one sweep, not three");
+        assert_eq!(r[0], AggregateResult::Count(100));
+        assert_eq!(r[1], AggregateResult::Sum((10..20).sum()));
+        assert_eq!(r[2], AggregateResult::MinMax(Some((42, 42))));
+    }
+
+    #[test]
+    fn per_consumer_snapshots_isolate() {
+        let c = column(50);
+        let mut s = SharedScan::new();
+        s.add(Predicate::All, 10, Aggregate::Count);
+        s.add(Predicate::All, 50, Aggregate::Count);
+        let (r, examined) = s.execute(&c);
+        assert_eq!(examined, 50, "sweep covers the largest snapshot");
+        assert_eq!(r[0], AggregateResult::Count(10));
+        assert_eq!(r[1], AggregateResult::Count(50));
+    }
+
+    #[test]
+    fn minmax_of_empty_match_is_none() {
+        let c = column(10);
+        let mut s = SharedScan::new();
+        s.add(Predicate::Equals(999), 10, Aggregate::MinMax);
+        let (r, _) = s.execute(&c);
+        assert_eq!(r[0], AggregateResult::MinMax(None));
+    }
+
+    #[test]
+    fn empty_shared_scan_examines_nothing() {
+        let c = column(10);
+        let (r, examined) = SharedScan::new().execute(&c);
+        assert!(r.is_empty());
+        assert_eq!(examined, 0);
+    }
+}

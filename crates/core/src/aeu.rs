@@ -1,0 +1,964 @@
+//! Autonomous Execution Units.
+//!
+//! Section 3.1: an AEU is pinned to one core, owns one partition per data
+//! object, and loops over three stages: **group** the incoming data command
+//! buffer by (data object, command type), **process** the groups (shared
+//! scans, batched lookups/upserts), and **handle balancing/transfer
+//! commands**.  All data structure accesses are latch-free because the AEU
+//! is the only writer of its partitions.
+
+use crate::command::{AeuId, DataCommand, DataObjectId, Payload, StorageOp};
+use crate::cost::{expected_tree_misses, CostParams};
+use crate::results::ResultCollector;
+use crate::routing::{FlushInfo, IncomingBuffers, Router};
+use eris_column::{Column, Predicate, Segment, SharedScan};
+use eris_index::{HashTable, PrefixTree, PrefixTreeConfig};
+use eris_mem::ThreadCache;
+use eris_numa::{CoreId, Flow, NodeId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Values per provisioned column segment.
+const SEGMENT_VALUES: usize = 64 * 1024;
+
+/// The storage of one partition.
+pub enum PartitionData {
+    /// Range-partitioned prefix tree (order-preserving; supports range scans).
+    Index(PrefixTree),
+    /// Range-partitioned hash table with a per-partition hash function
+    /// (Section 3.1) — O(1) point access, no range scans.
+    Hash(HashTable),
+    /// Size-partitioned column.
+    Column(Column),
+}
+
+impl PartitionData {
+    /// Keys or rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            PartitionData::Index(t) => t.len(),
+            PartitionData::Hash(h) => h.len(),
+            PartitionData::Column(c) => c.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            PartitionData::Index(t) => t.memory_bytes(),
+            PartitionData::Hash(h) => h.memory_bytes(),
+            PartitionData::Column(c) => c.bytes(),
+        }
+    }
+}
+
+impl PartitionData {
+    /// Expected LLC misses per point operation, given the modelled key
+    /// count and the AEU's effective cache share.
+    fn point_misses(&self, model_keys: u64, cache_bytes: f64) -> f64 {
+        match self {
+            PartitionData::Index(t) => {
+                expected_tree_misses(model_keys.max(1), t.config(), cache_bytes)
+            }
+            PartitionData::Hash(_) => {
+                crate::cost::expected_hash_misses(model_keys.max(1), cache_bytes)
+            }
+            PartitionData::Column(_) => 0.0,
+        }
+    }
+
+    /// CPU cost of one point operation's structure traversal.
+    fn point_cpu_ns(&self, params: &CostParams) -> f64 {
+        match self {
+            PartitionData::Index(t) => {
+                params.cpu_ns_per_point_op
+                    + t.config().levels() as f64 * params.cpu_ns_per_tree_level
+            }
+            // A hash probe touches ~1.3 buckets: constant work.
+            PartitionData::Hash(_) => {
+                params.cpu_ns_per_point_op + 2.0 * params.cpu_ns_per_tree_level
+            }
+            PartitionData::Column(_) => params.cpu_ns_per_point_op,
+        }
+    }
+}
+
+/// One AEU-owned partition of a data object, plus its monitoring state.
+pub struct Partition {
+    pub data: PartitionData,
+    /// The key range this AEU is responsible for (index objects).
+    pub range: (u64, u64),
+    /// Accesses since the last monitor sample.
+    pub accesses: u64,
+    /// Execution time since the last monitor sample (virtual ns).
+    pub exec_ns: f64,
+}
+
+/// A per-epoch command generator: the query-processing layer above the
+/// storage engine, modelled as commands arising *at* each AEU (as they do
+/// during distributed query processing, e.g. lookups produced by a join).
+pub type CommandGen = Box<dyn FnMut(u64, &mut Vec<DataCommand>) + Send>;
+
+/// Operation tallies of one step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpCounts {
+    pub lookups: u64,
+    pub upserts: u64,
+    pub scans: u64,
+    pub scan_rows: u64,
+    pub commands_routed: u64,
+    pub forwarded: u64,
+}
+
+impl OpCounts {
+    pub fn add(&mut self, o: &OpCounts) {
+        self.lookups += o.lookups;
+        self.upserts += o.upserts;
+        self.scans += o.scans;
+        self.scan_rows += o.scan_rows;
+        self.commands_routed += o.commands_routed;
+        self.forwarded += o.forwarded;
+    }
+}
+
+/// How a worker's flow occupies its time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Streaming consumption: the worker advances only as bytes arrive
+    /// (column scans).  Serial flows of one worker add up.
+    Serial,
+    /// Posted/overlapped traffic: transfers proceed concurrently (lookup
+    /// miss traffic under MLP, buffer flush copies).  Only the slowest
+    /// overlapped flow bounds the worker.
+    Overlapped,
+}
+
+/// What one worker did in one step, for the virtual-time solver.
+pub struct WorkSummary {
+    pub node: NodeId,
+    /// Pure compute time.
+    pub cpu_ns: f64,
+    /// Serialized memory/communication latency.
+    pub latency_ns: f64,
+    /// Memory traffic to be fair-shared.
+    pub flows: Vec<(Flow, FlowKind)>,
+    pub ops: OpCounts,
+}
+
+impl WorkSummary {
+    pub fn new(node: NodeId) -> Self {
+        WorkSummary {
+            node,
+            cpu_ns: 0.0,
+            latency_ns: 0.0,
+            flows: Vec::new(),
+            ops: OpCounts::default(),
+        }
+    }
+
+    /// Merge flows sharing the same (src, home) pair.  One worker's traffic
+    /// to one home is a single stream: splitting it into per-command flows
+    /// would both over-claim fair shares and over-serialize the worker's
+    /// own transfer time.
+    pub fn coalesce_flows(&mut self) {
+        if self.flows.len() < 2 {
+            return;
+        }
+        let mut merged: Vec<(Flow, FlowKind)> = Vec::with_capacity(self.flows.len().min(16));
+        for (f, k) in self.flows.drain(..) {
+            match merged
+                .iter_mut()
+                .find(|(m, mk)| m.src == f.src && m.home == f.home && *mk == k)
+            {
+                Some((m, _)) => m.bytes += f.bytes,
+                None => merged.push((f, k)),
+            }
+        }
+        self.flows = merged;
+    }
+}
+
+/// Per-AEU configuration resolved by the engine.
+pub struct AeuConfig {
+    pub params: CostParams,
+    /// LLC bytes effectively available to this AEU (node LLC / AEUs per node).
+    pub llc_share_bytes: f64,
+    /// Virtual keys per real key: experiments model paper-scale data with a
+    /// real subsample; lengths entering the cost model are scaled by this.
+    pub size_scale: u64,
+    /// Local memory read latency of this AEU's node.
+    pub local_latency_ns: f64,
+    /// AEU index → home node, for flush traffic accounting.
+    pub node_of: Arc<Vec<NodeId>>,
+}
+
+/// An Autonomous Execution Unit.
+pub struct Aeu {
+    pub id: AeuId,
+    pub node: NodeId,
+    pub core: CoreId,
+    cfg: AeuConfig,
+    partitions: BTreeMap<DataObjectId, Partition>,
+    router: Router,
+    incoming: Arc<IncomingBuffers>,
+    results: Arc<ResultCollector>,
+    mem: ThreadCache,
+    generator: Option<CommandGen>,
+    /// Raw-routing mode: swap and decode incoming commands but skip the
+    /// processing stage (the "raw routing throughput" arm of Figure 5).
+    discard_incoming: bool,
+    /// Balancing work charged to the next step (partition transfers).
+    pending_ns: f64,
+    epoch: u64,
+    /// Rotating destination for result replies (statistical stand-in for
+    /// the callback owner, which is uniformly distributed in the
+    /// symmetric benchmark workloads).
+    reply_rr: usize,
+    // Scratch buffers reused across steps.
+    scratch_cmds: Vec<DataCommand>,
+    scratch_gen: Vec<DataCommand>,
+    scratch_values: Vec<Option<u64>>,
+}
+
+impl Aeu {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: AeuId,
+        node: NodeId,
+        core: CoreId,
+        cfg: AeuConfig,
+        router: Router,
+        incoming: Arc<IncomingBuffers>,
+        results: Arc<ResultCollector>,
+        mem: ThreadCache,
+    ) -> Self {
+        Aeu {
+            id,
+            node,
+            core,
+            cfg,
+            partitions: BTreeMap::new(),
+            router,
+            incoming,
+            results,
+            mem,
+            generator: None,
+            discard_incoming: false,
+            pending_ns: 0.0,
+            epoch: 0,
+            reply_rr: id.index(),
+            scratch_cmds: Vec::new(),
+            scratch_gen: Vec::new(),
+            scratch_values: Vec::new(),
+        }
+    }
+
+    /// Attach (or clear) this AEU's command generator.
+    pub fn set_generator(&mut self, g: Option<CommandGen>) {
+        self.generator = g;
+    }
+
+    /// Enable raw-routing mode: incoming commands are swapped in and
+    /// decoded, then dropped without processing (Figure 5, "raw").
+    pub fn set_discard_incoming(&mut self, discard: bool) {
+        self.discard_incoming = discard;
+    }
+
+    /// Create an index partition responsible for `range`.
+    pub fn create_index_partition(
+        &mut self,
+        object: DataObjectId,
+        cfg: PrefixTreeConfig,
+        range: (u64, u64),
+    ) {
+        let base = self.mem.alloc(1 << 20).vaddr;
+        self.partitions.insert(
+            object,
+            Partition {
+                data: PartitionData::Index(PrefixTree::with_config(cfg, base)),
+                range,
+                accesses: 0,
+                exec_ns: 0.0,
+            },
+        );
+    }
+
+    /// Create a hash partition responsible for `range`, using a hash
+    /// function seeded per partition (Section 3.1).
+    pub fn create_hash_partition(&mut self, object: DataObjectId, range: (u64, u64)) {
+        let base = self.mem.alloc(1 << 20).vaddr;
+        // The AEU id seeds the per-partition hash function.
+        let seed = (self.id.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.partitions.insert(
+            object,
+            Partition {
+                data: PartitionData::Hash(HashTable::new(seed, base)),
+                range,
+                accesses: 0,
+                exec_ns: 0.0,
+            },
+        );
+    }
+
+    /// Create an (initially empty) column partition.
+    pub fn create_column_partition(&mut self, object: DataObjectId) {
+        self.partitions.insert(
+            object,
+            Partition {
+                data: PartitionData::Column(Column::new()),
+                range: (0, u64::MAX),
+                accesses: 0,
+                exec_ns: 0.0,
+            },
+        );
+    }
+
+    /// The partition of `object`, if this AEU holds one.
+    pub fn partition(&self, object: DataObjectId) -> Option<&Partition> {
+        self.partitions.get(&object)
+    }
+
+    /// Mutable partition access (engine-side balancing).
+    pub fn partition_mut(&mut self, object: DataObjectId) -> Option<&mut Partition> {
+        self.partitions.get_mut(&object)
+    }
+
+    /// Monitor sampling: returns `(accesses, exec_ns, len, bytes)` since the
+    /// last sample and resets the window counters.
+    pub fn take_sample(&mut self, object: DataObjectId) -> (u64, f64, usize, u64) {
+        match self.partitions.get_mut(&object) {
+            Some(p) => {
+                let s = (p.accesses, p.exec_ns, p.data.len(), p.data.bytes());
+                p.accesses = 0;
+                p.exec_ns = 0.0;
+                s
+            }
+            None => (0, 0.0, 0, 0),
+        }
+    }
+
+    /// Charge balancing/transfer work to this AEU's next step.
+    pub fn add_pending_ns(&mut self, ns: f64) {
+        self.pending_ns += ns;
+    }
+
+    /// Route a command on behalf of an external client through this AEU's
+    /// routing front end, charging the costs to `w`.
+    pub fn route_external(&mut self, cmd: DataCommand, w: &mut WorkSummary) {
+        self.route_and_charge(cmd, w);
+    }
+
+    /// Route one command, charging CPU per emitted sub-command (the batch
+    /// target lookup + encode of routing step 1) and flush costs.
+    fn route_and_charge(&mut self, cmd: DataCommand, w: &mut WorkSummary) {
+        let before = self.router.stats.commands_out;
+        let keys = cmd.payload.op_count();
+        let fl = self.router.route(cmd);
+        let emitted = (self.router.stats.commands_out - before).max(1);
+        w.cpu_ns += emitted as f64 * self.cfg.params.cpu_ns_per_routed_cmd
+            + keys as f64 * self.cfg.params.cpu_ns_per_routed_key;
+        w.ops.commands_routed += 1;
+        charge_flushes_to(w, &self.cfg.node_of, &fl, &self.cfg.params, false);
+    }
+
+    /// Provision a fresh local segment for a column partition.
+    fn provision_segment(mem: &mut ThreadCache, node: NodeId, col: &mut Column) {
+        let alloc = mem.alloc((SEGMENT_VALUES * 8) as u64);
+        col.push_segment(Segment::with_capacity(node, alloc.vaddr, SEGMENT_VALUES));
+    }
+
+    /// Append rows to a column partition, provisioning segments on demand.
+    pub fn absorb_rows(&mut self, object: DataObjectId, rows: &[u64]) {
+        let node = self.node;
+        let p = self
+            .partitions
+            .get_mut(&object)
+            .expect("column partition exists");
+        let PartitionData::Column(col) = &mut p.data else {
+            panic!("absorb_rows on an index partition")
+        };
+        let mut written = 0;
+        while written < rows.len() {
+            written += col.append_slice(&rows[written..]);
+            if written < rows.len() {
+                Self::provision_segment(&mut self.mem, node, col);
+            }
+        }
+    }
+
+    /// Insert pairs into an index or hash partition (balancing absorb side).
+    pub fn absorb_pairs(&mut self, object: DataObjectId, pairs: &[(u64, u64)]) {
+        let p = self
+            .partitions
+            .get_mut(&object)
+            .expect("point partition exists");
+        match &mut p.data {
+            PartitionData::Index(tree) => {
+                for &(k, v) in pairs {
+                    tree.upsert(k, v);
+                }
+            }
+            PartitionData::Hash(h) => {
+                for &(k, v) in pairs {
+                    h.upsert(k, v);
+                }
+            }
+            PartitionData::Column(_) => panic!("absorb_pairs on a column partition"),
+        }
+    }
+
+    /// Extract and remove all keys of `[lo, hi)` (balancing shrink side).
+    pub fn extract_range(&mut self, object: DataObjectId, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let p = self
+            .partitions
+            .get_mut(&object)
+            .expect("point partition exists");
+        match &mut p.data {
+            PartitionData::Index(tree) => {
+                let moved = tree.flatten_range(lo, hi);
+                for &(k, _) in &moved {
+                    tree.remove(k);
+                }
+                moved
+            }
+            PartitionData::Hash(h) => h.extract_range(lo, hi),
+            PartitionData::Column(_) => panic!("extract_range on a column partition"),
+        }
+    }
+
+    /// Remove the last `n` rows of a column partition.
+    pub fn extract_tail_rows(&mut self, object: DataObjectId, n: usize) -> Vec<u64> {
+        let p = self
+            .partitions
+            .get_mut(&object)
+            .expect("column partition exists");
+        let PartitionData::Column(col) = &mut p.data else {
+            panic!("extract_tail_rows on an index partition")
+        };
+        col.drain_tail(n)
+    }
+
+    /// Update the responsibility range after a balancing command.
+    pub fn set_range(&mut self, object: DataObjectId, range: (u64, u64)) {
+        if let Some(p) = self.partitions.get_mut(&object) {
+            p.range = range;
+        }
+    }
+
+    /// Model length of a partition: real length × size scale.
+    fn model_len(&self, p: &Partition) -> u64 {
+        p.data.len() as u64 * self.cfg.size_scale
+    }
+
+    /// One iteration of the AEU loop.
+    pub fn step(&mut self) -> WorkSummary {
+        self.epoch += 1;
+        let mut w = WorkSummary::new(self.node);
+        w.cpu_ns += std::mem::take(&mut self.pending_ns);
+
+        // Stage 0: command generation (the query layer above).
+        if let Some(gen) = &mut self.generator {
+            self.scratch_gen.clear();
+            gen(self.epoch, &mut self.scratch_gen);
+            let gen_cmds: Vec<DataCommand> = self.scratch_gen.drain(..).collect();
+            for cmd in gen_cmds {
+                self.route_and_charge(cmd, &mut w);
+            }
+        }
+
+        // Stage 1: swap incoming buffers and group commands.
+        self.scratch_cmds.clear();
+        let cmds = &mut self.scratch_cmds;
+        self.incoming
+            .swap_and_consume(|d| *cmds = DataCommand::decode_all(d));
+        if self.discard_incoming {
+            self.scratch_cmds.clear();
+        }
+        if !self.scratch_cmds.is_empty() {
+            // Grouping: stable sort by (object, op) so equal groups are
+            // adjacent; cheap relative to processing.
+            self.scratch_cmds
+                .sort_by_key(|c| (c.object, c.payload.op()));
+            let cmds = std::mem::take(&mut self.scratch_cmds);
+            let mut i = 0;
+            while i < cmds.len() {
+                let object = cmds[i].object;
+                let op = cmds[i].payload.op();
+                let mut j = i + 1;
+                while j < cmds.len() && cmds[j].object == object && cmds[j].payload.op() == op {
+                    j += 1;
+                }
+                self.process_group(object, op, &cmds[i..j], &mut w);
+                i = j;
+            }
+            self.scratch_cmds = cmds;
+        }
+
+        // Stage 2 epilogue: flush outgoing buffers before starting over.
+        let flushes = self.router.flush_all();
+        charge_flushes_to(&mut w, &self.cfg.node_of, &flushes, &self.cfg.params, true);
+        w
+    }
+
+    /// Process one (object, op) group — the coalesced execution stage.
+    fn process_group(
+        &mut self,
+        object: DataObjectId,
+        op: StorageOp,
+        cmds: &[DataCommand],
+        w: &mut WorkSummary,
+    ) {
+        match op {
+            StorageOp::Lookup => self.process_lookups(object, cmds, w),
+            StorageOp::Upsert => self.process_upserts(object, cmds, w),
+            StorageOp::Scan => self.process_scans(object, cmds, w),
+            StorageOp::JoinProbe | StorageOp::Materialize => {
+                self.process_scan_producers(object, cmds, w)
+            }
+        }
+    }
+
+    /// Scan-shaped operators that *produce* new data commands from the
+    /// rows they visit: the join probe (route a lookup per row) and
+    /// intermediate-result materialization (route appends).  This is the
+    /// paper's "AEUs generate data commands during the processing stage"
+    /// pattern.
+    fn process_scan_producers(
+        &mut self,
+        object: DataObjectId,
+        cmds: &[DataCommand],
+        w: &mut WorkSummary,
+    ) {
+        let params = self.cfg.params;
+        let scale = self.cfg.size_scale;
+        if !self.partitions.contains_key(&object) {
+            for c in cmds {
+                w.ops.forwarded += 1;
+                let fl = self.router.route(c.clone());
+                charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
+            }
+            return;
+        }
+        /// Rows per routed batch command.
+        const PRODUCER_BATCH: usize = 128;
+        for c in cmds {
+            // Gather matching row values from the local partition.
+            let (pred, snapshot) = match &c.payload {
+                Payload::JoinProbe { pred, snapshot, .. }
+                | Payload::Materialize { pred, snapshot, .. } => (*pred, *snapshot),
+                _ => unreachable!(),
+            };
+            let mut values = Vec::new();
+            let p = &self.partitions[&object];
+            let examined = match &p.data {
+                PartitionData::Column(col) => {
+                    col.scan(pred, snapshot.min(col.len() as u64) as usize, |_, v| {
+                        values.push(v)
+                    })
+                }
+                PartitionData::Index(tree) => {
+                    tree.scan_range(0, u64::MAX, |_, v| {
+                        if pred.matches(v) {
+                            values.push(v);
+                        }
+                    });
+                    tree.len()
+                }
+                PartitionData::Hash(h) => {
+                    h.for_each(|_, v| {
+                        if pred.matches(v) {
+                            values.push(v);
+                        }
+                    });
+                    h.len()
+                }
+            } as u64;
+            // Scan cost (same as a plain scan of this partition).
+            let exec_ns = examined as f64 * scale as f64 * params.cpu_ns_per_scan_row;
+            w.cpu_ns += exec_ns;
+            w.ops.scans += 1;
+            w.ops.scan_rows += examined * scale;
+            w.flows.push((
+                Flow::new(self.node, self.node, examined * 8 * scale),
+                FlowKind::Serial,
+            ));
+            if let Some(p) = self.partitions.get_mut(&object) {
+                p.accesses += 1;
+                p.exec_ns += exec_ns;
+            }
+            // Produce downstream commands in batches.
+            for chunk in values.chunks(PRODUCER_BATCH) {
+                let cmd = match &c.payload {
+                    Payload::JoinProbe { index, .. } => DataCommand {
+                        object: *index,
+                        ticket: c.ticket,
+                        payload: Payload::Lookup {
+                            keys: chunk.to_vec(),
+                        },
+                    },
+                    Payload::Materialize { dst, .. } => DataCommand {
+                        object: *dst,
+                        ticket: c.ticket,
+                        payload: Payload::Upsert {
+                            pairs: chunk.iter().map(|&v| (v, v)).collect(),
+                        },
+                    },
+                    _ => unreachable!(),
+                };
+                self.route_and_charge(cmd, w);
+            }
+        }
+    }
+
+    fn process_lookups(&mut self, object: DataObjectId, cmds: &[DataCommand], w: &mut WorkSummary) {
+        let Some(p) = self.partitions.get(&object) else {
+            // Partition moved away entirely: forward everything.
+            for c in cmds {
+                w.ops.forwarded += c.payload.op_count();
+                let fl = self.router.route(c.clone());
+                charge_flushes_to(w, &self.cfg.node_of, &fl, &self.cfg.params, false);
+            }
+            return;
+        };
+        let (lo, hi) = p.range;
+        assert!(
+            !matches!(p.data, PartitionData::Column(_)),
+            "lookup on a column partition"
+        );
+        let misses = p
+            .data
+            .point_misses(self.model_len(p), self.cfg.llc_share_bytes);
+        let per_op_cpu = p.data.point_cpu_ns(&self.cfg.params);
+        let params = self.cfg.params;
+        let mut total = 0u64;
+        let mut exec_ns = 0.0;
+        let mut strays: Vec<(u64, Vec<u64>)> = Vec::new();
+        for c in cmds {
+            let Payload::Lookup { keys } = &c.payload else {
+                unreachable!()
+            };
+            // Validity check: keys outside the updated range are forwarded
+            // to the AEU now responsible (Section 3.3.2).
+            let (mine, stray): (Vec<u64>, Vec<u64>) =
+                keys.iter().partition(|&&k| k >= lo && k < hi);
+            if !stray.is_empty() {
+                strays.push((c.ticket, stray));
+            }
+            if mine.is_empty() {
+                continue;
+            }
+            let data = &self.partitions[&object].data;
+            let values = &mut self.scratch_values;
+            match data {
+                PartitionData::Index(tree) => tree.lookup_batch(&mine, values),
+                PartitionData::Hash(h) => {
+                    values.clear();
+                    values.extend(mine.iter().map(|&k| h.lookup(k)));
+                }
+                PartitionData::Column(_) => unreachable!(),
+            }
+            self.results.lookup_batch(c.ticket, &mine, values);
+            let n = mine.len() as u64;
+            total += n;
+            // Result reply path: the callback owner receives the values.
+            self.reply_rr = (self.reply_rr + 1) % self.cfg.node_of.len();
+            let reply_node = self.cfg.node_of[self.reply_rr];
+            w.latency_ns += FLUSH_BASE_LATENCY_NS / (2.0 * params.mlp);
+            w.cpu_ns += n as f64 * 2.0;
+            w.flows.push((
+                Flow::new(self.node, reply_node, n * 16),
+                FlowKind::Overlapped,
+            ));
+            exec_ns += n as f64 * per_op_cpu;
+            w.latency_ns += n as f64 * misses * self.cfg.local_latency_ns / params.mlp;
+            w.flows.push((
+                Flow::new(
+                    self.node,
+                    self.node,
+                    (n as f64 * misses * params.cache_line as f64) as u64,
+                ),
+                FlowKind::Overlapped,
+            ));
+        }
+        w.cpu_ns += exec_ns;
+        w.ops.lookups += total;
+        if let Some(p) = self.partitions.get_mut(&object) {
+            p.accesses += total;
+            p.exec_ns += exec_ns;
+        }
+        for (ticket, keys) in strays {
+            w.ops.forwarded += keys.len() as u64;
+            w.cpu_ns += keys.len() as f64 * params.cpu_ns_per_routed_cmd;
+            let fl = self.router.route(DataCommand {
+                object,
+                ticket,
+                payload: Payload::Lookup { keys },
+            });
+            charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
+        }
+    }
+
+    fn process_upserts(&mut self, object: DataObjectId, cmds: &[DataCommand], w: &mut WorkSummary) {
+        let params = self.cfg.params;
+        let Some(p) = self.partitions.get(&object) else {
+            for c in cmds {
+                w.ops.forwarded += c.payload.op_count();
+                let fl = self.router.route(c.clone());
+                charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
+            }
+            return;
+        };
+        match &p.data {
+            PartitionData::Index(_) | PartitionData::Hash(_) => {
+                let (lo, hi) = p.range;
+                let misses = p
+                    .data
+                    .point_misses(self.model_len(p), self.cfg.llc_share_bytes);
+                let per_op_cpu = p.data.point_cpu_ns(&params);
+                let mut total = 0u64;
+                let mut fresh = 0u64;
+                let mut exec_ns = 0.0;
+                let mut strays: Vec<(u64, Vec<(u64, u64)>)> = Vec::new();
+                type Pairs = Vec<(u64, u64)>;
+                for c in cmds {
+                    let Payload::Upsert { pairs } = &c.payload else {
+                        unreachable!()
+                    };
+                    let (mine, stray): (Pairs, Pairs) =
+                        pairs.iter().partition(|&&(k, _)| k >= lo && k < hi);
+                    if !stray.is_empty() {
+                        strays.push((c.ticket, stray));
+                    }
+                    let p = self.partitions.get_mut(&object).unwrap();
+                    match &mut p.data {
+                        PartitionData::Index(tree) => {
+                            for &(k, v) in &mine {
+                                if tree.upsert(k, v).is_none() {
+                                    fresh += 1;
+                                }
+                            }
+                        }
+                        PartitionData::Hash(h) => {
+                            for &(k, v) in &mine {
+                                if h.upsert(k, v).is_none() {
+                                    fresh += 1;
+                                }
+                            }
+                        }
+                        PartitionData::Column(_) => unreachable!(),
+                    }
+                    let n = mine.len() as u64;
+                    total += n;
+                    exec_ns += n as f64 * (per_op_cpu + params.cpu_ns_per_upsert);
+                    w.latency_ns += n as f64 * misses * self.cfg.local_latency_ns / params.mlp;
+                    w.flows.push((
+                        Flow::new(
+                            self.node,
+                            self.node,
+                            (n as f64 * misses * params.cache_line as f64) as u64,
+                        ),
+                        FlowKind::Overlapped,
+                    ));
+                }
+                self.results.upsert_batch(total, fresh);
+                w.cpu_ns += exec_ns;
+                w.ops.upserts += total;
+                if let Some(p) = self.partitions.get_mut(&object) {
+                    p.accesses += total;
+                    p.exec_ns += exec_ns;
+                }
+                for (ticket, pairs) in strays {
+                    w.ops.forwarded += pairs.len() as u64;
+                    w.cpu_ns += pairs.len() as f64 * params.cpu_ns_per_routed_cmd;
+                    let fl = self.router.route(DataCommand {
+                        object,
+                        ticket,
+                        payload: Payload::Upsert { pairs },
+                    });
+                    charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
+                }
+            }
+            PartitionData::Column(_) => {
+                // Appends: materialize values into the local column.
+                let mut rows: Vec<u64> = Vec::new();
+                for c in cmds {
+                    let Payload::Upsert { pairs } = &c.payload else {
+                        unreachable!()
+                    };
+                    rows.extend(pairs.iter().map(|&(_, v)| v));
+                }
+                let n = rows.len() as u64;
+                self.absorb_rows(object, &rows);
+                self.results.upsert_batch(n, n);
+                let exec_ns = n as f64 * (params.cpu_ns_per_scan_row + params.cpu_ns_per_upsert);
+                w.cpu_ns += exec_ns;
+                w.ops.upserts += n;
+                w.flows
+                    .push((Flow::new(self.node, self.node, n * 8), FlowKind::Overlapped));
+                if let Some(p) = self.partitions.get_mut(&object) {
+                    p.accesses += n;
+                    p.exec_ns += exec_ns;
+                }
+            }
+        }
+    }
+
+    fn process_scans(&mut self, object: DataObjectId, cmds: &[DataCommand], w: &mut WorkSummary) {
+        let params = self.cfg.params;
+        let scale = self.cfg.size_scale;
+        let Some(p) = self.partitions.get_mut(&object) else {
+            for c in cmds {
+                w.ops.forwarded += 1;
+                let fl = self.router.route(c.clone());
+                charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
+            }
+            return;
+        };
+        match &mut p.data {
+            PartitionData::Column(col) => {
+                // Scan sharing: all coalesced scan commands in one sweep.
+                let mut shared = SharedScan::new();
+                for c in cmds {
+                    let Payload::Scan {
+                        pred,
+                        agg,
+                        snapshot,
+                    } = &c.payload
+                    else {
+                        unreachable!()
+                    };
+                    shared.add(*pred, (*snapshot).min(col.len() as u64) as usize, *agg);
+                }
+                let (outcomes, examined) = shared.execute(col);
+                let examined = examined as u64;
+                for (i, (c, r)) in cmds.iter().zip(outcomes).enumerate() {
+                    // The sweep is shared: attribute the examined rows once,
+                    // not once per coalesced consumer.
+                    let rows = if i == 0 { examined * scale } else { 0 };
+                    self.results.scan_partial(c.ticket, self.id, r, rows);
+                }
+                let exec_ns = examined as f64 * scale as f64 * params.cpu_ns_per_scan_row;
+                w.cpu_ns += exec_ns;
+                w.ops.scans += cmds.len() as u64;
+                w.ops.scan_rows += examined * scale;
+                // One sweep of bytes regardless of the number of consumers:
+                // the scan-sharing win.  Traffic per segment home.
+                for seg in col.segments() {
+                    let seg_rows = (seg.len() as u64).min(examined);
+                    if seg_rows > 0 {
+                        w.flows.push((
+                            Flow::new(self.node, seg.home(), seg_rows * 8 * scale),
+                            FlowKind::Serial,
+                        ));
+                    }
+                }
+                p.accesses += cmds.len() as u64;
+                p.exec_ns += exec_ns;
+            }
+            PartitionData::Index(_) | PartitionData::Hash(_) => {
+                // Range scan: in order over the index, full-sweep filter
+                // over a hash partition (unordered, Section 3.1 trade-off).
+                let mut total_rows = 0u64;
+                for c in cmds {
+                    let Payload::Scan { pred, agg, .. } = &c.payload else {
+                        unreachable!()
+                    };
+                    let (lo, hi) = match *pred {
+                        Predicate::All => (0, u64::MAX),
+                        Predicate::Range { lo, hi } => (lo, hi),
+                        Predicate::Equals(x) => (x, x.saturating_add(1)),
+                    };
+                    let mut count = 0u64;
+                    let mut sum = 0u64;
+                    let mut minmax: Option<(u64, u64)> = None;
+                    let mut visit = |v: u64| {
+                        count += 1;
+                        sum = sum.wrapping_add(v);
+                        minmax = Some(match minmax {
+                            None => (v, v),
+                            Some((a, b)) => (a.min(v), b.max(v)),
+                        });
+                    };
+                    match &p.data {
+                        PartitionData::Index(tree) => tree.scan_range(lo, hi, |_, v| visit(v)),
+                        PartitionData::Hash(h) => h.for_each(|k, v| {
+                            if k >= lo && k < hi {
+                                visit(v);
+                            }
+                        }),
+                        PartitionData::Column(_) => unreachable!(),
+                    }
+                    let r = match agg {
+                        eris_column::Aggregate::Count => {
+                            eris_column::scan::AggregateResult::Count(count * scale)
+                        }
+                        eris_column::Aggregate::Sum => eris_column::scan::AggregateResult::Sum(sum),
+                        eris_column::Aggregate::MinMax => {
+                            eris_column::scan::AggregateResult::MinMax(minmax)
+                        }
+                    };
+                    self.results
+                        .scan_partial(c.ticket, self.id, r, count * scale);
+                    total_rows += count;
+                }
+                let exec_ns = total_rows as f64 * scale as f64 * params.cpu_ns_per_scan_row;
+                w.cpu_ns += exec_ns;
+                w.ops.scans += cmds.len() as u64;
+                w.ops.scan_rows += total_rows * scale;
+                w.flows.push((
+                    Flow::new(self.node, self.node, total_rows * 16 * scale),
+                    FlowKind::Serial,
+                ));
+                p.accesses += cmds.len() as u64;
+                p.exec_ns += exec_ns;
+            }
+        }
+    }
+
+    /// Router statistics (fig5).
+    pub fn router_stats(&self) -> &crate::routing::RouterStats {
+        &self.router.stats
+    }
+
+    /// True when the outgoing buffers are fully drained.
+    pub fn is_drained(&self) -> bool {
+        self.router.is_drained() && self.incoming.pending_bytes() == 0
+    }
+}
+
+/// Base latency of one incoming-buffer reservation (CAS round trip).
+const FLUSH_BASE_LATENCY_NS: f64 = 250.0;
+
+/// Charge flush traffic: one reservation (CAS) round trip per flush, plus
+/// the copied bytes as a flow homed at the target's node.
+///
+/// Threshold flushes (`overlapped = false`) hammer the *same* remote
+/// descriptor line back to back, so each CAS pays the full round trip —
+/// the small-buffer penalty of Figure 5.  Loop-end flushes
+/// (`overlapped = true`) go to distinct targets and overlap like posted
+/// stores, divided by twice the load MLP.  Pre-buffering amortizes both
+/// over whole buffers.
+fn charge_flushes_to(
+    w: &mut WorkSummary,
+    node_of: &[NodeId],
+    flushes: &[FlushInfo],
+    params: &CostParams,
+    overlapped: bool,
+) {
+    let per_flush = if overlapped {
+        FLUSH_BASE_LATENCY_NS / (2.0 * params.mlp)
+    } else {
+        FLUSH_BASE_LATENCY_NS
+    };
+    for f in flushes {
+        w.latency_ns += params.flush_latency_factor * per_flush;
+        w.flows.push((
+            Flow::new(w.node, node_of[f.target.index()], f.bytes),
+            FlowKind::Overlapped,
+        ));
+    }
+}

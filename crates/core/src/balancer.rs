@@ -1,0 +1,542 @@
+//! The configurable load balancing algorithm (Section 3.3).
+//!
+//! The adaption loop samples per-partition metrics (access frequency for
+//! range-partitioned objects, physical size for size-partitioned ones),
+//! checks the imbalance (standard deviation across AEUs against a
+//! threshold), computes a **target partitioning** with a configurable
+//! aggressiveness — **One-Shot** (fully balanced immediately) or
+//! **Moving Average over a window of k neighbours (MA-k)**, which turns
+//! into One-Shot as k covers all partitions (Figure 6) — and emits the
+//! balancing/transfer commands that realize it.
+
+/// The metric driving index-object balancing (Section 3.3: access
+/// frequency is primary; the mean execution time of a data command is the
+/// additional metric that captures tree-depth and cache effects).
+/// Size-partitioned objects always balance by physical partition size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceMetric {
+    /// Accesses per partition in the sampling window.
+    AccessFrequency,
+    /// Virtual execution time per partition in the sampling window —
+    /// equalizes *work*, not just request counts, so partitions with
+    /// deeper trees or worse cache behaviour shed load.
+    ExecutionTime,
+}
+
+/// Balancing aggressiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceAlgorithm {
+    /// Compute a fully balanced target partitioning in one step.
+    OneShot,
+    /// Smooth the observed metric with a moving average of window `k`
+    /// neighbours on each side before balancing.
+    MovingAverage(usize),
+}
+
+/// Load balancer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BalancerConfig {
+    pub enabled: bool,
+    pub algorithm: BalanceAlgorithm,
+    /// Metric for range-partitioned objects.
+    pub metric: BalanceMetric,
+    /// Trigger when the coefficient of variation (stddev / mean) of the
+    /// partition metric exceeds this.
+    pub threshold_cv: f64,
+    /// Sampling/adaption period in virtual seconds.
+    pub period_s: f64,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            enabled: false,
+            algorithm: BalanceAlgorithm::MovingAverage(1),
+            metric: BalanceMetric::AccessFrequency,
+            threshold_cv: 0.3,
+            period_s: 1.0,
+        }
+    }
+}
+
+/// Does the metric distribution warrant rebalancing?
+pub fn needs_balancing(weights: &[f64], threshold_cv: f64) -> bool {
+    let n = weights.len() as f64;
+    if n < 2.0 {
+        return false;
+    }
+    let mean = weights.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return false;
+    }
+    let var = weights.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / n;
+    var.sqrt() / mean > threshold_cv
+}
+
+/// Moving-average smoothing over `k` neighbours on each side (window
+/// clipped at the ends).  `k >= n-1` averages everything — the One-Shot
+/// configuration (the paper's "turns into the One-Shot algorithm when
+/// configured as MA7 in our setup" with 8 partitions).
+pub fn smooth(weights: &[f64], k: usize) -> Vec<f64> {
+    let n = weights.len();
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(k);
+            let hi = (i + k + 1).min(n);
+            weights[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Compute the target boundaries for one data object.
+///
+/// * `boundaries[i]` is the inclusive lower bound of partition `i`
+///   (so `boundaries[0]` is the domain minimum); `domain_end` closes the
+///   last range.
+/// * `weights[i]` is the observed metric of partition `i`.
+///
+/// The observed weight of a partition is assumed uniform over its key
+/// range; the new boundaries are the quantiles of that piecewise-uniform
+/// distribution at the target shares.  One-Shot targets equal shares; MA-k
+/// targets the smoothed shares, so repeated application converges while
+/// moving less data per cycle.
+pub fn target_boundaries(
+    boundaries: &[u64],
+    domain_end: u64,
+    weights: &[f64],
+    algorithm: BalanceAlgorithm,
+) -> Vec<u64> {
+    let n = boundaries.len();
+    assert_eq!(n, weights.len());
+    assert!(n > 0);
+    assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+    assert!(*boundaries.last().unwrap() < domain_end);
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || n == 1 {
+        return boundaries.to_vec();
+    }
+
+    // Target share per partition.
+    let targets: Vec<f64> = match algorithm {
+        BalanceAlgorithm::OneShot => vec![total / n as f64; n],
+        BalanceAlgorithm::MovingAverage(k) => {
+            let s = smooth(weights, k);
+            let s_total: f64 = s.iter().sum();
+            s.iter().map(|w| w / s_total * total).collect()
+        }
+    };
+
+    // Piecewise-uniform CDF inversion.
+    let ranges: Vec<(u64, u64)> = (0..n)
+        .map(|i| {
+            let hi = if i + 1 < n {
+                boundaries[i + 1]
+            } else {
+                domain_end
+            };
+            (boundaries[i], hi)
+        })
+        .collect();
+    let mut new_bounds = Vec::with_capacity(n);
+    new_bounds.push(boundaries[0]);
+    let mut cum_target = 0.0;
+    let mut seg = 0usize; // current source partition
+    let mut cum_weight = 0.0; // weight fully consumed before `seg`
+    for t in targets.iter().take(n - 1) {
+        cum_target += t;
+        // Advance to the segment containing the quantile.
+        while seg < n - 1 && cum_weight + weights[seg] < cum_target - 1e-9 {
+            cum_weight += weights[seg];
+            seg += 1;
+        }
+        let (lo, hi) = ranges[seg];
+        let within = if weights[seg] > 0.0 {
+            ((cum_target - cum_weight) / weights[seg]).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let pos = lo as f64 + within * (hi - lo) as f64;
+        new_bounds.push(pos as u64);
+    }
+
+    // Enforce strictly increasing boundaries within the domain.
+    for i in 1..n {
+        let min_allowed = new_bounds[i - 1] + 1;
+        let max_allowed = domain_end - (n - i) as u64;
+        new_bounds[i] = new_bounds[i].clamp(min_allowed, max_allowed);
+    }
+    new_bounds
+}
+
+/// A range transfer between two partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Source partition index (= AEU slot in table order).
+    pub from: usize,
+    /// Target partition index.
+    pub to: usize,
+    /// Transferred key range `[lo, hi)`.
+    pub lo: u64,
+    pub hi: u64,
+}
+
+/// The transfer commands realizing a move from `old_bounds` to
+/// `new_bounds`: every overlap of an old owner's range with a *different*
+/// new owner's range becomes one transfer.
+pub fn transfer_plan(old_bounds: &[u64], new_bounds: &[u64], domain_end: u64) -> Vec<Transfer> {
+    assert_eq!(old_bounds.len(), new_bounds.len());
+    let n = old_bounds.len();
+    let range = |bounds: &[u64], i: usize| -> (u64, u64) {
+        (
+            bounds[i],
+            if i + 1 < n { bounds[i + 1] } else { domain_end },
+        )
+    };
+    let mut plan = Vec::new();
+    for from in 0..n {
+        let (olo, ohi) = range(old_bounds, from);
+        for to in 0..n {
+            if from == to {
+                continue;
+            }
+            let (nlo, nhi) = range(new_bounds, to);
+            let lo = olo.max(nlo);
+            let hi = ohi.min(nhi);
+            if lo < hi {
+                plan.push(Transfer { from, to, lo, hi });
+            }
+        }
+    }
+    plan
+}
+
+/// Balance a size-partitioned object: equalize tuple counts.  Returns
+/// `(from, to, tuples)` moves computed greedily from the most loaded to
+/// the least loaded partitions.
+pub fn size_balance_moves(lens: &[usize]) -> Vec<(usize, usize, usize)> {
+    let n = lens.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let total: usize = lens.iter().sum();
+    let mean = total / n;
+    let mut surplus: Vec<(usize, usize)> = Vec::new(); // (idx, extra)
+    let mut deficit: Vec<(usize, usize)> = Vec::new(); // (idx, missing)
+    for (i, &l) in lens.iter().enumerate() {
+        if l > mean {
+            surplus.push((i, l - mean));
+        } else if l < mean {
+            deficit.push((i, mean - l));
+        }
+    }
+    let mut moves = Vec::new();
+    let (mut si, mut di) = (0, 0);
+    while si < surplus.len() && di < deficit.len() {
+        let give = surplus[si].1.min(deficit[di].1);
+        if give > 0 {
+            moves.push((surplus[si].0, deficit[di].0, give));
+        }
+        surplus[si].1 -= give;
+        deficit[di].1 -= give;
+        if surplus[si].1 == 0 {
+            si += 1;
+        }
+        if deficit[di].1 == 0 {
+            di += 1;
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 6 scenario: 8 equal ranges, partitions 3–6 get 25% each.
+    fn figure6_weights() -> Vec<f64> {
+        vec![0.0, 0.0, 25.0, 25.0, 25.0, 25.0, 0.0, 0.0]
+    }
+
+    fn even_bounds(n: u64, domain: u64) -> Vec<u64> {
+        (0..n).map(|i| domain / n * i).collect()
+    }
+
+    #[test]
+    fn cv_trigger() {
+        assert!(!needs_balancing(&[10.0, 10.0, 10.0], 0.3));
+        assert!(needs_balancing(&figure6_weights(), 0.3));
+        assert!(
+            !needs_balancing(&[0.0, 0.0], 0.3),
+            "idle object never triggers"
+        );
+        assert!(
+            !needs_balancing(&[5.0], 0.0),
+            "single partition never triggers"
+        );
+    }
+
+    #[test]
+    fn smoothing_windows() {
+        let w = figure6_weights();
+        let s1 = smooth(&w, 1);
+        // Partition 2's MA1 = (0 + 25 + 25) / 3.
+        assert!((s1[2] - 50.0 / 3.0).abs() < 1e-9);
+        // Ends clip the window.
+        assert!((s1[0] - 0.0).abs() < 1e-9);
+        // MA7 averages everything: equals One-Shot smoothing.
+        let s7 = smooth(&w, 7);
+        for v in &s7 {
+            assert!((v - 100.0 / 8.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_shot_fully_balances_figure6() {
+        let bounds = even_bounds(8, 800);
+        let nb = target_boundaries(&bounds, 800, &figure6_weights(), BalanceAlgorithm::OneShot);
+        // All weight sits in [200, 600); equal eighths of the weight are
+        // 50-key slices of that hot range.  Partition 0 keeps the domain
+        // start; partition 1's boundary lands at the start of the hot range.
+        assert_eq!(nb[0], 0);
+        assert_eq!(nb[1], 250, "1/8 of the weight = 50 hot keys into [200,600)");
+        assert_eq!(nb[4], 400);
+        assert_eq!(nb[7], 550);
+        assert!(nb.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn ma_with_full_window_equals_one_shot() {
+        let bounds = even_bounds(8, 800);
+        let w = figure6_weights();
+        let one = target_boundaries(&bounds, 800, &w, BalanceAlgorithm::OneShot);
+        let ma7 = target_boundaries(&bounds, 800, &w, BalanceAlgorithm::MovingAverage(7));
+        assert_eq!(one, ma7, "MA7 turns into One-Shot with 8 partitions");
+    }
+
+    #[test]
+    fn ma1_moves_less_than_one_shot() {
+        let bounds = even_bounds(8, 800);
+        let w = figure6_weights();
+        let one = target_boundaries(&bounds, 800, &w, BalanceAlgorithm::OneShot);
+        let ma1 = target_boundaries(&bounds, 800, &w, BalanceAlgorithm::MovingAverage(1));
+        let movement =
+            |nb: &[u64]| -> u64 { nb.iter().zip(&bounds).map(|(a, b)| a.abs_diff(*b)).sum() };
+        assert!(
+            movement(&ma1) < movement(&one),
+            "MA1 {} must move less than One-Shot {}",
+            movement(&ma1),
+            movement(&one)
+        );
+        assert!(movement(&ma1) > 0, "MA1 still adapts");
+    }
+
+    #[test]
+    fn repeated_ma_converges_towards_balance() {
+        let mut bounds = even_bounds(8, 800);
+        let hot = (200u64, 600u64);
+        for _ in 0..40 {
+            // Re-observe: weight of each partition = overlap with hot range.
+            let w: Vec<f64> = (0..8)
+                .map(|i| {
+                    let lo = bounds[i];
+                    let hi = if i + 1 < 8 { bounds[i + 1] } else { 800 };
+                    (hi.min(hot.1).saturating_sub(lo.max(hot.0))) as f64
+                })
+                .collect();
+            if !needs_balancing(&w, 0.05) {
+                break;
+            }
+            bounds = target_boundaries(&bounds, 800, &w, BalanceAlgorithm::MovingAverage(1));
+        }
+        // After convergence every partition holds ~1/8 of the hot range.
+        let w: Vec<f64> = (0..8)
+            .map(|i| {
+                let lo = bounds[i];
+                let hi = if i + 1 < 8 { bounds[i + 1] } else { 800 };
+                (hi.min(600).saturating_sub(lo.max(200))) as f64
+            })
+            .collect();
+        assert!(
+            !needs_balancing(&w, 0.25),
+            "converged: {w:?} bounds {bounds:?}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_returns_current() {
+        let bounds = even_bounds(4, 400);
+        let nb = target_boundaries(&bounds, 400, &[0.0; 4], BalanceAlgorithm::OneShot);
+        assert_eq!(nb, bounds);
+    }
+
+    #[test]
+    fn boundaries_stay_strictly_increasing_under_extreme_skew() {
+        // All weight in the last partition.
+        let bounds = even_bounds(8, 64);
+        let mut w = vec![0.0; 8];
+        w[7] = 100.0;
+        let nb = target_boundaries(&bounds, 64, &w, BalanceAlgorithm::OneShot);
+        assert!(nb.windows(2).all(|x| x[0] < x[1]), "{nb:?}");
+        assert!(*nb.last().unwrap() < 64);
+    }
+
+    #[test]
+    fn transfer_plan_matches_figure7() {
+        // Figure 7: partitions 1..4 (of 8) balancing with One-Shot; the
+        // workload is symmetric so we reproduce the left half: old equal
+        // bounds, new bounds concentrated in the hot upper half.
+        let old = vec![0u64, 100, 200, 300];
+        let new = vec![0u64, 225, 250, 275]; // partitions 2-4 take hot slices
+        let plan = transfer_plan(&old, &new, 400);
+        // Partition 1 takes over partition 2's entire old range (the paper's
+        // "take over the entire range of partition 2" link transfer).
+        assert!(plan.contains(&Transfer {
+            from: 1,
+            to: 0,
+            lo: 100,
+            hi: 200
+        }));
+        // Partition 3 hands the lower part of its range backwards.
+        assert!(plan.iter().any(|t| t.from == 2 && t.to < 2));
+        // No transfer maps a range onto its current owner.
+        assert!(plan.iter().all(|t| t.from != t.to));
+        // Transferred ranges are disjoint and within the domain.
+        for t in &plan {
+            assert!(t.lo < t.hi && t.hi <= 400);
+        }
+    }
+
+    #[test]
+    fn transfer_plan_empty_when_unchanged() {
+        let b = vec![0u64, 10, 20];
+        assert!(transfer_plan(&b, &b, 30).is_empty());
+    }
+
+    #[test]
+    fn size_balance_moves_equalize() {
+        let moves = size_balance_moves(&[100, 0, 50, 50]);
+        // Mean = 50; partition 0 gives 50 to partition 1.
+        assert_eq!(moves, vec![(0, 1, 50)]);
+        assert!(size_balance_moves(&[10, 10, 10]).is_empty());
+        assert!(size_balance_moves(&[7]).is_empty());
+    }
+
+    #[test]
+    fn size_balance_multiple_donors_and_receivers() {
+        let lens = [90usize, 10, 80, 20];
+        let moves = size_balance_moves(&lens);
+        let mut after = lens;
+        for (f, t, n) in moves {
+            after[f] -= n;
+            after[t] += n;
+        }
+        assert_eq!(after, [50, 50, 50, 50]);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bounds_and_weights() -> impl Strategy<Value = (Vec<u64>, u64, Vec<f64>)> {
+        (2usize..32).prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(1u64..1000, n),
+                proptest::collection::vec(0u32..1000, n),
+            )
+        })
+        .prop_map(|(_, gaps, weights)| {
+            // Strictly increasing boundaries starting at 0.
+            let mut bounds = Vec::with_capacity(gaps.len());
+            let mut acc = 0u64;
+            for g in &gaps {
+                bounds.push(acc);
+                acc += g;
+            }
+            let domain_end = acc.max(bounds.last().unwrap() + 1);
+            (bounds, domain_end, weights.into_iter().map(f64::from).collect())
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn target_boundaries_always_valid((bounds, end, weights) in bounds_and_weights()) {
+            for algo in [
+                BalanceAlgorithm::OneShot,
+                BalanceAlgorithm::MovingAverage(1),
+                BalanceAlgorithm::MovingAverage(4),
+            ] {
+                let nb = target_boundaries(&bounds, end, &weights, algo);
+                prop_assert_eq!(nb.len(), bounds.len());
+                prop_assert_eq!(nb[0], bounds[0], "domain minimum never moves");
+                prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+                prop_assert!(*nb.last().unwrap() < end, "inside the domain");
+            }
+        }
+
+        #[test]
+        fn transfer_plan_covers_exactly_the_ownership_diff(
+            (bounds, end, weights) in bounds_and_weights())
+        {
+            let nb = target_boundaries(&bounds, end, &weights, BalanceAlgorithm::OneShot);
+            let plan = transfer_plan(&bounds, &nb, end);
+            let n = bounds.len();
+            let owner = |bs: &[u64], k: u64| -> usize {
+                bs.iter().rposition(|&b| b <= k).unwrap()
+            };
+            // Sampled keys: every key whose old and new owner differ must be
+            // covered by exactly one transfer (from old to new); keys whose
+            // owner is unchanged must not be covered by any.
+            let step = (end / 257).max(1);
+            for k in (0..end).step_by(step as usize) {
+                let old = owner(&bounds, k);
+                let new = owner(&nb, k);
+                let covering: Vec<&Transfer> =
+                    plan.iter().filter(|t| t.lo <= k && k < t.hi).collect();
+                if old == new {
+                    prop_assert!(covering.is_empty(), "key {} moved needlessly", k);
+                } else {
+                    prop_assert_eq!(covering.len(), 1, "key {} covered once", k);
+                    prop_assert_eq!(covering[0].from, old);
+                    prop_assert_eq!(covering[0].to, new);
+                }
+            }
+            let _ = n;
+        }
+
+        #[test]
+        fn smoothing_preserves_total(weights in proptest::collection::vec(0f64..100.0, 1..64),
+                                     k in 0usize..8)
+        {
+            let s = smooth(&weights, k);
+            prop_assert_eq!(s.len(), weights.len());
+            // Smoothing is an averaging operator: values stay within the
+            // min/max envelope of the input.
+            let lo = weights.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = weights.iter().cloned().fold(0.0, f64::max);
+            for v in &s {
+                prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+            }
+        }
+
+        #[test]
+        fn size_moves_conserve_and_equalize(lens in proptest::collection::vec(0usize..10_000, 2..32)) {
+            let moves = size_balance_moves(&lens);
+            let mut after = lens.clone();
+            for (f, t, n) in &moves {
+                prop_assert!(after[*f] >= *n, "never move more than held");
+                after[*f] -= n;
+                after[*t] += n;
+            }
+            let before_total: usize = lens.iter().sum();
+            let after_total: usize = after.iter().sum();
+            prop_assert_eq!(before_total, after_total, "tuples conserved");
+            let mean = before_total / lens.len();
+            for l in &after {
+                prop_assert!(l.abs_diff(mean) <= lens.len() + 1, "near-equal: {:?}", after);
+            }
+        }
+    }
+}

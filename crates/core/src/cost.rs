@@ -1,0 +1,248 @@
+//! Virtual-time cost parameters and the analytic cache model.
+//!
+//! The cooperative runtime charges every storage operation CPU time,
+//! memory latency, and memory traffic.  CPU and latency constants live in
+//! [`CostParams`]; traffic goes through the max-min fair flow solver of
+//! `eris-numa`.  The per-lookup *miss count* comes from an analytic model
+//! of the prefix tree against the last-level cache: the top levels of the
+//! tree are hot and cache-resident, the bottom levels miss — the exact
+//! effect Figures 8 and 10 of the paper attribute the ERIS/shared gap to.
+
+use eris_index::PrefixTreeConfig;
+
+/// Calibration constants of the virtual-time model.
+///
+/// Values are chosen to sit in the plausible range of the paper's hardware
+/// generation (Sandy Bridge / Interlagos era); the reproduction targets
+/// *shapes and ratios*, not absolute numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Fixed CPU cost per point operation (dispatch, hashing the digit
+    /// path, result handling).
+    pub cpu_ns_per_point_op: f64,
+    /// CPU cost per tree level traversed.
+    pub cpu_ns_per_tree_level: f64,
+    /// Extra CPU per upsert (slot write, presence bit, occasional node
+    /// allocation).
+    pub cpu_ns_per_upsert: f64,
+    /// Extra cost per upsert on the *shared* tree: the CAS-based
+    /// synchronization the baseline needs ("synchronized via atomic
+    /// instructions").
+    pub shared_cas_ns: f64,
+    /// CPU cost per row during a column scan (predicate + aggregate).
+    pub cpu_ns_per_scan_row: f64,
+    /// CPU cost of routing one command (partition-table lookup, encode).
+    pub cpu_ns_per_routed_cmd: f64,
+    /// CPU cost per key examined while splitting a command's data segment
+    /// by owner (routing step 1's batch lookup), plus encode/decode copy.
+    pub cpu_ns_per_routed_key: f64,
+    /// Latency multiplier for the shared baseline's remote accesses: the
+    /// snooping cache-coherence overhead of uncoordinated sharing
+    /// (Hackenberg et al., MICRO'09; Section 2.1 of the paper).
+    pub shared_coherence_factor: f64,
+    /// Latency charge per flush into a remote incoming buffer (one
+    /// reservation round trip).
+    pub flush_latency_factor: f64,
+    /// Memory-level parallelism: outstanding misses a batched lookup loop
+    /// overlaps (the command-grouping optimization of Section 3.1).
+    pub mlp: f64,
+    /// Cache line size in bytes.
+    pub cache_line: u64,
+    /// Fixed cost of a *link* partition transfer (pointer relink inside a
+    /// memory-management domain).
+    pub link_transfer_ns: f64,
+    /// CPU cost per key to rebuild an index from a flattened stream on the
+    /// target side of a *copy* transfer.
+    pub rebuild_ns_per_key: f64,
+    /// Bytes per key in the flattened exchange format (key + value).
+    pub transfer_bytes_per_key: u64,
+    /// Core frequency relative to nominal (DVFS), scaling all CPU work.
+    /// Memory latency and bandwidth are unaffected — the lever behind the
+    /// paper's future-work question of energy awareness on a data-oriented
+    /// architecture (Section 6): memory-bound AEUs lose little throughput
+    /// at reduced frequency.
+    pub frequency_scale: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            cpu_ns_per_point_op: 14.0,
+            cpu_ns_per_tree_level: 1.6,
+            cpu_ns_per_upsert: 8.0,
+            shared_cas_ns: 55.0,
+            cpu_ns_per_scan_row: 0.12,
+            cpu_ns_per_routed_cmd: 11.0,
+            cpu_ns_per_routed_key: 7.0,
+            shared_coherence_factor: 1.5,
+            flush_latency_factor: 1.0,
+            mlp: 4.0,
+            cache_line: 64,
+            link_transfer_ns: 4_000.0,
+            rebuild_ns_per_key: 18.0,
+            transfer_bytes_per_key: 16,
+            frequency_scale: 1.0,
+        }
+    }
+}
+
+/// Expected node bytes of a dense-domain prefix tree, level by level
+/// (root first).  Inner nodes are `fanout` u32 children; the leaf level is
+/// `fanout` u64 values plus a presence bitmap.
+pub fn tree_level_bytes(keys: u64, cfg: PrefixTreeConfig) -> Vec<f64> {
+    let levels = cfg.levels() as i64;
+    let fanout = cfg.fanout() as f64;
+    let keys = keys as f64;
+    (0..levels)
+        .map(|l| {
+            // With keys dense in [0, keys), the number of occupied nodes at
+            // level l is keys / fanout^(levels-l), capped by the level's
+            // structural width fanout^l (and at least one node).
+            let by_keys = keys / fanout.powi((levels - l) as i32);
+            let by_width = fanout.powi(l as i32);
+            let nodes = by_keys.min(by_width).max(1.0);
+            let node_bytes = if l == levels - 1 {
+                fanout * 8.0 + fanout / 8.0
+            } else {
+                fanout * 4.0
+            };
+            nodes * node_bytes
+        })
+        .collect()
+}
+
+/// Expected LLC misses per lookup for a tree of `keys` dense keys when
+/// `cache_bytes` of LLC are effectively available to it.
+///
+/// Greedy top-down residency: hot levels (touched by *every* lookup) occupy
+/// the cache first; a partially resident level misses with the uncovered
+/// fraction.  This is the standard "cache the top of the tree" model and
+/// reproduces the measured behaviour: small trees run cache-resident, big
+/// trees pay roughly one miss per uncached level.
+pub fn expected_tree_misses(keys: u64, cfg: PrefixTreeConfig, cache_bytes: f64) -> f64 {
+    let mut budget = cache_bytes;
+    let mut misses = 0.0;
+    for bytes in tree_level_bytes(keys, cfg) {
+        if budget >= bytes {
+            budget -= bytes;
+        } else if budget > 0.0 {
+            misses += 1.0 - budget / bytes;
+            budget = 0.0;
+        } else {
+            misses += 1.0;
+        }
+    }
+    misses
+}
+
+/// Expected LLC misses per point access of a per-partition hash table of
+/// `keys` entries against `cache_bytes` of effective cache.
+///
+/// The bucket array (~24 B per slot at 85% load) is accessed uniformly, so
+/// the resident fraction is simply cache/array; a Robin-Hood probe touches
+/// ~1.3 buckets on average.
+pub fn expected_hash_misses(keys: u64, cache_bytes: f64) -> f64 {
+    const BYTES_PER_KEY: f64 = 24.0 / 0.85;
+    const AVG_PROBES: f64 = 1.3;
+    let array_bytes = keys as f64 * BYTES_PER_KEY;
+    let resident = (cache_bytes / array_bytes).clamp(0.0, 1.0);
+    AVG_PROBES * (1.0 - resident)
+}
+
+/// Expected miss *ratio* (misses / L3 requests) per lookup: every level
+/// touch is an L3 request once it leaves L1/L2; the model treats all level
+/// touches as L3 requests, matching how Figure 10 normalizes.
+pub fn expected_miss_ratio(keys: u64, cfg: PrefixTreeConfig, cache_bytes: f64) -> f64 {
+    let levels = cfg.levels() as f64;
+    expected_tree_misses(keys, cfg, cache_bytes) / levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PrefixTreeConfig {
+        PrefixTreeConfig::new(8, 64)
+    }
+
+    #[test]
+    fn level_bytes_grow_towards_leaves() {
+        let lv = tree_level_bytes(1 << 30, cfg());
+        assert_eq!(lv.len(), 8);
+        for w in lv.windows(2) {
+            assert!(w[0] <= w[1] * 1.01, "levels grow monotonically: {lv:?}");
+        }
+        // Leaf level of a 2^30-key dense tree: 2^22 nodes x (2048+32) B.
+        let expected_leaf = (1u64 << 22) as f64 * (256.0 * 8.0 + 32.0);
+        assert!((lv[7] - expected_leaf).abs() / expected_leaf < 0.01);
+    }
+
+    #[test]
+    fn tiny_tree_is_fully_cached() {
+        // 65k keys ~ a few MB; fits in a 24 MiB LLC entirely.
+        let m = expected_tree_misses(1 << 16, cfg(), 24.0 * (1 << 20) as f64);
+        assert!(m < 0.01, "expected ~0 misses, got {m}");
+    }
+
+    #[test]
+    fn huge_tree_misses_in_lower_levels() {
+        // 2^31 keys ~ 50+ GB of tree; only the top fits in 24 MiB.
+        // Dense trees are flat: the leaf level always misses and the level
+        // above misses partially once it outgrows the cache.
+        let m = expected_tree_misses(1 << 31, cfg(), 24.0 * (1 << 20) as f64);
+        assert!(m > 1.0, "bottom levels must miss, got {m}");
+        assert!(m < 8.0);
+    }
+
+    #[test]
+    fn misses_decrease_with_more_cache() {
+        let keys = 1 << 28;
+        let small = expected_tree_misses(keys, cfg(), 2.0 * (1 << 20) as f64);
+        let large = expected_tree_misses(keys, cfg(), 64.0 * (1 << 20) as f64);
+        assert!(large < small);
+    }
+
+    #[test]
+    fn misses_increase_with_tree_size() {
+        let cache = 12.0 * (1 << 20) as f64;
+        let mut prev = 0.0;
+        for keys in [1u64 << 20, 1 << 24, 1 << 28, 1 << 32] {
+            let m = expected_tree_misses(keys, cfg(), cache);
+            assert!(m >= prev, "monotone in size");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn partitioning_reduces_misses() {
+        // The ERIS effect: 64 partitions of K/64 keys with LLC/8 each miss
+        // less than one shared tree of K keys with one node's LLC.
+        let llc = 16.0 * (1 << 20) as f64;
+        let keys = 1u64 << 30;
+        let eris = expected_tree_misses(keys / 64, cfg(), llc / 8.0);
+        let shared = expected_tree_misses(keys, cfg(), llc);
+        assert!(
+            eris < shared,
+            "partitioned: {eris} misses, shared: {shared} misses"
+        );
+    }
+
+    #[test]
+    fn hash_misses_scale_with_size() {
+        let cache = 4.0 * (1 << 20) as f64;
+        // Table fits in cache: no misses.
+        assert_eq!(expected_hash_misses(1 << 10, cache), 0.0);
+        // Table far larger than cache: ~1.3 misses per probe.
+        let big = expected_hash_misses(1 << 30, cache);
+        assert!(big > 1.2 && big <= 1.3, "{big}");
+        // Hash point access beats a deep tree when both are uncached.
+        let tree = expected_tree_misses(1 << 30, cfg(), cache);
+        assert!(big < tree + 0.5, "hash {big} vs tree {tree}");
+    }
+
+    #[test]
+    fn miss_ratio_is_normalized() {
+        let r = expected_miss_ratio(1 << 31, cfg(), 6.0 * (1 << 20) as f64);
+        assert!(r > 0.0 && r < 1.0);
+    }
+}

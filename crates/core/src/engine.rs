@@ -1,0 +1,1351 @@
+//! The ERIS engine: AEU construction, the cooperative virtual-time
+//! runtime, the load-balancer adaption loop, and a threaded runtime that
+//! exercises the routing protocol under real parallelism.
+
+use crate::aeu::{Aeu, AeuConfig, CommandGen, OpCounts};
+use crate::balancer::{
+    needs_balancing, size_balance_moves, target_boundaries, transfer_plan, BalancerConfig,
+};
+use crate::command::{AeuId, DataCommand, DataObjectId};
+use crate::cost::CostParams;
+use crate::monitor::{Monitor, Sample};
+use crate::results::ResultCollector;
+use crate::routing::{
+    BitmapTable, PartitionTable, RangeTable, Router, RoutingConfig, RoutingShared,
+};
+use eris_index::PrefixTreeConfig;
+use eris_mem::{MemoryManager, ThreadCache};
+use eris_numa::{CoreId, FlowSolver, HwCounters, NodeId, Topology, VirtualClock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Engine configuration.
+pub struct EngineConfig {
+    /// AEUs per node; `None` = one per core (the paper's deployment).
+    pub aeus_per_node: Option<u16>,
+    /// Restrict the engine to the first `k` nodes (scalability sweeps).
+    pub active_nodes: Option<usize>,
+    pub routing: RoutingConfig,
+    pub params: CostParams,
+    /// Virtual keys/rows per real key/row: experiments model paper-scale
+    /// data with a real subsample (see DESIGN.md).
+    pub size_scale: u64,
+    /// Scale applied to partition-transfer volumes; defaults to
+    /// `size_scale`.  Experiments that compress the *time* axis (Figure 13)
+    /// compress moved data volume by the same factor to keep transfer
+    /// durations proportional to phase lengths.
+    pub transfer_scale: Option<u64>,
+    /// Collect full results (tests) instead of counters only.
+    pub collect_results: bool,
+    pub balancer: BalancerConfig,
+    /// Shape of index partitions.
+    pub tree: PrefixTreeConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            aeus_per_node: None,
+            active_nodes: None,
+            routing: RoutingConfig::default(),
+            params: CostParams::default(),
+            size_scale: 1,
+            transfer_scale: None,
+            collect_results: false,
+            balancer: BalancerConfig::default(),
+            tree: PrefixTreeConfig::new(8, 64),
+        }
+    }
+}
+
+/// Oscillation-backoff state of one data object.
+#[derive(Debug, Clone, Copy, Default)]
+struct BackoffState {
+    /// Imbalance measured when the last balancing cycle was decided.
+    last_cv: f64,
+    /// Current backoff length in periods.
+    skip: u32,
+    /// Periods left to skip.
+    skip_left: u32,
+    /// Fraction of the object's keys moved by the last cycle.
+    last_moved_frac: f64,
+    /// Virtual time the last cycle's transfers cost, in ns.
+    last_cost_ns: f64,
+}
+
+/// Standard deviation over mean of a weight histogram (0 when degenerate).
+fn coefficient_of_variation(weights: &[f64]) -> f64 {
+    let n = weights.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mean = weights.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = weights.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+/// Kind of a data object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// Range-partitioned index over `[0, domain)`.
+    Index { domain: u64 },
+    /// Size-partitioned column.
+    Column,
+}
+
+struct ObjectMeta {
+    id: DataObjectId,
+    kind: ObjectKind,
+    name: String,
+}
+
+/// Aggregated outcome of one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochReport {
+    /// Virtual duration of the epoch in ns.
+    pub duration_ns: f64,
+    pub ops: OpCounts,
+    /// Virtual time spent balancing in this epoch (charged to AEUs).
+    pub balance_ns: f64,
+}
+
+/// The ERIS storage engine on a simulated NUMA machine.
+pub struct Engine {
+    topo: Arc<Topology>,
+    cfg: EngineConfig,
+    shared: Arc<RoutingShared>,
+    mem: Arc<MemoryManager>,
+    results: Arc<ResultCollector>,
+    aeus: Vec<Aeu>,
+    node_of: Arc<Vec<NodeId>>,
+    clock: VirtualClock,
+    counters: HwCounters,
+    objects: Vec<ObjectMeta>,
+    last_balance_s: f64,
+    /// Per-object oscillation backoff: when a balancing cycle moved a
+    /// substantial amount of data *without* improving the imbalance — the
+    /// signature of an indivisible hotspot, e.g. one scorching key that no
+    /// range split can divide — the balancer backs off exponentially
+    /// instead of thrashing with futile transfers.
+    balance_backoff: Vec<BackoffState>,
+    monitor: Monitor,
+    stop: Arc<AtomicBool>,
+}
+
+impl Engine {
+    /// Build an engine with one AEU per (active) core.
+    pub fn new(topo: Topology, cfg: EngineConfig) -> Self {
+        let topo = Arc::new(topo);
+        let active_nodes = cfg
+            .active_nodes
+            .unwrap_or(topo.num_nodes())
+            .min(topo.num_nodes());
+        assert!(active_nodes > 0, "need at least one active node");
+
+        // AEU placement: cores of the first `active_nodes` nodes.
+        let mut placement: Vec<(NodeId, CoreId)> = Vec::new();
+        for node in topo.nodes().take(active_nodes) {
+            let cores = topo.cores_of_node(node);
+            let take = cfg
+                .aeus_per_node
+                .map(|k| k as usize)
+                .unwrap_or(cores.len())
+                .min(cores.len());
+            for c in cores.take(take) {
+                placement.push((node, CoreId(c)));
+            }
+        }
+        let num_aeus = placement.len();
+        let node_of: Arc<Vec<NodeId>> = Arc::new(placement.iter().map(|(n, _)| *n).collect());
+
+        let shared = Arc::new(RoutingShared::new(num_aeus, cfg.routing));
+        let mem = Arc::new(MemoryManager::new(&topo));
+        let results = Arc::new(if cfg.collect_results {
+            ResultCollector::collecting()
+        } else {
+            ResultCollector::new()
+        });
+
+        let counters = HwCounters::new(&topo);
+        let mut aeus = Vec::with_capacity(num_aeus);
+        for (i, (node, core)) in placement.into_iter().enumerate() {
+            let id = AeuId(i as u32);
+            let aeus_on_node = node_of.iter().filter(|n| **n == node).count() as f64;
+            let spec = topo.node_spec(node);
+            let aeu_cfg = AeuConfig {
+                params: cfg.params,
+                llc_share_bytes: (spec.llc_mib as f64) * 1048576.0 / aeus_on_node,
+                size_scale: cfg.size_scale,
+                local_latency_ns: spec.local_latency_ns,
+                node_of: Arc::clone(&node_of),
+            };
+            let router = Router::new(id, Arc::clone(&shared), cfg.routing);
+            let incoming = Arc::clone(shared.incoming(id));
+            let cache = ThreadCache::new(Arc::clone(mem.node(node)));
+            aeus.push(Aeu::new(
+                id,
+                node,
+                core,
+                aeu_cfg,
+                router,
+                incoming,
+                Arc::clone(&results),
+                cache,
+            ));
+        }
+
+        Engine {
+            topo,
+            cfg,
+            shared,
+            mem,
+            results,
+            aeus,
+            node_of,
+            clock: VirtualClock::new(),
+            counters,
+            objects: Vec::new(),
+            last_balance_s: 0.0,
+            balance_backoff: Vec::new(),
+            monitor: Monitor::new(64),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The platform the engine runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of AEUs.
+    pub fn num_aeus(&self) -> usize {
+        self.aeus.len()
+    }
+
+    /// All AEU ids.
+    pub fn aeu_ids(&self) -> Vec<AeuId> {
+        (0..self.aeus.len() as u32).map(AeuId).collect()
+    }
+
+    /// The node an AEU runs on.
+    pub fn node_of(&self, aeu: AeuId) -> NodeId {
+        self.node_of[aeu.index()]
+    }
+
+    /// The shared result sink.
+    pub fn results(&self) -> &Arc<ResultCollector> {
+        &self.results
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Hardware counters accumulated so far.
+    pub fn counters(&self) -> &HwCounters {
+        &self.counters
+    }
+
+    /// Reset the traffic counters (start of a measurement window).
+    pub fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    /// The per-node memory manager.
+    pub fn memory(&self) -> &Arc<MemoryManager> {
+        &self.mem
+    }
+
+    /// Direct access to an AEU (benchmarks, tests).
+    pub fn aeu(&self, id: AeuId) -> &Aeu {
+        &self.aeus[id.index()]
+    }
+
+    /// Mutable access to an AEU (benchmarks, tests).
+    pub fn aeu_mut(&mut self, id: AeuId) -> &mut Aeu {
+        &mut self.aeus[id.index()]
+    }
+
+    /// Create a range-partitioned index over `[0, domain)`, evenly split
+    /// across all AEUs.
+    pub fn create_index(&mut self, name: &str, domain: u64) -> DataObjectId {
+        let id = DataObjectId(self.objects.len() as u32);
+        let owners = self.aeu_ids();
+        let table = RangeTable::even(domain, &owners);
+        for (i, aeu) in self.aeus.iter_mut().enumerate() {
+            let (lo, hi) = table.range_of(i, domain);
+            aeu.create_index_partition(id, self.cfg.tree, (lo, hi));
+        }
+        self.shared
+            .register_object(id, PartitionTable::Range(table));
+        self.objects.push(ObjectMeta {
+            id,
+            kind: ObjectKind::Index { domain },
+            name: name.into(),
+        });
+        self.balance_backoff.push(BackoffState::default());
+        id
+    }
+
+    /// Create a range-partitioned object stored as per-partition hash
+    /// tables: O(1) point access, no ordered range scans (Section 3.1).
+    /// Routing is identical to [`Engine::create_index`]; only the in-
+    /// partition structure differs, and each partition draws its own hash
+    /// function seed.
+    pub fn create_hash_index(&mut self, name: &str, domain: u64) -> DataObjectId {
+        let id = DataObjectId(self.objects.len() as u32);
+        let owners = self.aeu_ids();
+        let table = RangeTable::even(domain, &owners);
+        for (i, aeu) in self.aeus.iter_mut().enumerate() {
+            let (lo, hi) = table.range_of(i, domain);
+            aeu.create_hash_partition(id, (lo, hi));
+        }
+        self.shared
+            .register_object(id, PartitionTable::Range(table));
+        self.objects.push(ObjectMeta {
+            id,
+            kind: ObjectKind::Index { domain },
+            name: name.into(),
+        });
+        self.balance_backoff.push(BackoffState::default());
+        id
+    }
+
+    /// Create a size-partitioned column held by all AEUs.
+    pub fn create_column(&mut self, name: &str) -> DataObjectId {
+        let id = DataObjectId(self.objects.len() as u32);
+        let owners = self.aeu_ids();
+        for aeu in self.aeus.iter_mut() {
+            aeu.create_column_partition(id);
+        }
+        self.shared
+            .register_object(id, PartitionTable::Bitmap(BitmapTable::new(owners)));
+        self.objects.push(ObjectMeta {
+            id,
+            kind: ObjectKind::Column,
+            name: name.into(),
+        });
+        self.balance_backoff.push(BackoffState::default());
+        id
+    }
+
+    /// Object name (diagnostics).
+    pub fn object_name(&self, id: DataObjectId) -> &str {
+        &self.objects[id.0 as usize].name
+    }
+
+    /// Bulk-load an index directly into the owning partitions (setup path;
+    /// routed upserts are the measured path).
+    pub fn bulk_load_index(
+        &mut self,
+        object: DataObjectId,
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+    ) {
+        let ranges = self
+            .shared
+            .with_table(object, |t| t.as_range().expect("index object").ranges());
+        let domain = match self.objects[object.0 as usize].kind {
+            ObjectKind::Index { domain } => domain,
+            ObjectKind::Column => panic!("bulk_load_index on a column"),
+        };
+        // Group into per-owner batches, then absorb.
+        let mut batches: Vec<Vec<(u64, u64)>> = vec![Vec::new(); self.aeus.len()];
+        for (k, v) in pairs {
+            assert!(k < domain, "key {k} outside domain {domain}");
+            let idx = match ranges.binary_search_by(|(b, _)| b.cmp(&k)) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            batches[ranges[idx].1.index()].push((k, v));
+        }
+        for (i, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.aeus[i].absorb_pairs(object, &batch);
+            }
+        }
+    }
+
+    /// Bulk-load a column round-robin across AEUs (setup path).
+    pub fn bulk_load_column(
+        &mut self,
+        object: DataObjectId,
+        values: impl IntoIterator<Item = u64>,
+    ) {
+        let n = self.aeus.len();
+        let mut batches: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for (i, v) in values.into_iter().enumerate() {
+            batches[i % n].push(v);
+        }
+        for (i, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.aeus[i].absorb_rows(object, &batch);
+            }
+        }
+    }
+
+    /// Attach a command generator to one AEU.
+    pub fn set_generator(&mut self, aeu: AeuId, gen: Option<CommandGen>) {
+        self.aeus[aeu.index()].set_generator(gen);
+    }
+
+    /// Submit one command through an AEU's router (client path for tests
+    /// and examples; generators are the benchmark path).
+    pub fn submit(&mut self, via: AeuId, cmd: DataCommand) {
+        let node = self.node_of[via.index()];
+        let mut w = crate::aeu::WorkSummary::new(node);
+        self.aeus[via.index()].route_external(cmd, &mut w);
+        // Submission costs are charged to the next epoch via pending ns.
+        self.aeus[via.index()].add_pending_ns(w.cpu_ns + w.latency_ns);
+    }
+
+    /// Run one cooperative epoch: step every AEU, fair-share the traffic,
+    /// advance the virtual clock, and run the balancer when due.
+    pub fn run_epoch(&mut self) -> EpochReport {
+        let mut report = EpochReport::default();
+        let mut summaries = Vec::with_capacity(self.aeus.len());
+        for aeu in self.aeus.iter_mut() {
+            let mut s = aeu.step();
+            s.coalesce_flows();
+            summaries.push(s);
+        }
+        // Fair-share all memory traffic of the epoch.
+        let mut flows = Vec::new();
+        let mut kinds = Vec::new();
+        let mut spans = Vec::with_capacity(summaries.len());
+        for s in &summaries {
+            let start = flows.len();
+            for (f, k) in &s.flows {
+                flows.push(f.clone());
+                kinds.push(*k);
+            }
+            spans.push(start..flows.len());
+        }
+        let rates = FlowSolver::new(&self.topo).solve(&flows);
+        for f in &flows {
+            self.counters.record(&self.topo, f.src, f.home, f.bytes);
+        }
+        let mut duration: f64 = 0.0;
+        for (s, span) in summaries.iter().zip(spans) {
+            // Streaming (serial) flows add up; posted (overlapped) flows
+            // proceed concurrently and share the worker's aggregate rate:
+            // time = total posted bytes / summed fair-share rates.
+            let mut serial_ns = 0.0f64;
+            let mut over_bytes = 0.0f64;
+            let mut over_rate = 0.0f64;
+            for i in span {
+                match kinds[i] {
+                    crate::aeu::FlowKind::Serial => {
+                        serial_ns += flows[i].bytes as f64 / rates.rates[i];
+                    }
+                    crate::aeu::FlowKind::Overlapped => {
+                        over_bytes += flows[i].bytes as f64;
+                        over_rate += rates.rates[i];
+                    }
+                }
+            }
+            let overlapped_ns = if over_rate > 0.0 {
+                over_bytes / over_rate
+            } else {
+                0.0
+            };
+            let bw_ns = serial_ns + overlapped_ns;
+            let cpu_ns = s.cpu_ns / self.cfg.params.frequency_scale;
+            let t = cpu_ns + s.latency_ns.max(bw_ns);
+            if std::env::var_os("ERIS_DEBUG_EPOCH").is_some() && t > duration {
+                eprintln!(
+                    "  max-AEU so far: cpu={:.1}us lat={:.1}us serial_bw={:.1}us overl_bw={:.1}us",
+                    cpu_ns / 1e3,
+                    s.latency_ns / 1e3,
+                    serial_ns / 1e3,
+                    overlapped_ns / 1e3
+                );
+            }
+            duration = duration.max(t);
+            report.ops.add(&s.ops);
+        }
+        // An idle epoch still advances a scheduling quantum.
+        report.duration_ns = duration.max(1_000.0);
+        self.clock.advance_ns(report.duration_ns);
+
+        // Balancer adaption loop.
+        if self.cfg.balancer.enabled
+            && self.clock.now_secs() - self.last_balance_s >= self.cfg.balancer.period_s
+        {
+            self.last_balance_s = self.clock.now_secs();
+            report.balance_ns = self.run_balancer();
+        }
+        report
+    }
+
+    /// Run epochs until `virtual_secs` have elapsed; returns aggregate ops.
+    pub fn run_for_virtual_secs(&mut self, virtual_secs: f64) -> OpCounts {
+        let end = self.clock.now_secs() + virtual_secs;
+        let mut ops = OpCounts::default();
+        while self.clock.now_secs() < end {
+            let r = self.run_epoch();
+            ops.add(&r.ops);
+        }
+        ops
+    }
+
+    /// Run epochs until every AEU's buffers are drained and no new work
+    /// appeared (command completion for synchronous callers).
+    pub fn run_until_drained(&mut self) {
+        loop {
+            let r = self.run_epoch();
+            let idle = r.ops.lookups == 0
+                && r.ops.upserts == 0
+                && r.ops.scans == 0
+                && r.ops.commands_routed == 0
+                && r.ops.forwarded == 0;
+            if idle && self.aeus.iter().all(|a| a.is_drained()) {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Load balancing (engine-orchestrated, Section 3.3)
+    // ------------------------------------------------------------------
+
+    /// The per-object sampling history collected by the adaption loop.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Check every object for imbalance and rebalance as configured.
+    /// Returns the total virtual time charged for transfers.
+    pub fn run_balancer(&mut self) -> f64 {
+        let mut total_ns = 0.0;
+        let object_ids: Vec<(DataObjectId, ObjectKind)> =
+            self.objects.iter().map(|o| (o.id, o.kind)).collect();
+        let now = self.clock.now_secs();
+        for (id, kind) in object_ids {
+            // Sample every partition (table order: partition i ↔ AEU i)
+            // and feed the monitoring component before deciding.
+            let mut sample = Sample { at_secs: now, ..Default::default() };
+            for i in 0..self.aeus.len() {
+                let (accesses, exec_ns, len, bytes) = self.aeus[i].take_sample(id);
+                sample.accesses.push(accesses);
+                sample.exec_ns.push(exec_ns);
+                sample.lens.push(len);
+                sample.bytes.push(bytes);
+            }
+            total_ns += match kind {
+                ObjectKind::Index { domain } => self.balance_index(id, domain, &sample),
+                ObjectKind::Column => self.balance_column(id, &sample),
+            };
+            self.monitor.record(id, sample);
+        }
+        total_ns
+    }
+
+    fn balance_index(&mut self, object: DataObjectId, domain: u64, sample: &Sample) -> f64 {
+        // The configured metric drives the balancing decision.
+        let metric = self.cfg.balancer.metric;
+        let mut weights: Vec<f64> = match metric {
+            crate::balancer::BalanceMetric::AccessFrequency => {
+                sample.accesses.iter().map(|&a| a as f64).collect()
+            }
+            crate::balancer::BalanceMetric::ExecutionTime => sample.exec_ns.clone(),
+        };
+        // Oscillation backoff: while cooling down, only accumulate samples.
+        let backoff = &mut self.balance_backoff[object.0 as usize];
+        if backoff.skip_left > 0 {
+            backoff.skip_left -= 1;
+            return 0.0;
+        }
+        let cv = coefficient_of_variation(&weights);
+        if !needs_balancing(&weights, self.cfg.balancer.threshold_cv) {
+            // Balanced again: reset the backoff state.
+            *backoff = BackoffState::default();
+            return 0.0;
+        }
+        let period_ns = self.cfg.balancer.period_s * 1e9;
+        let costly = backoff.last_cost_ns > 0.5 * period_ns || backoff.last_moved_frac > 0.02;
+        if std::env::var_os("ERIS_DEBUG_BALANCE").is_some() {
+            eprintln!(
+                "balance check obj={} cv={cv:.3} last_cv={:.3} costly={costly} moved={:.4} cost_ms={:.3}",
+                object.0, backoff.last_cv, backoff.last_moved_frac, backoff.last_cost_ns / 1e6
+            );
+        }
+        if backoff.last_cv > 0.0 && cv >= 0.9 * backoff.last_cv && costly {
+            // The previous cycle paid real transfer cost without improving
+            // the imbalance — an indivisible hotspot (e.g. one scorching
+            // key).  Back off exponentially, capped so a genuine workload
+            // change is picked up again within a few periods.
+            let skip = (backoff.skip.max(1) * 2).min(16);
+            *backoff = BackoffState {
+                last_cv: cv,
+                skip,
+                skip_left: skip,
+                ..Default::default()
+            };
+            return 0.0;
+        }
+        backoff.last_cv = cv;
+        // Additive smoothing: a small weight floor keeps completely cold
+        // partitions from collapsing to one-key ranges, which would dump
+        // the entire cold region's data onto the partitions bordering the
+        // hot range and make later boundary moves disproportionately
+        // expensive.
+        let mean = weights.iter().sum::<f64>() / weights.len() as f64;
+        for w in &mut weights {
+            *w = w.max(0.02 * mean);
+        }
+        let old_bounds: Vec<u64> = self
+            .shared
+            .with_table(object, |t| t.as_range().unwrap().ranges())
+            .iter()
+            .map(|(b, _)| *b)
+            .collect();
+        let new_bounds =
+            target_boundaries(&old_bounds, domain, &weights, self.cfg.balancer.algorithm);
+        if new_bounds == old_bounds {
+            return 0.0;
+        }
+        let plan = transfer_plan(&old_bounds, &new_bounds, domain);
+        let mut moved_keys_total = 0usize;
+
+        // All involved AEUs synchronize on the routing-table update first,
+        // then execute their transfer commands.
+        let owners = self.aeu_ids();
+        self.shared.with_table_mut(object, |t| {
+            t.as_range_mut().unwrap().rebuild(
+                new_bounds
+                    .iter()
+                    .copied()
+                    .zip(owners.iter().copied())
+                    .collect(),
+            )
+        });
+        for (i, aeu) in self.aeus.iter_mut().enumerate() {
+            let lo = new_bounds[i];
+            let hi = if i + 1 < new_bounds.len() {
+                new_bounds[i + 1]
+            } else {
+                domain
+            };
+            aeu.set_range(object, (lo, hi));
+        }
+
+        // Execute transfers: link within a node, copy across nodes.
+        let params = self.cfg.params;
+        let scale = self.cfg.transfer_scale.unwrap_or(self.cfg.size_scale) as f64;
+        let mut total_ns = 0.0;
+        for t in plan {
+            let moved = self.aeus[t.from].extract_range(object, t.lo, t.hi);
+            let keys = moved.len() as f64 * scale;
+            let from_node = self.node_of[t.from];
+            let to_node = self.node_of[t.to];
+            let (src_ns, dst_ns) = if from_node == to_node {
+                // Link: unlink + relink inside one memory-management domain.
+                (params.link_transfer_ns, params.link_transfer_ns)
+            } else {
+                // Copy: flatten, stream, rebuild.
+                let bytes = keys * params.transfer_bytes_per_key as f64;
+                let route = self.topo.route(from_node, to_node).expect("connected");
+                let stream_ns = route.latency_ns + bytes / route.bandwidth_gbps;
+                self.counters
+                    .record(&self.topo, to_node, from_node, bytes as u64);
+                (stream_ns, stream_ns + keys * params.rebuild_ns_per_key)
+            };
+            moved_keys_total += moved.len();
+            if !moved.is_empty() {
+                self.aeus[t.to].absorb_pairs(object, &moved);
+            }
+            self.aeus[t.from].add_pending_ns(src_ns);
+            self.aeus[t.to].add_pending_ns(dst_ns);
+            total_ns += src_ns + dst_ns;
+        }
+        let total_keys: usize = (0..self.aeus.len())
+            .map(|i| self.aeus[i].partition(object).map_or(0, |p| p.data.len()))
+            .sum();
+        let backoff = &mut self.balance_backoff[object.0 as usize];
+        backoff.last_moved_frac = moved_keys_total as f64 / total_keys.max(1) as f64;
+        backoff.last_cost_ns = total_ns;
+        total_ns
+    }
+
+    fn balance_column(&mut self, object: DataObjectId, sample: &Sample) -> f64 {
+        let lens = &sample.lens;
+        let weights: Vec<f64> = lens.iter().map(|l| *l as f64).collect();
+        if !needs_balancing(&weights, self.cfg.balancer.threshold_cv) {
+            return 0.0;
+        }
+        let params = self.cfg.params;
+        let scale = self.cfg.transfer_scale.unwrap_or(self.cfg.size_scale) as f64;
+        let mut total_ns = 0.0;
+        for (from, to, n) in size_balance_moves(lens) {
+            let rows = self.aeus[from].extract_tail_rows(object, n);
+            let from_node = self.node_of[from];
+            let to_node = self.node_of[to];
+            let ns = if from_node == to_node {
+                params.link_transfer_ns
+            } else {
+                let bytes = rows.len() as f64 * scale * 8.0;
+                let route = self.topo.route(from_node, to_node).expect("connected");
+                self.counters
+                    .record(&self.topo, to_node, from_node, bytes as u64);
+                route.latency_ns + bytes / route.bandwidth_gbps
+            };
+            self.aeus[to].absorb_rows(object, &rows);
+            self.aeus[from].add_pending_ns(ns);
+            self.aeus[to].add_pending_ns(ns);
+            total_ns += 2.0 * ns;
+        }
+        total_ns
+    }
+
+    // ------------------------------------------------------------------
+    // Threaded runtime
+    // ------------------------------------------------------------------
+
+    /// Run every AEU as a real OS thread (pinned round-robin to host
+    /// cores) for `wall` time.  Virtual time does not advance; this mode
+    /// exists to exercise the latch-free routing protocol under true
+    /// parallelism — correctness is asserted through the result collector.
+    pub fn run_threaded_for(&mut self, wall: std::time::Duration) {
+        let stop = Arc::clone(&self.stop);
+        stop.store(false, Ordering::Relaxed);
+        let aeus = std::mem::take(&mut self.aeus);
+        let mut done: Vec<Option<Aeu>> = (0..aeus.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for aeu in aeus {
+                let stop = Arc::clone(&stop);
+                handles.push(s.spawn(move |_| {
+                    let _ = eris_numa::affinity::pin_current_thread(aeu.core.index());
+                    let mut aeu = aeu;
+                    while !stop.load(Ordering::Relaxed) {
+                        aeu.step();
+                    }
+                    // Drain before exiting so no commands are stranded.
+                    for _ in 0..32 {
+                        aeu.step();
+                    }
+                    aeu
+                }));
+            }
+            std::thread::sleep(wall);
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                let aeu = h.join().expect("AEU thread panicked");
+                let idx = aeu.id.index();
+                done[idx] = Some(aeu);
+            }
+        })
+        .expect("thread scope");
+        self.aeus = done
+            .into_iter()
+            .map(|a| a.expect("all AEUs returned"))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::Payload;
+    use eris_column::scan::AggregateResult;
+    use eris_column::{Aggregate, Predicate};
+    use eris_numa::machines::custom_machine;
+
+    fn small_engine(collect: bool) -> Engine {
+        Engine::new(
+            custom_machine("m", 4, 2, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                collect_results: collect,
+                tree: PrefixTreeConfig::new(8, 32),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn engine_places_one_aeu_per_core() {
+        let e = small_engine(false);
+        assert_eq!(e.num_aeus(), 8);
+        assert_eq!(e.node_of(AeuId(0)), NodeId(0));
+        assert_eq!(e.node_of(AeuId(7)), NodeId(3));
+    }
+
+    #[test]
+    fn active_nodes_restricts_placement() {
+        let e = Engine::new(
+            custom_machine("m", 4, 2, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                active_nodes: Some(2),
+                ..Default::default()
+            },
+        );
+        assert_eq!(e.num_aeus(), 4);
+    }
+
+    #[test]
+    fn aeus_per_node_restricts_placement() {
+        let e = Engine::new(
+            custom_machine("m", 4, 4, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                aeus_per_node: Some(2),
+                ..Default::default()
+            },
+        );
+        assert_eq!(e.num_aeus(), 8);
+    }
+
+    #[test]
+    fn routed_lookups_return_correct_values() {
+        let mut e = small_engine(true);
+        let idx = e.create_index("t", 1 << 16);
+        e.bulk_load_index(idx, (0..5000u64).map(|k| (k, k + 7)));
+        e.submit(
+            AeuId(3),
+            DataCommand {
+                object: idx,
+                ticket: 42,
+                payload: Payload::Lookup {
+                    keys: vec![0, 4999, 5000, 60000],
+                },
+            },
+        );
+        e.run_until_drained();
+        let mut got = e.results().take_lookup_values();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (42, 0, Some(7)),
+                (42, 4999, Some(5006)),
+                (42, 5000, None),
+                (42, 60000, None),
+            ]
+        );
+    }
+
+    #[test]
+    fn routed_upserts_are_visible_to_later_lookups() {
+        let mut e = small_engine(true);
+        let idx = e.create_index("t", 1 << 16);
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object: idx,
+                ticket: 1,
+                payload: Payload::Upsert {
+                    pairs: vec![(100, 1), (40000, 2), (100, 3)],
+                },
+            },
+        );
+        e.run_until_drained();
+        let c = e.results().counts();
+        assert_eq!(c.upserts, 3);
+        assert_eq!(c.inserted_new, 2, "(100,3) overwrote");
+        e.submit(
+            AeuId(5),
+            DataCommand {
+                object: idx,
+                ticket: 2,
+                payload: Payload::Lookup {
+                    keys: vec![100, 40000],
+                },
+            },
+        );
+        e.run_until_drained();
+        let mut got = e.results().take_lookup_values();
+        got.sort();
+        assert_eq!(got, vec![(2, 100, Some(3)), (2, 40000, Some(2))]);
+    }
+
+    #[test]
+    fn multicast_scan_covers_all_partitions() {
+        let mut e = small_engine(true);
+        let col = e.create_column("c");
+        e.bulk_load_column(col, 0..1000u64);
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object: col,
+                ticket: 9,
+                payload: Payload::Scan {
+                    pred: Predicate::All,
+                    agg: Aggregate::Count,
+                    snapshot: u64::MAX,
+                },
+            },
+        );
+        e.run_until_drained();
+        assert_eq!(
+            e.results().combine_scan(9),
+            Some(AggregateResult::Count(1000))
+        );
+    }
+
+    #[test]
+    fn index_range_scan_aggregates() {
+        let mut e = small_engine(true);
+        let idx = e.create_index("t", 1 << 16);
+        e.bulk_load_index(idx, (0..1000u64).map(|k| (k, k)));
+        e.submit(
+            AeuId(1),
+            DataCommand {
+                object: idx,
+                ticket: 3,
+                payload: Payload::Scan {
+                    pred: Predicate::Range { lo: 100, hi: 200 },
+                    agg: Aggregate::Sum,
+                    snapshot: u64::MAX,
+                },
+            },
+        );
+        e.run_until_drained();
+        assert_eq!(
+            e.results().combine_scan(3),
+            Some(AggregateResult::Sum((100..200).sum()))
+        );
+    }
+
+    #[test]
+    fn clock_advances_and_counters_record_traffic() {
+        let mut e = small_engine(false);
+        let idx = e.create_index("t", 1 << 16);
+        e.bulk_load_index(idx, (0..(1u64 << 16)).map(|k| (k, k)));
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object: idx,
+                ticket: 1,
+                // Keys spread over the domain so remote AEUs are involved.
+                payload: Payload::Lookup {
+                    keys: (0..(1u64 << 16)).step_by(97).collect(),
+                },
+            },
+        );
+        e.run_until_drained();
+        assert!(e.clock().now_ns() > 0.0);
+        assert!(e.counters().total_imc_bytes() > 0, "misses produce traffic");
+        assert!(
+            e.counters().total_link_bytes() > 0,
+            "routing flushes cross the interconnect"
+        );
+    }
+
+    #[test]
+    fn generators_drive_sustained_throughput() {
+        let mut e = small_engine(false);
+        let idx = e.create_index("t", 1 << 16);
+        e.bulk_load_index(idx, (0..(1 << 16) as u64).map(|k| (k, k)));
+        for a in e.aeu_ids() {
+            let seed = a.0 as u64;
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            e.set_generator(
+                a,
+                Some(Box::new(move |_, out| {
+                    let mut keys = Vec::with_capacity(64);
+                    for _ in 0..64 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        keys.push(x % (1 << 16));
+                    }
+                    out.push(DataCommand {
+                        object: DataObjectId(0),
+                        ticket: 0,
+                        payload: Payload::Lookup { keys },
+                    });
+                })),
+            );
+        }
+        let ops = e.run_for_virtual_secs(0.0005);
+        assert!(ops.lookups > 1000, "sustained lookups: {}", ops.lookups);
+        let c = e.results().counts();
+        assert_eq!(
+            c.lookups, c.lookup_hits,
+            "keys drawn from the loaded domain"
+        );
+    }
+
+    #[test]
+    fn balancer_rebalances_skewed_lookups() {
+        let mut e = Engine::new(
+            custom_machine("m", 4, 2, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                collect_results: false,
+                tree: PrefixTreeConfig::new(8, 32),
+                balancer: BalancerConfig {
+                    enabled: true,
+                    algorithm: crate::balancer::BalanceAlgorithm::OneShot,
+                    threshold_cv: 0.2,
+                    period_s: 0.0001,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let domain = 1u64 << 16;
+        let idx = e.create_index("t", domain);
+        e.bulk_load_index(idx, (0..domain).map(|k| (k, k)));
+        // Hot range: only the first eighth of the domain (AEU 0's range).
+        for a in e.aeu_ids() {
+            let seed = a.0 as u64 + 1;
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            e.set_generator(
+                a,
+                Some(Box::new(move |_, out| {
+                    let mut keys = Vec::with_capacity(32);
+                    for _ in 0..32 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        keys.push(x % (1 << 13));
+                    }
+                    out.push(DataCommand {
+                        object: DataObjectId(0),
+                        ticket: 0,
+                        payload: Payload::Lookup { keys },
+                    });
+                })),
+            );
+        }
+        e.run_for_virtual_secs(0.01);
+        // After balancing, the hot range must be spread over several AEUs.
+        let ranges = e.shared.with_table(idx, |t| t.as_range().unwrap().ranges());
+        let hot_owners = ranges.iter().filter(|(b, _)| *b < (1 << 13)).count();
+        assert!(
+            hot_owners >= 4,
+            "hot range split across {hot_owners} owners: {ranges:?}"
+        );
+        // No data was lost in the transfers.
+        let total: usize = e
+            .aeu_ids()
+            .iter()
+            .map(|a| e.aeu(*a).partition(idx).map_or(0, |p| p.data.len()))
+            .sum();
+        assert_eq!(total, domain as usize);
+    }
+
+    #[test]
+    fn column_balancer_equalizes_sizes() {
+        let mut e = Engine::new(
+            custom_machine("m", 2, 2, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                balancer: BalancerConfig {
+                    enabled: true,
+                    threshold_cv: 0.2,
+                    period_s: 0.0001,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let col = e.create_column("c");
+        // Load everything onto AEU 0.
+        e.aeu_mut(AeuId(0))
+            .absorb_rows(col, &(0..10_000u64).collect::<Vec<_>>());
+        e.run_for_virtual_secs(0.001);
+        let lens: Vec<usize> = e
+            .aeu_ids()
+            .iter()
+            .map(|a| e.aeu(*a).partition(col).map_or(0, |p| p.data.len()))
+            .collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10_000, "no rows lost");
+        let max = *lens.iter().max().unwrap();
+        let min = *lens.iter().min().unwrap();
+        assert!(max - min <= 2500, "balanced: {lens:?}");
+    }
+
+    #[test]
+    fn threaded_runtime_processes_commands_correctly() {
+        let mut e = small_engine(false);
+        let idx = e.create_index("t", 1 << 16);
+        e.bulk_load_index(idx, (0..(1 << 16) as u64).map(|k| (k, k)));
+        for a in e.aeu_ids() {
+            let seed = a.0 as u64 + 99;
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            e.set_generator(
+                a,
+                Some(Box::new(move |_, out| {
+                    let mut keys = Vec::with_capacity(16);
+                    for _ in 0..16 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        keys.push(x % (1 << 16));
+                    }
+                    out.push(DataCommand {
+                        object: DataObjectId(0),
+                        ticket: 0,
+                        payload: Payload::Lookup { keys },
+                    });
+                })),
+            );
+        }
+        e.run_threaded_for(std::time::Duration::from_millis(200));
+        let c = e.results().counts();
+        assert!(c.lookups > 0, "threaded AEUs processed lookups");
+        assert_eq!(
+            c.lookups, c.lookup_hits,
+            "every key is in the domain: no lost or corrupted commands"
+        );
+    }
+
+    #[test]
+    fn run_until_drained_is_idempotent() {
+        let mut e = small_engine(false);
+        e.run_until_drained();
+        e.run_until_drained();
+    }
+}
+
+#[cfg(test)]
+mod hash_partition_tests {
+    use super::*;
+    use crate::command::Payload;
+    use eris_column::scan::AggregateResult;
+    use eris_column::{Aggregate, Predicate};
+    use eris_numa::machines::custom_machine;
+
+    fn engine() -> Engine {
+        Engine::new(
+            custom_machine("m", 4, 2, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                collect_results: true,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn hash_index_routes_lookups_and_upserts() {
+        let mut e = engine();
+        let idx = e.create_hash_index("h", 1 << 16);
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object: idx,
+                ticket: 1,
+                payload: Payload::Upsert {
+                    pairs: vec![(5, 50), (40_000, 77), (5, 51)],
+                },
+            },
+        );
+        e.run_until_drained();
+        let c = e.results().counts();
+        assert_eq!(c.upserts, 3);
+        assert_eq!(c.inserted_new, 2);
+        e.submit(
+            AeuId(6),
+            DataCommand {
+                object: idx,
+                ticket: 2,
+                payload: Payload::Lookup {
+                    keys: vec![5, 40_000, 9],
+                },
+            },
+        );
+        e.run_until_drained();
+        let mut got = e.results().take_lookup_values();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(2, 5, Some(51)), (2, 9, None), (2, 40_000, Some(77))]
+        );
+    }
+
+    #[test]
+    fn hash_partitions_use_distinct_seeds() {
+        let mut e = engine();
+        let idx = e.create_hash_index("h", 1 << 16);
+        let seeds: std::collections::BTreeSet<u64> = e
+            .aeu_ids()
+            .iter()
+            .map(|a| match &e.aeu(*a).partition(idx).unwrap().data {
+                crate::aeu::PartitionData::Hash(h) => h.seed(),
+                _ => panic!("hash partition expected"),
+            })
+            .collect();
+        assert_eq!(seeds.len(), e.num_aeus(), "one hash function per partition");
+    }
+
+    #[test]
+    fn hash_index_scans_sweep_unordered_partitions() {
+        let mut e = engine();
+        let idx = e.create_hash_index("h", 1 << 16);
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object: idx,
+                ticket: 1,
+                payload: Payload::Upsert {
+                    pairs: (0..1000u64).map(|k| (k * 65, k)).collect(),
+                },
+            },
+        );
+        e.run_until_drained();
+        e.submit(
+            AeuId(1),
+            DataCommand {
+                object: idx,
+                ticket: 2,
+                payload: Payload::Scan {
+                    pred: Predicate::All,
+                    agg: Aggregate::Count,
+                    snapshot: u64::MAX,
+                },
+            },
+        );
+        e.run_until_drained();
+        assert_eq!(
+            e.results().combine_scan(2),
+            Some(AggregateResult::Count(1000))
+        );
+    }
+
+    #[test]
+    fn balancer_moves_hash_partitions() {
+        let mut e = Engine::new(
+            custom_machine("m", 4, 2, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                balancer: BalancerConfig {
+                    enabled: true,
+                    algorithm: crate::balancer::BalanceAlgorithm::OneShot,
+                    threshold_cv: 0.2,
+                    period_s: 1e-4,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let domain = 1u64 << 16;
+        let idx = e.create_hash_index("h", domain);
+        for a in e.aeu_ids() {
+            let batch: Vec<(u64, u64)> = (0..domain)
+                .filter(|k| k % e.num_aeus() as u64 == a.0 as u64)
+                .map(|k| (k, k))
+                .collect();
+            // Load through the owning route: absorb directly by range owner.
+            let _ = batch; // loaded below via bulk path
+        }
+        // Direct absorb by current owner.
+        let owners: Vec<(u64, AeuId)> =
+            e.shared.with_table(idx, |t| t.as_range().unwrap().ranges());
+        for k in 0..domain {
+            let idx_owner = match owners.binary_search_by(|(b, _)| b.cmp(&k)) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            let owner = owners[idx_owner].1;
+            e.aeu_mut(owner).absorb_pairs(idx, &[(k, k ^ 0xF0F0)]);
+        }
+        // Skewed traffic into the first AEU's range.
+        for a in e.aeu_ids() {
+            let mut x = (a.0 as u64 + 1) | 1;
+            e.set_generator(
+                a,
+                Some(Box::new(move |_, out| {
+                    let keys = (0..32)
+                        .map(|_| {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            x % (1 << 13)
+                        })
+                        .collect();
+                    out.push(DataCommand {
+                        object: DataObjectId(0),
+                        ticket: 0,
+                        payload: Payload::Lookup { keys },
+                    });
+                })),
+            );
+        }
+        e.run_for_virtual_secs(2e-3);
+        let total: usize = e
+            .aeu_ids()
+            .iter()
+            .map(|a| e.aeu(*a).partition(idx).map_or(0, |p| p.data.len()))
+            .sum();
+        assert_eq!(
+            total as u64, domain,
+            "no key lost while balancing hash partitions"
+        );
+        let hot_owners = e
+            .shared
+            .with_table(idx, |t| t.as_range().unwrap().owners_in_range(0, 1 << 13))
+            .len();
+        assert!(hot_owners >= 4, "hot range split {hot_owners} ways");
+    }
+}
+
+#[cfg(test)]
+mod balance_metric_tests {
+    use super::*;
+    use crate::balancer::{BalanceAlgorithm, BalanceMetric};
+    use crate::command::Payload;
+    use eris_numa::machines::custom_machine;
+
+    /// With the execution-time metric, AEUs whose partitions are slower per
+    /// access shed range even when access *counts* are even.
+    #[test]
+    fn execution_time_metric_balances_work_not_requests() {
+        let domain: u64 = 1 << 16;
+        let mut e = Engine::new(
+            custom_machine("m", 4, 2, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                tree: PrefixTreeConfig::new(8, 32),
+                // Model huge partitions so misses (and exec time) matter.
+                size_scale: 1 << 14,
+                balancer: BalancerConfig {
+                    enabled: true,
+                    algorithm: BalanceAlgorithm::OneShot,
+                    metric: BalanceMetric::ExecutionTime,
+                    threshold_cv: 0.2,
+                    period_s: 1e-4,
+                },
+                ..Default::default()
+            },
+        );
+        let idx = e.create_index("t", domain);
+        e.bulk_load_index(idx, (0..domain).map(|k| (k, k)));
+        // Scans hammer one AEU's range (scan exec time is size-driven),
+        // lookups spread evenly: exec time is skewed, access counts less so.
+        for a in e.aeu_ids() {
+            let mut x = (a.0 as u64 + 3) | 1;
+            e.set_generator(
+                a,
+                Some(Box::new(move |_, out| {
+                    let keys = (0..16)
+                        .map(|_| {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            x % (1 << 13) // hot eighth of the domain
+                        })
+                        .collect();
+                    out.push(DataCommand {
+                        object: DataObjectId(0),
+                        ticket: 0,
+                        payload: Payload::Lookup { keys },
+                    });
+                })),
+            );
+        }
+        e.run_for_virtual_secs(2e-3);
+        let ranges = e.shared.with_table(idx, |t| t.as_range().unwrap().ranges());
+        let hot_owners = ranges.iter().filter(|(b, _)| *b < (1 << 13)).count();
+        assert!(
+            hot_owners >= 4,
+            "exec-time metric split the hot range: {ranges:?}"
+        );
+        let total: usize = e
+            .aeu_ids()
+            .iter()
+            .map(|a| e.aeu(*a).partition(idx).map_or(0, |p| p.data.len()))
+            .sum();
+        assert_eq!(total as u64, domain);
+    }
+}

@@ -1,0 +1,198 @@
+//! The monitoring component of the adaption loop (Section 3.3).
+//!
+//! *"The ERIS adaption loop starts with the monitoring of the different
+//! metrics on a per data object level.  Based on the captured metrics, the
+//! load balancer periodically checks the load of ERIS for imbalances."*
+//!
+//! [`Monitor`] keeps a ring of per-partition metric snapshots for every
+//! data object, exposes the imbalance (coefficient of variation) per metric
+//! and its trend, and is what an operator dashboard (or the "ERIS live"
+//! demo UI) would read.
+
+use crate::command::DataObjectId;
+use std::collections::HashMap;
+
+/// One sampling window's per-partition measurements for one object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Sample {
+    /// Virtual time the sample was taken, seconds.
+    pub at_secs: f64,
+    /// Accesses per partition in the window.
+    pub accesses: Vec<u64>,
+    /// Execution time per partition in the window, virtual ns.
+    pub exec_ns: Vec<f64>,
+    /// Keys/rows per partition at sample time.
+    pub lens: Vec<usize>,
+    /// Resident bytes per partition at sample time.
+    pub bytes: Vec<u64>,
+}
+
+impl Sample {
+    /// Coefficient of variation of the access histogram.
+    pub fn access_cv(&self) -> f64 {
+        cv(&self.accesses.iter().map(|&a| a as f64).collect::<Vec<_>>())
+    }
+
+    /// Coefficient of variation of the execution-time histogram.
+    pub fn exec_cv(&self) -> f64 {
+        cv(&self.exec_ns)
+    }
+
+    /// Coefficient of variation of the physical sizes.
+    pub fn size_cv(&self) -> f64 {
+        cv(&self.lens.iter().map(|&l| l as f64).collect::<Vec<_>>())
+    }
+
+    /// Total accesses in the window.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().sum()
+    }
+}
+
+/// Standard deviation over mean (0 for degenerate histograms).
+pub fn cv(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+/// Per-object sample history with a bounded ring.
+pub struct Monitor {
+    history: HashMap<DataObjectId, Vec<Sample>>,
+    capacity: usize,
+}
+
+impl Monitor {
+    /// A monitor retaining the last `capacity` samples per object.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Monitor {
+            history: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Record one sampling window for `object`.
+    pub fn record(&mut self, object: DataObjectId, sample: Sample) {
+        let ring = self.history.entry(object).or_default();
+        if ring.len() == self.capacity {
+            ring.remove(0);
+        }
+        ring.push(sample);
+    }
+
+    /// The most recent sample of an object.
+    pub fn latest(&self, object: DataObjectId) -> Option<&Sample> {
+        self.history.get(&object).and_then(|r| r.last())
+    }
+
+    /// Full retained history (oldest first).
+    pub fn history(&self, object: DataObjectId) -> &[Sample] {
+        self.history.get(&object).map_or(&[], |r| r.as_slice())
+    }
+
+    /// Is the access imbalance trending up over the last `k` samples?
+    /// (An increasing trend means the workload is drifting faster than the
+    /// balancer converges.)
+    pub fn imbalance_rising(&self, object: DataObjectId, k: usize) -> bool {
+        let h = self.history(object);
+        if h.len() < k.max(2) {
+            return false;
+        }
+        let tail = &h[h.len() - k.max(2)..];
+        let first = tail.first().unwrap().access_cv();
+        let last = tail.last().unwrap().access_cv();
+        last > first * 1.1
+    }
+
+    /// Mean accesses per second over the retained history of an object.
+    pub fn throughput_ops_per_sec(&self, object: DataObjectId) -> f64 {
+        let h = self.history(object);
+        if h.len() < 2 {
+            return 0.0;
+        }
+        let dt = h.last().unwrap().at_secs - h.first().unwrap().at_secs;
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        let ops: u64 = h[1..].iter().map(|s| s.total_accesses()).sum();
+        ops as f64 / dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at: f64, accesses: Vec<u64>) -> Sample {
+        Sample {
+            at_secs: at,
+            lens: vec![0; accesses.len()],
+            exec_ns: accesses.iter().map(|&a| a as f64 * 10.0).collect(),
+            bytes: vec![0; accesses.len()],
+            accesses,
+        }
+    }
+
+    #[test]
+    fn cv_of_uniform_is_zero() {
+        assert_eq!(cv(&[5.0, 5.0, 5.0]), 0.0);
+        assert!(cv(&[0.0, 10.0]) > 0.9);
+        assert_eq!(cv(&[1.0]), 0.0, "single partition is never imbalanced");
+        assert_eq!(cv(&[0.0, 0.0]), 0.0, "idle object");
+    }
+
+    #[test]
+    fn sample_cvs() {
+        let s = sample(1.0, vec![0, 0, 100, 100]);
+        assert!(s.access_cv() > 0.9);
+        assert!(s.exec_cv() > 0.9);
+        assert_eq!(s.size_cv(), 0.0);
+        assert_eq!(s.total_accesses(), 200);
+    }
+
+    #[test]
+    fn ring_keeps_last_capacity_samples() {
+        let mut m = Monitor::new(3);
+        let o = DataObjectId(0);
+        for i in 0..5 {
+            m.record(o, sample(i as f64, vec![i, i]));
+        }
+        assert_eq!(m.history(o).len(), 3);
+        assert_eq!(m.latest(o).unwrap().at_secs, 4.0);
+        assert_eq!(m.history(o)[0].at_secs, 2.0);
+        assert!(m.latest(DataObjectId(9)).is_none());
+    }
+
+    #[test]
+    fn rising_imbalance_detection() {
+        let mut m = Monitor::new(8);
+        let o = DataObjectId(0);
+        m.record(o, sample(0.0, vec![10, 10, 10, 10]));
+        m.record(o, sample(1.0, vec![5, 5, 15, 15]));
+        m.record(o, sample(2.0, vec![1, 1, 30, 30]));
+        assert!(m.imbalance_rising(o, 3));
+        let mut flat = Monitor::new(8);
+        flat.record(o, sample(0.0, vec![10, 10]));
+        flat.record(o, sample(1.0, vec![10, 10]));
+        assert!(!flat.imbalance_rising(o, 2));
+    }
+
+    #[test]
+    fn throughput_over_history() {
+        let mut m = Monitor::new(8);
+        let o = DataObjectId(0);
+        m.record(o, sample(0.0, vec![0, 0]));
+        m.record(o, sample(1.0, vec![500, 500]));
+        m.record(o, sample(2.0, vec![500, 500]));
+        assert!((m.throughput_ops_per_sec(o) - 1000.0).abs() < 1e-9);
+        assert_eq!(m.throughput_ops_per_sec(DataObjectId(3)), 0.0);
+    }
+}

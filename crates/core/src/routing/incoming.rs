@@ -1,0 +1,374 @@
+//! The latch-free incoming double buffer of an AEU.
+//!
+//! Section 3.2, adapted from LLAMA's multi-buffer: *"Each AEU has two
+//! incoming buffers of an equal size.  One buffer is currently writable for
+//! all AEUs and the other one is currently the processed data command buffer
+//! of the owning AEU.  To implement incoming buffers latch-free, each of
+//! them contains a 64bit wide buffer descriptor that uses 1bit for
+//! determining whether the buffer is still active or not, 32bit to save the
+//! current offset inside the buffer, and the remaining 31bit for storing the
+//! number of active writers to the buffer."*
+//!
+//! Writers reserve a byte range and increment the writer count in a single
+//! CAS on the descriptor; after copying their commands they decrement the
+//! writer count.  The owner swaps buffers by activating the drained buffer,
+//! republishing the writable index, clearing the old buffer's active bit,
+//! and spinning until its writer count reaches zero — at which point every
+//! reserved range has been fully written and can be processed.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Descriptor bit layout: `[active:1][offset:32][writers:31]`.
+const WRITERS_BITS: u32 = 31;
+const WRITERS_MASK: u64 = (1 << WRITERS_BITS) - 1;
+const OFFSET_SHIFT: u32 = WRITERS_BITS;
+const OFFSET_MASK: u64 = 0xFFFF_FFFF;
+const ACTIVE_BIT: u64 = 1 << 63;
+
+#[inline]
+fn pack(active: bool, offset: u64, writers: u64) -> u64 {
+    debug_assert!(offset <= OFFSET_MASK);
+    debug_assert!(writers <= WRITERS_MASK);
+    (if active { ACTIVE_BIT } else { 0 }) | (offset << OFFSET_SHIFT) | writers
+}
+
+#[inline]
+fn is_active(d: u64) -> bool {
+    d & ACTIVE_BIT != 0
+}
+
+#[inline]
+fn offset(d: u64) -> u64 {
+    (d >> OFFSET_SHIFT) & OFFSET_MASK
+}
+
+#[inline]
+fn writers(d: u64) -> u64 {
+    d & WRITERS_MASK
+}
+
+/// Error returned when the writable buffer lacks space; the writer keeps
+/// its outgoing buffer and retries after the owner's next swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferFull;
+
+struct Slot {
+    desc: AtomicU64,
+    bytes: Box<[UnsafeCell<u8>]>,
+}
+
+// SAFETY: byte ranges are reserved exclusively through the descriptor CAS,
+// so concurrent writers never alias; the owner only reads a buffer after
+// clearing its active bit and draining the writer count.
+unsafe impl Sync for Slot {}
+unsafe impl Send for Slot {}
+
+/// The double incoming buffer of one AEU.
+pub struct IncomingBuffers {
+    slots: [Slot; 2],
+    writable: AtomicUsize,
+    capacity: usize,
+}
+
+impl IncomingBuffers {
+    /// Two buffers of `capacity` bytes each.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0 && capacity as u64 <= OFFSET_MASK);
+        let mk = || Slot {
+            desc: AtomicU64::new(pack(false, 0, 0)),
+            bytes: (0..capacity).map(|_| UnsafeCell::new(0)).collect(),
+        };
+        let b = IncomingBuffers {
+            slots: [mk(), mk()],
+            writable: AtomicUsize::new(0),
+            capacity,
+        };
+        b.slots[0].desc.store(pack(true, 0, 0), Ordering::Release);
+        b
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes pending in the currently writable buffer.
+    pub fn pending_bytes(&self) -> usize {
+        let w = self.writable.load(Ordering::Acquire);
+        offset(self.slots[w].desc.load(Ordering::Acquire)) as usize
+    }
+
+    /// Write `data` into the writable buffer (any thread).
+    ///
+    /// Implements the paper's writer protocol: reserve offset + increment
+    /// writer count in one CAS, copy, decrement writer count.
+    pub fn write(&self, data: &[u8]) -> Result<(), BufferFull> {
+        assert!(
+            data.len() <= self.capacity,
+            "write larger than a whole buffer"
+        );
+        loop {
+            let w = self.writable.load(Ordering::Acquire);
+            let slot = &self.slots[w];
+            let d = slot.desc.load(Ordering::Acquire);
+            if !is_active(d) {
+                // The owner is mid-swap; the writable index will move.
+                std::hint::spin_loop();
+                continue;
+            }
+            let off = offset(d);
+            if off as usize + data.len() > self.capacity {
+                return Err(BufferFull);
+            }
+            let nd = pack(true, off + data.len() as u64, writers(d) + 1);
+            if slot
+                .desc
+                .compare_exchange_weak(d, nd, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // Range [off, off+len) is exclusively ours.
+            // SAFETY: see Slot's Sync rationale.
+            unsafe {
+                let dst = slot.bytes[off as usize].get();
+                std::ptr::copy_nonoverlapping(data.as_ptr(), dst, data.len());
+            }
+            // Publish completion: writers -= 1 (offset/active untouched).
+            slot.desc.fetch_sub(1, Ordering::AcqRel);
+            return Ok(());
+        }
+    }
+
+    /// Owner-side swap: activate the drained buffer, retire the filled one,
+    /// wait for its writers, and hand its contents to `consume`.
+    ///
+    /// Returns the number of bytes consumed.
+    pub fn swap_and_consume(&self, mut consume: impl FnMut(&[u8])) -> usize {
+        let old = self.writable.load(Ordering::Acquire);
+        let new = 1 - old;
+        // The other buffer was fully drained by the previous swap.
+        debug_assert_eq!(
+            writers(self.slots[new].desc.load(Ordering::Acquire)),
+            0,
+            "drained buffer must have no writers"
+        );
+        // Activate the fresh buffer, then republish the writable index.
+        self.slots[new]
+            .desc
+            .store(pack(true, 0, 0), Ordering::Release);
+        self.writable.store(new, Ordering::Release);
+        // Retire the old buffer: clear its active bit so late CAS attempts
+        // fail and writers move over to the new buffer.
+        let mut d = self.slots[old].desc.load(Ordering::Acquire);
+        loop {
+            match self.slots[old].desc.compare_exchange_weak(
+                d,
+                d & !ACTIVE_BIT,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(cur) => d = cur,
+            }
+        }
+        // Drain: every writer that reserved a range has to finish copying.
+        loop {
+            let d = self.slots[old].desc.load(Ordering::Acquire);
+            if writers(d) == 0 {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let filled = offset(self.slots[old].desc.load(Ordering::Acquire)) as usize;
+        if filled > 0 {
+            // SAFETY: buffer is inactive and writer-free; we own it now.
+            let data = unsafe {
+                std::slice::from_raw_parts(self.slots[old].bytes[0].get() as *const u8, filled)
+            };
+            consume(data);
+        }
+        // Leave the old buffer empty and inactive, ready for the next swap.
+        self.slots[old]
+            .desc
+            .store(pack(false, 0, 0), Ordering::Release);
+        filled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn descriptor_packing_roundtrips() {
+        let d = pack(true, 12345, 17);
+        assert!(is_active(d));
+        assert_eq!(offset(d), 12345);
+        assert_eq!(writers(d), 17);
+        let d = pack(false, OFFSET_MASK, WRITERS_MASK);
+        assert!(!is_active(d));
+        assert_eq!(offset(d), OFFSET_MASK);
+        assert_eq!(writers(d), WRITERS_MASK);
+    }
+
+    #[test]
+    fn write_then_consume() {
+        let b = IncomingBuffers::new(1024);
+        b.write(b"hello").unwrap();
+        b.write(b"world").unwrap();
+        assert_eq!(b.pending_bytes(), 10);
+        let mut got = Vec::new();
+        let n = b.swap_and_consume(|d| got.extend_from_slice(d));
+        assert_eq!(n, 10);
+        assert_eq!(got, b"helloworld");
+        assert_eq!(b.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn consume_empty_is_noop() {
+        let b = IncomingBuffers::new(64);
+        let mut called = false;
+        assert_eq!(b.swap_and_consume(|_| called = true), 0);
+        assert!(!called);
+    }
+
+    #[test]
+    fn full_buffer_reports_and_recovers_after_swap() {
+        let b = IncomingBuffers::new(8);
+        b.write(&[1; 6]).unwrap();
+        assert_eq!(b.write(&[2; 4]), Err(BufferFull));
+        b.swap_and_consume(|_| {});
+        assert_eq!(b.write(&[2; 4]), Ok(()));
+    }
+
+    #[test]
+    fn double_buffering_alternates() {
+        let b = IncomingBuffers::new(64);
+        for round in 0..10u8 {
+            b.write(&[round; 3]).unwrap();
+            let mut got = Vec::new();
+            b.swap_and_consume(|d| got.extend_from_slice(d));
+            assert_eq!(got, vec![round; 3]);
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_with_spinning_owner() {
+        // The real protocol under real parallelism: writers publish
+        // length-prefixed records; the owner swaps continuously and must
+        // recover every record intact.
+        let b = Arc::new(IncomingBuffers::new(4096));
+        let writers = 4;
+        let per = 2000u32;
+        let mut handles = Vec::new();
+        for t in 0..writers {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let val = (t as u32) << 24 | i;
+                    let mut rec = Vec::with_capacity(8);
+                    rec.extend_from_slice(&4u32.to_le_bytes());
+                    rec.extend_from_slice(&val.to_le_bytes());
+                    while b.write(&rec).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut seen: Vec<u32> = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while seen.len() < (writers as usize) * per as usize {
+            assert!(std::time::Instant::now() < deadline, "stalled protocol");
+            b.swap_and_consume(|mut d| {
+                while !d.is_empty() {
+                    let len = u32::from_le_bytes(d[..4].try_into().unwrap()) as usize;
+                    assert_eq!(len, 4, "record framing intact");
+                    let val = u32::from_le_bytes(d[4..8].try_into().unwrap());
+                    seen.push(val);
+                    d = &d[8..];
+                }
+            });
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            (writers as usize) * per as usize,
+            "no loss, no dup"
+        );
+        for t in 0..writers as u32 {
+            for i in 0..per {
+                assert!(seen.binary_search(&(t << 24 | i)).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than a whole buffer")]
+    fn oversized_write_panics() {
+        IncomingBuffers::new(8).write(&[0; 9]).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Any interleaving of writes and swaps preserves every byte:
+        /// length-framed records come out exactly once, intact, in
+        /// per-producer order.
+        #[test]
+        fn fuzz_write_swap_sequences(
+            capacity in 64usize..512,
+            script in proptest::collection::vec(
+                // (is_swap, record_len)
+                (proptest::bool::ANY, 1usize..40),
+                1..120,
+            ),
+        ) {
+            let buf = IncomingBuffers::new(capacity);
+            let mut seq = 0u8;
+            let mut written: Vec<Vec<u8>> = Vec::new();
+            let mut consumed: Vec<u8> = Vec::new();
+            for (is_swap, len) in script {
+                if is_swap {
+                    buf.swap_and_consume(|d| consumed.extend_from_slice(d));
+                } else {
+                    let len = len.min(capacity - 2);
+                    let mut rec = Vec::with_capacity(len + 2);
+                    rec.push(len as u8);
+                    rec.push(seq);
+                    rec.extend(std::iter::repeat_n(seq ^ 0xA5, len));
+                    if buf.write(&rec).is_ok() {
+                        written.push(rec);
+                        seq = seq.wrapping_add(1);
+                    }
+                }
+            }
+            // Final drains (double buffer: two swaps flush everything).
+            buf.swap_and_consume(|d| consumed.extend_from_slice(d));
+            buf.swap_and_consume(|d| consumed.extend_from_slice(d));
+
+            // Reassemble records and compare with what was accepted.
+            let mut out: Vec<Vec<u8>> = Vec::new();
+            let mut rest = consumed.as_slice();
+            while !rest.is_empty() {
+                let len = rest[0] as usize;
+                prop_assert!(rest.len() >= len + 2, "framing intact");
+                out.push(rest[..len + 2].to_vec());
+                rest = &rest[len + 2..];
+            }
+            prop_assert_eq!(out, written, "every accepted record delivered once, in order");
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! The NUMA-optimized high-throughput data command routing layer.
+//!
+//! Routing of a command happens in three steps (Figure 4 of the paper):
+//!
+//! 1. **Batch target lookup** in the object's partition table (a CSB+-tree
+//!    for range-partitioned objects, a bitmap for size-partitioned ones);
+//!    commands whose data segments span partitions are split.
+//! 2. **Local pre-buffering**: per-target unicast buffers, a multicast
+//!    buffer plus per-target reference buffers — all in the source AEU's
+//!    local memory.
+//! 3. **Flush**: when a buffer fills or the AEU loop starts over, the whole
+//!    buffer is copied with one reservation into the target's latch-free
+//!    incoming double buffer.
+
+pub mod incoming;
+pub mod outgoing;
+pub mod partition_table;
+
+pub use incoming::{BufferFull, IncomingBuffers};
+pub use outgoing::{FlushInfo, OutgoingBuffers};
+pub use partition_table::{BitmapTable, PartitionTable, RangeTable};
+
+use crate::command::{AeuId, DataCommand, DataObjectId, Payload};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Sizing of the routing buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutingConfig {
+    /// Flush threshold per outgoing target buffer, in bytes.
+    pub outgoing_capacity: usize,
+    /// Capacity of each of the two incoming buffers, in bytes.
+    pub incoming_capacity: usize,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        // 128 single-key lookup commands (~29 bytes each) is the paper's
+        // sweet spot for processing-bound routing (Figure 5).
+        RoutingConfig {
+            outgoing_capacity: 128 * 29,
+            incoming_capacity: 1 << 20,
+        }
+    }
+}
+
+/// Shared routing state: the partition tables and every AEU's incoming
+/// buffers.  Tables are read on every routed command and written only
+/// during load balancing, mirroring the paper's "rarely updated, frequently
+/// read" design.
+pub struct RoutingShared {
+    tables: RwLock<Vec<Option<PartitionTable>>>,
+    incoming: Vec<Arc<IncomingBuffers>>,
+}
+
+impl RoutingShared {
+    pub fn new(num_aeus: usize, cfg: RoutingConfig) -> Self {
+        RoutingShared {
+            tables: RwLock::new(Vec::new()),
+            incoming: (0..num_aeus)
+                .map(|_| Arc::new(IncomingBuffers::new(cfg.incoming_capacity)))
+                .collect(),
+        }
+    }
+
+    /// Register a data object's partition table; its id indexes the slot.
+    pub fn register_object(&self, id: DataObjectId, table: PartitionTable) {
+        let mut tables = self.tables.write();
+        if tables.len() <= id.0 as usize {
+            tables.resize_with(id.0 as usize + 1, || None);
+        }
+        assert!(
+            tables[id.0 as usize].is_none(),
+            "object {id:?} already registered"
+        );
+        tables[id.0 as usize] = Some(table);
+    }
+
+    /// Read access to an object's partition table.
+    pub fn with_table<R>(&self, id: DataObjectId, f: impl FnOnce(&PartitionTable) -> R) -> R {
+        let tables = self.tables.read();
+        f(tables[id.0 as usize].as_ref().expect("object registered"))
+    }
+
+    /// Write access (load balancer only).
+    pub fn with_table_mut<R>(
+        &self,
+        id: DataObjectId,
+        f: impl FnOnce(&mut PartitionTable) -> R,
+    ) -> R {
+        let mut tables = self.tables.write();
+        f(tables[id.0 as usize].as_mut().expect("object registered"))
+    }
+
+    /// The incoming buffers of one AEU.
+    pub fn incoming(&self, aeu: AeuId) -> &Arc<IncomingBuffers> {
+        &self.incoming[aeu.index()]
+    }
+
+    /// Number of AEUs.
+    pub fn num_aeus(&self) -> usize {
+        self.incoming.len()
+    }
+}
+
+/// Routing statistics of one source AEU.
+#[derive(Debug, Clone, Default)]
+pub struct RouterStats {
+    /// Commands handed to `route`.
+    pub commands_in: u64,
+    /// Commands written to buffers after splitting (>= commands_in).
+    pub commands_out: u64,
+    /// Commands that had to be split across partitions.
+    pub splits: u64,
+    /// Successful flushes into incoming buffers.
+    pub flushes: u64,
+    /// Bytes moved by flushes.
+    pub flush_bytes: u64,
+    /// Flush attempts rejected because the target's buffer was full.
+    pub flush_stalls: u64,
+}
+
+/// The per-AEU routing front end.
+pub struct Router {
+    src: AeuId,
+    shared: Arc<RoutingShared>,
+    out: OutgoingBuffers,
+    /// Round-robin cursor for appends to bitmap-partitioned objects.
+    rr_cursor: usize,
+    pub stats: RouterStats,
+}
+
+impl Router {
+    pub fn new(src: AeuId, shared: Arc<RoutingShared>, cfg: RoutingConfig) -> Self {
+        let n = shared.num_aeus();
+        Router {
+            src,
+            shared,
+            out: OutgoingBuffers::new(n, cfg.outgoing_capacity),
+            rr_cursor: src.index(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// The source AEU this router belongs to.
+    pub fn src(&self) -> AeuId {
+        self.src
+    }
+
+    /// Route one command: split by partition table, buffer, flush full
+    /// targets.  Returns the flushes performed (for traffic accounting).
+    pub fn route(&mut self, cmd: DataCommand) -> Vec<FlushInfo> {
+        self.stats.commands_in += 1;
+        let mut full_targets: Vec<AeuId> = Vec::new();
+        match &cmd.payload {
+            Payload::Lookup { keys } => {
+                let groups = self.shared.with_table(cmd.object, |t| match t {
+                    PartitionTable::Range(r) => r.split_by_owner(keys),
+                    PartitionTable::Bitmap(_) => {
+                        panic!("point lookups need a range-partitioned object")
+                    }
+                });
+                if groups.len() > 1 {
+                    self.stats.splits += 1;
+                }
+                for (owner, group_keys) in groups {
+                    let sub = DataCommand {
+                        object: cmd.object,
+                        ticket: cmd.ticket,
+                        payload: Payload::Lookup { keys: group_keys },
+                    };
+                    self.stats.commands_out += 1;
+                    if self.out.push_unicast(owner, &sub) {
+                        full_targets.push(owner);
+                    }
+                }
+            }
+            Payload::Upsert { pairs } => {
+                let groups = self.shared.with_table(cmd.object, |t| match t {
+                    PartitionTable::Range(r) => Some(r.split_pairs_by_owner(pairs)),
+                    PartitionTable::Bitmap(_) => None,
+                });
+                match groups {
+                    Some(groups) => {
+                        if groups.len() > 1 {
+                            self.stats.splits += 1;
+                        }
+                        for (owner, group_pairs) in groups {
+                            let sub = DataCommand {
+                                object: cmd.object,
+                                ticket: cmd.ticket,
+                                payload: Payload::Upsert { pairs: group_pairs },
+                            };
+                            self.stats.commands_out += 1;
+                            if self.out.push_unicast(owner, &sub) {
+                                full_targets.push(owner);
+                            }
+                        }
+                    }
+                    None => {
+                        // Size-partitioned object: appends round-robin over
+                        // the member set (NUMA-aware materialization of
+                        // intermediate results).
+                        let members = self.shared.with_table(cmd.object, |t| t.scan_targets());
+                        self.rr_cursor = (self.rr_cursor + 1) % members.len();
+                        let owner = members[self.rr_cursor];
+                        self.stats.commands_out += 1;
+                        if self.out.push_unicast(owner, &cmd) {
+                            full_targets.push(owner);
+                        }
+                    }
+                }
+            }
+            Payload::Scan { pred, .. }
+            | Payload::JoinProbe { pred, .. }
+            | Payload::Materialize { pred, .. } => {
+                // Scans (and the scan-shaped join-probe / materialize
+                // operators) multicast to every owner intersecting the
+                // predicate.
+                let targets = self.shared.with_table(cmd.object, |t| match (t, pred) {
+                    (PartitionTable::Range(r), eris_column::Predicate::Range { lo, hi }) => {
+                        r.owners_in_range(*lo, *hi)
+                    }
+                    (PartitionTable::Range(r), eris_column::Predicate::Equals(x)) => {
+                        r.owners_in_range(*x, x.saturating_add(1))
+                    }
+                    (t, _) => t.scan_targets(),
+                });
+                self.stats.commands_out += targets.len() as u64;
+                full_targets.extend(self.out.push_multicast(&targets, &cmd));
+            }
+        }
+        let mut flushed = Vec::new();
+        for t in full_targets {
+            self.flush_target(t, &mut flushed);
+        }
+        flushed
+    }
+
+    fn flush_target(&mut self, target: AeuId, flushed: &mut Vec<FlushInfo>) {
+        match self.out.flush_into(target, self.shared.incoming(target)) {
+            Ok(Some(info)) => {
+                self.stats.flushes += 1;
+                self.stats.flush_bytes += info.bytes;
+                flushed.push(info);
+            }
+            Ok(None) => {}
+            Err(BufferFull) => {
+                self.stats.flush_stalls += 1;
+            }
+        }
+    }
+
+    /// End-of-loop flush of every pending target (routing step 3 "or the
+    /// AEU starts over its processing loop").  Targets whose incoming
+    /// buffer is full stay pending for the next round.
+    pub fn flush_all(&mut self) -> Vec<FlushInfo> {
+        let mut flushed = Vec::new();
+        for t in self.out.pending_targets() {
+            self.flush_target(t, &mut flushed);
+        }
+        self.out.reclaim_multicast();
+        flushed
+    }
+
+    /// True when nothing is waiting in the outgoing buffers.
+    pub fn is_drained(&self) -> bool {
+        self.out.is_drained()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eris_column::{Aggregate, Predicate};
+
+    fn setup(num_aeus: u32, domain: u64) -> (Arc<RoutingShared>, Router) {
+        let shared = Arc::new(RoutingShared::new(
+            num_aeus as usize,
+            RoutingConfig::default(),
+        ));
+        let owners: Vec<AeuId> = (0..num_aeus).map(AeuId).collect();
+        shared.register_object(
+            DataObjectId(0),
+            PartitionTable::Range(RangeTable::even(domain, &owners)),
+        );
+        let router = Router::new(AeuId(0), Arc::clone(&shared), RoutingConfig::default());
+        (shared, router)
+    }
+
+    fn drain(shared: &RoutingShared, aeu: AeuId) -> Vec<DataCommand> {
+        let mut out = Vec::new();
+        shared
+            .incoming(aeu)
+            .swap_and_consume(|d| out = DataCommand::decode_all(d));
+        out
+    }
+
+    #[test]
+    fn lookup_splits_across_owners() {
+        let (shared, mut router) = setup(4, 400);
+        router.route(DataCommand {
+            object: DataObjectId(0),
+            ticket: 5,
+            payload: Payload::Lookup {
+                keys: vec![10, 110, 210, 310, 20],
+            },
+        });
+        assert_eq!(router.stats.splits, 1);
+        assert_eq!(router.stats.commands_out, 4);
+        router.flush_all();
+        assert!(router.is_drained());
+        let c0 = drain(&shared, AeuId(0));
+        assert_eq!(c0[0].payload, Payload::Lookup { keys: vec![10, 20] });
+        let c3 = drain(&shared, AeuId(3));
+        assert_eq!(c3[0].payload, Payload::Lookup { keys: vec![310] });
+    }
+
+    #[test]
+    fn scan_multicasts_to_overlapping_owners() {
+        let (shared, mut router) = setup(4, 400);
+        router.route(DataCommand {
+            object: DataObjectId(0),
+            ticket: 1,
+            payload: Payload::Scan {
+                pred: Predicate::Range { lo: 150, hi: 250 },
+                agg: Aggregate::Count,
+                snapshot: 0,
+            },
+        });
+        router.flush_all();
+        assert!(drain(&shared, AeuId(0)).is_empty());
+        assert_eq!(drain(&shared, AeuId(1)).len(), 1);
+        assert_eq!(drain(&shared, AeuId(2)).len(), 1);
+        assert!(drain(&shared, AeuId(3)).is_empty());
+    }
+
+    #[test]
+    fn full_scan_reaches_everyone() {
+        let (shared, mut router) = setup(3, 300);
+        router.route(DataCommand {
+            object: DataObjectId(0),
+            ticket: 1,
+            payload: Payload::Scan {
+                pred: Predicate::All,
+                agg: Aggregate::Sum,
+                snapshot: 9,
+            },
+        });
+        router.flush_all();
+        for a in 0..3 {
+            assert_eq!(drain(&shared, AeuId(a)).len(), 1, "AEU{a}");
+        }
+    }
+
+    #[test]
+    fn bitmap_appends_round_robin() {
+        let shared = Arc::new(RoutingShared::new(3, RoutingConfig::default()));
+        shared.register_object(
+            DataObjectId(0),
+            PartitionTable::Bitmap(BitmapTable::new(vec![AeuId(0), AeuId(1), AeuId(2)])),
+        );
+        let mut router = Router::new(AeuId(0), Arc::clone(&shared), RoutingConfig::default());
+        for i in 0..6 {
+            router.route(DataCommand {
+                object: DataObjectId(0),
+                ticket: i,
+                payload: Payload::Upsert {
+                    pairs: vec![(i, i)],
+                },
+            });
+        }
+        router.flush_all();
+        for a in 0..3 {
+            assert_eq!(drain(&shared, AeuId(a)).len(), 2, "even spread");
+        }
+    }
+
+    #[test]
+    fn threshold_crossing_flushes_inline() {
+        let shared = Arc::new(RoutingShared::new(
+            2,
+            RoutingConfig {
+                outgoing_capacity: 64,
+                incoming_capacity: 4096,
+            },
+        ));
+        shared.register_object(
+            DataObjectId(0),
+            PartitionTable::Range(RangeTable::even(100, &[AeuId(0), AeuId(1)])),
+        );
+        let mut router = Router::new(
+            AeuId(0),
+            Arc::clone(&shared),
+            RoutingConfig {
+                outgoing_capacity: 64,
+                incoming_capacity: 4096,
+            },
+        );
+        let mut flushed = Vec::new();
+        for i in 0..10 {
+            flushed.extend(router.route(DataCommand {
+                object: DataObjectId(0),
+                ticket: i,
+                payload: Payload::Lookup { keys: vec![60 + i] },
+            }));
+        }
+        assert!(!flushed.is_empty(), "auto-flush on threshold");
+        assert!(router.stats.flushes > 0);
+        assert_eq!(router.stats.flush_bytes % 29, 0, "whole commands only");
+    }
+
+    #[test]
+    fn version_visible_after_rebuild() {
+        let (shared, _) = setup(2, 100);
+        shared.with_table_mut(DataObjectId(0), |t| {
+            t.as_range_mut()
+                .unwrap()
+                .rebuild(vec![(0, AeuId(1)), (90, AeuId(0))]);
+        });
+        shared.with_table(DataObjectId(0), |t| {
+            let r = t.as_range().unwrap();
+            assert_eq!(r.version(), 1);
+            assert_eq!(r.owner(50), AeuId(1));
+        });
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-AEU outgoing buffers: unicast, multicast, and multicast references.
+//!
+//! Section 3.2: *"Each AEU uses a set of outgoing buffers — one unicast
+//! buffer and one multicast reference buffer for each running AEU in the
+//! system —, a multicast buffer, and two bigger incoming buffers. ...  Data
+//! commands for a single AEU are written to the corresponding outgoing
+//! buffer of the source AEU.  If multiple AEUs are responsible for a data
+//! command, the command itself is written to the multicast buffer and
+//! references to this data command are stored in the individual multicast
+//! reference buffers.  If an outgoing buffer is either full or the AEU
+//! starts over its processing loop, the specific outgoing buffer including
+//! its multicast data commands is copied to the incoming buffer of the
+//! target AEU."*
+//!
+//! This local pre-buffering is the throughput mechanism of Figure 5:
+//! contention on the remote incoming buffer drops to one reservation per
+//! *flush* instead of one per command, and the copied bytes stream
+//! sequentially over the interconnect.
+
+use super::incoming::{BufferFull, IncomingBuffers};
+use crate::command::{AeuId, DataCommand};
+
+/// Result of flushing one outgoing buffer into a target's incoming buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushInfo {
+    pub target: AeuId,
+    pub bytes: u64,
+    pub commands: u64,
+}
+
+struct PerTarget {
+    unicast: Vec<u8>,
+    unicast_cmds: u64,
+    /// `(offset, len)` references into the multicast buffer.
+    refs: Vec<(u32, u32)>,
+}
+
+/// The outgoing side of one AEU's routing state.
+pub struct OutgoingBuffers {
+    targets: Vec<PerTarget>,
+    multicast: Vec<u8>,
+    /// Flush threshold per target, in bytes.
+    capacity: usize,
+    /// Commands buffered since the last flush round (for stats).
+    pub commands_routed: u64,
+}
+
+impl OutgoingBuffers {
+    /// Buffers towards `num_aeus` targets with a per-target flush threshold
+    /// of `capacity` bytes.
+    pub fn new(num_aeus: usize, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        OutgoingBuffers {
+            targets: (0..num_aeus)
+                .map(|_| PerTarget {
+                    unicast: Vec::new(),
+                    unicast_cmds: 0,
+                    refs: Vec::new(),
+                })
+                .collect(),
+            multicast: Vec::new(),
+            capacity,
+            commands_routed: 0,
+        }
+    }
+
+    /// The flush threshold in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Buffer a command for a single target.  Returns `true` when the
+    /// target's buffer crossed the flush threshold.
+    pub fn push_unicast(&mut self, target: AeuId, cmd: &DataCommand) -> bool {
+        let t = &mut self.targets[target.index()];
+        cmd.encode(&mut t.unicast);
+        t.unicast_cmds += 1;
+        self.commands_routed += 1;
+        self.pending_bytes(target) >= self.capacity
+    }
+
+    /// Buffer one command for many targets: the command body is stored once
+    /// in the multicast buffer, each target gets a reference.
+    /// Returns the targets that crossed the flush threshold.
+    pub fn push_multicast(&mut self, targets: &[AeuId], cmd: &DataCommand) -> Vec<AeuId> {
+        let off = self.multicast.len() as u32;
+        cmd.encode(&mut self.multicast);
+        let len = self.multicast.len() as u32 - off;
+        let mut full = Vec::new();
+        for &t in targets {
+            self.targets[t.index()].refs.push((off, len));
+            self.commands_routed += 1;
+            if self.pending_bytes(t) >= self.capacity {
+                full.push(t);
+            }
+        }
+        full
+    }
+
+    /// Bytes currently pending towards `target` (unicast + referenced
+    /// multicast commands).
+    pub fn pending_bytes(&self, target: AeuId) -> usize {
+        let t = &self.targets[target.index()];
+        t.unicast.len() + t.refs.iter().map(|&(_, l)| l as usize).sum::<usize>()
+    }
+
+    /// Pending command count towards `target`.
+    pub fn pending_commands(&self, target: AeuId) -> u64 {
+        let t = &self.targets[target.index()];
+        t.unicast_cmds + t.refs.len() as u64
+    }
+
+    /// Targets with anything pending.
+    pub fn pending_targets(&self) -> Vec<AeuId> {
+        (0..self.targets.len() as u32)
+            .map(AeuId)
+            .filter(|t| self.pending_bytes(*t) > 0)
+            .collect()
+    }
+
+    /// Copy everything pending for `target` into its incoming buffer as one
+    /// contiguous write (routing step 3).  On success the outgoing buffer is
+    /// cleared; on [`BufferFull`] it is kept for a later retry.
+    pub fn flush_into(
+        &mut self,
+        target: AeuId,
+        incoming: &IncomingBuffers,
+    ) -> Result<Option<FlushInfo>, BufferFull> {
+        let bytes = self.pending_bytes(target);
+        if bytes == 0 {
+            return Ok(None);
+        }
+        let commands = self.pending_commands(target);
+        // Assemble unicast bytes + referenced multicast commands.
+        let t = &self.targets[target.index()];
+        let mut assembled = Vec::with_capacity(bytes);
+        assembled.extend_from_slice(&t.unicast);
+        for &(off, len) in &t.refs {
+            assembled.extend_from_slice(&self.multicast[off as usize..(off + len) as usize]);
+        }
+        incoming.write(&assembled)?;
+        let t = &mut self.targets[target.index()];
+        t.unicast.clear();
+        t.unicast_cmds = 0;
+        t.refs.clear();
+        Ok(Some(FlushInfo {
+            target,
+            bytes: bytes as u64,
+            commands,
+        }))
+    }
+
+    /// Drop the multicast buffer once no target references it anymore.
+    /// Called by the AEU when it starts over its processing loop.
+    pub fn reclaim_multicast(&mut self) {
+        if self.targets.iter().all(|t| t.refs.is_empty()) {
+            self.multicast.clear();
+        }
+    }
+
+    /// True when nothing is pending anywhere.
+    pub fn is_drained(&self) -> bool {
+        self.targets
+            .iter()
+            .all(|t| t.unicast.is_empty() && t.refs.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{DataObjectId, Payload};
+
+    fn lookup_cmd(keys: Vec<u64>) -> DataCommand {
+        DataCommand {
+            object: DataObjectId(1),
+            ticket: 9,
+            payload: Payload::Lookup { keys },
+        }
+    }
+
+    #[test]
+    fn unicast_flush_delivers_commands() {
+        let mut out = OutgoingBuffers::new(2, 1024);
+        let inc = IncomingBuffers::new(4096);
+        out.push_unicast(AeuId(1), &lookup_cmd(vec![1, 2]));
+        out.push_unicast(AeuId(1), &lookup_cmd(vec![3]));
+        let info = out.flush_into(AeuId(1), &inc).unwrap().unwrap();
+        assert_eq!(info.commands, 2);
+        assert!(out.is_drained());
+        let mut decoded = Vec::new();
+        inc.swap_and_consume(|d| decoded = DataCommand::decode_all(d));
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], lookup_cmd(vec![1, 2]));
+    }
+
+    #[test]
+    fn threshold_reports_full() {
+        let mut out = OutgoingBuffers::new(1, 40);
+        assert!(!out.push_unicast(AeuId(0), &lookup_cmd(vec![1])));
+        assert!(
+            out.push_unicast(AeuId(0), &lookup_cmd(vec![2])),
+            "40 bytes crossed"
+        );
+    }
+
+    #[test]
+    fn multicast_stores_body_once() {
+        let mut out = OutgoingBuffers::new(3, 1024);
+        let cmd = lookup_cmd(vec![7, 8, 9]);
+        let full = out.push_multicast(&[AeuId(0), AeuId(2)], &cmd);
+        assert!(full.is_empty());
+        assert_eq!(out.multicast.len(), cmd.encoded_len(), "one body");
+        assert_eq!(out.pending_bytes(AeuId(0)), cmd.encoded_len());
+        assert_eq!(out.pending_bytes(AeuId(1)), 0);
+        assert_eq!(out.pending_bytes(AeuId(2)), cmd.encoded_len());
+
+        // Both targets receive the full command.
+        let inc0 = IncomingBuffers::new(1024);
+        let inc2 = IncomingBuffers::new(1024);
+        out.flush_into(AeuId(0), &inc0).unwrap().unwrap();
+        out.flush_into(AeuId(2), &inc2).unwrap().unwrap();
+        for inc in [&inc0, &inc2] {
+            let mut decoded = Vec::new();
+            inc.swap_and_consume(|d| decoded = DataCommand::decode_all(d));
+            assert_eq!(decoded, vec![cmd.clone()]);
+        }
+        out.reclaim_multicast();
+        assert_eq!(out.multicast.len(), 0);
+    }
+
+    #[test]
+    fn multicast_not_reclaimed_while_referenced() {
+        let mut out = OutgoingBuffers::new(2, 1024);
+        out.push_multicast(&[AeuId(0), AeuId(1)], &lookup_cmd(vec![1]));
+        let inc = IncomingBuffers::new(1024);
+        out.flush_into(AeuId(0), &inc).unwrap();
+        out.reclaim_multicast();
+        assert!(
+            !out.multicast.is_empty(),
+            "AEU1's reference is still pending"
+        );
+    }
+
+    #[test]
+    fn full_incoming_keeps_outgoing_intact() {
+        let mut out = OutgoingBuffers::new(1, 1024);
+        out.push_unicast(AeuId(0), &lookup_cmd(vec![1, 2, 3]));
+        let tiny = IncomingBuffers::new(64);
+        // Fill the incoming buffer first.
+        tiny.write(&[0; 60]).unwrap();
+        let r = out.flush_into(AeuId(0), &tiny);
+        assert_eq!(r, Err(BufferFull));
+        assert_eq!(out.pending_commands(AeuId(0)), 1, "kept for retry");
+        // After the owner drains, the retry succeeds.
+        tiny.swap_and_consume(|_| {});
+        assert!(out.flush_into(AeuId(0), &tiny).unwrap().is_some());
+    }
+
+    #[test]
+    fn flush_of_empty_target_is_none() {
+        let mut out = OutgoingBuffers::new(1, 64);
+        let inc = IncomingBuffers::new(64);
+        assert_eq!(out.flush_into(AeuId(0), &inc).unwrap(), None);
+    }
+
+    #[test]
+    fn mixed_unicast_and_multicast_arrive_together() {
+        let mut out = OutgoingBuffers::new(2, 4096);
+        out.push_unicast(AeuId(0), &lookup_cmd(vec![1]));
+        out.push_multicast(&[AeuId(0), AeuId(1)], &lookup_cmd(vec![2]));
+        let inc = IncomingBuffers::new(4096);
+        let info = out.flush_into(AeuId(0), &inc).unwrap().unwrap();
+        assert_eq!(info.commands, 2);
+        let mut decoded = Vec::new();
+        inc.swap_and_consume(|d| decoded = DataCommand::decode_all(d));
+        assert_eq!(decoded.len(), 2);
+    }
+}

@@ -1,0 +1,377 @@
+//! A per-partition open-addressing hash table.
+//!
+//! Section 3.1: *"ERIS primarily uses range partitioning ... Nevertheless,
+//! ERIS supports hash tables by using different hash functions on a
+//! per-partition level."*  Routing still happens by key range; *within* a
+//! partition the AEU may store its keys in a hash table instead of a prefix
+//! tree — O(1) point access at the price of losing order (no range scans).
+//!
+//! The table uses Robin-Hood linear probing over power-of-two buckets and a
+//! per-instance multiplicative hash seed (the paper's "different hash
+//! functions per partition"), so identical keys land in different probe
+//! sequences on different partitions — no cross-partition hot buckets.
+
+/// Load factor threshold (percent) that triggers growth.
+const MAX_LOAD_PERCENT: usize = 85;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    key: u64,
+    value: u64,
+    /// Probe-sequence length + 1; 0 = empty.
+    psl: u32,
+}
+
+const EMPTY: Slot = Slot {
+    key: 0,
+    value: 0,
+    psl: 0,
+};
+
+/// An open-addressing hash table from `u64` keys to `u64` values with a
+/// per-instance hash function.
+pub struct HashTable {
+    slots: Vec<Slot>,
+    mask: usize,
+    len: usize,
+    seed: u64,
+    base_vaddr: u64,
+}
+
+impl HashTable {
+    /// An empty table using hash function `seed` (one per partition).
+    pub fn new(seed: u64, base_vaddr: u64) -> Self {
+        Self::with_capacity(seed, base_vaddr, 16)
+    }
+
+    /// An empty table pre-sized for `capacity` keys.
+    pub fn with_capacity(seed: u64, base_vaddr: u64, capacity: usize) -> Self {
+        let buckets = (capacity * 100 / MAX_LOAD_PERCENT + 1)
+            .next_power_of_two()
+            .max(16);
+        HashTable {
+            slots: vec![EMPTY; buckets],
+            mask: buckets - 1,
+            len: 0,
+            seed: seed | 1,
+            base_vaddr,
+        }
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resident bytes (bucket array).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.slots.len() * std::mem::size_of::<Slot>()) as u64
+    }
+
+    /// The per-partition hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Relocate the synthetic address base (after a partition transfer).
+    pub fn set_base_vaddr(&mut self, base: u64) {
+        self.base_vaddr = base;
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        // Multiplicative (Fibonacci) hashing, seeded per partition.
+        (key.wrapping_add(self.seed)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            >> 32) as usize
+            & self.mask
+    }
+
+    /// Insert or overwrite; returns the previous value if the key existed.
+    pub fn upsert(&mut self, key: u64, value: u64) -> Option<u64> {
+        if (self.len + 1) * 100 > self.slots.len() * MAX_LOAD_PERCENT {
+            self.grow();
+        }
+        let mut idx = self.bucket_of(key);
+        let mut cur = Slot { key, value, psl: 1 };
+        // Once the probe displaces an entry, `cur` carries a pre-existing
+        // element, and the Robin-Hood invariant guarantees the original key
+        // cannot appear further along — so duplicate detection only applies
+        // while the original is still being carried.
+        let mut carrying_original = true;
+        loop {
+            let s = &mut self.slots[idx];
+            if s.psl == 0 {
+                *s = cur;
+                self.len += 1;
+                return None;
+            }
+            if carrying_original && s.key == key {
+                let old = s.value;
+                s.value = value;
+                return Some(old);
+            }
+            // Robin Hood: steal the slot from richer entries.
+            if cur.psl > s.psl {
+                std::mem::swap(s, &mut cur);
+                carrying_original = false;
+            }
+            cur.psl += 1;
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Point lookup.
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        let mut idx = self.bucket_of(key);
+        let mut psl = 1u32;
+        loop {
+            let s = &self.slots[idx];
+            if s.psl == 0 || s.psl < psl {
+                return None; // Robin Hood invariant: key would be here
+            }
+            if s.key == key {
+                return Some(s.value);
+            }
+            psl += 1;
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Remove a key; returns its value.  Uses backward-shift deletion to
+    /// preserve the Robin-Hood invariant.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let mut idx = self.bucket_of(key);
+        let mut psl = 1u32;
+        loop {
+            let s = self.slots[idx];
+            if s.psl == 0 || s.psl < psl {
+                return None;
+            }
+            if s.key == key {
+                let value = s.value;
+                // Backward shift.
+                let mut prev = idx;
+                let mut next = (idx + 1) & self.mask;
+                loop {
+                    let n = self.slots[next];
+                    if n.psl <= 1 {
+                        break;
+                    }
+                    self.slots[prev] = Slot {
+                        psl: n.psl - 1,
+                        ..n
+                    };
+                    prev = next;
+                    next = (next + 1) & self.mask;
+                }
+                self.slots[prev] = EMPTY;
+                self.len -= 1;
+                return Some(value);
+            }
+            psl += 1;
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; (self.mask + 1) * 2]);
+        self.mask = self.slots.len() - 1;
+        self.len = 0;
+        for s in old {
+            if s.psl > 0 {
+                self.upsert(s.key, s.value);
+            }
+        }
+    }
+
+    /// Visit every `(key, value)` pair in arbitrary (hash) order.
+    pub fn for_each(&self, mut f: impl FnMut(u64, u64)) {
+        for s in &self.slots {
+            if s.psl > 0 {
+                f(s.key, s.value);
+            }
+        }
+    }
+
+    /// Drain all pairs (partition transfer source side).
+    pub fn drain_all(&mut self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        for s in &mut self.slots {
+            if s.psl > 0 {
+                out.push((s.key, s.value));
+                *s = EMPTY;
+            }
+        }
+        self.len = 0;
+        out
+    }
+
+    /// Extract and remove every key in `[lo, hi)` (range-partitioned
+    /// balancing over hash-stored partitions — the table is unordered, so
+    /// this is a full sweep).
+    pub fn extract_range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut keys = Vec::new();
+        self.for_each(|k, v| {
+            if k >= lo && k < hi {
+                keys.push((k, v));
+            }
+        });
+        for &(k, _) in &keys {
+            self.remove(k);
+        }
+        keys
+    }
+
+    /// Synthetic addresses touched by a lookup of `key` (bucket probes),
+    /// for the cache simulator.
+    pub fn trace_path(&self, key: u64, out: &mut Vec<u64>) {
+        let mut idx = self.bucket_of(key);
+        let mut psl = 1u32;
+        loop {
+            out.push(self.base_vaddr + (idx * std::mem::size_of::<Slot>()) as u64);
+            let s = &self.slots[idx];
+            if s.psl == 0 || s.psl < psl || s.key == key {
+                return;
+            }
+            psl += 1;
+            idx = (idx + 1) & self.mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut t = HashTable::new(7, 0);
+        assert_eq!(t.upsert(42, 1), None);
+        assert_eq!(t.upsert(42, 2), Some(1));
+        assert_eq!(t.lookup(42), Some(2));
+        assert_eq!(t.lookup(43), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn zero_key_works() {
+        let mut t = HashTable::new(3, 0);
+        t.upsert(0, 0);
+        assert_eq!(t.lookup(0), Some(0));
+        assert_eq!(t.remove(0), Some(0));
+        assert_eq!(t.lookup(0), None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut t = HashTable::with_capacity(1, 0, 4);
+        for k in 0..10_000u64 {
+            t.upsert(k, k * 2);
+        }
+        assert_eq!(t.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(t.lookup(k), Some(k * 2), "key {k}");
+        }
+    }
+
+    #[test]
+    fn remove_with_backward_shift() {
+        let mut t = HashTable::with_capacity(5, 0, 64);
+        for k in 0..50u64 {
+            t.upsert(k, k);
+        }
+        for k in (0..50u64).step_by(2) {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        for k in 0..50u64 {
+            assert_eq!(t.lookup(k), if k % 2 == 0 { None } else { Some(k) });
+        }
+        assert_eq!(t.len(), 25);
+    }
+
+    #[test]
+    fn different_seeds_give_different_layouts() {
+        let mut a = HashTable::new(1, 0);
+        let mut b = HashTable::new(999, 0);
+        for k in 0..100u64 {
+            a.upsert(k, k);
+            b.upsert(k, k);
+        }
+        let mut ta = Vec::new();
+        let mut tb = Vec::new();
+        a.trace_path(50, &mut ta);
+        b.trace_path(50, &mut tb);
+        // Per-partition hash functions: the same key probes different
+        // buckets in different partitions.
+        assert_ne!(ta[0], tb[0]);
+    }
+
+    #[test]
+    fn drain_and_extract_range() {
+        let mut t = HashTable::new(11, 0);
+        for k in 0..100u64 {
+            t.upsert(k, k + 1);
+        }
+        let moved = t.extract_range(30, 60);
+        assert_eq!(moved.len(), 30);
+        assert!(moved
+            .iter()
+            .all(|&(k, v)| (30..60).contains(&k) && v == k + 1));
+        assert_eq!(t.len(), 70);
+        assert_eq!(t.lookup(45), None);
+        assert_eq!(t.lookup(29), Some(30));
+        let rest = t.drain_all();
+        assert_eq!(rest.len(), 70);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        let mut t = HashTable::new(13, 0);
+        for k in 0..500u64 {
+            t.upsert(k * 3, k);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        t.for_each(|k, _| {
+            assert!(seen.insert(k), "key {k} visited twice");
+        });
+        assert_eq!(seen.len(), 500);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeMap;
+
+        proptest! {
+            #[test]
+            fn behaves_like_btreemap(
+                seed in 0u64..1000,
+                ops in proptest::collection::vec((0u8..3, 0u64..500, 0u64..100), 1..400))
+            {
+                let mut t = HashTable::new(seed, 0);
+                let mut m = BTreeMap::new();
+                for (op, k, v) in ops {
+                    match op {
+                        0 => { prop_assert_eq!(t.upsert(k, v), m.insert(k, v)); }
+                        1 => { prop_assert_eq!(t.remove(k), m.remove(&k)); }
+                        _ => { prop_assert_eq!(t.lookup(k), m.get(&k).copied()); }
+                    }
+                    prop_assert_eq!(t.len(), m.len());
+                }
+                let mut all: Vec<(u64, u64)> = Vec::new();
+                t.for_each(|k, v| all.push((k, v)));
+                all.sort();
+                let expect: Vec<(u64, u64)> = m.into_iter().collect();
+                prop_assert_eq!(all, expect);
+            }
+        }
+    }
+}

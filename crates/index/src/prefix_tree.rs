@@ -1,0 +1,653 @@
+//! The generalized prefix tree (Böhm et al., BTW'11).
+//!
+//! Keys are unsigned 64-bit integers split into fixed-width digits of
+//! `prefix_bits` bits, consumed from the most significant digit down, which
+//! makes the structure order-preserving (unlike a hash table) and gives it
+//! O(key_bits / prefix_bits) point-operation cost independent of size
+//! (unlike a B+-tree).  Inner nodes are child-pointer arrays; the last level
+//! holds the values.
+//!
+//! Nodes live in flat arenas indexed by `u32`, so the whole tree is three
+//! contiguous allocations — cache friendly and trivially relocatable, which
+//! matters for the load balancer: a partition *copy* transfer flattens the
+//! tree into a sorted stream ([`PrefixTree::flatten_range`]) and rebuilds it
+//! on the target AEU ([`PrefixTree::build_from_sorted`]).
+//!
+//! Every node has a synthetic address (base vaddr + arena offset) so the
+//! engine can feed lookup paths into the L3 cache simulator
+//! ([`PrefixTree::trace_path`]).
+
+/// Configuration of a [`PrefixTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixTreeConfig {
+    /// Digit width in bits.  The paper's default is 8.
+    pub prefix_bits: u32,
+    /// Number of significant key bits; must be a multiple of `prefix_bits`.
+    pub key_bits: u32,
+}
+
+impl Default for PrefixTreeConfig {
+    fn default() -> Self {
+        PrefixTreeConfig {
+            prefix_bits: 8,
+            key_bits: 64,
+        }
+    }
+}
+
+impl PrefixTreeConfig {
+    /// A tree for keys below `2^key_bits` with the given digit width.
+    pub fn new(prefix_bits: u32, key_bits: u32) -> Self {
+        assert!(
+            (1..=16).contains(&prefix_bits),
+            "prefix length must be between 1 and 16 bits"
+        );
+        assert!(key_bits > 0 && key_bits <= 64);
+        assert_eq!(
+            key_bits % prefix_bits,
+            0,
+            "key_bits ({key_bits}) must be a multiple of prefix_bits ({prefix_bits})"
+        );
+        PrefixTreeConfig {
+            prefix_bits,
+            key_bits,
+        }
+    }
+
+    /// Tree depth in levels (inner levels + the leaf level).
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.key_bits / self.prefix_bits
+    }
+
+    /// Children / slots per node.
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        1usize << self.prefix_bits
+    }
+
+    #[inline]
+    fn digit(&self, key: u64, level: u32) -> usize {
+        let shift = self.key_bits - (level + 1) * self.prefix_bits;
+        ((key >> shift) & ((1u64 << self.prefix_bits) - 1)) as usize
+    }
+
+    fn check_key(&self, key: u64) {
+        if self.key_bits < 64 {
+            assert!(
+                key < (1u64 << self.key_bits),
+                "key {key} exceeds the configured {}-bit domain",
+                self.key_bits
+            );
+        }
+    }
+}
+
+const NULL: u32 = u32::MAX;
+
+/// An order-preserving trie from `u64` keys to `u64` values.
+pub struct PrefixTree {
+    cfg: PrefixTreeConfig,
+    /// Inner child arrays: node `i` occupies `i*fanout .. (i+1)*fanout`.
+    inner: Vec<u32>,
+    /// Leaf value slots: leaf `j` occupies `j*fanout .. (j+1)*fanout`.
+    values: Vec<u64>,
+    /// Presence bitmap: `fanout/64` words per leaf.
+    present: Vec<u64>,
+    len: usize,
+    /// Synthetic base address for cache simulation.
+    base_vaddr: u64,
+}
+
+impl PrefixTree {
+    /// An empty tree with the default configuration (8-bit digits).
+    pub fn new() -> Self {
+        Self::with_config(PrefixTreeConfig::default(), 0)
+    }
+
+    /// An empty tree; `base_vaddr` anchors synthetic node addresses.
+    pub fn with_config(cfg: PrefixTreeConfig, base_vaddr: u64) -> Self {
+        let mut t = PrefixTree {
+            cfg,
+            inner: Vec::new(),
+            values: Vec::new(),
+            present: Vec::new(),
+            len: 0,
+            base_vaddr,
+        };
+        if cfg.levels() == 1 {
+            t.new_leaf();
+        } else {
+            t.new_inner(); // root
+        }
+        t
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> PrefixTreeConfig {
+        self.cfg
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no keys.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate resident bytes (arena sizes).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.inner.len() * 4 + self.values.len() * 8 + self.present.len() * 8) as u64
+    }
+
+    /// Relocate the synthetic address base (after a partition transfer).
+    pub fn set_base_vaddr(&mut self, base: u64) {
+        self.base_vaddr = base;
+    }
+
+    fn new_inner(&mut self) -> u32 {
+        let id = (self.inner.len() / self.cfg.fanout()) as u32;
+        self.inner
+            .resize(self.inner.len() + self.cfg.fanout(), NULL);
+        id
+    }
+
+    fn new_leaf(&mut self) -> u32 {
+        let id = (self.values.len() / self.cfg.fanout()) as u32;
+        self.values.resize(self.values.len() + self.cfg.fanout(), 0);
+        self.present
+            .resize(self.present.len() + self.cfg.fanout().div_ceil(64), 0);
+        id
+    }
+
+    #[inline]
+    fn present_word(&self, leaf: u32, digit: usize) -> (usize, u64) {
+        let words_per_leaf = self.cfg.fanout().div_ceil(64);
+        (
+            leaf as usize * words_per_leaf + digit / 64,
+            1u64 << (digit % 64),
+        )
+    }
+
+    /// Insert or overwrite; returns the previous value if the key existed.
+    pub fn upsert(&mut self, key: u64, value: u64) -> Option<u64> {
+        self.cfg.check_key(key);
+        let levels = self.cfg.levels();
+        let fanout = self.cfg.fanout();
+        let mut node = 0u32; // root (inner, or leaf when levels == 1)
+        for level in 0..levels.saturating_sub(1) {
+            let digit = self.cfg.digit(key, level);
+            let slot = node as usize * fanout + digit;
+            let child = self.inner[slot];
+            node = if child == NULL {
+                let fresh = if level + 2 == levels {
+                    self.new_leaf()
+                } else {
+                    self.new_inner()
+                };
+                self.inner[node as usize * fanout + digit] = fresh;
+                fresh
+            } else {
+                child
+            };
+        }
+        let digit = self.cfg.digit(key, levels - 1);
+        let (word, bit) = self.present_word(node, digit);
+        let slot = node as usize * fanout + digit;
+        if self.present[word] & bit != 0 {
+            let old = self.values[slot];
+            self.values[slot] = value;
+            Some(old)
+        } else {
+            self.present[word] |= bit;
+            self.values[slot] = value;
+            self.len += 1;
+            None
+        }
+    }
+
+    /// Descend to the leaf of `key` without modifying; returns
+    /// (leaf node, leaf digit) if the path exists.
+    #[inline]
+    fn descend(&self, key: u64) -> Option<(u32, usize)> {
+        let levels = self.cfg.levels();
+        let fanout = self.cfg.fanout();
+        let mut node = 0u32;
+        for level in 0..levels - 1 {
+            let digit = self.cfg.digit(key, level);
+            node = self.inner[node as usize * fanout + digit];
+            if node == NULL {
+                return None;
+            }
+        }
+        Some((node, self.cfg.digit(key, levels - 1)))
+    }
+
+    /// Point lookup.
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        self.cfg.check_key(key);
+        let (leaf, digit) = self.descend(key)?;
+        let (word, bit) = self.present_word(leaf, digit);
+        (self.present[word] & bit != 0)
+            .then(|| self.values[leaf as usize * self.cfg.fanout() + digit])
+    }
+
+    /// Batched lookup: the per-AEU command grouping of Section 3.1 executes
+    /// many lookups in one pass to hide memory latency.
+    pub fn lookup_batch(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        out.clear();
+        out.reserve(keys.len());
+        for &k in keys {
+            out.push(self.lookup(k));
+        }
+    }
+
+    /// Remove a key; returns the old value.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        self.cfg.check_key(key);
+        let (leaf, digit) = self.descend(key)?;
+        let (word, bit) = self.present_word(leaf, digit);
+        if self.present[word] & bit == 0 {
+            return None;
+        }
+        self.present[word] &= !bit;
+        self.len -= 1;
+        Some(self.values[leaf as usize * self.cfg.fanout() + digit])
+    }
+
+    /// Synthetic addresses of the nodes visited by a lookup of `key`,
+    /// appended to `out` — the input for the L3 cache simulator.
+    /// The trace stops at the first missing node.
+    pub fn trace_path(&self, key: u64, out: &mut Vec<u64>) {
+        let levels = self.cfg.levels();
+        let fanout = self.cfg.fanout();
+        let inner_bytes = self.inner.len() as u64 * 4;
+        let mut node = 0u32;
+        for level in 0..levels - 1 {
+            let digit = self.cfg.digit(key, level);
+            // Address of the child slot actually read, so the cache
+            // simulator sees the node's true line footprint.
+            out.push(self.base_vaddr + (node as u64 * fanout as u64 + digit as u64) * 4);
+            node = self.inner[node as usize * fanout + digit];
+            if node == NULL {
+                return;
+            }
+        }
+        let digit = self.cfg.digit(key, levels - 1);
+        out.push(self.base_vaddr + inner_bytes + (node as u64 * fanout as u64 + digit as u64) * 8);
+    }
+
+    /// In-order visit of all `(key, value)` pairs in `[lo, hi)`.
+    pub fn scan_range(&self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64)) {
+        if lo >= hi {
+            return;
+        }
+        self.cfg.check_key(lo);
+        self.scan_node(0, 0, 0, lo, hi, &mut f);
+    }
+
+    fn scan_node(
+        &self,
+        node: u32,
+        level: u32,
+        prefix: u64,
+        lo: u64,
+        hi: u64,
+        f: &mut impl FnMut(u64, u64),
+    ) {
+        let levels = self.cfg.levels();
+        let fanout = self.cfg.fanout();
+        let shift = self.cfg.key_bits - (level + 1) * self.cfg.prefix_bits;
+        let span = 1u64 << shift; // key range covered per child
+        if level == levels - 1 {
+            for digit in 0..fanout {
+                let key = prefix | digit as u64;
+                if key >= hi {
+                    break;
+                }
+                if key < lo {
+                    continue;
+                }
+                let (word, bit) = self.present_word(node, digit);
+                if self.present[word] & bit != 0 {
+                    f(key, self.values[node as usize * fanout + digit]);
+                }
+            }
+            return;
+        }
+        for digit in 0..fanout {
+            let child_lo = prefix | (digit as u64) << shift;
+            if child_lo >= hi {
+                break;
+            }
+            // `child_hi` may overflow for the last digit at the top level.
+            let child_hi = child_lo.saturating_add(span);
+            if child_hi <= lo {
+                continue;
+            }
+            let child = self.inner[node as usize * fanout + digit];
+            if child != NULL {
+                self.scan_node(child, level + 1, child_lo, lo, hi, f);
+            }
+        }
+    }
+
+    /// Flatten `[lo, hi)` into a sorted `(key, value)` stream — the exchange
+    /// format of the load balancer's *copy* transfer (Section 3.3.2).
+    pub fn flatten_range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        self.scan_range(lo, hi, |k, v| out.push((k, v)));
+        out
+    }
+
+    /// Flatten every key in `[lo, ∞)`, including `u64::MAX`.
+    pub fn flatten_from(&self, lo: u64) -> Vec<(u64, u64)> {
+        let mut out = self.flatten_range(lo, u64::MAX);
+        if self.cfg.key_bits == 64 {
+            if let Some(v) = self.lookup(u64::MAX) {
+                out.push((u64::MAX, v));
+            }
+        }
+        out
+    }
+
+    /// Flatten the whole tree.
+    pub fn flatten(&self) -> Vec<(u64, u64)> {
+        self.flatten_from(0)
+    }
+
+    /// Rebuild a tree from a sorted stream (target side of a copy transfer).
+    pub fn build_from_sorted(cfg: PrefixTreeConfig, base_vaddr: u64, pairs: &[(u64, u64)]) -> Self {
+        let mut t = Self::with_config(cfg, base_vaddr);
+        for &(k, v) in pairs {
+            t.upsert(k, v);
+        }
+        t
+    }
+
+    /// Split off every key in `[pivot, ∞)` into a new tree, removing them
+    /// from `self` — the shrink side of a balancing command.
+    pub fn split_off(&mut self, pivot: u64) -> PrefixTree {
+        let moved = self.flatten_from(pivot);
+        for &(k, _) in &moved {
+            self.remove(k);
+        }
+        Self::build_from_sorted(self.cfg, self.base_vaddr, &moved)
+    }
+
+    /// Absorb all keys of `other` (the *link* mechanism: on real hardware
+    /// this is a pointer relink inside one memory domain; the simulation
+    /// charges it near-zero virtual time, see the engine's balancer).
+    pub fn merge_from(&mut self, other: PrefixTree) {
+        assert_eq!(self.cfg, other.cfg, "cannot merge trees of different shape");
+        other.scan_range(0, u64::MAX, |k, v| {
+            self.upsert(k, v);
+        });
+    }
+}
+
+impl Default for PrefixTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PrefixTree {
+        PrefixTree::with_config(PrefixTreeConfig::new(4, 16), 0)
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut t = PrefixTree::new();
+        assert_eq!(t.upsert(42, 100), None);
+        assert_eq!(t.upsert(7, 200), None);
+        assert_eq!(t.lookup(42), Some(100));
+        assert_eq!(t.lookup(7), Some(200));
+        assert_eq!(t.lookup(8), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn upsert_overwrites() {
+        let mut t = small();
+        assert_eq!(t.upsert(5, 1), None);
+        assert_eq!(t.upsert(5, 2), Some(1));
+        assert_eq!(t.lookup(5), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn zero_key_and_zero_value() {
+        let mut t = small();
+        assert_eq!(t.lookup(0), None);
+        t.upsert(0, 0);
+        assert_eq!(t.lookup(0), Some(0));
+    }
+
+    #[test]
+    fn max_key_in_domain() {
+        let mut t = small();
+        t.upsert(0xFFFF, 9);
+        assert_eq!(t.lookup(0xFFFF), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn key_outside_domain_panics() {
+        small().upsert(0x1_0000, 1);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut t = small();
+        t.upsert(3, 30);
+        t.upsert(4, 40);
+        assert_eq!(t.remove(3), Some(30));
+        assert_eq!(t.remove(3), None);
+        assert_eq!(t.lookup(3), None);
+        assert_eq!(t.lookup(4), Some(40));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn scan_is_ordered_and_bounded() {
+        let mut t = small();
+        for k in [9u64, 1, 5, 3, 7, 100, 200] {
+            t.upsert(k, k * 10);
+        }
+        let got = t.flatten_range(3, 100);
+        assert_eq!(got, vec![(3, 30), (5, 50), (7, 70), (9, 90)]);
+        assert_eq!(t.flatten().len(), 7);
+        assert!(t.flatten().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn scan_empty_range() {
+        let mut t = small();
+        t.upsert(5, 1);
+        assert!(t.flatten_range(5, 5).is_empty());
+        assert!(t.flatten_range(6, 5).is_empty());
+    }
+
+    #[test]
+    fn full_domain_scan_on_64bit_tree() {
+        let mut t = PrefixTree::new();
+        t.upsert(u64::MAX, 1);
+        t.upsert(0, 2);
+        // u64::MAX as hi is exclusive, so only key 0 is returned below MAX...
+        assert_eq!(t.flatten_range(0, u64::MAX), vec![(0, 2)]);
+        // ...but flatten() must still cover the full domain.
+        assert_eq!(t.flatten(), vec![(0, 2), (u64::MAX, 1)]);
+        assert_eq!(t.flatten_from(1), vec![(u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn split_off_moves_upper_range() {
+        let mut t = small();
+        for k in 0..100u64 {
+            t.upsert(k, k);
+        }
+        let upper = t.split_off(60);
+        assert_eq!(t.len(), 60);
+        assert_eq!(upper.len(), 40);
+        assert_eq!(t.lookup(59), Some(59));
+        assert_eq!(t.lookup(60), None);
+        assert_eq!(upper.lookup(60), Some(60));
+        assert_eq!(upper.lookup(59), None);
+    }
+
+    #[test]
+    fn merge_reunites_split() {
+        let mut t = small();
+        for k in 0..50u64 {
+            t.upsert(k, k + 1);
+        }
+        let upper = t.split_off(25);
+        let mut t2 = t;
+        t2.merge_from(upper);
+        assert_eq!(t2.len(), 50);
+        for k in 0..50u64 {
+            assert_eq!(t2.lookup(k), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn flatten_rebuild_roundtrip() {
+        let mut t = small();
+        for k in (0..1000u64).step_by(7) {
+            t.upsert(k % 0x10000, k);
+        }
+        let flat = t.flatten();
+        let r = PrefixTree::build_from_sorted(t.config(), 7777, &flat);
+        assert_eq!(r.len(), t.len());
+        assert_eq!(r.flatten(), flat);
+    }
+
+    #[test]
+    fn trace_path_has_one_address_per_level() {
+        let mut t = PrefixTree::with_config(PrefixTreeConfig::new(8, 32), 1 << 20);
+        t.upsert(0xAABBCCDD, 1);
+        let mut trace = Vec::new();
+        t.trace_path(0xAABBCCDD, &mut trace);
+        assert_eq!(trace.len(), 4, "32-bit key / 8-bit digits = 4 levels");
+        assert!(trace.iter().all(|a| *a >= 1 << 20));
+        // A missing key stops early at the first absent node.
+        let mut missing = Vec::new();
+        t.trace_path(0x11223344, &mut missing);
+        assert!(missing.len() < 4);
+    }
+
+    #[test]
+    fn single_level_tree_works() {
+        let mut t = PrefixTree::with_config(PrefixTreeConfig::new(8, 8), 0);
+        for k in 0..256u64 {
+            t.upsert(k, k * 2);
+        }
+        assert_eq!(t.len(), 256);
+        assert_eq!(t.lookup(255), Some(510));
+        assert_eq!(t.flatten().len(), 256);
+    }
+
+    #[test]
+    fn memory_grows_with_keys() {
+        let mut t = PrefixTree::new();
+        let empty = t.memory_bytes();
+        for k in 0..10_000u64 {
+            t.upsert(k * 1_000_003, k);
+        }
+        assert!(t.memory_bytes() > empty);
+    }
+
+    #[test]
+    fn batch_lookup_matches_point_lookups() {
+        let mut t = small();
+        for k in (0..200u64).step_by(3) {
+            t.upsert(k, k);
+        }
+        let keys: Vec<u64> = (0..200).collect();
+        let mut out = Vec::new();
+        t.lookup_batch(&keys, &mut out);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(out[i], t.lookup(*k));
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeMap;
+
+        proptest! {
+            #[test]
+            fn behaves_like_btreemap(ops in proptest::collection::vec(
+                (0u8..4, 0u64..0x10000, 0u64..1000), 1..200))
+            {
+                let mut t = small();
+                let mut m = BTreeMap::new();
+                for (op, k, v) in ops {
+                    match op {
+                        0 | 1 => {
+                            prop_assert_eq!(t.upsert(k, v), m.insert(k, v));
+                        }
+                        2 => {
+                            prop_assert_eq!(t.remove(k), m.remove(&k));
+                        }
+                        _ => {
+                            prop_assert_eq!(t.lookup(k), m.get(&k).copied());
+                        }
+                    }
+                    prop_assert_eq!(t.len(), m.len());
+                }
+                let flat = t.flatten();
+                let expect: Vec<(u64, u64)> = m.into_iter().collect();
+                prop_assert_eq!(flat, expect);
+            }
+
+            #[test]
+            fn split_preserves_all_keys(keys in proptest::collection::btree_set(0u64..0x10000, 1..100),
+                                        pivot in 0u64..0x10000)
+            {
+                let mut t = small();
+                for &k in &keys {
+                    t.upsert(k, k);
+                }
+                let upper = t.split_off(pivot);
+                for &k in &keys {
+                    if k < pivot {
+                        prop_assert_eq!(t.lookup(k), Some(k));
+                        prop_assert_eq!(upper.lookup(k), None);
+                    } else {
+                        prop_assert_eq!(upper.lookup(k), Some(k));
+                        prop_assert_eq!(t.lookup(k), None);
+                    }
+                }
+                prop_assert_eq!(t.len() + upper.len(), keys.len());
+            }
+
+            #[test]
+            fn scan_matches_filter(keys in proptest::collection::btree_set(0u64..0x10000, 0..100),
+                                   lo in 0u64..0x10000, hi in 0u64..0x10000)
+            {
+                let mut t = small();
+                for &k in &keys {
+                    t.upsert(k, k ^ 0xFF);
+                }
+                let got = t.flatten_range(lo, hi);
+                let expect: Vec<(u64, u64)> = keys.iter()
+                    .filter(|&&k| k >= lo && k < hi)
+                    .map(|&k| (k, k ^ 0xFF))
+                    .collect();
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+}

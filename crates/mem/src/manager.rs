@@ -1,0 +1,136 @@
+//! The per-machine memory manager façade and the baseline allocation
+//! policies of Section 4.2.2 (Figure 9): *Single RAM*, *Interleaved*, and
+//! node-local (what ERIS itself does).
+
+use crate::node_alloc::{Allocation, NodeAllocator, NodeMemStats};
+use eris_numa::{NodeId, Topology};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where an allocation should be homed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// On a given node — ERIS' policy: each AEU allocates on its own node.
+    Local(NodeId),
+    /// Round-robin over all nodes — the `numactl --interleave=all` baseline.
+    Interleaved,
+    /// Everything on one node — the *Single RAM* baseline of Figure 9.
+    SingleNode(NodeId),
+}
+
+/// One [`NodeAllocator`] per node of a machine.
+pub struct MemoryManager {
+    allocators: Vec<Arc<NodeAllocator>>,
+    interleave_next: AtomicU64,
+}
+
+impl MemoryManager {
+    /// Build managers sized to each node's installed memory.
+    pub fn new(topo: &Topology) -> Self {
+        let allocators = topo
+            .nodes()
+            .map(|n| {
+                let gib = topo.node_spec(n).memory_gib;
+                Arc::new(NodeAllocator::new(n, gib << 30))
+            })
+            .collect();
+        MemoryManager {
+            allocators,
+            interleave_next: AtomicU64::new(0),
+        }
+    }
+
+    /// The allocator of one node (for wiring up AEU thread caches).
+    pub fn node(&self, node: NodeId) -> &Arc<NodeAllocator> {
+        &self.allocators[node.index()]
+    }
+
+    /// Number of per-node allocators.
+    pub fn num_nodes(&self) -> usize {
+        self.allocators.len()
+    }
+
+    /// Allocate one span according to `policy`.
+    pub fn alloc(&self, policy: Policy, size: u64) -> Allocation {
+        match policy {
+            Policy::Local(n) | Policy::SingleNode(n) => self.allocators[n.index()].alloc(size),
+            Policy::Interleaved => {
+                let i = self.interleave_next.fetch_add(1, Ordering::Relaxed);
+                self.allocators[(i % self.allocators.len() as u64) as usize].alloc(size)
+            }
+        }
+    }
+
+    /// Allocate `count` spans of `size` bytes under `policy`.  Interleaving
+    /// distributes consecutive spans round-robin, exactly like page-granular
+    /// OS interleaving distributes a large array.
+    pub fn alloc_many(&self, policy: Policy, size: u64, count: usize) -> Vec<Allocation> {
+        (0..count).map(|_| self.alloc(policy, size)).collect()
+    }
+
+    /// Free a span on whichever node homes it.
+    pub fn free(&self, a: Allocation) {
+        self.allocators[a.home().index()].free(a);
+    }
+
+    /// Per-node statistics.
+    pub fn stats(&self) -> Vec<NodeMemStats> {
+        self.allocators.iter().map(|a| a.stats()).collect()
+    }
+
+    /// Total live bytes across all nodes.
+    pub fn live_bytes(&self) -> u64 {
+        self.allocators.iter().map(|a| a.live_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eris_numa::machines::custom_machine;
+
+    fn mgr() -> MemoryManager {
+        MemoryManager::new(&custom_machine("m", 4, 2, 20.0, 100.0, 10.0, 50.0))
+    }
+
+    #[test]
+    fn local_policy_homes_on_requested_node() {
+        let m = mgr();
+        let a = m.alloc(Policy::Local(NodeId(2)), 4096);
+        assert_eq!(a.home(), NodeId(2));
+    }
+
+    #[test]
+    fn single_node_policy_concentrates() {
+        let m = mgr();
+        for _ in 0..16 {
+            assert_eq!(m.alloc(Policy::SingleNode(NodeId(1)), 64).home(), NodeId(1));
+        }
+    }
+
+    #[test]
+    fn interleaved_policy_round_robins() {
+        let m = mgr();
+        let homes: Vec<u16> = (0..8)
+            .map(|_| m.alloc(Policy::Interleaved, 64).home().0)
+            .collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn free_returns_to_owning_node() {
+        let m = mgr();
+        let a = m.alloc(Policy::Local(NodeId(3)), 64);
+        m.free(a);
+        assert_eq!(m.node(NodeId(3)).live_bytes(), 0);
+        assert_eq!(m.live_bytes(), 0);
+    }
+
+    #[test]
+    fn alloc_many_interleaves_spans() {
+        let m = mgr();
+        let spans = m.alloc_many(Policy::Interleaved, 4096, 12);
+        let on_node0 = spans.iter().filter(|a| a.home() == NodeId(0)).count();
+        assert_eq!(on_node0, 3);
+    }
+}

@@ -1,0 +1,284 @@
+//! The per-node allocator: spans from a node-colored address region.
+//!
+//! Allocation is bump-plus-free-list over power-of-two size classes.  All
+//! central state sits behind one mutex per node — deliberately, because the
+//! paper's point is that *per-node* managers with *thread-local caches*
+//! (see [`crate::thread_cache`]) keep this lock cold.  The allocator counts
+//! every central operation so benchmarks can demonstrate the caching win.
+
+use crate::node_base;
+use eris_numa::NodeId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Smallest span size class, bytes.
+pub const MIN_CLASS: u64 = 64;
+/// Number of power-of-two size classes (64 B .. 2 MiB).
+pub const NUM_CLASSES: usize = 16;
+
+/// A span of simulated node-homed memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Synthetic virtual address; decode the home with
+    /// [`crate::home_of_vaddr`].
+    pub vaddr: u64,
+    /// Span size in bytes (rounded up to its size class).
+    pub size: u64,
+}
+
+impl Allocation {
+    /// The NUMA node this span is homed on.
+    #[inline]
+    pub fn home(&self) -> NodeId {
+        crate::home_of_vaddr(self.vaddr)
+    }
+}
+
+/// Statistics of one node allocator.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMemStats {
+    /// Bytes currently allocated (live spans).
+    pub live_bytes: u64,
+    /// Bytes ever handed out.
+    pub total_allocated_bytes: u64,
+    /// Operations that took the central lock (alloc batches, free batches).
+    pub central_ops: u64,
+    /// Spans handed out by the central allocator.
+    pub central_allocs: u64,
+    /// Spans returned to the central allocator.
+    pub central_frees: u64,
+}
+
+struct Central {
+    /// Bump pointer within the node region.
+    next: u64,
+    /// Free spans per size class.
+    free: [Vec<u64>; NUM_CLASSES],
+    stats: NodeMemStats,
+}
+
+/// One memory manager per multiprocessor (Section 3.1).
+pub struct NodeAllocator {
+    node: NodeId,
+    capacity: u64,
+    central: Mutex<Central>,
+    /// Fast-path live-byte gauge readable without the lock.
+    live_bytes: AtomicU64,
+}
+
+/// Size class for a request, or `None` if it is a large direct allocation.
+pub(crate) fn class_of(size: u64) -> Option<usize> {
+    if size == 0 {
+        return Some(0);
+    }
+    let rounded = size.max(MIN_CLASS).next_power_of_two();
+    let class = (rounded / MIN_CLASS).trailing_zeros() as usize;
+    (class < NUM_CLASSES).then_some(class)
+}
+
+/// Span size of a class.
+pub(crate) fn class_size(class: usize) -> u64 {
+    MIN_CLASS << class
+}
+
+impl NodeAllocator {
+    /// An allocator managing `capacity` bytes homed on `node`.
+    pub fn new(node: NodeId, capacity: u64) -> Self {
+        assert!(
+            capacity <= 1 << crate::NODE_SHIFT,
+            "capacity exceeds node region"
+        );
+        NodeAllocator {
+            node,
+            capacity,
+            central: Mutex::new(Central {
+                next: node_base(node),
+                free: Default::default(),
+                stats: NodeMemStats::default(),
+            }),
+            live_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The node this allocator is bound to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Allocate one span.  Prefer [`crate::ThreadCache`] on hot paths.
+    pub fn alloc(&self, size: u64) -> Allocation {
+        let mut out = [Allocation { vaddr: 0, size: 0 }];
+        self.alloc_batch(size, &mut out);
+        out[0]
+    }
+
+    /// Allocate a batch of equally sized spans under one lock acquisition.
+    pub fn alloc_batch(&self, size: u64, out: &mut [Allocation]) {
+        let mut c = self.central.lock();
+        c.stats.central_ops += 1;
+        match class_of(size) {
+            Some(class) => {
+                let span = class_size(class);
+                for slot in out.iter_mut() {
+                    let vaddr = c.free[class].pop().unwrap_or_else(|| {
+                        let v = c.next;
+                        c.next += span;
+                        v
+                    });
+                    *slot = Allocation { vaddr, size: span };
+                    c.stats.central_allocs += 1;
+                    c.stats.live_bytes += span;
+                    c.stats.total_allocated_bytes += span;
+                }
+            }
+            None => {
+                // Large allocation: direct bump, no free-list reuse.
+                let span = size.div_ceil(MIN_CLASS) * MIN_CLASS;
+                for slot in out.iter_mut() {
+                    let v = c.next;
+                    c.next += span;
+                    *slot = Allocation {
+                        vaddr: v,
+                        size: span,
+                    };
+                    c.stats.central_allocs += 1;
+                    c.stats.live_bytes += span;
+                    c.stats.total_allocated_bytes += span;
+                }
+            }
+        }
+        let used = c.next - node_base(self.node);
+        assert!(
+            used <= self.capacity,
+            "node {} out of memory: {used} > {}",
+            self.node,
+            self.capacity
+        );
+        self.live_bytes.store(c.stats.live_bytes, Ordering::Relaxed);
+    }
+
+    /// Return spans to the central free lists (one lock acquisition).
+    pub fn free_batch(&self, spans: &[Allocation]) {
+        if spans.is_empty() {
+            return;
+        }
+        let mut c = self.central.lock();
+        c.stats.central_ops += 1;
+        for a in spans {
+            debug_assert_eq!(a.home(), self.node, "span freed on wrong node");
+            if let Some(class) = class_of(a.size) {
+                if class_size(class) == a.size {
+                    c.free[class].push(a.vaddr);
+                }
+                // Off-class (large) spans are leaked back to the bump region;
+                // acceptable for the simulation's lifetime patterns.
+            }
+            c.stats.live_bytes = c.stats.live_bytes.saturating_sub(a.size);
+            c.stats.central_frees += 1;
+        }
+        self.live_bytes.store(c.stats.live_bytes, Ordering::Relaxed);
+    }
+
+    /// Free one span.
+    pub fn free(&self, a: Allocation) {
+        self.free_batch(&[a]);
+    }
+
+    /// Live bytes without taking the lock.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the statistics.
+    pub fn stats(&self) -> NodeMemStats {
+        self.central.lock().stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_round_up() {
+        assert_eq!(class_of(1), Some(0));
+        assert_eq!(class_of(64), Some(0));
+        assert_eq!(class_of(65), Some(1));
+        assert_eq!(class_of(128), Some(1));
+        assert_eq!(class_size(class_of(100).unwrap()), 128);
+        // 2 MiB is the largest class.
+        assert_eq!(class_of(2 << 20), Some(NUM_CLASSES - 1));
+        assert_eq!(class_of((2 << 20) + 1), None);
+    }
+
+    #[test]
+    fn allocations_are_node_tagged_and_disjoint() {
+        let a = NodeAllocator::new(NodeId(3), 1 << 30);
+        let x = a.alloc(100);
+        let y = a.alloc(100);
+        assert_eq!(x.home(), NodeId(3));
+        assert_eq!(y.home(), NodeId(3));
+        assert_eq!(x.size, 128);
+        assert!(x.vaddr + x.size <= y.vaddr || y.vaddr + y.size <= x.vaddr);
+    }
+
+    #[test]
+    fn free_lists_recycle_spans() {
+        let a = NodeAllocator::new(NodeId(0), 1 << 30);
+        let x = a.alloc(64);
+        a.free(x);
+        let y = a.alloc(64);
+        assert_eq!(x.vaddr, y.vaddr, "span must be recycled");
+        assert_eq!(a.live_bytes(), 64);
+    }
+
+    #[test]
+    fn batch_alloc_takes_one_central_op() {
+        let a = NodeAllocator::new(NodeId(0), 1 << 30);
+        let mut out = [Allocation { vaddr: 0, size: 0 }; 32];
+        a.alloc_batch(64, &mut out);
+        let s = a.stats();
+        assert_eq!(s.central_ops, 1);
+        assert_eq!(s.central_allocs, 32);
+        assert_eq!(s.live_bytes, 32 * 64);
+    }
+
+    #[test]
+    fn large_allocations_bypass_classes() {
+        let a = NodeAllocator::new(NodeId(0), 1 << 30);
+        let x = a.alloc(3 << 20);
+        assert_eq!(x.size, 3 << 20);
+        a.free(x);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn capacity_is_enforced() {
+        let a = NodeAllocator::new(NodeId(0), 1024);
+        for _ in 0..64 {
+            a.alloc(64);
+        }
+    }
+
+    #[test]
+    fn concurrent_allocs_are_disjoint() {
+        use std::sync::Arc;
+        let a = Arc::new(NodeAllocator::new(NodeId(0), 1 << 30));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| a.alloc(64).vaddr).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "no span handed out twice");
+    }
+}

@@ -1,0 +1,177 @@
+//! Thread-local allocation caches.
+//!
+//! Each AEU owns a [`ThreadCache`] bound to its node's [`NodeAllocator`].
+//! Allocations are served from cached free spans; refills pull a whole batch
+//! under a single central lock acquisition, and frees flush in batches once
+//! a watermark is exceeded.  This is the paper's mechanism for scaling the
+//! per-node memory manager "with a high number of cores per multiprocessor".
+
+use crate::node_alloc::{class_of, class_size, Allocation, NodeAllocator, NUM_CLASSES};
+use std::sync::Arc;
+
+/// Spans fetched per refill and kept at most per class.
+const BATCH: usize = 32;
+const HIGH_WATERMARK: usize = 2 * BATCH;
+
+/// Per-AEU cache in front of a [`NodeAllocator`].
+pub struct ThreadCache {
+    central: Arc<NodeAllocator>,
+    free: Vec<Vec<u64>>,
+    /// Spans served from the cache without touching the central allocator.
+    pub cached_allocs: u64,
+    /// Spans that needed a central refill batch.
+    pub refills: u64,
+}
+
+impl ThreadCache {
+    pub fn new(central: Arc<NodeAllocator>) -> Self {
+        ThreadCache {
+            central,
+            free: vec![Vec::new(); NUM_CLASSES],
+            cached_allocs: 0,
+            refills: 0,
+        }
+    }
+
+    /// The central allocator this cache refills from.
+    pub fn central(&self) -> &Arc<NodeAllocator> {
+        &self.central
+    }
+
+    /// Allocate a span of at least `size` bytes on this cache's node.
+    pub fn alloc(&mut self, size: u64) -> Allocation {
+        match class_of(size) {
+            Some(class) => {
+                if let Some(vaddr) = self.free[class].pop() {
+                    self.cached_allocs += 1;
+                    return Allocation {
+                        vaddr,
+                        size: class_size(class),
+                    };
+                }
+                // Refill a batch; serve the first span, cache the rest.
+                self.refills += 1;
+                let mut batch = [Allocation { vaddr: 0, size: 0 }; BATCH];
+                self.central.alloc_batch(class_size(class), &mut batch);
+                for a in &batch[1..] {
+                    self.free[class].push(a.vaddr);
+                }
+                batch[0]
+            }
+            // Large spans go straight to the central allocator.
+            None => self.central.alloc(size),
+        }
+    }
+
+    /// Return a span; flushes a batch centrally past the high watermark.
+    pub fn free(&mut self, a: Allocation) {
+        match class_of(a.size) {
+            Some(class) if class_size(class) == a.size => {
+                self.free[class].push(a.vaddr);
+                if self.free[class].len() > HIGH_WATERMARK {
+                    let span = class_size(class);
+                    let spill: Vec<Allocation> = self.free[class]
+                        .drain(BATCH..)
+                        .map(|vaddr| Allocation { vaddr, size: span })
+                        .collect();
+                    self.central.free_batch(&spill);
+                }
+            }
+            _ => self.central.free(a),
+        }
+    }
+
+    /// Return every cached span to the central allocator (AEU shutdown or
+    /// partition handoff during load balancing).
+    pub fn flush(&mut self) {
+        for class in 0..NUM_CLASSES {
+            if self.free[class].is_empty() {
+                continue;
+            }
+            let span = class_size(class);
+            let spill: Vec<Allocation> = self.free[class]
+                .drain(..)
+                .map(|vaddr| Allocation { vaddr, size: span })
+                .collect();
+            self.central.free_batch(&spill);
+        }
+    }
+}
+
+impl Drop for ThreadCache {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eris_numa::NodeId;
+
+    fn cache() -> ThreadCache {
+        ThreadCache::new(Arc::new(NodeAllocator::new(NodeId(0), 1 << 30)))
+    }
+
+    #[test]
+    fn refill_amortizes_central_ops() {
+        let mut c = cache();
+        for _ in 0..BATCH {
+            c.alloc(64);
+        }
+        assert_eq!(c.refills, 1);
+        assert_eq!(c.cached_allocs, (BATCH - 1) as u64);
+        assert_eq!(c.central().stats().central_ops, 1);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_locally() {
+        let mut c = cache();
+        let a = c.alloc(64);
+        let ops_before = c.central().stats().central_ops;
+        c.free(a);
+        let b = c.alloc(64);
+        assert_eq!(a.vaddr, b.vaddr);
+        assert_eq!(
+            c.central().stats().central_ops,
+            ops_before,
+            "no central traffic"
+        );
+    }
+
+    #[test]
+    fn watermark_flushes_excess_spans() {
+        let mut c = cache();
+        let spans: Vec<Allocation> = (0..HIGH_WATERMARK + 1).map(|_| c.alloc(64)).collect();
+        let frees_before = c.central().stats().central_frees;
+        for s in spans {
+            c.free(s);
+        }
+        let frees_after = c.central().stats().central_frees;
+        assert!(frees_after > frees_before, "spill happened");
+    }
+
+    #[test]
+    fn drop_flushes_everything() {
+        let central = Arc::new(NodeAllocator::new(NodeId(0), 1 << 30));
+        {
+            let mut c = ThreadCache::new(Arc::clone(&central));
+            let a = c.alloc(64);
+            c.free(a);
+            // Cached span still counted live centrally? No: frees to cache
+            // keep the span "allocated" from the central view until flushed.
+        }
+        // After drop, all cached spans are back: the only live bytes are
+        // the refill batch minus everything returned.
+        assert_eq!(central.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn large_spans_pass_through() {
+        let mut c = cache();
+        let a = c.alloc(10 << 20);
+        assert_eq!(a.size, 10 << 20);
+        c.free(a);
+        assert_eq!(c.central().live_bytes(), 0);
+    }
+}

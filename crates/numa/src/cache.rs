@@ -1,0 +1,527 @@
+//! Last-level-cache simulation with MESIF coherence states.
+//!
+//! Figures 10 and 11 of the paper explain ERIS' lookup advantage through the
+//! L3 cache: the NUMA-agnostic shared index keeps the same tree lines in
+//! *many* caches at once (hits land on `Shared`/`Forward` lines, 79.3% on
+//! the Intel machine), which shrinks the effective aggregate capacity, while
+//! ERIS partitions give each cache a private working set (97% of hits on
+//! `Modified`/`Exclusive` lines).
+//!
+//! This module implements a set-associative LLC per NUMA node with a
+//! directory-backed MESIF protocol, using *set sampling* so that tera-scale
+//! workloads stay simulable: only addresses mapping to a `1/2^sample_shift`
+//! subset of the sets are simulated, which preserves miss ratios (set
+//! sampling is the standard technique in architecture simulation).
+
+use crate::topology::NodeId;
+use std::collections::HashMap;
+
+/// MESIF line states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    Modified,
+    Exclusive,
+    Shared,
+    /// The single cache designated to forward a shared line (Intel MESIF).
+    Forward,
+}
+
+impl LineState {
+    /// True for states implying the line also lives in another cache.
+    pub fn is_shared_class(self) -> bool {
+        matches!(self, LineState::Shared | LineState::Forward)
+    }
+}
+
+/// Configuration of the simulated LLC hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// LLC capacity per NUMA node in bytes.
+    pub llc_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Cache line size in bytes.
+    pub line_size: u32,
+    /// Simulate only sets whose index has these low bits zero.
+    pub sample_shift: u32,
+}
+
+impl CacheConfig {
+    /// Config for a node with `llc_mib` MiB of L3 (16-way, 64 B lines,
+    /// 1/16 set sampling).
+    pub fn for_llc_mib(llc_mib: u32) -> Self {
+        CacheConfig {
+            llc_bytes: llc_mib as u64 * 1024 * 1024,
+            ways: 16,
+            line_size: 64,
+            sample_shift: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    state: LineState,
+    stamp: u32,
+}
+
+struct NodeCache {
+    /// `sets[set][way]`; `None` = invalid way.
+    sets: Vec<Vec<Option<Way>>>,
+    tick: u32,
+}
+
+/// Outcome of one simulated access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The address did not map to a sampled set; nothing was simulated.
+    NotSampled,
+    /// Hit; the state of the line at hit time.
+    Hit(LineState),
+    /// Miss; whether another cache supplied the data.
+    Miss { served_by_cache: bool },
+}
+
+/// Aggregate statistics across all nodes.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    pub hits_modified: u64,
+    pub hits_exclusive: u64,
+    pub hits_shared: u64,
+    pub hits_forward: u64,
+    pub misses: u64,
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    pub fn hits(&self) -> u64 {
+        self.hits_modified + self.hits_exclusive + self.hits_shared + self.hits_forward
+    }
+
+    /// Misses / requests — the quotient the paper computes from the AMD
+    /// "L3 Cache Misses" and "Requests to L3 Cache" counters (Figure 10).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits() + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Fraction of hits on `Shared` or `Forward` lines (Figure 11).
+    pub fn shared_forward_hit_fraction(&self) -> f64 {
+        let hits = self.hits();
+        if hits == 0 {
+            0.0
+        } else {
+            (self.hits_shared + self.hits_forward) as f64 / hits as f64
+        }
+    }
+
+    /// Fraction of hits on `Modified` or `Exclusive` lines (Figure 11).
+    pub fn modified_exclusive_hit_fraction(&self) -> f64 {
+        let hits = self.hits();
+        if hits == 0 {
+            0.0
+        } else {
+            (self.hits_modified + self.hits_exclusive) as f64 / hits as f64
+        }
+    }
+}
+
+/// The multi-node LLC + directory simulator.
+pub struct CacheSim {
+    cfg: CacheConfig,
+    caches: Vec<NodeCache>,
+    /// line address -> bitmask of holder nodes (<= 64 nodes).
+    directory: HashMap<u64, u64>,
+    num_sets: u64,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Build a simulator for `num_nodes` caches of the given configuration.
+    pub fn new(num_nodes: usize, cfg: CacheConfig) -> Self {
+        assert!(num_nodes <= 64, "directory uses a 64-bit holder mask");
+        assert!(cfg.line_size.is_power_of_two());
+        let lines = cfg.llc_bytes / cfg.line_size as u64;
+        let raw_sets = (lines / cfg.ways as u64).max(1);
+        // Round down to a power of two for cheap set indexing.
+        let num_sets = if raw_sets.is_power_of_two() {
+            raw_sets
+        } else {
+            raw_sets.next_power_of_two() / 2
+        };
+        let sampled_sets = (num_sets >> cfg.sample_shift).max(1) as usize;
+        let caches = (0..num_nodes)
+            .map(|_| NodeCache {
+                sets: vec![vec![None; cfg.ways as usize]; sampled_sets],
+                tick: 0,
+            })
+            .collect();
+        CacheSim {
+            cfg,
+            caches,
+            directory: HashMap::new(),
+            num_sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Line address and sampled-set slot for a byte address, if sampled.
+    #[inline]
+    fn locate(&self, addr: u64) -> Option<(u64, usize)> {
+        let line = addr / self.cfg.line_size as u64;
+        let set = line % self.num_sets;
+        let mask = (1u64 << self.cfg.sample_shift) - 1;
+        if set & mask != 0 {
+            return None;
+        }
+        Some((line, (set >> self.cfg.sample_shift) as usize))
+    }
+
+    /// Simulate one access by a core on `node` to byte address `addr`.
+    pub fn access(&mut self, node: NodeId, addr: u64, write: bool) -> Access {
+        let Some((line, slot)) = self.locate(addr) else {
+            return Access::NotSampled;
+        };
+        let n = node.index();
+        let slot_len = self.caches[n].sets[slot].len();
+
+        // Probe.
+        let mut hit_way = None;
+        for w in 0..slot_len {
+            if let Some(way) = self.caches[n].sets[slot][w] {
+                if way.tag == line {
+                    hit_way = Some((w, way.state));
+                    break;
+                }
+            }
+        }
+
+        if let Some((w, state)) = hit_way {
+            self.caches[n].tick += 1;
+            let tick = self.caches[n].tick;
+            let way = self.caches[n].sets[slot][w].as_mut().unwrap();
+            way.stamp = tick;
+            match state {
+                LineState::Modified => self.stats.hits_modified += 1,
+                LineState::Exclusive => self.stats.hits_exclusive += 1,
+                LineState::Shared => self.stats.hits_shared += 1,
+                LineState::Forward => self.stats.hits_forward += 1,
+            }
+            if write {
+                match state {
+                    LineState::Modified => {}
+                    LineState::Exclusive => {
+                        self.caches[n].sets[slot][w].as_mut().unwrap().state = LineState::Modified;
+                    }
+                    LineState::Shared | LineState::Forward => {
+                        // Upgrade: invalidate all other holders.
+                        self.invalidate_others(line, slot, n);
+                        self.caches[n].sets[slot][w].as_mut().unwrap().state = LineState::Modified;
+                    }
+                }
+            }
+            return Access::Hit(state);
+        }
+
+        // Miss.
+        self.stats.misses += 1;
+        let holders = self.directory.get(&line).copied().unwrap_or(0);
+        let others = holders & !(1u64 << n);
+        let served_by_cache = others != 0;
+        let new_state = if write {
+            if served_by_cache {
+                self.invalidate_others(line, slot, n);
+            }
+            LineState::Modified
+        } else if served_by_cache {
+            // Demote every current holder to Shared; the requester becomes
+            // the Forward copy (MESIF: most recent requester forwards).
+            let mut writebacks = 0;
+            for o in holder_nodes(others) {
+                if let Some(way) = self.find_way_mut(o, slot, line) {
+                    if way.state == LineState::Modified {
+                        writebacks += 1;
+                    }
+                    way.state = LineState::Shared;
+                }
+            }
+            self.stats.writebacks += writebacks;
+            LineState::Forward
+        } else {
+            LineState::Exclusive
+        };
+        self.install(n, slot, line, new_state);
+        Access::Miss { served_by_cache }
+    }
+
+    fn find_way_mut(&mut self, node: usize, slot: usize, line: u64) -> Option<&mut Way> {
+        self.caches[node].sets[slot]
+            .iter_mut()
+            .flatten()
+            .find(|w| w.tag == line)
+    }
+
+    /// Remove the line from every cache except `keep`, updating the directory.
+    fn invalidate_others(&mut self, line: u64, slot: usize, keep: usize) {
+        let holders = self.directory.get(&line).copied().unwrap_or(0);
+        for o in holder_nodes(holders & !(1u64 << keep)) {
+            let set = &mut self.caches[o].sets[slot];
+            for way in set.iter_mut() {
+                if way.is_some_and(|w| w.tag == line) {
+                    if way.unwrap().state == LineState::Modified {
+                        self.stats.writebacks += 1;
+                    }
+                    *way = None;
+                }
+            }
+        }
+        self.directory.insert(line, 1u64 << keep);
+    }
+
+    /// Install a line into node `n`, evicting LRU if the set is full.
+    fn install(&mut self, n: usize, slot: usize, line: u64, state: LineState) {
+        self.caches[n].tick += 1;
+        let tick = self.caches[n].tick;
+        let set = &mut self.caches[n].sets[slot];
+        // Free way, or LRU victim.
+        let victim = match set.iter().position(|w| w.is_none()) {
+            Some(free) => free,
+            None => {
+                let (idx, _) = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.unwrap().stamp)
+                    .expect("non-empty set");
+                idx
+            }
+        };
+        if let Some(old) = set[victim] {
+            if old.state == LineState::Modified {
+                self.stats.writebacks += 1;
+            }
+            let entry = self.directory.entry(old.tag).or_insert(0);
+            *entry &= !(1u64 << n);
+            if *entry == 0 {
+                self.directory.remove(&old.tag);
+            }
+        }
+        set[victim] = Some(Way {
+            tag: line,
+            state,
+            stamp: tick,
+        });
+        *self.directory.entry(line).or_insert(0) |= 1u64 << n;
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics (keep cache contents, e.g. after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[inline]
+fn holder_nodes(mask: u64) -> impl Iterator<Item = usize> {
+    let mut m = mask;
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            Some(i)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sim(nodes: usize) -> CacheSim {
+        // Tiny unsampled cache: 4 KiB, 4-way, 64 B lines => 16 sets.
+        CacheSim::new(
+            nodes,
+            CacheConfig {
+                llc_bytes: 4096,
+                ways: 4,
+                line_size: 64,
+                sample_shift: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn first_read_is_exclusive_miss_then_hit() {
+        let mut sim = small_sim(2);
+        assert_eq!(
+            sim.access(NodeId(0), 0x1000, false),
+            Access::Miss {
+                served_by_cache: false
+            }
+        );
+        assert_eq!(
+            sim.access(NodeId(0), 0x1000, false),
+            Access::Hit(LineState::Exclusive)
+        );
+        assert_eq!(sim.stats().hits_exclusive, 1);
+        assert_eq!(sim.stats().misses, 1);
+    }
+
+    #[test]
+    fn second_reader_demotes_to_shared_forward() {
+        let mut sim = small_sim(2);
+        sim.access(NodeId(0), 0x40, false);
+        assert_eq!(
+            sim.access(NodeId(1), 0x40, false),
+            Access::Miss {
+                served_by_cache: true
+            }
+        );
+        // The original holder now hits on a Shared line, the new one on F.
+        assert_eq!(
+            sim.access(NodeId(0), 0x40, false),
+            Access::Hit(LineState::Shared)
+        );
+        assert_eq!(
+            sim.access(NodeId(1), 0x40, false),
+            Access::Hit(LineState::Forward)
+        );
+        assert!(sim.stats().shared_forward_hit_fraction() > 0.0);
+    }
+
+    #[test]
+    fn write_upgrades_and_invalidates_others() {
+        let mut sim = small_sim(2);
+        sim.access(NodeId(0), 0x80, false);
+        sim.access(NodeId(1), 0x80, false); // both hold it shared
+        sim.access(NodeId(0), 0x80, true); // upgrade on node 0
+        assert_eq!(
+            sim.access(NodeId(0), 0x80, false),
+            Access::Hit(LineState::Modified)
+        );
+        // Node 1 lost its copy: served from node 0's cache.
+        assert_eq!(
+            sim.access(NodeId(1), 0x80, false),
+            Access::Miss {
+                served_by_cache: true
+            }
+        );
+        assert!(sim.stats().writebacks >= 1, "M line demoted on remote read");
+    }
+
+    #[test]
+    fn write_miss_installs_modified() {
+        let mut sim = small_sim(1);
+        sim.access(NodeId(0), 0xc0, true);
+        assert_eq!(
+            sim.access(NodeId(0), 0xc0, false),
+            Access::Hit(LineState::Modified)
+        );
+    }
+
+    #[test]
+    fn lru_eviction_on_full_set() {
+        let mut sim = small_sim(1);
+        // 16 sets: addresses with the same (line % 16) collide.
+        // Set 0 holds lines 0, 16, 32, ... => byte addrs 0, 0x400, ...
+        for i in 0..4u64 {
+            sim.access(NodeId(0), i * 16 * 64, false);
+        }
+        // All four hit.
+        for i in 0..4u64 {
+            assert!(matches!(
+                sim.access(NodeId(0), i * 16 * 64, false),
+                Access::Hit(_)
+            ));
+        }
+        // Fifth line evicts the LRU (line 0).
+        sim.access(NodeId(0), 4 * 16 * 64, false);
+        assert_eq!(
+            sim.access(NodeId(0), 0, false),
+            Access::Miss {
+                served_by_cache: false
+            }
+        );
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_has_high_miss_ratio() {
+        let mut sim = small_sim(1);
+        // 4 KiB cache, 64 KiB working set, two sweeps.
+        for _ in 0..2 {
+            for addr in (0..65536u64).step_by(64) {
+                sim.access(NodeId(0), addr, false);
+            }
+        }
+        assert!(sim.stats().miss_ratio() > 0.9);
+    }
+
+    #[test]
+    fn working_set_within_cache_has_low_miss_ratio_after_warmup() {
+        let mut sim = small_sim(1);
+        for addr in (0..2048u64).step_by(64) {
+            sim.access(NodeId(0), addr, false);
+        }
+        sim.reset_stats();
+        for _ in 0..10 {
+            for addr in (0..2048u64).step_by(64) {
+                sim.access(NodeId(0), addr, false);
+            }
+        }
+        assert_eq!(sim.stats().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn sampling_skips_unsampled_sets() {
+        let mut sim = CacheSim::new(
+            1,
+            CacheConfig {
+                llc_bytes: 4096,
+                ways: 4,
+                line_size: 64,
+                sample_shift: 2,
+            },
+        );
+        // Line 1 maps to set 1, which is unsampled with shift 2.
+        assert_eq!(sim.access(NodeId(0), 64, false), Access::NotSampled);
+        // Line 0 maps to set 0, which is sampled.
+        assert_ne!(sim.access(NodeId(0), 0, false), Access::NotSampled);
+    }
+
+    #[test]
+    fn shared_vs_private_working_sets_mirror_figure_11() {
+        // 8 nodes all sweeping ONE working set (shared index) versus each
+        // sweeping its OWN (ERIS partitions): the shared sweep must hit
+        // mostly S/F lines, the private sweep only E/M lines.
+        let mut shared = small_sim(8);
+        for _ in 0..4 {
+            for node in 0..8u16 {
+                for addr in (0..2048u64).step_by(64) {
+                    shared.access(NodeId(node), addr, false);
+                }
+            }
+        }
+        assert!(shared.stats().shared_forward_hit_fraction() > 0.7);
+
+        let mut private = small_sim(8);
+        for _ in 0..4 {
+            for node in 0..8u16 {
+                let base = (node as u64) << 20;
+                for addr in (base..base + 2048).step_by(64) {
+                    private.access(NodeId(node), addr, false);
+                }
+            }
+        }
+        assert!(private.stats().modified_exclusive_hit_fraction() > 0.95);
+    }
+}

@@ -1,0 +1,232 @@
+//! Access cost model: latency and bandwidth per (source, home) node pair,
+//! plus the distance classification used to regenerate Table 2 of the paper.
+
+use crate::topology::{LinkKind, NodeId, Topology};
+
+/// A distance class as reported in Table 2 (e.g. "1 hop HT (split,single)").
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DistanceClass {
+    /// Access to the node's own memory.
+    Local,
+    /// The other processor of the same SGI compute blade (via the HARP).
+    SecondProcessor,
+    /// A remote route: hop count plus the narrowest link kind on the route.
+    Remote { hops: u8, worst: WorstLink },
+}
+
+/// Ordered link-kind summary of a route (narrowest wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WorstLink {
+    Qpi,
+    HtFull,
+    HtSplitSingle,
+    HtSplitDual,
+    NumaLink,
+}
+
+impl DistanceClass {
+    /// The row label used in Table 2.
+    pub fn label(&self) -> String {
+        match self {
+            DistanceClass::Local => "local".to_string(),
+            DistanceClass::SecondProcessor => "2nd processor".to_string(),
+            DistanceClass::Remote { hops, worst } => match worst {
+                WorstLink::Qpi => format!("{hops} hop QPI"),
+                WorstLink::HtFull => format!("{hops} hop HT (full link)"),
+                WorstLink::HtSplitSingle => format!("{hops} hop HT (split,single)"),
+                WorstLink::HtSplitDual => format!("{hops} hop HT (split,dual)"),
+                WorstLink::NumaLink => format!("{hops} hop NUMALink"),
+            },
+        }
+    }
+}
+
+/// One row of the regenerated Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub class: DistanceClass,
+    pub bandwidth_gbps: f64,
+    pub latency_ns: f64,
+}
+
+/// Latency/bandwidth oracle over a [`Topology`].
+///
+/// All engine components consult this instead of touching the topology's
+/// routes directly, so baselines and ERIS pay exactly the same modelled
+/// costs.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    topo: &'a Topology,
+}
+
+impl<'a> CostModel<'a> {
+    pub fn new(topo: &'a Topology) -> Self {
+        CostModel { topo }
+    }
+
+    /// Read latency from a core on `src` to memory homed on `home`, in ns.
+    #[inline]
+    pub fn latency_ns(&self, src: NodeId, home: NodeId) -> f64 {
+        if src == home {
+            self.topo.node_spec(home).local_latency_ns
+        } else {
+            self.topo.route(src, home).expect("connected").latency_ns
+        }
+    }
+
+    /// Achievable single-requester read bandwidth in GB/s.
+    #[inline]
+    pub fn bandwidth_gbps(&self, src: NodeId, home: NodeId) -> f64 {
+        if src == home {
+            self.topo.node_spec(home).local_bandwidth_gbps
+        } else {
+            self.topo
+                .route(src, home)
+                .expect("connected")
+                .bandwidth_gbps
+        }
+    }
+
+    /// Uncontended time to stream `bytes` from `home` into a core on `src`:
+    /// one route latency plus the transfer at route bandwidth.
+    pub fn stream_time_ns(&self, src: NodeId, home: NodeId, bytes: u64) -> f64 {
+        self.latency_ns(src, home) + bytes as f64 / self.bandwidth_gbps(src, home)
+    }
+
+    /// Classify a node pair for Table 2 reporting.
+    pub fn distance_class(&self, src: NodeId, home: NodeId) -> DistanceClass {
+        if src == home {
+            return DistanceClass::Local;
+        }
+        let route = self.topo.route(src, home).expect("connected");
+        let kinds: Vec<LinkKind> = route
+            .links
+            .iter()
+            .map(|l| self.topo.links()[l.index()].kind)
+            .collect();
+        let numalinks = kinds.iter().filter(|k| **k == LinkKind::NumaLink).count();
+        if kinds
+            .iter()
+            .any(|k| matches!(k, LinkKind::QpiToHarp | LinkKind::NumaLink))
+        {
+            // SGI classes count NumaLink hops only.
+            return if numalinks == 0 {
+                DistanceClass::SecondProcessor
+            } else {
+                DistanceClass::Remote {
+                    hops: numalinks as u8,
+                    worst: WorstLink::NumaLink,
+                }
+            };
+        }
+        let worst = kinds
+            .iter()
+            .map(|k| match k {
+                LinkKind::Qpi => WorstLink::Qpi,
+                LinkKind::HtFull => WorstLink::HtFull,
+                LinkKind::HtSplitSingle => WorstLink::HtSplitSingle,
+                LinkKind::HtSplitDual => WorstLink::HtSplitDual,
+                LinkKind::QpiToHarp | LinkKind::NumaLink => unreachable!(),
+            })
+            .max()
+            .expect("remote route has links");
+        DistanceClass::Remote {
+            hops: route.hops,
+            worst,
+        }
+    }
+
+    /// Regenerate the Table 2 rows for this machine: one row per distinct
+    /// distance class, with its measured-model bandwidth and latency.
+    pub fn table2_rows(&self) -> Vec<Table2Row> {
+        let mut rows: std::collections::BTreeMap<DistanceClass, (f64, f64)> =
+            std::collections::BTreeMap::new();
+        for src in self.topo.nodes() {
+            for home in self.topo.nodes() {
+                let class = self.distance_class(src, home);
+                let bw = self.bandwidth_gbps(src, home);
+                let lat = self.latency_ns(src, home);
+                rows.entry(class).or_insert((bw, lat));
+            }
+        }
+        rows.into_iter()
+            .map(|(class, (bandwidth_gbps, latency_ns))| Table2Row {
+                class,
+                bandwidth_gbps,
+                latency_ns,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::{amd_machine, intel_machine, sgi_machine};
+
+    #[test]
+    fn intel_table2_matches_paper() {
+        let t = intel_machine();
+        let rows = CostModel::new(&t).table2_rows();
+        assert_eq!(rows.len(), 2);
+        let local = rows
+            .iter()
+            .find(|r| r.class == DistanceClass::Local)
+            .unwrap();
+        assert!((local.bandwidth_gbps - 26.7).abs() < 1e-9);
+        assert!((local.latency_ns - 129.0).abs() < 1e-9);
+        let remote = rows
+            .iter()
+            .find(|r| r.class != DistanceClass::Local)
+            .unwrap();
+        assert_eq!(remote.class.label(), "1 hop QPI");
+        assert!((remote.bandwidth_gbps - 10.7).abs() < 1e-9);
+        assert!((remote.latency_ns - 193.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amd_table2_has_six_rows() {
+        let t = amd_machine();
+        let rows = CostModel::new(&t).table2_rows();
+        // local + 1hop full + 1hop single + 1hop dual + 2hop single + 2hop dual
+        assert_eq!(
+            rows.len(),
+            6,
+            "{:?}",
+            rows.iter().map(|r| r.class.label()).collect::<Vec<_>>()
+        );
+        let bw: Vec<u64> = rows
+            .iter()
+            .map(|r| (r.bandwidth_gbps * 10.0).round() as u64)
+            .collect();
+        for expected in [164, 58, 42, 29, 37, 18] {
+            assert!(
+                bw.contains(&expected),
+                "missing bandwidth {expected} in {bw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sgi_table2_has_six_rows() {
+        let t = sgi_machine();
+        let rows = CostModel::new(&t).table2_rows();
+        assert_eq!(rows.len(), 6);
+        let labels: Vec<String> = rows.iter().map(|r| r.class.label()).collect();
+        for l in ["local", "2nd processor", "1 hop NUMALink", "4 hop NUMALink"] {
+            assert!(labels.iter().any(|x| x == l), "missing {l} in {labels:?}");
+        }
+    }
+
+    #[test]
+    fn stream_time_combines_latency_and_bandwidth() {
+        let t = intel_machine();
+        let cm = CostModel::new(&t);
+        let n0 = crate::topology::NodeId(0);
+        let n1 = crate::topology::NodeId(1);
+        // 1070 bytes at 10.7 GB/s = 100 ns transfer + 193 ns latency.
+        let ns = cm.stream_time_ns(n0, n1, 1070);
+        assert!((ns - 293.0).abs() < 1e-9);
+        assert!(cm.stream_time_ns(n0, n0, 1070) < ns);
+    }
+}

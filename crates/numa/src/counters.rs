@@ -1,0 +1,158 @@
+//! Hardware-event counters: the software analogue of the likwid /
+//! linkstat-uv / VampirTrace measurements of Section 4 of the paper.
+//!
+//! [`HwCounters`] accumulates bytes per interconnect link (per direction)
+//! and per integrated memory controller, plus local/remote request tallies.
+//! The `fig12` experiment reads these over a steady-state window to
+//! reproduce the link and memory-controller activity chart.
+
+use crate::topology::{NodeId, Topology};
+
+/// Byte counters over one topology.
+#[derive(Debug, Clone)]
+pub struct HwCounters {
+    /// Bytes per link and direction: `link_bytes[link][dir]`.
+    link_bytes: Vec<[u64; 2]>,
+    /// Bytes served by each node's memory controller.
+    imc_bytes: Vec<u64>,
+    /// Number of local memory requests (src == home).
+    pub local_requests: u64,
+    /// Number of remote memory requests.
+    pub remote_requests: u64,
+}
+
+impl HwCounters {
+    pub fn new(topo: &Topology) -> Self {
+        HwCounters {
+            link_bytes: vec![[0, 0]; topo.links().len()],
+            imc_bytes: vec![0; topo.num_nodes()],
+            local_requests: 0,
+            remote_requests: 0,
+        }
+    }
+
+    /// Record `bytes` moving from memory homed at `home` to a core on `src`.
+    pub fn record(&mut self, topo: &Topology, src: NodeId, home: NodeId, bytes: u64) {
+        self.imc_bytes[home.index()] += bytes;
+        if src == home {
+            self.local_requests += 1;
+            return;
+        }
+        self.remote_requests += 1;
+        let route = topo.route(src, home).expect("connected");
+        let mut cur = src;
+        for lid in &route.links {
+            let l = &topo.links()[lid.index()];
+            let reversed = l.b == cur;
+            self.link_bytes[lid.index()][reversed as usize] += bytes;
+            cur = if reversed { l.a } else { l.b };
+        }
+    }
+
+    /// Total bytes that crossed any interconnect link (both directions).
+    pub fn total_link_bytes(&self) -> u64 {
+        self.link_bytes.iter().map(|d| d[0] + d[1]).sum()
+    }
+
+    /// Total bytes served by all memory controllers.
+    pub fn total_imc_bytes(&self) -> u64 {
+        self.imc_bytes.iter().sum()
+    }
+
+    /// Bytes served by one node's memory controller.
+    pub fn imc_bytes(&self, node: NodeId) -> u64 {
+        self.imc_bytes[node.index()]
+    }
+
+    /// Bytes over one link, summed over both directions.
+    pub fn link_total(&self, link: usize) -> u64 {
+        self.link_bytes[link][0] + self.link_bytes[link][1]
+    }
+
+    /// Fraction of requests that were remote.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_requests + self.remote_requests;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_requests as f64 / total as f64
+        }
+    }
+
+    /// Zero all counters (start of a measurement window).
+    pub fn reset(&mut self) {
+        for d in &mut self.link_bytes {
+            *d = [0, 0];
+        }
+        for b in &mut self.imc_bytes {
+            *b = 0;
+        }
+        self.local_requests = 0;
+        self.remote_requests = 0;
+    }
+
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &HwCounters) {
+        assert_eq!(self.link_bytes.len(), other.link_bytes.len());
+        assert_eq!(self.imc_bytes.len(), other.imc_bytes.len());
+        for (a, b) in self.link_bytes.iter_mut().zip(&other.link_bytes) {
+            a[0] += b[0];
+            a[1] += b[1];
+        }
+        for (a, b) in self.imc_bytes.iter_mut().zip(&other.imc_bytes) {
+            *a += *b;
+        }
+        self.local_requests += other.local_requests;
+        self.remote_requests += other.remote_requests;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::{amd_machine, intel_machine};
+
+    #[test]
+    fn local_access_touches_only_imc() {
+        let t = intel_machine();
+        let mut c = HwCounters::new(&t);
+        c.record(&t, NodeId(2), NodeId(2), 1000);
+        assert_eq!(c.total_link_bytes(), 0);
+        assert_eq!(c.imc_bytes(NodeId(2)), 1000);
+        assert_eq!(c.local_requests, 1);
+        assert_eq!(c.remote_requests, 0);
+        assert_eq!(c.remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn remote_access_touches_links_on_route() {
+        let t = amd_machine();
+        // Find a 2-hop pair: its traffic must appear on two links.
+        let (a, b) = t
+            .nodes()
+            .flat_map(|a| t.nodes().map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && t.hops(a, b) == 2)
+            .unwrap();
+        let mut c = HwCounters::new(&t);
+        c.record(&t, a, b, 500);
+        assert_eq!(c.total_link_bytes(), 1000, "500 bytes over each of 2 links");
+        assert_eq!(c.imc_bytes(b), 500);
+        assert_eq!(c.remote_requests, 1);
+    }
+
+    #[test]
+    fn reset_and_merge() {
+        let t = intel_machine();
+        let mut a = HwCounters::new(&t);
+        let mut b = HwCounters::new(&t);
+        a.record(&t, NodeId(0), NodeId(1), 100);
+        b.record(&t, NodeId(1), NodeId(0), 300);
+        a.merge(&b);
+        assert_eq!(a.total_imc_bytes(), 400);
+        assert_eq!(a.remote_requests, 2);
+        a.reset();
+        assert_eq!(a.total_imc_bytes(), 0);
+        assert_eq!(a.total_link_bytes(), 0);
+        assert_eq!(a.remote_requests, 0);
+    }
+}

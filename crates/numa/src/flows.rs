@@ -1,0 +1,424 @@
+//! Max-min fair bandwidth sharing over concurrent memory flows.
+//!
+//! Every memory stream in an epoch of the cooperative runtime becomes a
+//! [`Flow`] from the requesting core's node to the memory's home node.  A
+//! flow consumes capacity on each interconnect link of its route (in the
+//! traversal direction) and on the home node's integrated memory controller
+//! (IMC).  The solver assigns each flow a rate by progressive water-filling
+//! (max-min fairness): repeatedly saturate the most contended resource and
+//! freeze the flows crossing it.  This is how the characteristic shapes of
+//! the paper emerge — a Single-RAM scan collapses onto one IMC, an
+//! interleaved scan onto the link mesh, and a NUMA-local scan onto the sum
+//! of all IMCs.
+//!
+//! Bandwidths are in GB/s, which conveniently equals bytes per nanosecond.
+
+use crate::topology::{NodeId, Topology};
+
+/// A single memory stream for one epoch.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Node issuing the requests.
+    pub src: NodeId,
+    /// Node whose memory is read or written.
+    pub home: NodeId,
+    /// Bytes transferred in this epoch.
+    pub bytes: u64,
+}
+
+impl Flow {
+    pub fn new(src: NodeId, home: NodeId, bytes: u64) -> Self {
+        Flow { src, home, bytes }
+    }
+}
+
+/// Result of a solve: one rate per input flow.
+#[derive(Debug, Clone)]
+pub struct FlowRates {
+    /// Fair-share rate per flow, in GB/s (= bytes/ns).
+    pub rates: Vec<f64>,
+}
+
+impl FlowRates {
+    /// Time for flow `i` to move its bytes at its fair rate, ignoring the
+    /// initial route latency (add it from [`crate::cost::CostModel`]).
+    pub fn transfer_ns(&self, i: usize, bytes: u64) -> f64 {
+        bytes as f64 / self.rates[i]
+    }
+}
+
+/// Dense resource indexing: per-node IMCs first, then each link twice (one
+/// per direction), then one virtual per-flow resource for the route cap.
+struct Resources {
+    num_imcs: usize,
+    num_links: usize,
+}
+
+impl Resources {
+    #[inline]
+    fn imc(&self, node: NodeId) -> usize {
+        node.index()
+    }
+    #[inline]
+    fn link(&self, link: usize, reversed: bool) -> usize {
+        self.num_imcs + 2 * link + reversed as usize
+    }
+    #[inline]
+    fn flow_cap(&self, flow: usize) -> usize {
+        self.num_imcs + 2 * self.num_links + flow
+    }
+}
+
+/// Max-min fair solver bound to one topology.
+pub struct FlowSolver<'a> {
+    topo: &'a Topology,
+}
+
+impl<'a> FlowSolver<'a> {
+    pub fn new(topo: &'a Topology) -> Self {
+        FlowSolver { topo }
+    }
+
+    /// Resources (dense indices) used by one flow, excluding its cap.
+    fn route_resources(&self, res: &Resources, f: &Flow, out: &mut Vec<usize>) {
+        out.push(res.imc(f.home));
+        if f.src == f.home {
+            return;
+        }
+        let route = self.topo.route(f.src, f.home).expect("connected topology");
+        let mut cur = f.src;
+        for lid in &route.links {
+            let l = &self.topo.links()[lid.index()];
+            let reversed = l.b == cur;
+            debug_assert!(l.a == cur || l.b == cur, "route links must be contiguous");
+            out.push(res.link(lid.index(), reversed));
+            cur = if reversed { l.a } else { l.b };
+        }
+        debug_assert_eq!(cur, f.home);
+    }
+
+    /// Compute max-min fair rates for a set of concurrent flows.
+    ///
+    /// Each flow is additionally capped at its route's single-requester
+    /// bandwidth (a lone remote reader cannot exceed the measured per-route
+    /// rate even on idle links, because latency limits outstanding requests).
+    pub fn solve(&self, flows: &[Flow]) -> FlowRates {
+        if flows.is_empty() {
+            return FlowRates { rates: Vec::new() };
+        }
+        let res = Resources {
+            num_imcs: self.topo.num_nodes(),
+            num_links: self.topo.links().len(),
+        };
+        let num_resources = res.num_imcs + 2 * res.num_links + flows.len();
+
+        // Capacities.
+        let mut cap = vec![0f64; num_resources];
+        for n in self.topo.nodes() {
+            cap[res.imc(n)] = self.topo.node_spec(n).local_bandwidth_gbps;
+        }
+        for (i, l) in self.topo.links().iter().enumerate() {
+            cap[res.link(i, false)] = l.bandwidth_gbps;
+            cap[res.link(i, true)] = l.bandwidth_gbps;
+        }
+
+        // Flow -> resources (including the per-flow cap pseudo-resource).
+        let mut flow_res: Vec<Vec<usize>> = Vec::with_capacity(flows.len());
+        for (i, f) in flows.iter().enumerate() {
+            let mut r = Vec::with_capacity(6);
+            self.route_resources(&res, f, &mut r);
+            let cap_idx = res.flow_cap(i);
+            cap[cap_idx] = if f.src == f.home {
+                self.topo.node_spec(f.home).local_bandwidth_gbps
+            } else {
+                self.topo.route(f.src, f.home).unwrap().bandwidth_gbps
+            };
+            r.push(cap_idx);
+            flow_res.push(r);
+        }
+
+        // Resource -> flows.
+        let mut res_flows: Vec<Vec<u32>> = vec![Vec::new(); num_resources];
+        for (i, rs) in flow_res.iter().enumerate() {
+            for &r in rs {
+                res_flows[r].push(i as u32);
+            }
+        }
+
+        // Progressive water-filling.
+        let mut rates = vec![0f64; flows.len()];
+        let mut active = vec![true; flows.len()];
+        let mut active_count = vec![0u32; num_resources];
+        for rs in &flow_res {
+            for &r in rs {
+                active_count[r] += 1;
+            }
+        }
+        let mut remaining = flows.len();
+        while remaining > 0 {
+            // Most contended resource: minimal fair share.
+            let mut best_share = f64::INFINITY;
+            let mut best_res = usize::MAX;
+            for r in 0..num_resources {
+                if active_count[r] > 0 {
+                    let share = cap[r] / active_count[r] as f64;
+                    if share < best_share {
+                        best_share = share;
+                        best_res = r;
+                    }
+                }
+            }
+            debug_assert_ne!(best_res, usize::MAX);
+            // Freeze every active flow through it at that share.
+            let frozen: Vec<u32> = res_flows[best_res]
+                .iter()
+                .copied()
+                .filter(|&f| active[f as usize])
+                .collect();
+            for f in frozen {
+                let fi = f as usize;
+                active[fi] = false;
+                rates[fi] = best_share;
+                remaining -= 1;
+                for &r in &flow_res[fi] {
+                    cap[r] = (cap[r] - best_share).max(0.0);
+                    active_count[r] -= 1;
+                }
+            }
+        }
+
+        FlowRates { rates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::{custom_machine, intel_machine, sgi_machine};
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn lone_local_flow_gets_full_imc() {
+        let t = intel_machine();
+        let r = FlowSolver::new(&t).solve(&[Flow::new(n(0), n(0), 1 << 20)]);
+        assert!((r.rates[0] - 26.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lone_remote_flow_capped_at_route_bandwidth() {
+        let t = intel_machine();
+        let r = FlowSolver::new(&t).solve(&[Flow::new(n(0), n(1), 1 << 20)]);
+        assert!(
+            (r.rates[0] - 10.7).abs() < 1e-9,
+            "QPI-limited: {}",
+            r.rates[0]
+        );
+    }
+
+    #[test]
+    fn imc_is_shared_fairly_by_local_readers() {
+        let t = intel_machine();
+        let flows: Vec<Flow> = (0..4).map(|_| Flow::new(n(0), n(0), 1 << 20)).collect();
+        let r = FlowSolver::new(&t).solve(&flows);
+        for rate in &r.rates {
+            assert!((rate - 26.7 / 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_ram_scan_is_imc_bound() {
+        // All four nodes read from node 0: the IMC (26.7) is the bottleneck,
+        // not the three QPI links (3 x 10.7 = 32.1).
+        let t = intel_machine();
+        let flows: Vec<Flow> = (0..4).map(|i| Flow::new(n(i), n(0), 1 << 20)).collect();
+        let r = FlowSolver::new(&t).solve(&flows);
+        let total: f64 = r.rates.iter().sum();
+        assert!((total - 26.7).abs() < 1e-6, "aggregate {total}");
+        // The local reader gets the same share as remote ones (max-min).
+        assert!((r.rates[0] - 26.7 / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn numa_local_scan_reaches_aggregate_bandwidth() {
+        let t = intel_machine();
+        let flows: Vec<Flow> = (0..4).map(|i| Flow::new(n(i), n(i), 1 << 20)).collect();
+        let r = FlowSolver::new(&t).solve(&flows);
+        let total: f64 = r.rates.iter().sum();
+        assert!((total - 4.0 * 26.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interleaved_scan_is_slower_than_numa_local() {
+        // Every node reads from every node.  One AEU consumes its flows
+        // *serially* (the cooperative runtime sums per-flow times within an
+        // AEU), so the effective per-node rate is the harmonic combination
+        // of the fair-share rates — well below a purely local scan.
+        let t = intel_machine();
+        let mut flows = Vec::new();
+        for s in 0..4 {
+            for h in 0..4 {
+                flows.push(Flow::new(n(s), n(h), 1 << 20));
+            }
+        }
+        let r = FlowSolver::new(&t).solve(&flows);
+        // Per node: total bytes / sum of per-flow serial times.
+        let mut total = 0.0;
+        for s in 0..4 {
+            let times: f64 = (0..4).map(|h| r.transfer_ns(s * 4 + h, 1 << 20)).sum();
+            total += (4.0 * (1u64 << 20) as f64) / times;
+        }
+        let local_total = 4.0 * 26.7;
+        assert!(
+            total < 0.5 * local_total,
+            "interleaving must fall well short of local aggregate: {total} vs {local_total}"
+        );
+    }
+
+    #[test]
+    fn rates_are_never_zero_or_negative() {
+        let t = sgi_machine();
+        let mut flows = Vec::new();
+        for i in 0..64u16 {
+            flows.push(Flow::new(n(i), n((i + 17) % 64), 4096));
+        }
+        let r = FlowSolver::new(&t).solve(&flows);
+        for rate in &r.rates {
+            assert!(*rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn two_hop_flow_consumes_both_links() {
+        // Line-ish custom machine is fully connected; use AMD for 2 hops.
+        let t = crate::machines::amd_machine();
+        // Find a 2-hop pair.
+        let mut pair = None;
+        for a in t.nodes() {
+            for b in t.nodes() {
+                if a != b && t.hops(a, b) == 2 {
+                    pair = Some((a, b));
+                }
+            }
+        }
+        let (a, b) = pair.expect("AMD machine has 2-hop routes");
+        let r = FlowSolver::new(&t).solve(&[Flow::new(a, b, 1 << 20)]);
+        let route = t.route(a, b).unwrap();
+        assert!((r.rates[0] - route.bandwidth_gbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        let t = custom_machine("t", 2, 1, 10.0, 100.0, 5.0, 50.0);
+        assert!(FlowSolver::new(&t).solve(&[]).rates.is_empty());
+    }
+
+    #[test]
+    fn transfer_time_uses_gbps_as_bytes_per_ns() {
+        let t = intel_machine();
+        let r = FlowSolver::new(&t).solve(&[Flow::new(n(0), n(0), 267)]);
+        // 267 bytes at 26.7 GB/s = 10 ns.
+        assert!((r.transfer_ns(0, 267) - 10.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use crate::machines::{amd_machine, custom_machine, intel_machine, sgi_machine};
+    use proptest::prelude::*;
+
+    fn arbitrary_flows(nodes: u16) -> impl Strategy<Value = Vec<Flow>> {
+        proptest::collection::vec(
+            (0..nodes, 0..nodes, 1u64..1_000_000)
+                .prop_map(|(s, h, b)| Flow::new(NodeId(s), NodeId(h), b)),
+            1..40,
+        )
+    }
+
+    /// Check the three fairness invariants on a solved flow set:
+    /// rates positive, per-flow route caps respected, and no resource
+    /// (IMC or link direction) oversubscribed.
+    fn check_invariants(topo: &Topology, flows: &[Flow]) {
+        let rates = FlowSolver::new(topo).solve(flows);
+        assert_eq!(rates.rates.len(), flows.len());
+        let mut imc_load = vec![0f64; topo.num_nodes()];
+        let mut link_load = vec![[0f64; 2]; topo.links().len()];
+        for (f, &r) in flows.iter().zip(&rates.rates) {
+            assert!(r > 0.0, "positive rate");
+            let cap = if f.src == f.home {
+                topo.node_spec(f.home).local_bandwidth_gbps
+            } else {
+                topo.route(f.src, f.home).unwrap().bandwidth_gbps
+            };
+            assert!(r <= cap + 1e-9, "route cap: {r} <= {cap}");
+            imc_load[f.home.index()] += r;
+            if f.src != f.home {
+                let route = topo.route(f.src, f.home).unwrap();
+                let mut cur = f.src;
+                for lid in &route.links {
+                    let l = &topo.links()[lid.index()];
+                    let reversed = l.b == cur;
+                    link_load[lid.index()][reversed as usize] += r;
+                    cur = if reversed { l.a } else { l.b };
+                }
+            }
+        }
+        for n in topo.nodes() {
+            assert!(
+                imc_load[n.index()] <= topo.node_spec(n).local_bandwidth_gbps + 1e-6,
+                "IMC {n} oversubscribed: {}",
+                imc_load[n.index()]
+            );
+        }
+        for (i, l) in topo.links().iter().enumerate() {
+            for (d, load) in link_load[i].iter().enumerate() {
+                assert!(
+                    *load <= l.bandwidth_gbps + 1e-6,
+                    "link {i} dir {d} oversubscribed"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn intel_fairness_invariants(flows in arbitrary_flows(4)) {
+            check_invariants(&intel_machine(), &flows);
+        }
+
+        #[test]
+        fn amd_fairness_invariants(flows in arbitrary_flows(8)) {
+            check_invariants(&amd_machine(), &flows);
+        }
+
+        #[test]
+        fn sgi_fairness_invariants(flows in arbitrary_flows(64)) {
+            check_invariants(&sgi_machine(), &flows);
+        }
+
+        #[test]
+        fn adding_a_flow_never_raises_other_rates_above_solo(
+            flows in arbitrary_flows(4), extra in (0u16..4, 0u16..4, 1u64..1000))
+        {
+            // Sanity: any flow's rate under contention never exceeds its
+            // rate when running alone.
+            let topo = custom_machine("p", 4, 2, 20.0, 100.0, 10.0, 60.0);
+            let solver = FlowSolver::new(&topo);
+            let with_extra = {
+                let mut v = flows.clone();
+                v.push(Flow::new(NodeId(extra.0), NodeId(extra.1), extra.2));
+                v
+            };
+            let contended = solver.solve(&with_extra);
+            for (i, f) in flows.iter().enumerate() {
+                let solo = solver.solve(std::slice::from_ref(f)).rates[0];
+                prop_assert!(contended.rates[i] <= solo + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! NUMA topology: nodes (multiprocessors), cores, and the interconnect graph.
+//!
+//! A [`Topology`] is an undirected multigraph whose vertices are NUMA nodes
+//! and whose edges are point-to-point interconnect links (QPI,
+//! HyperTransport, NumaLink).  Shortest routes between every node pair are
+//! precomputed at construction time: minimal hop count first, maximal
+//! bottleneck bandwidth as the tie breaker — the same policy hardware
+//! routing tables use on these machines.
+
+use std::fmt;
+
+/// Identifier of a NUMA node (a multiprocessor with its own IMC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Identifier of a hardware core.  Cores are numbered globally; node-local
+/// numbering is derived from the topology's cores-per-node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    /// The core id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Index of a link in [`Topology::links`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The physical flavour of an interconnect link.  The flavour matters for
+/// reporting (Table 2 distinguishes split HyperTransport sublinks) and for
+/// the per-class bandwidth calibration in [`crate::cost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Intel QuickPath Interconnect, full link (Intel machine).
+    Qpi,
+    /// HyperTransport with the full 16-bit width (AMD intra-package link).
+    HtFull,
+    /// HyperTransport 8-bit sublink where only one sublink of the pair is
+    /// populated (AMD, "split,single" in Table 2).
+    HtSplitSingle,
+    /// HyperTransport 8-bit sublink where both sublinks of the physical link
+    /// are occupied by different connections (AMD, "split,dual").
+    HtSplitDual,
+    /// QPI from a processor to the HARP hub inside an SGI compute blade.
+    QpiToHarp,
+    /// NumaLink6 connection between two HARP hubs (SGI blades).
+    NumaLink,
+}
+
+impl LinkKind {
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkKind::Qpi => "QPI",
+            LinkKind::HtFull => "HT (full link)",
+            LinkKind::HtSplitSingle => "HT (split,single)",
+            LinkKind::HtSplitDual => "HT (split,dual)",
+            LinkKind::QpiToHarp => "QPI-to-HARP",
+            LinkKind::NumaLink => "NumaLink6",
+        }
+    }
+}
+
+/// A point-to-point interconnect link between two NUMA nodes.
+///
+/// `bandwidth_gbps` is the *achievable memory-read* bandwidth over this link
+/// (the measured values of Table 2), which on real hardware is below the
+/// nominal wire rate (`nominal_gbps`).
+#[derive(Debug, Clone)]
+pub struct Link {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub kind: LinkKind,
+    /// Achievable one-direction read bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Nominal wire bandwidth in GB/s (Table 1).
+    pub nominal_gbps: f64,
+    /// Added latency for one traversal of this link, in nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// Per-node hardware description.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Number of cores on this multiprocessor.
+    pub cores: u16,
+    /// Local memory capacity in GiB.
+    pub memory_gib: u64,
+    /// Local read bandwidth of the integrated memory controller in GB/s.
+    pub local_bandwidth_gbps: f64,
+    /// Local access latency in nanoseconds.
+    pub local_latency_ns: f64,
+    /// Last-level cache size in MiB.
+    pub llc_mib: u32,
+}
+
+/// A precomputed route between two distinct nodes.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Links traversed, in order from source to home node.
+    pub links: Vec<LinkId>,
+    /// End-to-end read latency in nanoseconds (calibrated, includes the
+    /// local DRAM access at the home node).
+    pub latency_ns: f64,
+    /// Achievable single-requester bandwidth over this route in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Number of inter-node hops (links traversed).
+    pub hops: u8,
+}
+
+/// A complete NUMA platform: nodes, cores, links, and routes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    nodes: Vec<NodeSpec>,
+    links: Vec<Link>,
+    /// routes[src][dst]; `None` on the diagonal (local access).
+    routes: Vec<Vec<Option<Route>>>,
+    /// For the SGI machine: which blade each node belongs to (nodes sharing
+    /// a blade reach each other through the HARP, the "2nd processor" class).
+    blade_of: Option<Vec<u16>>,
+}
+
+impl Topology {
+    /// Build a topology and precompute all pairwise routes.
+    ///
+    /// `route_overrides` lets machine builders replace the bottleneck-derived
+    /// route bandwidth/latency with measured per-hop-class values (see
+    /// [`crate::machines`]); it receives the raw route and may adjust it.
+    pub fn new(
+        name: impl Into<String>,
+        nodes: Vec<NodeSpec>,
+        links: Vec<Link>,
+        blade_of: Option<Vec<u16>>,
+        mut calibrate: impl FnMut(NodeId, NodeId, &mut Route),
+    ) -> Self {
+        assert!(!nodes.is_empty(), "topology needs at least one node");
+        if let Some(b) = &blade_of {
+            assert_eq!(b.len(), nodes.len(), "blade_of must cover every node");
+        }
+        let n = nodes.len();
+        let mut adjacency: Vec<Vec<(usize, LinkId)>> = vec![Vec::new(); n];
+        for (i, l) in links.iter().enumerate() {
+            assert!(
+                l.a.index() < n && l.b.index() < n,
+                "link endpoints in range"
+            );
+            assert_ne!(l.a, l.b, "no self links");
+            adjacency[l.a.index()].push((l.b.index(), LinkId(i as u32)));
+            adjacency[l.b.index()].push((l.a.index(), LinkId(i as u32)));
+        }
+
+        let mut routes: Vec<Vec<Option<Route>>> = vec![vec![None; n]; n];
+        #[allow(clippy::needless_range_loop)]
+        for src in 0..n {
+            let paths = shortest_paths(src, &adjacency, &links);
+            for (dst, path) in paths.into_iter().enumerate() {
+                if src == dst {
+                    continue;
+                }
+                let path = path.unwrap_or_else(|| {
+                    panic!("topology '{}' is disconnected: no route {src}->{dst}", "?")
+                });
+                let mut latency = nodes[dst].local_latency_ns;
+                let mut bw = f64::INFINITY;
+                for lid in &path {
+                    let l = &links[lid.index()];
+                    latency += l.latency_ns;
+                    bw = bw.min(l.bandwidth_gbps);
+                }
+                let mut route = Route {
+                    hops: path.len() as u8,
+                    links: path,
+                    latency_ns: latency,
+                    bandwidth_gbps: bw,
+                };
+                calibrate(NodeId(src as u16), NodeId(dst as u16), &mut route);
+                routes[src][dst] = Some(route);
+            }
+        }
+
+        Topology {
+            name: name.into(),
+            nodes,
+            links,
+            routes,
+            blade_of,
+        }
+    }
+
+    /// Machine name, e.g. `"AMD machine"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of NUMA nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of cores across all nodes.
+    pub fn num_cores(&self) -> usize {
+        self.nodes.iter().map(|s| s.cores as usize).sum()
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u16).map(NodeId)
+    }
+
+    /// All cores, in node order.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..self.num_cores() as u32).map(CoreId)
+    }
+
+    /// The node a core belongs to.  Cores are laid out contiguously per node.
+    pub fn node_of_core(&self, core: CoreId) -> NodeId {
+        let mut c = core.index();
+        for (i, s) in self.nodes.iter().enumerate() {
+            if c < s.cores as usize {
+                return NodeId(i as u16);
+            }
+            c -= s.cores as usize;
+        }
+        panic!("core {core} out of range ({} cores)", self.num_cores());
+    }
+
+    /// The cores of one node, as global core ids.
+    pub fn cores_of_node(&self, node: NodeId) -> std::ops::Range<u32> {
+        let mut start = 0u32;
+        for s in &self.nodes[..node.index()] {
+            start += s.cores as u32;
+        }
+        start..start + self.nodes[node.index()].cores as u32
+    }
+
+    /// Hardware description of a node.
+    #[inline]
+    pub fn node_spec(&self, node: NodeId) -> &NodeSpec {
+        &self.nodes[node.index()]
+    }
+
+    /// All interconnect links.
+    #[inline]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The precomputed route from `src` to `dst`, or `None` when local.
+    #[inline]
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<&Route> {
+        self.routes[src.index()][dst.index()].as_ref()
+    }
+
+    /// Inter-node hop distance (0 when `src == dst`).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u8 {
+        self.route(src, dst).map_or(0, |r| r.hops)
+    }
+
+    /// The blade a node belongs to, when this topology models blades (SGI).
+    pub fn blade_of(&self, node: NodeId) -> Option<u16> {
+        self.blade_of.as_ref().map(|b| b[node.index()])
+    }
+
+    /// Aggregate local read bandwidth of all memory controllers in GB/s —
+    /// the upper bound for a perfectly NUMA-local scan (Figure 9 reports
+    /// ERIS at 93.6% of this value).
+    pub fn aggregate_local_bandwidth_gbps(&self) -> f64 {
+        self.nodes.iter().map(|s| s.local_bandwidth_gbps).sum()
+    }
+
+    /// Total installed memory in GiB.
+    pub fn total_memory_gib(&self) -> u64 {
+        self.nodes.iter().map(|s| s.memory_gib).sum()
+    }
+}
+
+/// BFS by hop count with max-bottleneck-bandwidth tie breaking.
+///
+/// Returns, for every destination, the chosen link path from `src` (empty
+/// for `src` itself, `None` if unreachable).
+fn shortest_paths(
+    src: usize,
+    adjacency: &[Vec<(usize, LinkId)>],
+    links: &[Link],
+) -> Vec<Option<Vec<LinkId>>> {
+    let n = adjacency.len();
+    let mut dist = vec![u32::MAX; n];
+    let mut bottleneck = vec![0f64; n];
+    let mut pred: Vec<Option<(usize, LinkId)>> = vec![None; n];
+    dist[src] = 0;
+    bottleneck[src] = f64::INFINITY;
+    let mut frontier = vec![src];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &(v, lid) in &adjacency[u] {
+                let nb = bottleneck[u].min(links[lid.index()].bandwidth_gbps);
+                let nd = dist[u] + 1;
+                if nd < dist[v] || (nd == dist[v] && nb > bottleneck[v]) {
+                    if dist[v] == u32::MAX {
+                        next.push(v);
+                    }
+                    dist[v] = nd;
+                    bottleneck[v] = nb;
+                    pred[v] = Some((u, lid));
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    (0..n)
+        .map(|dst| {
+            if dist[dst] == u32::MAX {
+                return None;
+            }
+            let mut path = Vec::new();
+            let mut cur = dst;
+            while cur != src {
+                let (p, lid) = pred[cur].expect("reachable node has predecessor");
+                path.push(lid);
+                cur = p;
+            }
+            path.reverse();
+            Some(path)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(cores: u16) -> NodeSpec {
+        NodeSpec {
+            cores,
+            memory_gib: 32,
+            local_bandwidth_gbps: 25.0,
+            local_latency_ns: 100.0,
+            llc_mib: 20,
+        }
+    }
+
+    fn link(a: u16, b: u16, bw: f64) -> Link {
+        Link {
+            a: NodeId(a),
+            b: NodeId(b),
+            kind: LinkKind::Qpi,
+            bandwidth_gbps: bw,
+            nominal_gbps: bw,
+            latency_ns: 60.0,
+        }
+    }
+
+    fn line(n: usize) -> Topology {
+        let nodes = (0..n).map(|_| spec(4)).collect();
+        let links = (0..n - 1)
+            .map(|i| link(i as u16, i as u16 + 1, 10.0))
+            .collect();
+        Topology::new("line", nodes, links, None, |_, _, _| {})
+    }
+
+    #[test]
+    fn core_to_node_mapping_is_contiguous() {
+        let t = line(3);
+        assert_eq!(t.num_cores(), 12);
+        assert_eq!(t.node_of_core(CoreId(0)), NodeId(0));
+        assert_eq!(t.node_of_core(CoreId(3)), NodeId(0));
+        assert_eq!(t.node_of_core(CoreId(4)), NodeId(1));
+        assert_eq!(t.node_of_core(CoreId(11)), NodeId(2));
+        assert_eq!(t.cores_of_node(NodeId(1)), 4..8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn core_out_of_range_panics() {
+        line(2).node_of_core(CoreId(99));
+    }
+
+    #[test]
+    fn routes_follow_hop_counts() {
+        let t = line(4);
+        assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 1);
+        assert_eq!(t.hops(NodeId(0), NodeId(3)), 3);
+        // Latency accumulates per hop on top of the home node's local latency.
+        let r = t.route(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(r.links.len(), 3);
+        assert!((r.latency_ns - (100.0 + 3.0 * 60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tie_break_prefers_fatter_bottleneck() {
+        // Two 2-hop routes from 0 to 3: via 1 (thin) and via 2 (fat).
+        let nodes = (0..4).map(|_| spec(1)).collect();
+        let links = vec![
+            link(0, 1, 2.0),
+            link(1, 3, 2.0),
+            link(0, 2, 8.0),
+            link(2, 3, 8.0),
+        ];
+        let t = Topology::new("diamond", nodes, links, None, |_, _, _| {});
+        let r = t.route(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(r.hops, 2);
+        assert!((r.bandwidth_gbps - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_sums_nodes() {
+        let t = line(3);
+        assert!((t.aggregate_local_bandwidth_gbps() - 75.0).abs() < 1e-9);
+        assert_eq!(t.total_memory_gib(), 96);
+    }
+
+    #[test]
+    fn calibration_hook_can_override() {
+        let nodes = (0..2).map(|_| spec(1)).collect();
+        let links = vec![link(0, 1, 10.0)];
+        let t = Topology::new("pair", nodes, links, None, |_, _, r| {
+            r.bandwidth_gbps = 5.5;
+            r.latency_ns = 123.0;
+        });
+        let r = t.route(NodeId(0), NodeId(1)).unwrap();
+        assert!((r.bandwidth_gbps - 5.5).abs() < 1e-9);
+        assert!((r.latency_ns - 123.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,351 @@
+//! # eris-query — a query processing framework on top of ERIS
+//!
+//! The paper's conclusion: *"Since ERIS only provides storage operation
+//! primitives, we plan to implement a query processing framework on top of
+//! ERIS to evaluate the performance of more complex queries."*  This crate
+//! is that layer in miniature: relational operators compiled down to data
+//! commands, executed by the AEUs, with intermediate results materialized
+//! NUMA-aware through the routing layer — the pattern the paper's
+//! introduction calls mission-critical for analytical workloads.
+//!
+//! Operators:
+//!
+//! * **Aggregate** — predicate + aggregate over a table: a multicast scan,
+//!   partials combined at the coordinator.
+//! * **FilterInto** — σ(src) materialized into a fresh column object: each
+//!   AEU scans its partition and routes matching rows as appends, which the
+//!   routing layer spreads round-robin over the destination's partitions
+//!   (NUMA-aware intermediate results).
+//! * **IndexJoinCount** — the distributed index-nested-loop join probe:
+//!   each AEU scans its probe partition and routes a `Lookup` into the
+//!   dimension index for every matching row; the matched count is the join
+//!   cardinality ("lookup operations during a join", Section 3.2).
+//!
+//! ```
+//! use eris_query::QueryEngine;
+//! use eris_core::prelude::*;
+//!
+//! let mut q = QueryEngine::new(eris_numa::intel_machine(), EngineConfig {
+//!     collect_results: true,
+//!     ..Default::default()
+//! });
+//! let sales = q.create_column("sales");
+//! q.insert_rows(sales, (0..1000u64).map(|i| i % 100));
+//! let total = q.aggregate(sales, Predicate::Range { lo: 90, hi: 100 }, Aggregate::Count);
+//! assert_eq!(total, eris_column::scan::AggregateResult::Count(100));
+//! ```
+
+use eris_column::scan::AggregateResult;
+use eris_column::{Aggregate, Predicate};
+use eris_core::prelude::*;
+use eris_core::DataObjectId;
+use eris_numa::Topology;
+
+/// Outcome of an [`QueryEngine::index_join_count`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Probe rows that found a partner in the index.
+    pub matches: u64,
+    /// Probe rows routed into the index.
+    pub probes: u64,
+}
+
+/// A coordinator wrapping the storage engine with query operators.
+pub struct QueryEngine {
+    engine: Engine,
+    next_ticket: u64,
+}
+
+impl QueryEngine {
+    /// Build a query engine on a simulated machine.  `collect_results`
+    /// should be enabled in `cfg` for exact results.
+    pub fn new(topo: Topology, cfg: EngineConfig) -> Self {
+        QueryEngine {
+            engine: Engine::new(topo, cfg),
+            next_ticket: 1,
+        }
+    }
+
+    /// Wrap an existing engine.
+    pub fn from_engine(engine: Engine) -> Self {
+        QueryEngine {
+            engine,
+            next_ticket: 1,
+        }
+    }
+
+    /// The underlying storage engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying storage engine.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    fn ticket(&mut self) -> u64 {
+        self.next_ticket += 1;
+        self.next_ticket
+    }
+
+    // ------------------------------------------------------------------
+    // DDL / loading
+    // ------------------------------------------------------------------
+
+    /// Create a size-partitioned fact column.
+    pub fn create_column(&mut self, name: &str) -> DataObjectId {
+        self.engine.create_column(name)
+    }
+
+    /// Create a range-partitioned dimension index over `[0, domain)`.
+    pub fn create_index(&mut self, name: &str, domain: u64) -> DataObjectId {
+        self.engine.create_index(name, domain)
+    }
+
+    /// Bulk-load rows into a column.
+    pub fn insert_rows(&mut self, column: DataObjectId, rows: impl IntoIterator<Item = u64>) {
+        self.engine.bulk_load_column(column, rows);
+    }
+
+    /// Bulk-load key/value pairs into an index.
+    pub fn insert_pairs(
+        &mut self,
+        index: DataObjectId,
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+    ) {
+        self.engine.bulk_load_index(index, pairs);
+    }
+
+    /// Total rows/keys currently stored in an object.
+    pub fn object_len(&self, object: DataObjectId) -> usize {
+        self.engine
+            .aeu_ids()
+            .iter()
+            .map(|a| {
+                self.engine
+                    .aeu(*a)
+                    .partition(object)
+                    .map_or(0, |p| p.data.len())
+            })
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Operators
+    // ------------------------------------------------------------------
+
+    /// σ+γ: aggregate the rows of `table` matching `pred`.
+    pub fn aggregate(
+        &mut self,
+        table: DataObjectId,
+        pred: Predicate,
+        agg: Aggregate,
+    ) -> AggregateResult {
+        let t = self.ticket();
+        self.engine.submit(
+            AeuId(0),
+            DataCommand {
+                object: table,
+                ticket: t,
+                payload: Payload::Scan {
+                    pred,
+                    agg,
+                    snapshot: u64::MAX,
+                },
+            },
+        );
+        self.engine.run_until_drained();
+        self.engine
+            .results()
+            .combine_scan(t)
+            .expect("every partition contributed a partial")
+    }
+
+    /// σ into a new column: scan `src`, materialize matching rows into a
+    /// fresh size-partitioned object.  Returns `(dst, rows_materialized)`.
+    pub fn filter_into(
+        &mut self,
+        name: &str,
+        src: DataObjectId,
+        pred: Predicate,
+    ) -> (DataObjectId, u64) {
+        let dst = self.engine.create_column(name);
+        let before = self.engine.results().counts().upserts;
+        let t = self.ticket();
+        self.engine.submit(
+            AeuId(0),
+            DataCommand {
+                object: src,
+                ticket: t,
+                payload: Payload::Materialize {
+                    dst,
+                    pred,
+                    snapshot: u64::MAX,
+                },
+            },
+        );
+        self.engine.run_until_drained();
+        let rows = self.engine.results().counts().upserts - before;
+        (dst, rows)
+    }
+
+    /// Index-nested-loop join cardinality: probe `index` with every row of
+    /// `probe_table` matching `pred`.
+    pub fn index_join_count(
+        &mut self,
+        probe_table: DataObjectId,
+        pred: Predicate,
+        index: DataObjectId,
+    ) -> JoinStats {
+        let before = self.engine.results().counts();
+        let t = self.ticket();
+        self.engine.submit(
+            AeuId(0),
+            DataCommand {
+                object: probe_table,
+                ticket: t,
+                payload: Payload::JoinProbe {
+                    index,
+                    pred,
+                    snapshot: u64::MAX,
+                },
+            },
+        );
+        self.engine.run_until_drained();
+        let after = self.engine.results().counts();
+        JoinStats {
+            matches: after.lookup_hits - before.lookup_hits,
+            probes: after.lookups - before.lookups,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eris_numa::machines::custom_machine;
+
+    fn qe() -> QueryEngine {
+        QueryEngine::new(
+            custom_machine("q", 4, 2, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                collect_results: true,
+                tree: PrefixTreeConfig::new(8, 32),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn aggregate_over_column() {
+        let mut q = qe();
+        let c = q.create_column("c");
+        q.insert_rows(c, (0..10_000u64).map(|i| i % 100));
+        assert_eq!(
+            q.aggregate(c, Predicate::All, Aggregate::Count),
+            AggregateResult::Count(10_000)
+        );
+        assert_eq!(
+            q.aggregate(c, Predicate::Equals(7), Aggregate::Count),
+            AggregateResult::Count(100)
+        );
+        assert_eq!(
+            q.aggregate(c, Predicate::Range { lo: 0, hi: 10 }, Aggregate::Sum),
+            AggregateResult::Sum((0..10u64).map(|v| v * 100).sum())
+        );
+    }
+
+    #[test]
+    fn filter_into_materializes_numa_spread() {
+        let mut q = qe();
+        let c = q.create_column("src");
+        q.insert_rows(c, 0..10_000u64);
+        let (dst, rows) = q.filter_into("hot", c, Predicate::Range { lo: 0, hi: 1000 });
+        assert_eq!(rows, 1000);
+        assert_eq!(q.object_len(dst), 1000);
+        // The intermediate result is spread over many AEUs, not piled on one.
+        let lens: Vec<usize> = q
+            .engine()
+            .aeu_ids()
+            .iter()
+            .map(|a| {
+                q.engine()
+                    .aeu(*a)
+                    .partition(dst)
+                    .map_or(0, |p| p.data.len())
+            })
+            .collect();
+        let holders = lens.iter().filter(|&&l| l > 0).count();
+        assert!(
+            holders >= 4,
+            "materialized rows spread over {holders} AEUs: {lens:?}"
+        );
+        // And the materialized column is queryable like any other.
+        assert_eq!(
+            q.aggregate(dst, Predicate::All, Aggregate::MinMax),
+            AggregateResult::MinMax(Some((0, 999)))
+        );
+    }
+
+    #[test]
+    fn index_join_counts_matches() {
+        let mut q = qe();
+        // Dimension: even ids 0,2,..,1998 exist.
+        let dim = q.create_index("dim", 1 << 16);
+        q.insert_pairs(dim, (0..1000u64).map(|i| (i * 2, i)));
+        // Fact: foreign keys 0..2000, half of which exist in the dimension.
+        let fact = q.create_column("fact");
+        q.insert_rows(fact, 0..2000u64);
+        let stats = q.index_join_count(fact, Predicate::All, dim);
+        assert_eq!(stats.probes, 2000);
+        assert_eq!(stats.matches, 1000, "exactly the even foreign keys join");
+    }
+
+    #[test]
+    fn join_after_filter_pipeline() {
+        let mut q = qe();
+        let dim = q.create_index("dim", 1 << 16);
+        q.insert_pairs(dim, (0..500u64).map(|k| (k, k)));
+        let fact = q.create_column("fact");
+        q.insert_rows(fact, (0..4000u64).map(|i| i % 1000));
+        // σ(fact < 250) — then join the intermediate result with dim.
+        let (hot, rows) = q.filter_into("hot", fact, Predicate::Range { lo: 0, hi: 250 });
+        assert_eq!(rows, 1000, "4 repetitions x 250 values");
+        let stats = q.index_join_count(hot, Predicate::All, dim);
+        assert_eq!(stats.probes, 1000);
+        assert_eq!(stats.matches, 1000, "all filtered keys exist in dim");
+    }
+
+    #[test]
+    fn join_probe_with_predicate_pushdown() {
+        let mut q = qe();
+        let dim = q.create_index("dim", 1 << 16);
+        q.insert_pairs(dim, (0..100u64).map(|k| (k, k)));
+        let fact = q.create_column("fact");
+        q.insert_rows(fact, 0..1000u64);
+        // Only probe rows in [50, 150): 100 probes, 50 match.
+        let stats = q.index_join_count(fact, Predicate::Range { lo: 50, hi: 150 }, dim);
+        assert_eq!(stats.probes, 100);
+        assert_eq!(stats.matches, 50);
+    }
+
+    #[test]
+    fn works_on_the_paper_machines() {
+        for topo in [eris_numa::intel_machine(), eris_numa::amd_machine()] {
+            let mut q = QueryEngine::new(
+                topo,
+                EngineConfig {
+                    collect_results: true,
+                    ..Default::default()
+                },
+            );
+            let c = q.create_column("c");
+            q.insert_rows(c, 0..1000u64);
+            assert_eq!(
+                q.aggregate(c, Predicate::All, Aggregate::Count),
+                AggregateResult::Count(1000)
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The dynamic workload of Section 4.3 (Figure 13).
+//!
+//! *"a workload that randomly accesses the full key range (lookup) of 512
+//! million keys for an initial period of 10 seconds.  After this period, the
+//! workload changes drastically such that only half of all keys (in the
+//! range from 128M to 384M) are accessed afterwards.  In the remaining time
+//! of the experiment, the workload is changed 4 more times with 20 seconds
+//! between any two changes.  These remaining changes are only slight changes
+//! which are simulated by shifting the key range of interest by 8 million to
+//! the left."*
+
+/// One phase of a dynamic workload: a hot key range active until `until_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase end, in (virtual) seconds since experiment start.
+    pub until_s: u64,
+    /// Inclusive lower bound of the accessed key range.
+    pub lo: u64,
+    /// Exclusive upper bound of the accessed key range.
+    pub hi: u64,
+}
+
+/// A timeline of hot ranges.
+#[derive(Debug, Clone)]
+pub struct DynamicWorkload {
+    phases: Vec<Phase>,
+}
+
+impl DynamicWorkload {
+    /// Build from explicit phases (monotone `until_s`).
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty());
+        assert!(
+            phases.windows(2).all(|w| w[0].until_s < w[1].until_s),
+            "phases must have increasing end times"
+        );
+        assert!(phases.iter().all(|p| p.lo < p.hi));
+        DynamicWorkload { phases }
+    }
+
+    /// The exact Section 4.3 schedule, parameterized by the key count so
+    /// scaled-down runs keep the same shape.  With `keys = 512 << 20` this
+    /// is the paper's configuration (phase ends at 10 s, then every 20 s;
+    /// half-range from keys/4 to 3*keys/4; shifts of keys/64 = 8 M).
+    pub fn paper_schedule(keys: u64) -> Self {
+        let half_lo = keys / 4;
+        let half_hi = 3 * keys / 4;
+        let shift = keys / 64;
+        let mut phases = vec![Phase {
+            until_s: 10,
+            lo: 0,
+            hi: keys,
+        }];
+        for i in 0..5u64 {
+            phases.push(Phase {
+                until_s: 10 + 20 * (i + 1),
+                lo: half_lo - i * shift,
+                hi: half_hi - i * shift,
+            });
+        }
+        DynamicWorkload::new(phases)
+    }
+
+    /// The hot range at time `t_s`; the last phase extends to infinity.
+    pub fn range_at(&self, t_s: f64) -> (u64, u64) {
+        for p in &self.phases {
+            if t_s < p.until_s as f64 {
+                return (p.lo, p.hi);
+            }
+        }
+        let last = self.phases.last().unwrap();
+        (last.lo, last.hi)
+    }
+
+    /// Total scheduled duration in seconds.
+    pub fn duration_s(&self) -> u64 {
+        self.phases.last().unwrap().until_s
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Times at which the workload changes (phase boundaries except the end).
+    pub fn change_times(&self) -> Vec<u64> {
+        self.phases[..self.phases.len() - 1]
+            .iter()
+            .map(|p| p.until_s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_matches_section_4_3() {
+        let w = DynamicWorkload::paper_schedule(512 << 20);
+        assert_eq!(w.duration_s(), 110, "10s + 5 phases x 20s");
+        assert_eq!(w.range_at(0.0), (0, 512 << 20));
+        assert_eq!(w.range_at(9.9), (0, 512 << 20));
+        // First change: half of all keys, 128M..384M.
+        assert_eq!(w.range_at(10.0), (128 << 20, 384 << 20));
+        // Each further change shifts left by 8M.
+        assert_eq!(w.range_at(30.0), ((128 - 8) << 20, (384 - 8) << 20));
+        assert_eq!(w.range_at(50.0), ((128 - 16) << 20, (384 - 16) << 20));
+        assert_eq!(w.range_at(109.0), ((128 - 32) << 20, (384 - 32) << 20));
+        // Beyond the schedule, the last phase persists.
+        assert_eq!(w.range_at(1000.0), ((128 - 32) << 20, (384 - 32) << 20));
+        assert_eq!(w.change_times(), vec![10, 30, 50, 70, 90]);
+    }
+
+    #[test]
+    fn scaled_schedule_keeps_shape() {
+        let w = DynamicWorkload::paper_schedule(1 << 20);
+        let (lo, hi) = w.range_at(15.0);
+        assert_eq!(hi - lo, (1 << 20) / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn non_monotone_phases_rejected() {
+        DynamicWorkload::new(vec![
+            Phase {
+                until_s: 10,
+                lo: 0,
+                hi: 1,
+            },
+            Phase {
+                until_s: 10,
+                lo: 0,
+                hi: 1,
+            },
+        ]);
+    }
+}

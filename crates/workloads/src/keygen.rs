@@ -1,0 +1,225 @@
+//! Key stream generators.
+//!
+//! The paper's static workloads draw keys *"uniformly distributed across the
+//! dense key domain"*; skewed access is what triggers the load balancer.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible stream of keys.
+pub trait KeyGen {
+    /// The next key.
+    fn next_key(&mut self) -> u64;
+
+    /// Fill a batch of keys.
+    fn fill(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_key();
+        }
+    }
+}
+
+/// Uniform keys over `[lo, hi)`.
+pub struct Uniform {
+    rng: StdRng,
+    lo: u64,
+    hi: u64,
+}
+
+impl Uniform {
+    pub fn new(seed: u64, lo: u64, hi: u64) -> Self {
+        assert!(lo < hi, "empty key range");
+        Uniform {
+            rng: StdRng::seed_from_u64(seed),
+            lo,
+            hi,
+        }
+    }
+
+    /// Retarget the range (dynamic workload phase changes).
+    pub fn set_range(&mut self, lo: u64, hi: u64) {
+        assert!(lo < hi);
+        self.lo = lo;
+        self.hi = hi;
+    }
+}
+
+impl KeyGen for Uniform {
+    #[inline]
+    fn next_key(&mut self) -> u64 {
+        self.rng.gen_range(self.lo..self.hi)
+    }
+}
+
+/// Sequential keys from a start value (dense bulk loads).
+pub struct Sequential {
+    next: u64,
+}
+
+impl Sequential {
+    pub fn new(start: u64) -> Self {
+        Sequential { next: start }
+    }
+}
+
+impl KeyGen for Sequential {
+    #[inline]
+    fn next_key(&mut self) -> u64 {
+        let k = self.next;
+        self.next += 1;
+        k
+    }
+}
+
+/// Zipf-distributed keys over `[0, n)` with exponent `theta`, mapped through
+/// a multiplicative hash so the hot keys are spread over the domain (rank 1
+/// is the hottest *rank*, not the smallest key).
+pub struct Zipf {
+    rng: StdRng,
+    dist: ZipfDistribution,
+    n: u64,
+    scramble: bool,
+}
+
+impl Zipf {
+    pub fn new(seed: u64, n: u64, theta: f64, scramble: bool) -> Self {
+        assert!(n > 0);
+        Zipf {
+            rng: StdRng::seed_from_u64(seed),
+            dist: ZipfDistribution::new(n, theta),
+            n,
+            scramble,
+        }
+    }
+}
+
+impl KeyGen for Zipf {
+    fn next_key(&mut self) -> u64 {
+        let rank = self.dist.sample(&mut self.rng);
+        if self.scramble {
+            // Fibonacci hashing keeps the value in [0, n).
+            (rank.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % self.n
+        } else {
+            rank
+        }
+    }
+}
+
+/// Rejection-free Zipf sampler (Gray et al., "Quickly generating
+/// billion-record synthetic databases").
+struct ZipfDistribution {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl ZipfDistribution {
+    fn new(n: u64, theta: f64) -> Self {
+        assert!(
+            (0.0..2.0).contains(&theta) && theta != 1.0,
+            "theta in [0,1)∪(1,2)"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        ZipfDistribution {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; Euler–Maclaurin style approximation above.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta)) / (1.0 - theta);
+            head + tail
+        }
+    }
+}
+
+impl Distribution<u64> for ZipfDistribution {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64 % self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_range_and_is_seed_deterministic() {
+        let mut a = Uniform::new(7, 100, 200);
+        let mut b = Uniform::new(7, 100, 200);
+        for _ in 0..1000 {
+            let ka = a.next_key();
+            assert_eq!(ka, b.next_key());
+            assert!((100..200).contains(&ka));
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_domain() {
+        let mut g = Uniform::new(3, 0, 16);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            seen[g.next_key() as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn set_range_retargets() {
+        let mut g = Uniform::new(1, 0, 10);
+        g.set_range(50, 60);
+        for _ in 0..100 {
+            assert!((50..60).contains(&g.next_key()));
+        }
+    }
+
+    #[test]
+    fn sequential_counts_up() {
+        let mut g = Sequential::new(5);
+        let mut batch = [0u64; 4];
+        g.fill(&mut batch);
+        assert_eq!(batch, [5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut g = Zipf::new(11, 10_000, 0.99, false);
+        let mut counts = vec![0u64; 10_000];
+        for _ in 0..100_000 {
+            counts[g.next_key() as usize] += 1;
+        }
+        let head: u64 = counts[..100].iter().sum();
+        assert!(
+            head > 30_000,
+            "first 1% of ranks must draw >30% of accesses, got {head}"
+        );
+    }
+
+    #[test]
+    fn zipf_scrambled_spreads_hot_keys() {
+        let mut g = Zipf::new(11, 1 << 20, 0.99, true);
+        for _ in 0..1000 {
+            assert!(g.next_key() < 1 << 20);
+        }
+    }
+}

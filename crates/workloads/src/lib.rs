@@ -1,0 +1,12 @@
+//! # eris-workloads — workload generators for the ERIS evaluation
+//!
+//! * [`keygen`] — key streams: uniform over a dense domain (the paper's
+//!   static workloads), Zipf-skewed, and sequential.
+//! * [`dynamic`] — the Section 4.3 dynamic workload: a timeline of hot key
+//!   ranges that shifts under the engine while the load balancer adapts.
+
+pub mod dynamic;
+pub mod keygen;
+
+pub use dynamic::{DynamicWorkload, Phase};
+pub use keygen::{KeyGen, Sequential, Uniform, Zipf};

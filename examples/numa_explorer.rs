@@ -1,0 +1,54 @@
+//! Explore the simulated NUMA platforms: topology, distance classes, and
+//! what contention does to concurrent memory streams.
+//!
+//! ```sh
+//! cargo run --release -p eris-bench --example numa_explorer
+//! ```
+
+use eris_numa::{CostModel, Flow, FlowSolver, NodeId};
+
+fn main() {
+    for topo in [
+        eris_numa::intel_machine(),
+        eris_numa::amd_machine(),
+        eris_numa::sgi_machine(),
+    ] {
+        println!("=== {} ===", topo.name());
+        println!(
+            "{} nodes x {} cores, {} GiB, {} links, aggregate local bandwidth {:.1} GB/s",
+            topo.num_nodes(),
+            topo.cores_of_node(NodeId(0)).len(),
+            topo.total_memory_gib(),
+            topo.links().len(),
+            topo.aggregate_local_bandwidth_gbps(),
+        );
+
+        let cm = CostModel::new(&topo);
+        println!("distance classes (Table 2):");
+        for row in cm.table2_rows() {
+            println!(
+                "  {:26} {:5.1} GB/s  {:4.0} ns",
+                row.class.label(),
+                row.bandwidth_gbps,
+                row.latency_ns
+            );
+        }
+
+        // Contention demo: every node streaming from node 0 (a "Single
+        // RAM" hotspot) vs. every node streaming locally.
+        let solver = FlowSolver::new(&topo);
+        let hotspot: Vec<Flow> = topo
+            .nodes()
+            .map(|n| Flow::new(n, NodeId(0), 1 << 20))
+            .collect();
+        let local: Vec<Flow> = topo.nodes().map(|n| Flow::new(n, n, 1 << 20)).collect();
+        let total = |flows: &[Flow]| -> f64 { solver.solve(flows).rates.iter().sum() };
+        println!(
+            "all-nodes hotspot read: {:6.1} GB/s   all-local read: {:7.1} GB/s\n",
+            total(&hotspot),
+            total(&local)
+        );
+    }
+
+    println!("(the gap between those two numbers is why ERIS exists)");
+}

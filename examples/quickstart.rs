@@ -1,0 +1,96 @@
+//! Quickstart: build an ERIS engine on a simulated NUMA machine, create an
+//! index, and run lookups/upserts/scans through the data command routing
+//! layer.
+//!
+//! ```sh
+//! cargo run --release -p eris-bench --example quickstart
+//! ```
+
+use eris_core::prelude::*;
+
+fn main() {
+    // A 4-node Intel box (Table 1 of the paper): 40 cores -> 40 AEUs.
+    let topo = eris_numa::intel_machine();
+    println!(
+        "platform: {} ({} nodes, {} cores)",
+        topo.name(),
+        topo.num_nodes(),
+        topo.num_cores()
+    );
+    let mut engine = Engine::new(
+        topo,
+        EngineConfig {
+            collect_results: true,
+            ..Default::default()
+        },
+    );
+    println!("engine: {} AEUs, one pinned per core\n", engine.num_aeus());
+
+    // A range-partitioned index over a 1M-key domain, evenly split.
+    let orders = engine.create_index("orders", 1 << 20);
+
+    // Bulk-load: order id -> amount.
+    engine.bulk_load_index(orders, (0..100_000u64).map(|k| (k, k % 997)));
+
+    // Point lookups are routed to the owning AEUs and batched there.
+    engine.submit(
+        AeuId(0),
+        DataCommand {
+            object: orders,
+            ticket: 1,
+            payload: Payload::Lookup {
+                keys: vec![42, 99_999, 500_000],
+            },
+        },
+    );
+    engine.run_until_drained();
+    let mut results = engine.results().take_lookup_values();
+    results.sort();
+    for (ticket, key, value) in results {
+        println!("lookup[{ticket}] key {key:>7} -> {value:?}");
+    }
+
+    // Upserts route the same way; order stays intact per partition.
+    engine.submit(
+        AeuId(3),
+        DataCommand {
+            object: orders,
+            ticket: 2,
+            payload: Payload::Upsert {
+                pairs: vec![(500_000, 777)],
+            },
+        },
+    );
+    engine.run_until_drained();
+
+    // Scans multicast to every AEU whose range intersects the predicate;
+    // each AEU contributes a partial aggregate.
+    engine.submit(
+        AeuId(7),
+        DataCommand {
+            object: orders,
+            ticket: 3,
+            payload: Payload::Scan {
+                pred: Predicate::Range { lo: 0, hi: 1 << 20 },
+                agg: Aggregate::Count,
+                snapshot: u64::MAX,
+            },
+        },
+    );
+    engine.run_until_drained();
+    println!("\nfull scan count: {:?}", engine.results().combine_scan(3));
+    println!(
+        "lookup after upsert: routed through {} AEUs, clock at {:.1} µs virtual",
+        engine.num_aeus(),
+        engine.clock().now_ns() / 1000.0
+    );
+
+    // The NUMA counters show how local the engine stayed.
+    let c = engine.counters();
+    println!(
+        "traffic: {} local requests, {} remote; {:.1} KB over the interconnect",
+        c.local_requests,
+        c.remote_requests,
+        c.total_link_bytes() as f64 / 1024.0
+    );
+}

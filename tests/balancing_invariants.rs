@@ -1,0 +1,236 @@
+//! Load-balancer invariants: whatever the algorithm and workload dynamics,
+//! no key is ever lost or duplicated, lookups stay correct across
+//! repartitionings (including in-flight commands that get forwarded), and
+//! adaption actually reduces the imbalance.
+
+use eris_core::prelude::*;
+use eris_core::DataObjectId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn skewed_engine(algorithm: BalanceAlgorithm) -> (Engine, DataObjectId, u64) {
+    let domain: u64 = 1 << 18;
+    let mut e = Engine::new(
+        eris_numa::machines::custom_machine("t", 4, 2, 20.0, 100.0, 10.0, 60.0),
+        EngineConfig {
+            collect_results: false,
+            tree: PrefixTreeConfig::new(8, 32),
+            balancer: BalancerConfig {
+                enabled: true,
+                algorithm,
+                threshold_cv: 0.2,
+                period_s: 1e-4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let idx = e.create_index("t", domain);
+    e.bulk_load_index(idx, (0..domain).map(|k| (k, k ^ 0xABCD)));
+    (e, idx, domain)
+}
+
+fn attach_hot_gens(e: &mut Engine, lo: Arc<AtomicU64>, hi: Arc<AtomicU64>) {
+    for a in e.aeu_ids() {
+        let (lo, hi) = (Arc::clone(&lo), Arc::clone(&hi));
+        let mut x = (a.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        e.set_generator(
+            a,
+            Some(Box::new(move |_, out| {
+                let (lo, hi) = (lo.load(Ordering::Relaxed), hi.load(Ordering::Relaxed));
+                let keys = (0..32)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        lo + x % (hi - lo)
+                    })
+                    .collect();
+                out.push(DataCommand {
+                    object: DataObjectId(0),
+                    ticket: 0,
+                    payload: Payload::Lookup { keys },
+                });
+            })),
+        );
+    }
+}
+
+fn total_keys(e: &Engine, idx: DataObjectId) -> usize {
+    e.aeu_ids()
+        .iter()
+        .map(|a| e.aeu(*a).partition(idx).map_or(0, |p| p.data.len()))
+        .sum()
+}
+
+fn ranges_are_consistent(e: &Engine, idx: DataObjectId, domain: u64) {
+    // Every AEU's recorded range must match what its partition holds, and
+    // the ranges must tile the domain.
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for a in e.aeu_ids() {
+        let p = e.aeu(a).partition(idx).expect("partition exists");
+        ranges.push(p.range);
+        if let eris_core::PartitionData::Index(tree) = &p.data {
+            // No key outside the recorded range.
+            let outside_low = tree.flatten_range(0, p.range.0).len();
+            let outside_high = tree.flatten_from(p.range.1).len();
+            assert_eq!(
+                outside_low + outside_high,
+                0,
+                "{a:?} holds keys outside its range"
+            );
+        }
+    }
+    ranges.sort();
+    assert_eq!(ranges[0].0, 0, "first range starts at the domain minimum");
+    for w in ranges.windows(2) {
+        assert_eq!(w[0].1, w[1].0, "ranges tile without gaps or overlaps");
+    }
+    assert_eq!(ranges.last().unwrap().1, domain);
+}
+
+#[test]
+fn one_shot_preserves_everything_under_shifting_hotspots() {
+    let (mut e, idx, domain) = skewed_engine(BalanceAlgorithm::OneShot);
+    let lo = Arc::new(AtomicU64::new(0));
+    let hi = Arc::new(AtomicU64::new(domain));
+    attach_hot_gens(&mut e, Arc::clone(&lo), Arc::clone(&hi));
+    // Shift the hotspot several times.
+    for phase in 0..4u64 {
+        lo.store(phase * domain / 8, Ordering::Relaxed);
+        hi.store(phase * domain / 8 + domain / 16, Ordering::Relaxed);
+        e.run_for_virtual_secs(1.5e-3);
+        assert_eq!(total_keys(&e, idx), domain as usize, "phase {phase}");
+        ranges_are_consistent(&e, idx, domain);
+    }
+}
+
+#[test]
+fn moving_average_preserves_everything() {
+    for k in [1usize, 4, 8] {
+        let (mut e, idx, domain) = skewed_engine(BalanceAlgorithm::MovingAverage(k));
+        let lo = Arc::new(AtomicU64::new(0));
+        let hi = Arc::new(AtomicU64::new(domain / 10));
+        attach_hot_gens(&mut e, lo, hi);
+        e.run_for_virtual_secs(3e-3);
+        assert_eq!(total_keys(&e, idx), domain as usize, "MA-{k}");
+        ranges_are_consistent(&e, idx, domain);
+    }
+}
+
+#[test]
+fn lookups_stay_correct_across_rebalancing() {
+    // Collect results while the balancer moves partitions underneath:
+    // every hit must still return the right value (stray commands are
+    // forwarded to the new owner).
+    let domain: u64 = 1 << 16;
+    let mut e = Engine::new(
+        eris_numa::machines::custom_machine("t", 4, 2, 20.0, 100.0, 10.0, 60.0),
+        EngineConfig {
+            collect_results: true,
+            tree: PrefixTreeConfig::new(8, 32),
+            balancer: BalancerConfig {
+                enabled: true,
+                algorithm: BalanceAlgorithm::OneShot,
+                threshold_cv: 0.15,
+                period_s: 5e-5,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let idx = e.create_index("t", domain);
+    e.bulk_load_index(idx, (0..domain).map(|k| (k, k.wrapping_mul(31))));
+
+    // Skewed generator traffic to force rebalancing...
+    let lo = Arc::new(AtomicU64::new(0));
+    let hi = Arc::new(AtomicU64::new(domain / 20));
+    attach_hot_gens(&mut e, lo, hi);
+    // ...plus tracked probe lookups injected between epochs.
+    let mut ticket = 1_000_000u64;
+    let mut probes: Vec<(u64, u64, Option<u64>)> = Vec::new();
+    // Keep only probe answers; drop the background traffic's values each
+    // round to bound memory.
+    let harvest = |e: &Engine, probes: &mut Vec<(u64, u64, Option<u64>)>| {
+        for r in e.results().take_lookup_values() {
+            if r.0 >= 1_000_000 {
+                probes.push(r);
+            }
+        }
+    };
+    for round in 0..40 {
+        let key = (round * 1117) % domain;
+        ticket += 1;
+        e.submit(
+            AeuId((round % 8) as u32),
+            DataCommand {
+                object: idx,
+                ticket,
+                payload: Payload::Lookup { keys: vec![key] },
+            },
+        );
+        for _ in 0..3 {
+            e.run_epoch();
+        }
+        harvest(&e, &mut probes);
+    }
+    // Detach generators so the engine can drain.
+    for a in e.aeu_ids() {
+        e.set_generator(a, None);
+    }
+    e.run_until_drained();
+    harvest(&e, &mut probes);
+    assert_eq!(probes.len(), 40, "every probe answered exactly once");
+    for (_, k, v) in probes {
+        assert_eq!(v, Some(k.wrapping_mul(31)), "key {k} correct despite moves");
+    }
+}
+
+#[test]
+fn balancing_reduces_imbalance() {
+    let (mut e, idx, domain) = skewed_engine(BalanceAlgorithm::OneShot);
+    let lo = Arc::new(AtomicU64::new(0));
+    let hi = Arc::new(AtomicU64::new(domain / 16));
+    attach_hot_gens(&mut e, lo, hi);
+    e.run_for_virtual_secs(2e-3);
+    // The hot 1/16 of the domain must now be split across most AEUs.
+    let owners: std::collections::BTreeSet<u32> = e
+        .aeu_ids()
+        .iter()
+        .filter(|a| {
+            let p = e.aeu(**a).partition(idx).unwrap();
+            p.range.0 < domain / 16 && p.range.0 < p.range.1
+        })
+        .map(|a| a.0)
+        .collect();
+    assert!(owners.len() >= 6, "hot range split {} ways", owners.len());
+}
+
+#[test]
+fn disabled_balancer_never_moves_anything() {
+    let domain: u64 = 1 << 16;
+    let mut e = Engine::new(
+        eris_numa::machines::custom_machine("t", 2, 2, 20.0, 100.0, 10.0, 60.0),
+        EngineConfig {
+            tree: PrefixTreeConfig::new(8, 32),
+            ..Default::default()
+        },
+    );
+    let idx = e.create_index("t", domain);
+    e.bulk_load_index(idx, (0..domain).map(|k| (k, k)));
+    let before: Vec<usize> = e
+        .aeu_ids()
+        .iter()
+        .map(|a| e.aeu(*a).partition(idx).unwrap().data.len())
+        .collect();
+    let lo = Arc::new(AtomicU64::new(0));
+    let hi = Arc::new(AtomicU64::new(domain / 100));
+    attach_hot_gens(&mut e, lo, hi);
+    e.run_for_virtual_secs(1e-3);
+    let after: Vec<usize> = e
+        .aeu_ids()
+        .iter()
+        .map(|a| e.aeu(*a).partition(idx).unwrap().data.len())
+        .collect();
+    assert_eq!(before, after);
+}

@@ -1,0 +1,241 @@
+//! End-to-end correctness: commands routed through the full engine must
+//! behave exactly like a BTreeMap oracle, across partitions, objects, and
+//! submission points.
+
+use eris_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+fn engine(nodes: u16, cores: u16) -> Engine {
+    Engine::new(
+        eris_numa::machines::custom_machine("t", nodes, cores, 20.0, 100.0, 10.0, 60.0),
+        EngineConfig {
+            collect_results: true,
+            tree: PrefixTreeConfig::new(8, 32),
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn randomized_ops_match_btreemap() {
+    let mut rng = StdRng::seed_from_u64(0xE515);
+    let domain: u64 = 1 << 20;
+    let mut e = engine(4, 2);
+    let idx = e.create_index("t", domain);
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut ticket = 0u64;
+
+    for round in 0..30 {
+        // A burst of upserts from random submission points.
+        let n_upserts = rng.gen_range(1..100);
+        let pairs: Vec<(u64, u64)> = (0..n_upserts)
+            .map(|_| (rng.gen_range(0..domain), rng.gen()))
+            .collect();
+        for &(k, v) in &pairs {
+            oracle.insert(k, v);
+        }
+        let via = AeuId(rng.gen_range(0..e.num_aeus() as u32));
+        ticket += 1;
+        e.submit(
+            via,
+            DataCommand {
+                object: idx,
+                ticket,
+                payload: Payload::Upsert { pairs },
+            },
+        );
+        e.run_until_drained();
+
+        // Probe lookups: mix of present and absent keys.
+        let keys: Vec<u64> = (0..50).map(|_| rng.gen_range(0..domain)).collect();
+        ticket += 1;
+        let via = AeuId(rng.gen_range(0..e.num_aeus() as u32));
+        e.submit(
+            via,
+            DataCommand {
+                object: idx,
+                ticket,
+                payload: Payload::Lookup { keys: keys.clone() },
+            },
+        );
+        e.run_until_drained();
+        let got = e.results().take_lookup_values();
+        assert_eq!(got.len(), 50, "round {round}: every key answered once");
+        for (t, k, v) in got {
+            assert_eq!(t, ticket);
+            assert_eq!(v, oracle.get(&k).copied(), "round {round}, key {k}");
+        }
+    }
+    // Total count matches.
+    let total: usize = e
+        .aeu_ids()
+        .iter()
+        .map(|a| e.aeu(*a).partition(idx).map_or(0, |p| p.data.len()))
+        .sum();
+    assert_eq!(total, oracle.len());
+}
+
+#[test]
+fn scans_match_oracle_aggregates() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let domain: u64 = 1 << 16;
+    let mut e = engine(2, 2);
+    let idx = e.create_index("t", domain);
+    let data: Vec<(u64, u64)> = (0..5000)
+        .map(|_| (rng.gen_range(0..domain), rng.gen_range(0..1000)))
+        .collect();
+    let mut oracle = BTreeMap::new();
+    for &(k, v) in &data {
+        oracle.insert(k, v);
+    }
+    e.bulk_load_index(idx, oracle.iter().map(|(&k, &v)| (k, v)));
+
+    for t in 0..20u64 {
+        let lo = rng.gen_range(0..domain);
+        let hi = rng.gen_range(lo..=domain);
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object: idx,
+                ticket: t,
+                payload: Payload::Scan {
+                    pred: Predicate::Range { lo, hi },
+                    agg: Aggregate::Sum,
+                    snapshot: u64::MAX,
+                },
+            },
+        );
+        e.run_until_drained();
+        let want: u64 = oracle.range(lo..hi).map(|(_, &v)| v).sum();
+        match e.results().combine_scan(t) {
+            Some(eris_column::scan::AggregateResult::Sum(s)) => {
+                assert_eq!(s, want, "range [{lo},{hi})")
+            }
+            other => panic!("expected a sum, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn multiple_objects_are_independent() {
+    let mut e = engine(2, 2);
+    let a = e.create_index("a", 1 << 16);
+    let b = e.create_index("b", 1 << 16);
+    let col = e.create_column("c");
+    e.bulk_load_index(a, (0..100u64).map(|k| (k, k)));
+    e.bulk_load_index(b, (0..100u64).map(|k| (k, k * 100)));
+    e.bulk_load_column(col, 0..1000u64);
+
+    e.submit(
+        AeuId(0),
+        DataCommand {
+            object: a,
+            ticket: 1,
+            payload: Payload::Lookup { keys: vec![50] },
+        },
+    );
+    e.submit(
+        AeuId(1),
+        DataCommand {
+            object: b,
+            ticket: 2,
+            payload: Payload::Lookup { keys: vec![50] },
+        },
+    );
+    e.submit(
+        AeuId(2),
+        DataCommand {
+            object: col,
+            ticket: 3,
+            payload: Payload::Scan {
+                pred: Predicate::All,
+                agg: Aggregate::Count,
+                snapshot: u64::MAX,
+            },
+        },
+    );
+    e.run_until_drained();
+    let mut got = e.results().take_lookup_values();
+    got.sort();
+    assert_eq!(got, vec![(1, 50, Some(50)), (2, 50, Some(5000))]);
+    assert_eq!(
+        e.results().combine_scan(3),
+        Some(eris_column::scan::AggregateResult::Count(1000))
+    );
+}
+
+#[test]
+fn column_appends_distribute_over_members() {
+    let mut e = engine(2, 2);
+    let col = e.create_column("c");
+    for i in 0..40u64 {
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object: col,
+                ticket: i,
+                payload: Payload::Upsert {
+                    pairs: vec![(0, i)],
+                },
+            },
+        );
+    }
+    e.run_until_drained();
+    let lens: Vec<usize> = e
+        .aeu_ids()
+        .iter()
+        .map(|a| e.aeu(*a).partition(col).map_or(0, |p| p.data.len()))
+        .collect();
+    assert_eq!(lens.iter().sum::<usize>(), 40);
+    assert!(
+        lens.iter().all(|&l| l == 10),
+        "round-robin appends: {lens:?}"
+    );
+}
+
+#[test]
+fn real_machines_route_correctly() {
+    // Smoke the three paper machines end to end.
+    for topo in [
+        eris_numa::intel_machine(),
+        eris_numa::amd_machine(),
+        eris_numa::sgi_machine(),
+    ] {
+        let name = topo.name().to_string();
+        let mut e = Engine::new(
+            topo,
+            EngineConfig {
+                collect_results: true,
+                tree: PrefixTreeConfig::new(8, 32),
+                ..Default::default()
+            },
+        );
+        let idx = e.create_index("t", 1 << 24);
+        e.bulk_load_index(idx, (0..10_000u64).map(|k| (k * 1000, k)));
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object: idx,
+                ticket: 1,
+                payload: Payload::Lookup {
+                    keys: vec![0, 5_000_000, 9_999_000, 13],
+                },
+            },
+        );
+        e.run_until_drained();
+        let mut got = e.results().take_lookup_values();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (1, 0, Some(0)),
+                (1, 13, None),
+                (1, 5_000_000, Some(5000)),
+                (1, 9_999_000, Some(9999)),
+            ],
+            "{name}"
+        );
+    }
+}
