@@ -19,9 +19,11 @@ pub struct Row {
     pub buffer_cmds: usize,
     pub raw_mcmds: f64,
     pub processing_mcmds: f64,
+    /// Routing telemetry of the with-processing run (engine totals).
+    pub telemetry: CounterSnapshot,
 }
 
-fn one_run(buffer_cmds: usize, raw: bool, quick: bool) -> f64 {
+fn one_run(buffer_cmds: usize, raw: bool, quick: bool) -> (f64, CounterSnapshot) {
     let virtual_keys: u64 = 512 << 20;
     let real_keys: u64 = if quick { 1 << 16 } else { 1 << 19 };
     let scale = scale_for(virtual_keys, real_keys);
@@ -63,7 +65,7 @@ fn one_run(buffer_cmds: usize, raw: bool, quick: bool) -> f64 {
         }
     }
     let (ops, secs) = measure(&mut e, 2e-4, if quick { 5e-4 } else { 2e-3 });
-    ops.commands_routed as f64 / secs
+    (ops.commands_routed as f64 / secs, e.telemetry().totals)
 }
 
 use eris_core::DataObjectId;
@@ -76,10 +78,15 @@ pub fn sweep(quick: bool) -> Vec<Row> {
     };
     sizes
         .iter()
-        .map(|&s| Row {
-            buffer_cmds: s,
-            raw_mcmds: one_run(s, true, quick) / 1e6,
-            processing_mcmds: one_run(s, false, quick) / 1e6,
+        .map(|&s| {
+            let (raw, _) = one_run(s, true, quick);
+            let (processing, telemetry) = one_run(s, false, quick);
+            Row {
+                buffer_cmds: s,
+                raw_mcmds: raw / 1e6,
+                processing_mcmds: processing / 1e6,
+                telemetry,
+            }
         })
         .collect()
 }
@@ -103,5 +110,32 @@ pub fn run(quick: bool) {
         "\nraw gain from buffering: {:.1}x; processing curve plateau: {}",
         last.raw_mcmds / first.raw_mcmds,
         fmt_rate(last.processing_mcmds * 1e6),
+    );
+    // Routing telemetry behind the headline numbers (largest buffer,
+    // with-processing run): where the commands went and how they moved.
+    let tel = &last.telemetry;
+    println!(
+        "\nrouting telemetry @ {} commands/buffer (with processing):",
+        last.buffer_cmds
+    );
+    println!(
+        "  routed {} (unicast {}, multicast {}), executed {}",
+        tel.commands_routed, tel.commands_unicast, tel.commands_multicast, tel.commands_executed
+    );
+    println!(
+        "  flushes {} ({} cmds, {} bytes, {} stalls), swaps {} ({} bytes)",
+        tel.flushes,
+        tel.flush_commands,
+        tel.flush_bytes,
+        tel.flush_stalls,
+        tel.buffer_swaps,
+        tel.swapped_bytes
+    );
+    println!(
+        "  peak pending: outgoing {} B, incoming {} B; mean cmds/flush {:.1}, mean cmds/swap {:.1}",
+        tel.peak_outgoing_bytes,
+        tel.peak_incoming_bytes,
+        tel.flush_commands as f64 / tel.flushes.max(1) as f64,
+        tel.commands_executed as f64 / tel.buffer_swaps.max(1) as f64
     );
 }

@@ -11,11 +11,13 @@ use crate::command::{AeuId, DataCommand, DataObjectId, Payload, StorageOp};
 use crate::cost::{expected_tree_misses, CostParams};
 use crate::results::ResultCollector;
 use crate::routing::{FlushInfo, IncomingBuffers, Router};
+use crate::telemetry::{ObjectCounters, TelemetryShard};
 use eris_column::{Column, Predicate, Segment, SharedScan};
 use eris_index::{HashTable, PrefixTree, PrefixTreeConfig};
 use eris_mem::ThreadCache;
 use eris_numa::{CoreId, Flow, NodeId};
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
 /// Values per provisioned column segment.
@@ -222,6 +224,11 @@ pub struct Aeu {
     scratch_cmds: Vec<DataCommand>,
     scratch_gen: Vec<DataCommand>,
     scratch_values: Vec<Option<u64>>,
+    /// This AEU's telemetry shard (execution-side counters), shared with
+    /// the router.
+    tel: Arc<TelemetryShard>,
+    /// Per-object conservation ledgers, cached off the registry lock.
+    tel_objects: Vec<Option<Arc<ObjectCounters>>>,
 }
 
 impl Aeu {
@@ -236,6 +243,7 @@ impl Aeu {
         results: Arc<ResultCollector>,
         mem: ThreadCache,
     ) -> Self {
+        let tel = Arc::clone(router.telemetry_shard());
         Aeu {
             id,
             node,
@@ -254,7 +262,21 @@ impl Aeu {
             scratch_cmds: Vec::new(),
             scratch_gen: Vec::new(),
             scratch_values: Vec::new(),
+            tel,
+            tel_objects: Vec::new(),
         }
+    }
+
+    /// The cached conservation ledger of `id` (execution side).
+    fn object_ledger(&mut self, id: DataObjectId) -> &ObjectCounters {
+        let i = id.0 as usize;
+        if self.tel_objects.len() <= i {
+            self.tel_objects.resize_with(i + 1, || None);
+        }
+        if self.tel_objects[i].is_none() {
+            self.tel_objects[i] = Some(self.router.shared().telemetry().object(id));
+        }
+        self.tel_objects[i].as_deref().unwrap()
     }
 
     /// Attach (or clear) this AEU's command generator.
@@ -475,6 +497,30 @@ impl Aeu {
         let cmds = &mut self.scratch_cmds;
         self.incoming
             .swap_and_consume(|d| *cmds = DataCommand::decode_all(d));
+        // Telemetry: every decoded command counts as executed for the
+        // conservation ledger — including raw-routing discard mode, where
+        // delivery is the whole point of the measurement.
+        if !self.scratch_cmds.is_empty() {
+            let cmds = std::mem::take(&mut self.scratch_cmds);
+            self.tel
+                .counters
+                .commands_executed
+                .fetch_add(cmds.len() as u64, Relaxed);
+            self.tel.swap_batch.record(cmds.len() as u64);
+            let mut i = 0;
+            while i < cmds.len() {
+                let object = cmds[i].object;
+                let mut j = i + 1;
+                while j < cmds.len() && cmds[j].object == object {
+                    j += 1;
+                }
+                self.object_ledger(object)
+                    .executed
+                    .fetch_add((j - i) as u64, Relaxed);
+                i = j;
+            }
+            self.scratch_cmds = cmds;
+        }
         if self.discard_incoming {
             self.scratch_cmds.clear();
         }
@@ -492,6 +538,11 @@ impl Aeu {
                 while j < cmds.len() && cmds[j].object == object && cmds[j].payload.op() == op {
                     j += 1;
                 }
+                self.tel.counters.exec_batches.fetch_add(1, Relaxed);
+                self.tel.exec_group.record((j - i) as u64);
+                if op == StorageOp::Scan && j - i >= 2 {
+                    self.tel.counters.coalesced_scans.fetch_add(1, Relaxed);
+                }
                 self.process_group(object, op, &cmds[i..j], &mut w);
                 i = j;
             }
@@ -501,6 +552,27 @@ impl Aeu {
         // Stage 2 epilogue: flush outgoing buffers before starting over.
         let flushes = self.router.flush_all();
         charge_flushes_to(&mut w, &self.cfg.node_of, &flushes, &self.cfg.params, true);
+
+        // Fold the step's operation tallies into the telemetry shard
+        // (routing-side counters are maintained by the router itself).
+        let ops = &w.ops;
+        let c = &self.tel.counters;
+        if ops.lookups > 0 {
+            c.lookups.fetch_add(ops.lookups, Relaxed);
+        }
+        if ops.upserts > 0 {
+            c.upserts.fetch_add(ops.upserts, Relaxed);
+        }
+        if ops.scans > 0 {
+            c.scans.fetch_add(ops.scans, Relaxed);
+        }
+        if ops.scan_rows > 0 {
+            c.scan_rows.fetch_add(ops.scan_rows, Relaxed);
+        }
+        if ops.forwarded > 0 {
+            c.forwarded.fetch_add(ops.forwarded, Relaxed);
+        }
+        self.tel.step_ns.record((w.cpu_ns + w.latency_ns) as u64);
         w
     }
 

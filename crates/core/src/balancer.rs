@@ -440,24 +440,29 @@ mod properties {
     use proptest::prelude::*;
 
     fn bounds_and_weights() -> impl Strategy<Value = (Vec<u64>, u64, Vec<f64>)> {
-        (2usize..32).prop_flat_map(|n| {
-            (
-                Just(n),
-                proptest::collection::vec(1u64..1000, n),
-                proptest::collection::vec(0u32..1000, n),
-            )
-        })
-        .prop_map(|(_, gaps, weights)| {
-            // Strictly increasing boundaries starting at 0.
-            let mut bounds = Vec::with_capacity(gaps.len());
-            let mut acc = 0u64;
-            for g in &gaps {
-                bounds.push(acc);
-                acc += g;
-            }
-            let domain_end = acc.max(bounds.last().unwrap() + 1);
-            (bounds, domain_end, weights.into_iter().map(f64::from).collect())
-        })
+        (2usize..32)
+            .prop_flat_map(|n| {
+                (
+                    Just(n),
+                    proptest::collection::vec(1u64..1000, n),
+                    proptest::collection::vec(0u32..1000, n),
+                )
+            })
+            .prop_map(|(_, gaps, weights)| {
+                // Strictly increasing boundaries starting at 0.
+                let mut bounds = Vec::with_capacity(gaps.len());
+                let mut acc = 0u64;
+                for g in &gaps {
+                    bounds.push(acc);
+                    acc += g;
+                }
+                let domain_end = acc.max(bounds.last().unwrap() + 1);
+                (
+                    bounds,
+                    domain_end,
+                    weights.into_iter().map(f64::from).collect(),
+                )
+            })
     }
 
     proptest! {

@@ -13,6 +13,7 @@ use crate::results::ResultCollector;
 use crate::routing::{
     BitmapTable, PartitionTable, RangeTable, Router, RoutingConfig, RoutingShared,
 };
+use crate::telemetry::{CounterSnapshot, TelemetrySnapshot};
 use eris_index::PrefixTreeConfig;
 use eris_mem::{MemoryManager, ThreadCache};
 use eris_numa::{CoreId, FlowSolver, HwCounters, NodeId, Topology, VirtualClock};
@@ -110,6 +111,9 @@ pub struct EpochReport {
     pub ops: OpCounts,
     /// Virtual time spent balancing in this epoch (charged to AEUs).
     pub balance_ns: f64,
+    /// Engine-wide telemetry delta of this epoch (peak gauges carry the
+    /// all-time high-water mark, see `CounterSnapshot::since`).
+    pub telemetry: CounterSnapshot,
 }
 
 /// The ERIS storage engine on a simulated NUMA machine.
@@ -260,6 +264,13 @@ impl Engine {
         &self.mem
     }
 
+    /// A consistent point-in-time snapshot of the engine's telemetry:
+    /// per-AEU, per-node and engine-wide counters, merged histograms, and
+    /// the per-object enqueued-equals-executed conservation ledger.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.shared.telemetry_snapshot(&self.node_of)
+    }
+
     /// Direct access to an AEU (benchmarks, tests).
     pub fn aeu(&self, id: AeuId) -> &Aeu {
         &self.aeus[id.index()]
@@ -406,6 +417,7 @@ impl Engine {
     /// advance the virtual clock, and run the balancer when due.
     pub fn run_epoch(&mut self) -> EpochReport {
         let mut report = EpochReport::default();
+        let tel_before = self.shared.telemetry_totals();
         let mut summaries = Vec::with_capacity(self.aeus.len());
         for aeu in self.aeus.iter_mut() {
             let mut s = aeu.step();
@@ -478,6 +490,7 @@ impl Engine {
             self.last_balance_s = self.clock.now_secs();
             report.balance_ns = self.run_balancer();
         }
+        report.telemetry = self.shared.telemetry_totals().since(&tel_before);
         report
     }
 
@@ -527,7 +540,10 @@ impl Engine {
         for (id, kind) in object_ids {
             // Sample every partition (table order: partition i ↔ AEU i)
             // and feed the monitoring component before deciding.
-            let mut sample = Sample { at_secs: now, ..Default::default() };
+            let mut sample = Sample {
+                at_secs: now,
+                ..Default::default()
+            };
             for i in 0..self.aeus.len() {
                 let (accesses, exec_ns, len, bytes) = self.aeus[i].take_sample(id);
                 sample.accesses.push(accesses);
@@ -609,6 +625,7 @@ impl Engine {
             return 0.0;
         }
         let plan = transfer_plan(&old_bounds, &new_bounds, domain);
+        let num_moves = plan.len() as u64;
         let mut moved_keys_total = 0usize;
 
         // All involved AEUs synchronize on the routing-table update first,
@@ -668,6 +685,11 @@ impl Engine {
         let backoff = &mut self.balance_backoff[object.0 as usize];
         backoff.last_moved_frac = moved_keys_total as f64 / total_keys.max(1) as f64;
         backoff.last_cost_ns = total_ns;
+        let tel = self.shared.telemetry();
+        tel.balancer_cycles.fetch_add(1, Ordering::Relaxed);
+        tel.balancer_moves.fetch_add(num_moves, Ordering::Relaxed);
+        tel.balancer_keys_moved
+            .fetch_add(moved_keys_total as u64, Ordering::Relaxed);
         total_ns
     }
 
@@ -680,8 +702,12 @@ impl Engine {
         let params = self.cfg.params;
         let scale = self.cfg.transfer_scale.unwrap_or(self.cfg.size_scale) as f64;
         let mut total_ns = 0.0;
-        for (from, to, n) in size_balance_moves(lens) {
+        let moves = size_balance_moves(lens);
+        let mut moved_rows = 0u64;
+        let num_moves = moves.len() as u64;
+        for (from, to, n) in moves {
             let rows = self.aeus[from].extract_tail_rows(object, n);
+            moved_rows += rows.len() as u64;
             let from_node = self.node_of[from];
             let to_node = self.node_of[to];
             let ns = if from_node == to_node {
@@ -697,6 +723,13 @@ impl Engine {
             self.aeus[from].add_pending_ns(ns);
             self.aeus[to].add_pending_ns(ns);
             total_ns += 2.0 * ns;
+        }
+        if num_moves > 0 {
+            let tel = self.shared.telemetry();
+            tel.balancer_cycles.fetch_add(1, Ordering::Relaxed);
+            tel.balancer_moves.fetch_add(num_moves, Ordering::Relaxed);
+            tel.balancer_keys_moved
+                .fetch_add(moved_rows, Ordering::Relaxed);
         }
         total_ns
     }

@@ -48,6 +48,9 @@
 //!   transfer planning, link/copy execution.
 //! * [`engine`] — construction, the cooperative virtual-time runtime, and
 //!   a threaded runtime exercising the real atomics.
+//! * [`telemetry`] — shard-per-AEU live counters and histograms, folded
+//!   into consistent `TelemetrySnapshot`s with a per-object
+//!   enqueued-equals-executed conservation ledger.
 //! * [`baseline`] — the NUMA-agnostic shared index / shared scan the paper
 //!   compares against.
 //! * [`cost`] — virtual-time calibration and the analytic LLC model.
@@ -61,6 +64,7 @@ pub mod engine;
 pub mod monitor;
 pub mod results;
 pub mod routing;
+pub mod telemetry;
 
 pub use aeu::{Aeu, OpCounts, Partition, PartitionData, WorkSummary};
 pub use balancer::{BalanceAlgorithm, BalanceMetric, BalancerConfig};
@@ -70,6 +74,7 @@ pub use engine::{Engine, EngineConfig, EpochReport, ObjectKind};
 pub use monitor::{Monitor, Sample};
 pub use results::{ResultCollector, ResultCounts};
 pub use routing::RoutingConfig;
+pub use telemetry::{CounterSnapshot, Telemetry, TelemetrySnapshot};
 
 /// Everything needed to drive the engine.
 pub mod prelude {
@@ -80,6 +85,7 @@ pub mod prelude {
     pub use crate::engine::{Engine, EngineConfig, EpochReport, ObjectKind};
     pub use crate::results::{ResultCollector, ResultCounts};
     pub use crate::routing::RoutingConfig;
+    pub use crate::telemetry::{CounterSnapshot, TelemetrySnapshot};
     pub use eris_column::{Aggregate, Predicate};
     pub use eris_index::PrefixTreeConfig;
 }

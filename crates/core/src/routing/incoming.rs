@@ -64,11 +64,38 @@ struct Slot {
 unsafe impl Sync for Slot {}
 unsafe impl Send for Slot {}
 
+/// Live write/swap counters of one incoming double buffer, updated with
+/// relaxed atomics from both the writer and the owner side.
+#[derive(Debug, Default)]
+struct LiveIncomingStats {
+    writes: AtomicU64,
+    rejects: AtomicU64,
+    swaps: AtomicU64,
+    swapped_bytes: AtomicU64,
+    peak_pending_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of an incoming buffer's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncomingStats {
+    /// Successful reservations (one per flushed outgoing buffer).
+    pub writes: u64,
+    /// Writes rejected with [`BufferFull`] (the writer retries later).
+    pub rejects: u64,
+    /// Owner-side buffer swaps.
+    pub swaps: u64,
+    /// Bytes handed to the owner by those swaps.
+    pub swapped_bytes: u64,
+    /// High-water mark of bytes pending in the writable buffer.
+    pub peak_pending_bytes: u64,
+}
+
 /// The double incoming buffer of one AEU.
 pub struct IncomingBuffers {
     slots: [Slot; 2],
     writable: AtomicUsize,
     capacity: usize,
+    stats: LiveIncomingStats,
 }
 
 impl IncomingBuffers {
@@ -83,6 +110,7 @@ impl IncomingBuffers {
             slots: [mk(), mk()],
             writable: AtomicUsize::new(0),
             capacity,
+            stats: LiveIncomingStats::default(),
         };
         b.slots[0].desc.store(pack(true, 0, 0), Ordering::Release);
         b
@@ -91,6 +119,17 @@ impl IncomingBuffers {
     /// Buffer capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Telemetry counters accumulated since construction.
+    pub fn stats(&self) -> IncomingStats {
+        IncomingStats {
+            writes: self.stats.writes.load(Ordering::Relaxed),
+            rejects: self.stats.rejects.load(Ordering::Relaxed),
+            swaps: self.stats.swaps.load(Ordering::Relaxed),
+            swapped_bytes: self.stats.swapped_bytes.load(Ordering::Relaxed),
+            peak_pending_bytes: self.stats.peak_pending_bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// Bytes pending in the currently writable buffer.
@@ -119,6 +158,7 @@ impl IncomingBuffers {
             }
             let off = offset(d);
             if off as usize + data.len() > self.capacity {
+                self.stats.rejects.fetch_add(1, Ordering::Relaxed);
                 return Err(BufferFull);
             }
             let nd = pack(true, off + data.len() as u64, writers(d) + 1);
@@ -137,6 +177,10 @@ impl IncomingBuffers {
             }
             // Publish completion: writers -= 1 (offset/active untouched).
             slot.desc.fetch_sub(1, Ordering::AcqRel);
+            self.stats.writes.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .peak_pending_bytes
+                .fetch_max(off + data.len() as u64, Ordering::Relaxed);
             return Ok(());
         }
     }
@@ -193,6 +237,10 @@ impl IncomingBuffers {
         self.slots[old]
             .desc
             .store(pack(false, 0, 0), Ordering::Release);
+        self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .swapped_bytes
+            .fetch_add(filled as u64, Ordering::Relaxed);
         filled
     }
 }
@@ -323,6 +371,58 @@ mod properties {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The descriptor pack/unpack functions round-trip every field over
+        /// its full legal range: `[active:1][offset:32][writers:31]`.
+        #[test]
+        fn descriptor_fields_roundtrip(
+            active in proptest::bool::ANY,
+            off in 0u64..=OFFSET_MASK,
+            wr in 0u64..=WRITERS_MASK,
+        ) {
+            let d = pack(active, off, wr);
+            prop_assert_eq!(is_active(d), active);
+            prop_assert_eq!(offset(d), off);
+            prop_assert_eq!(writers(d), wr);
+        }
+
+        /// The three fields occupy disjoint bit ranges: changing one never
+        /// bleeds into another, even at the saturation points of the 32-bit
+        /// offset and 31-bit writer-count masks.
+        #[test]
+        fn descriptor_fields_are_independent(
+            off_any in 0u64..=OFFSET_MASK,
+            wr_any in 0u64..=WRITERS_MASK,
+            off_edge in 0usize..5,
+            wr_edge in 0usize..5,
+        ) {
+            // Bias towards the saturation points of both masks.
+            let off = [0, 1, OFFSET_MASK - 1, OFFSET_MASK, off_any][off_edge];
+            let wr = [0, 1, WRITERS_MASK - 1, WRITERS_MASK, wr_any][wr_edge];
+            // Saturating the offset must leave writers and the active bit
+            // untouched, and vice versa.
+            let d = pack(false, off, wr);
+            prop_assert!(!is_active(d));
+            prop_assert_eq!(offset(d), off);
+            prop_assert_eq!(writers(d), wr);
+            // Setting the active bit changes exactly one bit.
+            let da = pack(true, off, wr);
+            prop_assert_eq!(d ^ da, 1u64 << 63);
+            // The CAS fast paths mutate the packed word directly: writers
+            // live in the low bits (fetch_sub(1) on completion) and a
+            // reservation adds both an offset delta and one writer.
+            if wr > 0 {
+                let done = da - 1;
+                prop_assert!(is_active(done));
+                prop_assert_eq!(offset(done), off);
+                prop_assert_eq!(writers(done), wr - 1);
+            }
+            if off < OFFSET_MASK && wr < WRITERS_MASK {
+                let reserved = pack(true, off + 1, wr + 1);
+                prop_assert_eq!(offset(reserved), off + 1);
+                prop_assert_eq!(writers(reserved), wr + 1);
+            }
+        }
 
         /// Any interleaving of writes and swaps preserves every byte:
         /// length-framed records come out exactly once, intact, in

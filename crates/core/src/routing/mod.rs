@@ -16,12 +16,15 @@ pub mod incoming;
 pub mod outgoing;
 pub mod partition_table;
 
-pub use incoming::{BufferFull, IncomingBuffers};
+pub use incoming::{BufferFull, IncomingBuffers, IncomingStats};
 pub use outgoing::{FlushInfo, OutgoingBuffers};
 pub use partition_table::{BitmapTable, PartitionTable, RangeTable};
 
 use crate::command::{AeuId, DataCommand, DataObjectId, Payload};
+use crate::telemetry::{CounterSnapshot, ObjectCounters, Telemetry, TelemetryShard};
+use eris_numa::NodeId;
 use parking_lot::RwLock;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
 /// Sizing of the routing buffers.
@@ -51,6 +54,7 @@ impl Default for RoutingConfig {
 pub struct RoutingShared {
     tables: RwLock<Vec<Option<PartitionTable>>>,
     incoming: Vec<Arc<IncomingBuffers>>,
+    telemetry: Telemetry,
 }
 
 impl RoutingShared {
@@ -60,6 +64,7 @@ impl RoutingShared {
             incoming: (0..num_aeus)
                 .map(|_| Arc::new(IncomingBuffers::new(cfg.incoming_capacity)))
                 .collect(),
+            telemetry: Telemetry::new(num_aeus),
         }
     }
 
@@ -74,6 +79,8 @@ impl RoutingShared {
             "object {id:?} already registered"
         );
         tables[id.0 as usize] = Some(table);
+        // Pre-create the object's conservation ledger.
+        let _ = self.telemetry.object(id);
     }
 
     /// Read access to an object's partition table.
@@ -100,6 +107,35 @@ impl RoutingShared {
     /// Number of AEUs.
     pub fn num_aeus(&self) -> usize {
         self.incoming.len()
+    }
+
+    /// The engine-wide telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Patch one AEU's incoming-buffer counters into its shard snapshot
+    /// (the incoming side is owned by `IncomingBuffers`, not the shard).
+    fn fill_incoming(&self, aeu: usize, c: &mut CounterSnapshot) {
+        let s = self.incoming[aeu].stats();
+        c.incoming_writes = s.writes;
+        c.incoming_rejects = s.rejects;
+        c.buffer_swaps = s.swaps;
+        c.swapped_bytes = s.swapped_bytes;
+        c.peak_incoming_bytes = c.peak_incoming_bytes.max(s.peak_pending_bytes);
+    }
+
+    /// Engine-wide counter totals (cheap; used for per-epoch deltas).
+    pub fn telemetry_totals(&self) -> CounterSnapshot {
+        self.telemetry.totals_with(|i, c| self.fill_incoming(i, c))
+    }
+
+    /// A full [`crate::telemetry::TelemetrySnapshot`]: per-AEU counters
+    /// with the incoming-buffer side patched in, rolled up per node via
+    /// `node_of`, plus the per-object conservation ledger and histograms.
+    pub fn telemetry_snapshot(&self, node_of: &[NodeId]) -> crate::telemetry::TelemetrySnapshot {
+        self.telemetry
+            .snapshot_with(node_of, |i, c| self.fill_incoming(i, c))
     }
 }
 
@@ -128,17 +164,25 @@ pub struct Router {
     /// Round-robin cursor for appends to bitmap-partitioned objects.
     rr_cursor: usize,
     pub stats: RouterStats,
+    /// This AEU's telemetry shard (routing-side counters).
+    tel: Arc<TelemetryShard>,
+    /// Per-object conservation ledgers, cached to keep the hot path off
+    /// the registry lock.
+    tel_objects: Vec<Option<Arc<ObjectCounters>>>,
 }
 
 impl Router {
     pub fn new(src: AeuId, shared: Arc<RoutingShared>, cfg: RoutingConfig) -> Self {
         let n = shared.num_aeus();
+        let tel = Arc::clone(shared.telemetry().shard(src));
         Router {
             src,
             shared,
             out: OutgoingBuffers::new(n, cfg.outgoing_capacity),
             rr_cursor: src.index(),
             stats: RouterStats::default(),
+            tel,
+            tel_objects: Vec::new(),
         }
     }
 
@@ -147,10 +191,35 @@ impl Router {
         self.src
     }
 
+    /// The telemetry shard shared with this router's AEU.
+    pub(crate) fn telemetry_shard(&self) -> &Arc<TelemetryShard> {
+        &self.tel
+    }
+
+    /// The shared routing state (telemetry registry access for the AEU).
+    pub(crate) fn shared(&self) -> &Arc<RoutingShared> {
+        &self.shared
+    }
+
+    /// The cached conservation ledger of `id`.
+    fn object_ledger(&mut self, id: DataObjectId) -> &ObjectCounters {
+        let i = id.0 as usize;
+        if self.tel_objects.len() <= i {
+            self.tel_objects.resize_with(i + 1, || None);
+        }
+        if self.tel_objects[i].is_none() {
+            self.tel_objects[i] = Some(self.shared.telemetry().object(id));
+        }
+        self.tel_objects[i].as_deref().unwrap()
+    }
+
     /// Route one command: split by partition table, buffer, flush full
     /// targets.  Returns the flushes performed (for traffic accounting).
     pub fn route(&mut self, cmd: DataCommand) -> Vec<FlushInfo> {
         self.stats.commands_in += 1;
+        let object = cmd.object;
+        // Telemetry tallies of this call, published in one batch below.
+        let (mut uni, mut multi, mut split) = (0u64, 0u64, 0u64);
         let mut full_targets: Vec<AeuId> = Vec::new();
         match &cmd.payload {
             Payload::Lookup { keys } => {
@@ -162,6 +231,7 @@ impl Router {
                 });
                 if groups.len() > 1 {
                     self.stats.splits += 1;
+                    split += 1;
                 }
                 for (owner, group_keys) in groups {
                     let sub = DataCommand {
@@ -170,6 +240,7 @@ impl Router {
                         payload: Payload::Lookup { keys: group_keys },
                     };
                     self.stats.commands_out += 1;
+                    uni += 1;
                     if self.out.push_unicast(owner, &sub) {
                         full_targets.push(owner);
                     }
@@ -184,6 +255,7 @@ impl Router {
                     Some(groups) => {
                         if groups.len() > 1 {
                             self.stats.splits += 1;
+                            split += 1;
                         }
                         for (owner, group_pairs) in groups {
                             let sub = DataCommand {
@@ -192,6 +264,7 @@ impl Router {
                                 payload: Payload::Upsert { pairs: group_pairs },
                             };
                             self.stats.commands_out += 1;
+                            uni += 1;
                             if self.out.push_unicast(owner, &sub) {
                                 full_targets.push(owner);
                             }
@@ -205,6 +278,7 @@ impl Router {
                         self.rr_cursor = (self.rr_cursor + 1) % members.len();
                         let owner = members[self.rr_cursor];
                         self.stats.commands_out += 1;
+                        uni += 1;
                         if self.out.push_unicast(owner, &cmd) {
                             full_targets.push(owner);
                         }
@@ -227,8 +301,30 @@ impl Router {
                     (t, _) => t.scan_targets(),
                 });
                 self.stats.commands_out += targets.len() as u64;
+                multi += targets.len() as u64;
                 full_targets.extend(self.out.push_multicast(&targets, &cmd));
             }
+        }
+        let c = &self.tel.counters;
+        c.commands_routed.fetch_add(1, Relaxed);
+        if uni > 0 {
+            c.commands_unicast.fetch_add(uni, Relaxed);
+        }
+        if multi > 0 {
+            c.commands_multicast.fetch_add(multi, Relaxed);
+        }
+        if split > 0 {
+            c.command_splits.fetch_add(split, Relaxed);
+        }
+        c.peak_outgoing_bytes
+            .fetch_max(self.out.peak_pending_bytes() as u64, Relaxed);
+        // Conservation ledger: every sub-command enqueued towards an owner
+        // must eventually be counted as executed by that owner.
+        let enqueued = uni + multi;
+        if enqueued > 0 {
+            self.object_ledger(object)
+                .enqueued
+                .fetch_add(enqueued, Relaxed);
         }
         let mut flushed = Vec::new();
         for t in full_targets {
@@ -242,11 +338,16 @@ impl Router {
             Ok(Some(info)) => {
                 self.stats.flushes += 1;
                 self.stats.flush_bytes += info.bytes;
+                let c = &self.tel.counters;
+                c.flushes.fetch_add(1, Relaxed);
+                c.flush_commands.fetch_add(info.commands, Relaxed);
+                c.flush_bytes.fetch_add(info.bytes, Relaxed);
                 flushed.push(info);
             }
             Ok(None) => {}
             Err(BufferFull) => {
                 self.stats.flush_stalls += 1;
+                self.tel.counters.flush_stalls.fetch_add(1, Relaxed);
             }
         }
     }

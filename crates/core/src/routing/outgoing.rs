@@ -43,6 +43,8 @@ pub struct OutgoingBuffers {
     capacity: usize,
     /// Commands buffered since the last flush round (for stats).
     pub commands_routed: u64,
+    /// High-water mark of bytes pending towards any single target.
+    peak_pending_bytes: usize,
 }
 
 impl OutgoingBuffers {
@@ -61,6 +63,7 @@ impl OutgoingBuffers {
             multicast: Vec::new(),
             capacity,
             commands_routed: 0,
+            peak_pending_bytes: 0,
         }
     }
 
@@ -76,7 +79,9 @@ impl OutgoingBuffers {
         cmd.encode(&mut t.unicast);
         t.unicast_cmds += 1;
         self.commands_routed += 1;
-        self.pending_bytes(target) >= self.capacity
+        let pending = self.pending_bytes(target);
+        self.peak_pending_bytes = self.peak_pending_bytes.max(pending);
+        pending >= self.capacity
     }
 
     /// Buffer one command for many targets: the command body is stored once
@@ -90,11 +95,19 @@ impl OutgoingBuffers {
         for &t in targets {
             self.targets[t.index()].refs.push((off, len));
             self.commands_routed += 1;
-            if self.pending_bytes(t) >= self.capacity {
+            let pending = self.pending_bytes(t);
+            self.peak_pending_bytes = self.peak_pending_bytes.max(pending);
+            if pending >= self.capacity {
                 full.push(t);
             }
         }
         full
+    }
+
+    /// High-water mark of bytes pending towards any single target since
+    /// construction (telemetry gauge).
+    pub fn peak_pending_bytes(&self) -> usize {
+        self.peak_pending_bytes
     }
 
     /// Bytes currently pending towards `target` (unicast + referenced

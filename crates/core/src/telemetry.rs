@@ -1,0 +1,714 @@
+//! Engine-wide telemetry: live counters and fixed-bucket histograms.
+//!
+//! Every AEU owns one [`TelemetryShard`] — a cache-friendly block of
+//! relaxed atomic counters updated from the routing and processing hot
+//! paths.  Shards live in the engine's [`RoutingShared`] state, so the
+//! same registry serves the cooperative single-threaded runtime and the
+//! threaded runtime without any extra synchronization: writers touch only
+//! their own shard, readers fold shards into a consistent-enough
+//! [`TelemetrySnapshot`] on demand.
+//!
+//! The design invariant backing the test suite is a conservation law:
+//! for every data object, the number of sub-commands *enqueued* by the
+//! routing layer equals the number of commands *executed* (decoded and
+//! delivered to the processing stage) once the engine is drained.
+//! Forwarded strays re-enter the routing layer, incrementing both sides
+//! symmetrically, so the books balance in the steady state.
+//!
+//! [`RoutingShared`]: crate::routing::RoutingShared
+
+use crate::command::{AeuId, DataObjectId};
+use eris_numa::NodeId;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+macro_rules! counter_fields {
+    (
+        sum { $($(#[$smeta:meta])* $sum:ident,)* }
+        max { $($(#[$mmeta:meta])* $max:ident,)* }
+    ) => {
+        /// The live atomic counters of one telemetry shard.  All updates
+        /// use relaxed ordering: counters are monotonic diagnostics, not
+        /// synchronization points.
+        #[derive(Debug, Default)]
+        pub struct LiveCounters {
+            $($(#[$smeta])* pub $sum: AtomicU64,)*
+            $($(#[$mmeta])* pub $max: AtomicU64,)*
+        }
+
+        /// A point-in-time copy of [`LiveCounters`].
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct CounterSnapshot {
+            $($(#[$smeta])* pub $sum: u64,)*
+            $($(#[$mmeta])* pub $max: u64,)*
+        }
+
+        impl LiveCounters {
+            pub fn snapshot(&self) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($sum: self.$sum.load(Relaxed),)*
+                    $($max: self.$max.load(Relaxed),)*
+                }
+            }
+        }
+
+        impl CounterSnapshot {
+            /// Fold another AEU's counters in: monotonic counters add,
+            /// peak gauges take the maximum.
+            pub fn merge(&mut self, o: &CounterSnapshot) {
+                $(self.$sum += o.$sum;)*
+                $(self.$max = self.$max.max(o.$max);)*
+            }
+
+            /// Delta since `earlier`: monotonic counters subtract, peak
+            /// gauges keep the current high-water mark.
+            pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($sum: self.$sum.saturating_sub(earlier.$sum),)*
+                    $($max: self.$max,)*
+                }
+            }
+
+            /// `(name, value)` pairs in declaration order, for renderers.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![
+                    $((stringify!($sum), self.$sum),)*
+                    $((stringify!($max), self.$max),)*
+                ]
+            }
+        }
+    };
+}
+
+counter_fields! {
+    sum {
+        /// Commands handed to `Router::route`.
+        commands_routed,
+        /// Unicast sub-commands pushed after partition splitting.
+        commands_unicast,
+        /// Multicast command deliveries (one per target AEU).
+        commands_multicast,
+        /// Commands that spanned partitions and were split.
+        command_splits,
+        /// Successful outgoing-buffer flushes into incoming buffers.
+        flushes,
+        /// Commands delivered by those flushes.
+        flush_commands,
+        /// Bytes copied by those flushes.
+        flush_bytes,
+        /// Flush attempts rejected by a full incoming buffer (retried).
+        flush_stalls,
+        /// Reservations written into this AEU's incoming buffers.
+        incoming_writes,
+        /// Incoming-buffer writes rejected with `BufferFull`.
+        incoming_rejects,
+        /// Incoming double-buffer swaps performed by this AEU.
+        buffer_swaps,
+        /// Bytes handed to the processing stage by those swaps.
+        swapped_bytes,
+        /// Commands decoded and delivered to the processing stage.
+        commands_executed,
+        /// Coalesced `(object, op)` execution batches.
+        exec_batches,
+        /// Scan batches that shared one sweep over two or more commands.
+        coalesced_scans,
+        /// Keys looked up.
+        lookups,
+        /// Pairs upserted.
+        upserts,
+        /// Scan commands executed.
+        scans,
+        /// Rows examined by scans.
+        scan_rows,
+        /// Keys/commands forwarded after partition moves (Section 3.3.2).
+        forwarded,
+    }
+    max {
+        /// High-water mark of bytes pending in the outgoing buffers.
+        peak_outgoing_bytes,
+        /// High-water mark of bytes pending in the incoming buffers.
+        peak_incoming_bytes,
+    }
+}
+
+/// Number of buckets in every [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 17;
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Human-readable range of one bucket.
+pub fn bucket_label(i: usize) -> String {
+    match i {
+        0 => "0".to_string(),
+        1 => "1".to_string(),
+        i if i < HISTOGRAM_BUCKETS - 1 => format!("{}..{}", 1u64 << (i - 1), 1u64 << i),
+        _ => format!(">={}", 1u64 << (HISTOGRAM_BUCKETS - 2)),
+    }
+}
+
+/// A log2-bucketed histogram with a fixed bucket count, updated with one
+/// relaxed `fetch_add` per sample.  Bucket 0 counts zero-valued samples,
+/// bucket `i` (1..=15) counts values in `[2^(i-1), 2^i)`, and the last
+/// bucket collects everything at or above `2^15`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Relaxed)),
+            sum: self.sum.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn merge(&mut self, o: &HistogramSnapshot) {
+        for (b, ob) in self.buckets.iter_mut().zip(&o.buckets) {
+            *b += ob;
+        }
+        self.sum += o.sum;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of all recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+}
+
+impl fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.1}", self.count(), self.mean())?;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                write!(f, " [{}]={c}", bucket_label(i))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The conservation-law ledger of one data object: sub-commands enqueued
+/// by the routing layer vs. commands executed by the owning AEUs.
+#[derive(Debug, Default)]
+pub struct ObjectCounters {
+    /// Unicast pushes + multicast target deliveries for this object.
+    pub enqueued: AtomicU64,
+    /// Commands decoded and handed to the processing stage.
+    pub executed: AtomicU64,
+}
+
+/// One AEU's telemetry: counters plus hot-path histograms.
+#[derive(Debug, Default)]
+pub struct TelemetryShard {
+    pub counters: LiveCounters,
+    /// Commands delivered per incoming-buffer swap.
+    pub swap_batch: Histogram,
+    /// Commands per coalesced `(object, op)` execution group.
+    pub exec_group: Histogram,
+    /// Virtual nanoseconds charged per AEU step.
+    pub step_ns: Histogram,
+}
+
+/// The engine-wide registry: one shard per AEU, one conservation ledger
+/// per data object, plus balancer-cycle counters.
+pub struct Telemetry {
+    shards: Vec<Arc<TelemetryShard>>,
+    objects: RwLock<Vec<Arc<ObjectCounters>>>,
+    /// Balancing cycles that moved data.
+    pub balancer_cycles: AtomicU64,
+    /// Individual partition transfers executed by those cycles.
+    pub balancer_moves: AtomicU64,
+    /// Keys/rows moved by those transfers.
+    pub balancer_keys_moved: AtomicU64,
+}
+
+impl Telemetry {
+    pub fn new(num_aeus: usize) -> Self {
+        Telemetry {
+            shards: (0..num_aeus)
+                .map(|_| Arc::new(TelemetryShard::default()))
+                .collect(),
+            objects: RwLock::new(Vec::new()),
+            balancer_cycles: AtomicU64::new(0),
+            balancer_moves: AtomicU64::new(0),
+            balancer_keys_moved: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard of one AEU.
+    pub fn shard(&self, aeu: AeuId) -> &Arc<TelemetryShard> {
+        &self.shards[aeu.index()]
+    }
+
+    /// The conservation ledger of one data object.  Slots are created on
+    /// first use so stand-alone routers (benchmarks) need no registration
+    /// step; `RoutingShared::register_object` pre-creates them.
+    pub fn object(&self, id: DataObjectId) -> Arc<ObjectCounters> {
+        {
+            let objects = self.objects.read();
+            if let Some(c) = objects.get(id.0 as usize) {
+                return Arc::clone(c);
+            }
+        }
+        let mut objects = self.objects.write();
+        while objects.len() <= id.0 as usize {
+            objects.push(Arc::new(ObjectCounters::default()));
+        }
+        Arc::clone(&objects[id.0 as usize])
+    }
+
+    /// Engine-wide counter totals.  `fill` patches per-AEU externals
+    /// (incoming-buffer counters) into each shard's snapshot before it is
+    /// folded in.
+    pub fn totals_with(&self, fill: impl Fn(usize, &mut CounterSnapshot)) -> CounterSnapshot {
+        let mut total = CounterSnapshot::default();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut c = shard.counters.snapshot();
+            fill(i, &mut c);
+            total.merge(&c);
+        }
+        total
+    }
+
+    /// A full snapshot: per-AEU counters, per-node and engine-wide
+    /// rollups, the per-object conservation ledger, and merged histograms.
+    pub fn snapshot_with(
+        &self,
+        node_of: &[NodeId],
+        fill: impl Fn(usize, &mut CounterSnapshot),
+    ) -> TelemetrySnapshot {
+        let per_aeu: Vec<CounterSnapshot> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut c = s.counters.snapshot();
+                fill(i, &mut c);
+                c
+            })
+            .collect();
+
+        let mut per_node: Vec<(NodeId, CounterSnapshot)> = Vec::new();
+        let mut totals = CounterSnapshot::default();
+        for (i, c) in per_aeu.iter().enumerate() {
+            totals.merge(c);
+            let node = node_of.get(i).copied().unwrap_or(NodeId(0));
+            match per_node.iter_mut().find(|(n, _)| *n == node) {
+                Some((_, agg)) => agg.merge(c),
+                None => per_node.push((node, *c)),
+            }
+        }
+        per_node.sort_by_key(|(n, _)| n.0);
+
+        let objects: Vec<ObjectFlow> = self
+            .objects
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ObjectFlow {
+                object: DataObjectId(i as u32),
+                enqueued: c.enqueued.load(Relaxed),
+                executed: c.executed.load(Relaxed),
+            })
+            .collect();
+
+        let mut swap_batch = HistogramSnapshot::default();
+        let mut exec_group = HistogramSnapshot::default();
+        let mut step_ns = HistogramSnapshot::default();
+        for s in &self.shards {
+            swap_batch.merge(&s.swap_batch.snapshot());
+            exec_group.merge(&s.exec_group.snapshot());
+            step_ns.merge(&s.step_ns.snapshot());
+        }
+
+        TelemetrySnapshot {
+            per_aeu,
+            per_node,
+            totals,
+            objects,
+            balancer: BalancerCounters {
+                cycles: self.balancer_cycles.load(Relaxed),
+                moves: self.balancer_moves.load(Relaxed),
+                keys_moved: self.balancer_keys_moved.load(Relaxed),
+            },
+            swap_batch,
+            exec_group,
+            step_ns,
+        }
+    }
+}
+
+/// Per-object conservation state in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectFlow {
+    pub object: DataObjectId,
+    pub enqueued: u64,
+    pub executed: u64,
+}
+
+impl ObjectFlow {
+    /// Sub-commands still sitting in routing buffers (0 once drained).
+    pub fn in_flight(&self) -> u64 {
+        self.enqueued.saturating_sub(self.executed)
+    }
+}
+
+/// Balancer activity in a snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BalancerCounters {
+    pub cycles: u64,
+    pub moves: u64,
+    pub keys_moved: u64,
+}
+
+/// A consistent-enough point-in-time view of the whole engine's
+/// telemetry: per-AEU counters, per-node and engine rollups, the
+/// per-object conservation ledger, balancer activity, and merged
+/// histograms.  Obtain one via `Engine::telemetry()`.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    pub per_aeu: Vec<CounterSnapshot>,
+    pub per_node: Vec<(NodeId, CounterSnapshot)>,
+    pub totals: CounterSnapshot,
+    pub objects: Vec<ObjectFlow>,
+    pub balancer: BalancerCounters,
+    pub swap_batch: HistogramSnapshot,
+    pub exec_group: HistogramSnapshot,
+    pub step_ns: HistogramSnapshot,
+}
+
+impl TelemetrySnapshot {
+    /// The conservation law: every enqueued sub-command was executed.
+    /// Holds exactly when the engine is drained.
+    pub fn conservation_holds(&self) -> bool {
+        self.objects.iter().all(|o| o.enqueued == o.executed)
+    }
+
+    /// Hand-rolled JSON render (no serde dependency).
+    pub fn to_json(&self) -> String {
+        fn counters(c: &CounterSnapshot, out: &mut String) {
+            out.push('{');
+            for (i, (k, v)) in c.fields().into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":{v}"));
+            }
+            out.push('}');
+        }
+        fn hist(h: &HistogramSnapshot, out: &mut String) {
+            out.push_str(&format!("{{\"sum\":{},\"buckets\":[", h.sum));
+            for (i, b) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("]}");
+        }
+        let mut s = String::new();
+        s.push_str("{\"totals\":");
+        counters(&self.totals, &mut s);
+        s.push_str(",\"per_aeu\":[");
+        for (i, c) in self.per_aeu.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            counters(c, &mut s);
+        }
+        s.push_str("],\"per_node\":[");
+        for (i, (n, c)) in self.per_node.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"node\":{},\"counters\":", n.0));
+            counters(c, &mut s);
+            s.push('}');
+        }
+        s.push_str("],\"objects\":[");
+        for (i, o) in self.objects.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"object\":{},\"enqueued\":{},\"executed\":{}}}",
+                o.object.0, o.enqueued, o.executed
+            ));
+        }
+        s.push_str(&format!(
+            "],\"balancer\":{{\"cycles\":{},\"moves\":{},\"keys_moved\":{}}}",
+            self.balancer.cycles, self.balancer.moves, self.balancer.keys_moved
+        ));
+        s.push_str(",\"histograms\":{\"swap_batch\":");
+        hist(&self.swap_batch, &mut s);
+        s.push_str(",\"exec_group\":");
+        hist(&self.exec_group, &mut s);
+        s.push_str(",\"step_ns\":");
+        hist(&self.step_ns, &mut s);
+        s.push_str("}}");
+        s
+    }
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = &self.totals;
+        writeln!(
+            f,
+            "telemetry: {} AEUs on {} nodes",
+            self.per_aeu.len(),
+            self.per_node.len()
+        )?;
+        writeln!(
+            f,
+            "  routed   {:>12}  (unicast {}, multicast {}, splits {})",
+            t.commands_routed, t.commands_unicast, t.commands_multicast, t.command_splits
+        )?;
+        writeln!(
+            f,
+            "  flushes  {:>12}  (commands {}, bytes {}, stalls {})",
+            t.flushes, t.flush_commands, t.flush_bytes, t.flush_stalls
+        )?;
+        writeln!(
+            f,
+            "  incoming {:>12}  writes (rejects {}), {} swaps, {} bytes swapped",
+            t.incoming_writes, t.incoming_rejects, t.buffer_swaps, t.swapped_bytes
+        )?;
+        writeln!(
+            f,
+            "  executed {:>12}  in {} batches ({} coalesced scan batches)",
+            t.commands_executed, t.exec_batches, t.coalesced_scans
+        )?;
+        writeln!(
+            f,
+            "  ops: {} lookups, {} upserts, {} scans ({} rows), {} forwarded",
+            t.lookups, t.upserts, t.scans, t.scan_rows, t.forwarded
+        )?;
+        writeln!(
+            f,
+            "  peaks: outgoing {} B, incoming {} B",
+            t.peak_outgoing_bytes, t.peak_incoming_bytes
+        )?;
+        writeln!(
+            f,
+            "  balancer: {} cycles, {} moves, {} keys moved",
+            self.balancer.cycles, self.balancer.moves, self.balancer.keys_moved
+        )?;
+        for (n, c) in &self.per_node {
+            writeln!(
+                f,
+                "  node {:>2}: routed {:>10} executed {:>10} flush bytes {:>12}",
+                n.0, c.commands_routed, c.commands_executed, c.flush_bytes
+            )?;
+        }
+        for o in &self.objects {
+            writeln!(
+                f,
+                "  object {:>2}: enqueued {:>10} executed {:>10} {}",
+                o.object.0,
+                o.enqueued,
+                o.executed,
+                if o.enqueued == o.executed {
+                    "(balanced)".to_string()
+                } else {
+                    format!("({} in flight)", o.in_flight())
+                }
+            )?;
+        }
+        writeln!(f, "  swap batch: {}", self.swap_batch)?;
+        writeln!(f, "  exec group: {}", self.exec_group)?;
+        write!(f, "  step ns:    {}", self.step_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_value_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of((1 << 14) + 1), 15);
+        assert_eq!(bucket_of(1 << 15), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let h = Histogram::default();
+        for v in [0, 1, 1, 5, 40_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum, 40_007);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        let mut m = s;
+        m.merge(&s);
+        assert_eq!(m.count(), 10);
+        assert_eq!(m.sum, 2 * 40_007);
+    }
+
+    #[test]
+    fn counters_merge_sums_and_maxes() {
+        let a = LiveCounters::default();
+        a.commands_routed.store(5, Relaxed);
+        a.peak_outgoing_bytes.store(100, Relaxed);
+        let b = LiveCounters::default();
+        b.commands_routed.store(7, Relaxed);
+        b.peak_outgoing_bytes.store(60, Relaxed);
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.commands_routed, 12);
+        assert_eq!(total.peak_outgoing_bytes, 100, "peaks take the max");
+    }
+
+    #[test]
+    fn since_subtracts_counters_but_keeps_peaks() {
+        let earlier = CounterSnapshot {
+            lookups: 10,
+            peak_incoming_bytes: 500,
+            ..Default::default()
+        };
+        let later = CounterSnapshot {
+            lookups: 25,
+            peak_incoming_bytes: 800,
+            ..earlier
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.lookups, 15);
+        assert_eq!(d.peak_incoming_bytes, 800);
+    }
+
+    #[test]
+    fn registry_hands_out_stable_object_ledgers() {
+        let t = Telemetry::new(2);
+        let a = t.object(DataObjectId(3));
+        a.enqueued.fetch_add(4, Relaxed);
+        let b = t.object(DataObjectId(3));
+        assert_eq!(b.enqueued.load(Relaxed), 4, "same ledger");
+        // Gaps below the max id are materialized too.
+        assert_eq!(t.object(DataObjectId(1)).enqueued.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn snapshot_rolls_up_nodes_and_detects_imbalance() {
+        let t = Telemetry::new(4);
+        let node_of = [NodeId(0), NodeId(0), NodeId(1), NodeId(1)];
+        t.shard(AeuId(0)).counters.lookups.fetch_add(3, Relaxed);
+        t.shard(AeuId(2)).counters.lookups.fetch_add(9, Relaxed);
+        t.object(DataObjectId(0)).enqueued.fetch_add(2, Relaxed);
+        let snap = t.snapshot_with(&node_of, |_, _| {});
+        assert_eq!(snap.totals.lookups, 12);
+        assert_eq!(snap.per_node.len(), 2);
+        assert_eq!(snap.per_node[0].1.lookups, 3);
+        assert_eq!(snap.per_node[1].1.lookups, 9);
+        assert!(!snap.conservation_holds(), "2 enqueued, 0 executed");
+        t.object(DataObjectId(0)).executed.fetch_add(2, Relaxed);
+        let snap = t.snapshot_with(&node_of, |_, _| {});
+        assert!(snap.conservation_holds());
+    }
+
+    #[test]
+    fn fill_patches_external_counters_into_shards() {
+        let t = Telemetry::new(2);
+        let totals = t.totals_with(|i, c| c.incoming_writes = (i as u64 + 1) * 10);
+        assert_eq!(totals.incoming_writes, 30);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let t = Telemetry::new(2);
+        t.shard(AeuId(0)).counters.scans.fetch_add(4, Relaxed);
+        t.shard(AeuId(0)).swap_batch.record(8);
+        t.object(DataObjectId(0)).enqueued.fetch_add(1, Relaxed);
+        let snap = t.snapshot_with(&[NodeId(0), NodeId(1)], |_, _| {});
+        let text = snap.to_string();
+        for needle in [
+            "routed",
+            "flushes",
+            "executed",
+            "balancer",
+            "object",
+            "swap batch",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let json = snap.to_json();
+        for key in [
+            "\"totals\"",
+            "\"per_aeu\"",
+            "\"per_node\"",
+            "\"objects\"",
+            "\"balancer\"",
+            "\"histograms\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in JSON");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

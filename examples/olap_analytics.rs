@@ -93,4 +93,11 @@ fn main() {
         5 * rows
     );
     assert!(counts.rows_scanned <= 2 * rows, "coalesced to ~one sweep");
+
+    // The engine's live telemetry tells the same story from the routing
+    // side: the five scans were multicast to every member AEU, delivered
+    // through flushes and buffer swaps, and coalesced on execution.
+    let snapshot = engine.telemetry();
+    println!("\n{snapshot}");
+    assert!(snapshot.conservation_holds(), "enqueued == executed");
 }

@@ -93,4 +93,19 @@ fn main() {
         c.remote_requests,
         c.total_link_bytes() as f64 / 1024.0
     );
+
+    // Live telemetry: routing/execution counters and the conservation
+    // ledger.  After a drain, enqueued == executed for every object.
+    let snapshot = engine.telemetry();
+    assert!(snapshot.conservation_holds());
+    let t = &snapshot.totals;
+    println!(
+        "telemetry: {} routed ({} unicast, {} multicast), {} executed, {} flushes, {} swaps",
+        t.commands_routed,
+        t.commands_unicast,
+        t.commands_multicast,
+        t.commands_executed,
+        t.flushes,
+        t.buffer_swaps
+    );
 }

@@ -1,0 +1,97 @@
+//! Offline stand-in for the `bytes` crate: `Buf` over `&[u8]` and
+//! `BufMut` over `Vec<u8>`, little-endian fixed-width accessors only.
+
+/// Sequential reader over a byte cursor.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Sequential writer.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u8(0xAB);
+        v.put_u16_le(0xBEEF);
+        v.put_u32_le(0xDEAD_BEEF);
+        v.put_u64_le(0x0123_4567_89AB_CDEF);
+        v.put_slice(&[1, 2, 3]);
+        let mut r: &[u8] = &v;
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r, &[1, 2, 3]);
+        assert_eq!(r.remaining(), 3);
+    }
+}

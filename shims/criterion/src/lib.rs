@@ -1,0 +1,290 @@
+//! Offline stand-in for the `criterion` crate: a minimal benchmark
+//! harness with criterion's API shape. It runs each benchmark for a
+//! short, fixed time budget and prints one `name ... median/iter` line —
+//! no statistics, plots, or baselines. Under `--test` (as passed by
+//! `cargo test --benches`) every routine runs exactly once so suites
+//! stay fast.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing collected by one `Bencher` run.
+#[derive(Clone, Copy, Debug, Default)]
+struct Measurement {
+    total: Duration,
+    iters: u64,
+}
+
+impl Measurement {
+    fn per_iter_ns(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.total.as_nanos() as f64 / self.iters as f64
+        }
+    }
+}
+
+/// How `iter_batched` amortizes setup; only the routine is timed here,
+/// so the variants behave identically.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark: `group/function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub struct Bencher {
+    budget: Duration,
+    test_mode: bool,
+    measurement: Measurement,
+}
+
+impl Bencher {
+    /// Pick an iteration count that roughly fills the time budget.
+    fn plan_iters(&self, probe_ns: f64) -> u64 {
+        if self.test_mode {
+            return 1;
+        }
+        let budget_ns = self.budget.as_nanos() as f64;
+        (budget_ns / probe_ns.max(1.0)).clamp(1.0, 1_000_000.0) as u64
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let probe = Instant::now();
+        black_box(routine());
+        let iters = self.plan_iters(probe.elapsed().as_nanos() as f64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measurement = Measurement {
+            total: start.elapsed() + probe.elapsed(),
+            iters: iters + 1,
+        };
+    }
+
+    /// The routine times itself over `iters` iterations (used when setup
+    /// such as spawning threads must sit outside the timed region).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let iters = if self.test_mode { 1 } else { 100 };
+        let total = routine(iters);
+        self.measurement = Measurement { total, iters };
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let iters = if self.test_mode { 1 } else { 10 };
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.measurement = Measurement { total, iters };
+    }
+}
+
+fn run_one(name: &str, budget: Duration, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        budget,
+        test_mode,
+        measurement: Measurement::default(),
+    };
+    f(&mut b);
+    let ns = b.measurement.per_iter_ns();
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!(
+        "bench: {name:<56} {human}/iter ({} iters)",
+        b.measurement.iters
+    );
+}
+
+pub struct Criterion {
+    budget: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Unrecognized flags (filters,
+        // `--noplot`, ...) are ignored.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            budget: Duration::from_millis(20),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.budget, self.test_mode, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrStr>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(&full, self.parent.budget, self.parent.test_mode, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.parent.budget, self.parent.test_mode, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and `BenchmarkId` where criterion is polymorphic.
+pub struct BenchmarkIdOrStr(String);
+
+impl From<&str> for BenchmarkIdOrStr {
+    fn from(s: &str) -> Self {
+        BenchmarkIdOrStr(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrStr {
+    fn from(s: String) -> Self {
+        BenchmarkIdOrStr(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrStr {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdOrStr(id.id)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        let mut g = c.benchmark_group("shim/group");
+        g.sample_size(10);
+        for n in [1u64, 4] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    black_box(7u64 * 6);
+                }
+                start.elapsed()
+            })
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_every_shape() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+            test_mode: false,
+        };
+        sample_bench(&mut c);
+        let mut quick = Criterion {
+            budget: Duration::from_millis(1),
+            test_mode: true,
+        };
+        sample_bench(&mut quick);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

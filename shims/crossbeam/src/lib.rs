@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam`: the `thread::scope` API this
+//! workspace uses, delegating to `std::thread::scope` (Rust >= 1.63).
+
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Mirrors `crossbeam::thread::Scope`. Wraps the std scope so that
+    /// spawned closures receive a `&Scope` argument, as crossbeam's do.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T>(stdthread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> stdthread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Run `f` with a thread scope. Unlike crossbeam, a panicking child
+    /// propagates the panic on join rather than surfacing as `Err`;
+    /// callers that `.expect()` the result behave identically.
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![0u64; 8];
+        let total = crate::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, slot) in data.iter_mut().enumerate() {
+                handles.push(s.spawn(move |_| {
+                    *slot = i as u64;
+                    i as u64
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 28);
+        assert_eq!(data, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline stand-in for the `libc` crate: only the declarations this
+//! workspace uses (CPU affinity and core counting on Linux).
+
+#![allow(non_camel_case_types, non_snake_case, clippy::missing_safety_doc)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type pid_t = i32;
+pub type size_t = usize;
+
+/// `sysconf` selector for the number of online processors (Linux).
+pub const _SC_NPROCESSORS_ONLN: c_int = 84;
+
+const CPU_SETSIZE: usize = 1024;
+const BITS_PER_WORD: usize = 64;
+
+/// Mirror of glibc's `cpu_set_t`: a 1024-bit CPU mask.
+#[repr(C)]
+#[derive(Copy, Clone)]
+pub struct cpu_set_t {
+    bits: [u64; CPU_SETSIZE / BITS_PER_WORD],
+}
+
+pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; CPU_SETSIZE / BITS_PER_WORD];
+}
+
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE {
+        set.bits[cpu / BITS_PER_WORD] |= 1u64 << (cpu % BITS_PER_WORD);
+    }
+}
+
+pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE && set.bits[cpu / BITS_PER_WORD] & (1u64 << (cpu % BITS_PER_WORD)) != 0
+}
+
+extern "C" {
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn sched_getcpu() -> c_int;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
+}

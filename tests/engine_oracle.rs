@@ -119,6 +119,86 @@ fn scans_match_oracle_aggregates() {
 }
 
 #[test]
+fn coalesced_scans_match_unshared_baseline() {
+    // Scan sharing (coalesced execution of simultaneous scans through one
+    // SharedScan sweep) is a pure throughput optimization: the results must
+    // be bit-identical to running the very same scans one at a time, where
+    // no coalescing can occur.  Telemetry proves each mode did what the
+    // test assumes.
+    let mut rng = StdRng::seed_from_u64(0xC0A1);
+    let domain: u64 = 1 << 16;
+    let rows: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..domain)).collect();
+    let queries: Vec<(Predicate, Aggregate)> = (0..40)
+        .map(|i| {
+            let pred = match i % 3 {
+                0 => Predicate::All,
+                1 => {
+                    let lo = rng.gen_range(0..domain);
+                    Predicate::Range {
+                        lo,
+                        hi: rng.gen_range(lo..=domain),
+                    }
+                }
+                _ => Predicate::Equals(rows[rng.gen_range(0..rows.len())]),
+            };
+            let agg = match i % 4 {
+                0 => Aggregate::Count,
+                1 | 2 => Aggregate::Sum,
+                _ => Aggregate::MinMax,
+            };
+            (pred, agg)
+        })
+        .collect();
+
+    let run = |batched: bool| {
+        let mut e = engine(2, 2);
+        let col = e.create_column("c");
+        e.bulk_load_column(col, rows.iter().copied());
+        let mut results = Vec::with_capacity(queries.len());
+        for (t, &(pred, agg)) in queries.iter().enumerate() {
+            e.submit(
+                AeuId((t % 4) as u32),
+                DataCommand {
+                    object: col,
+                    ticket: t as u64,
+                    payload: Payload::Scan {
+                        pred,
+                        agg,
+                        snapshot: u64::MAX,
+                    },
+                },
+            );
+            if !batched {
+                // One scan in flight at a time: nothing to coalesce with.
+                e.run_until_drained();
+            }
+        }
+        e.run_until_drained();
+        for t in 0..queries.len() as u64 {
+            results.push(e.results().combine_scan(t));
+        }
+        (results, e.telemetry().totals)
+    };
+
+    let (shared_results, shared_tel) = run(true);
+    let (solo_results, solo_tel) = run(false);
+
+    assert!(
+        shared_tel.coalesced_scans > 0,
+        "batched submission actually exercised scan sharing: {shared_tel:?}"
+    );
+    assert_eq!(
+        solo_tel.coalesced_scans, 0,
+        "one-at-a-time submission must not coalesce: {solo_tel:?}"
+    );
+    assert_eq!(shared_tel.scans, solo_tel.scans, "same scan count");
+    for (t, (s, u)) in shared_results.iter().zip(&solo_results).enumerate() {
+        assert!(s.is_some(), "query {t} answered");
+        assert_eq!(s, u, "query {t} ({:?}): shared == unshared", queries[t]);
+    }
+}
+
+#[test]
 fn multiple_objects_are_independent() {
     let mut e = engine(2, 2);
     let a = e.create_index("a", 1 << 16);

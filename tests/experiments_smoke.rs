@@ -45,6 +45,32 @@ fn fig5_raw_routing_improves_with_buffer_size() {
         proc_gain < raw_gain,
         "processing plateaus: {proc_gain:.1} vs {raw_gain:.1}"
     );
+    // The routing telemetry behind the curve is live and consistent: the
+    // experiment moved real commands through flushes and buffer swaps, and
+    // bigger outgoing buffers amortize reservations into fewer, fatter
+    // flushes.
+    for r in &rows {
+        let t = &r.telemetry;
+        assert!(t.commands_routed > 0, "buffer {}: routed", r.buffer_cmds);
+        assert!(t.flushes > 0 && t.buffer_swaps > 0, "telemetry live");
+        // The run stops mid-flight (fixed virtual duration, no drain), so
+        // executions can only trail deliveries, never exceed them.
+        assert!(
+            t.commands_executed <= t.commands_unicast + t.commands_multicast,
+            "buffer {}: executed {} cannot exceed deliveries {}",
+            r.buffer_cmds,
+            t.commands_executed,
+            t.commands_unicast + t.commands_multicast
+        );
+    }
+    let cmds_per_flush =
+        |r: &fig5::Row| r.telemetry.flush_commands as f64 / r.telemetry.flushes.max(1) as f64;
+    assert!(
+        cmds_per_flush(last) > 2.0 * cmds_per_flush(first),
+        "bigger buffers batch more commands per flush: {:.1} vs {:.1}",
+        cmds_per_flush(last),
+        cmds_per_flush(first)
+    );
 }
 
 #[test]
