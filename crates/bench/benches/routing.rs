@@ -103,11 +103,13 @@ fn bench_route_split(c: &mut Criterion) {
     let keys: Vec<u64> = (0..64).map(|i| (i * 104729) % (1 << 20)).collect();
     c.bench_function("routing/route_64key_lookup_over_64_aeus", |b| {
         b.iter(|| {
-            router.route(DataCommand {
-                object: DataObjectId(0),
-                ticket: 0,
-                payload: Payload::Lookup { keys: keys.clone() },
-            });
+            router
+                .route(DataCommand {
+                    object: DataObjectId(0),
+                    ticket: 0,
+                    payload: Payload::Lookup { keys: keys.clone() },
+                })
+                .unwrap();
             black_box(router.flush_all().len());
             // Drain targets so incoming buffers never fill.
             for a in 0..64u32 {

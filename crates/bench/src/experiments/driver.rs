@@ -109,6 +109,9 @@ pub fn attach_scan_gen(e: &mut Engine, object: DataObjectId) {
 /// the virtual seconds actually elapsed in the window.
 pub fn measure(e: &mut Engine, warmup_s: f64, window_s: f64) -> (OpCounts, f64) {
     e.run_for_virtual_secs(warmup_s);
+    // Drop warmup traffic from both the router counters and the telemetry
+    // shards so the window reports steady-state rates only.
+    e.reset_counters();
     let t0 = e.clock().now_secs();
     let ops = e.run_for_virtual_secs(window_s);
     let elapsed = e.clock().now_secs() - t0;

@@ -9,7 +9,9 @@
 
 use crate::command::{AeuId, DataCommand, DataObjectId, Payload, StorageOp};
 use crate::cost::{expected_tree_misses, CostParams};
+use crate::durability::{RedoOp, RedoSink};
 use crate::results::ResultCollector;
+use crate::routing::RoutingError;
 use crate::routing::{FlushInfo, IncomingBuffers, Router};
 use crate::telemetry::{ObjectCounters, TelemetryShard};
 use eris_column::{Column, Predicate, Segment, SharedScan};
@@ -229,6 +231,8 @@ pub struct Aeu {
     tel: Arc<TelemetryShard>,
     /// Per-object conservation ledgers, cached off the registry lock.
     tel_objects: Vec<Option<Arc<ObjectCounters>>>,
+    /// Durability hook: every applied local mutation is reported here.
+    sink: Option<Arc<dyn RedoSink>>,
 }
 
 impl Aeu {
@@ -264,19 +268,39 @@ impl Aeu {
             scratch_values: Vec::new(),
             tel,
             tel_objects: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// Attach (or detach) the durability sink.  Must happen while the
+    /// engine is quiesced; recovery runs with the sink detached so replay
+    /// does not re-journal itself.
+    pub fn set_redo_sink(&mut self, sink: Option<Arc<dyn RedoSink>>) {
+        self.sink = sink;
+    }
+
+    /// Report one applied mutation to the attached sink, if any.
+    #[inline]
+    fn journal(&self, op: RedoOp<'_>) {
+        if let Some(s) = &self.sink {
+            s.append(self.id, op);
         }
     }
 
     /// The cached conservation ledger of `id` (execution side).
-    fn object_ledger(&mut self, id: DataObjectId) -> &ObjectCounters {
+    fn object_ledger(&mut self, id: DataObjectId) -> Arc<ObjectCounters> {
         let i = id.0 as usize;
         if self.tel_objects.len() <= i {
             self.tel_objects.resize_with(i + 1, || None);
         }
-        if self.tel_objects[i].is_none() {
-            self.tel_objects[i] = Some(self.router.shared().telemetry().object(id));
+        match &self.tel_objects[i] {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = self.router.shared().telemetry().object(id);
+                self.tel_objects[i] = Some(Arc::clone(&c));
+                c
+            }
         }
-        self.tel_objects[i].as_deref().unwrap()
     }
 
     /// Attach (or clear) this AEU's command generator.
@@ -370,21 +394,39 @@ impl Aeu {
 
     /// Route a command on behalf of an external client through this AEU's
     /// routing front end, charging the costs to `w`.
-    pub fn route_external(&mut self, cmd: DataCommand, w: &mut WorkSummary) {
-        self.route_and_charge(cmd, w);
+    pub fn route_external(
+        &mut self,
+        cmd: DataCommand,
+        w: &mut WorkSummary,
+    ) -> Result<(), RoutingError> {
+        self.route_and_charge(cmd, w)
     }
 
     /// Route one command, charging CPU per emitted sub-command (the batch
     /// target lookup + encode of routing step 1) and flush costs.
-    fn route_and_charge(&mut self, cmd: DataCommand, w: &mut WorkSummary) {
+    fn route_and_charge(
+        &mut self,
+        cmd: DataCommand,
+        w: &mut WorkSummary,
+    ) -> Result<(), RoutingError> {
         let before = self.router.stats.commands_out;
         let keys = cmd.payload.op_count();
-        let fl = self.router.route(cmd);
+        let fl = self.router.route(cmd)?;
         let emitted = (self.router.stats.commands_out - before).max(1);
         w.cpu_ns += emitted as f64 * self.cfg.params.cpu_ns_per_routed_cmd
             + keys as f64 * self.cfg.params.cpu_ns_per_routed_key;
         w.ops.commands_routed += 1;
         charge_flushes_to(w, &self.cfg.node_of, &fl, &self.cfg.params, false);
+        Ok(())
+    }
+
+    /// Route a command produced *inside* the processing stage (forwarded
+    /// strays, join probes, materialized appends).  These always target
+    /// objects that are registered — their commands came through routing.
+    fn route_internal(&mut self, cmd: DataCommand) -> Vec<FlushInfo> {
+        self.router
+            .route(cmd)
+            .expect("internally produced command targets a registered object")
     }
 
     /// Provision a fresh local segment for a column partition.
@@ -410,6 +452,7 @@ impl Aeu {
                 Self::provision_segment(&mut self.mem, node, col);
             }
         }
+        self.journal(RedoOp::AppendRows { object, rows });
     }
 
     /// Insert pairs into an index or hash partition (balancing absorb side).
@@ -431,6 +474,7 @@ impl Aeu {
             }
             PartitionData::Column(_) => panic!("absorb_pairs on a column partition"),
         }
+        self.journal(RedoOp::UpsertPairs { object, pairs });
     }
 
     /// Extract and remove all keys of `[lo, hi)` (balancing shrink side).
@@ -439,7 +483,7 @@ impl Aeu {
             .partitions
             .get_mut(&object)
             .expect("point partition exists");
-        match &mut p.data {
+        let moved = match &mut p.data {
             PartitionData::Index(tree) => {
                 let moved = tree.flatten_range(lo, hi);
                 for &(k, _) in &moved {
@@ -449,7 +493,9 @@ impl Aeu {
             }
             PartitionData::Hash(h) => h.extract_range(lo, hi),
             PartitionData::Column(_) => panic!("extract_range on a column partition"),
-        }
+        };
+        self.journal(RedoOp::RemoveRange { object, lo, hi });
+        moved
     }
 
     /// Remove the last `n` rows of a column partition.
@@ -461,13 +507,23 @@ impl Aeu {
         let PartitionData::Column(col) = &mut p.data else {
             panic!("extract_tail_rows on an index partition")
         };
-        col.drain_tail(n)
+        let rows = col.drain_tail(n);
+        self.journal(RedoOp::RemoveTail {
+            object,
+            n: rows.len() as u64,
+        });
+        rows
     }
 
     /// Update the responsibility range after a balancing command.
     pub fn set_range(&mut self, object: DataObjectId, range: (u64, u64)) {
         if let Some(p) = self.partitions.get_mut(&object) {
             p.range = range;
+            self.journal(RedoOp::SetRange {
+                object,
+                lo: range.0,
+                hi: range.1,
+            });
         }
     }
 
@@ -488,7 +544,8 @@ impl Aeu {
             gen(self.epoch, &mut self.scratch_gen);
             let gen_cmds: Vec<DataCommand> = self.scratch_gen.drain(..).collect();
             for cmd in gen_cmds {
-                self.route_and_charge(cmd, &mut w);
+                self.route_and_charge(cmd, &mut w)
+                    .expect("generated command targets a registered object");
             }
         }
 
@@ -573,6 +630,9 @@ impl Aeu {
             c.forwarded.fetch_add(ops.forwarded, Relaxed);
         }
         self.tel.step_ns.record((w.cpu_ns + w.latency_ns) as u64);
+        if let Some(s) = &self.sink {
+            s.end_of_step(self.id);
+        }
         w
     }
 
@@ -610,7 +670,7 @@ impl Aeu {
         if !self.partitions.contains_key(&object) {
             for c in cmds {
                 w.ops.forwarded += 1;
-                let fl = self.router.route(c.clone());
+                let fl = self.route_internal(c.clone());
                 charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
             }
             return;
@@ -681,7 +741,9 @@ impl Aeu {
                     },
                     _ => unreachable!(),
                 };
-                self.route_and_charge(cmd, w);
+                // Infallible for the same reason as `route_internal`.
+                self.route_and_charge(cmd, w)
+                    .expect("internally produced command targets a registered object");
             }
         }
     }
@@ -691,7 +753,7 @@ impl Aeu {
             // Partition moved away entirely: forward everything.
             for c in cmds {
                 w.ops.forwarded += c.payload.op_count();
-                let fl = self.router.route(c.clone());
+                let fl = self.route_internal(c.clone());
                 charge_flushes_to(w, &self.cfg.node_of, &fl, &self.cfg.params, false);
             }
             return;
@@ -765,7 +827,7 @@ impl Aeu {
         for (ticket, keys) in strays {
             w.ops.forwarded += keys.len() as u64;
             w.cpu_ns += keys.len() as f64 * params.cpu_ns_per_routed_cmd;
-            let fl = self.router.route(DataCommand {
+            let fl = self.route_internal(DataCommand {
                 object,
                 ticket,
                 payload: Payload::Lookup { keys },
@@ -779,7 +841,7 @@ impl Aeu {
         let Some(p) = self.partitions.get(&object) else {
             for c in cmds {
                 w.ops.forwarded += c.payload.op_count();
-                let fl = self.router.route(c.clone());
+                let fl = self.route_internal(c.clone());
                 charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
             }
             return;
@@ -823,6 +885,12 @@ impl Aeu {
                         }
                         PartitionData::Column(_) => unreachable!(),
                     }
+                    if !mine.is_empty() {
+                        self.journal(RedoOp::UpsertPairs {
+                            object,
+                            pairs: &mine,
+                        });
+                    }
                     let n = mine.len() as u64;
                     total += n;
                     exec_ns += n as f64 * (per_op_cpu + params.cpu_ns_per_upsert);
@@ -846,7 +914,7 @@ impl Aeu {
                 for (ticket, pairs) in strays {
                     w.ops.forwarded += pairs.len() as u64;
                     w.cpu_ns += pairs.len() as f64 * params.cpu_ns_per_routed_cmd;
-                    let fl = self.router.route(DataCommand {
+                    let fl = self.route_internal(DataCommand {
                         object,
                         ticket,
                         payload: Payload::Upsert { pairs },
@@ -885,7 +953,7 @@ impl Aeu {
         let Some(p) = self.partitions.get_mut(&object) else {
             for c in cmds {
                 w.ops.forwarded += 1;
-                let fl = self.router.route(c.clone());
+                let fl = self.route_internal(c.clone());
                 charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
             }
             return;
@@ -987,6 +1055,59 @@ impl Aeu {
                 ));
                 p.accesses += cmds.len() as u64;
                 p.exec_ns += exec_ns;
+            }
+        }
+    }
+
+    /// Serialize every partition this AEU owns, in object order:
+    /// `(object, range, payload)`.  Payload formats are owned by the
+    /// structures themselves (`PrefixTree`/`HashTable`/`Column`
+    /// `serialize_into`).
+    pub fn serialize_partitions(&self) -> Vec<(DataObjectId, (u64, u64), Vec<u8>)> {
+        self.partitions
+            .iter()
+            .map(|(&object, p)| {
+                let mut payload = Vec::new();
+                match &p.data {
+                    PartitionData::Index(tree) => tree.serialize_into(&mut payload),
+                    PartitionData::Hash(h) => h.serialize_into(&mut payload),
+                    PartitionData::Column(col) => col.serialize_into(&mut payload),
+                }
+                (object, p.range, payload)
+            })
+            .collect()
+    }
+
+    /// Refill one (freshly created, empty) partition from a checkpoint
+    /// payload and restore its responsibility range.  Returns `false` if
+    /// this AEU holds no such partition or the payload is malformed.
+    /// Runs before the redo sink is attached, so nothing is re-journaled.
+    pub fn restore_partition(
+        &mut self,
+        object: DataObjectId,
+        range: (u64, u64),
+        payload: &[u8],
+    ) -> bool {
+        let node = self.node;
+        let Some(p) = self.partitions.get_mut(&object) else {
+            return false;
+        };
+        p.range = range;
+        match &mut p.data {
+            PartitionData::Index(tree) => tree.restore(payload),
+            PartitionData::Hash(h) => h.restore(payload),
+            PartitionData::Column(col) => {
+                let Some(rows) = Column::decode_values(payload) else {
+                    return false;
+                };
+                let mut written = 0;
+                while written < rows.len() {
+                    written += col.append_slice(&rows[written..]);
+                    if written < rows.len() {
+                        Self::provision_segment(&mut self.mem, node, col);
+                    }
+                }
+                true
             }
         }
     }

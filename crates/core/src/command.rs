@@ -127,6 +127,65 @@ const AGG_MINMAX: u8 = 2;
 /// Command header size in bytes: op + object + ticket + payload length.
 pub const HEADER_BYTES: usize = 1 + 4 + 8 + 4;
 
+/// Why a byte stream failed to decode as a [`DataCommand`].  Routing
+/// buffers are process-internal, but the same wire format is persisted by
+/// the durability journal, where truncated or corrupt input is a normal
+/// crash outcome and must be rejected, not panicked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the encoding was complete.
+    Truncated,
+    /// The payload was shorter than its declared length.
+    TrailingPayloadBytes {
+        declared: u32,
+        consumed: u32,
+    },
+    UnknownOp(u8),
+    UnknownPredicate(u8),
+    UnknownAggregate(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated command encoding"),
+            DecodeError::TrailingPayloadBytes { declared, consumed } => write!(
+                f,
+                "payload declared {declared} bytes but decoding consumed {consumed}"
+            ),
+            DecodeError::UnknownOp(t) => write!(f, "unknown op tag {t}"),
+            DecodeError::UnknownPredicate(t) => write!(f, "unknown predicate tag {t}"),
+            DecodeError::UnknownAggregate(t) => write!(f, "unknown aggregate tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn take_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
+    if buf.is_empty() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+#[inline]
+fn take_u32(buf: &mut &[u8]) -> Result<u32, DecodeError> {
+    if buf.len() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+#[inline]
+fn take_u64(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    if buf.len() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
 impl DataCommand {
     /// Encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
@@ -198,46 +257,52 @@ impl DataCommand {
         }
     }
 
-    /// Decode one command from the front of `buf`, advancing it.
-    ///
-    /// # Panics
-    /// On a malformed buffer — buffers are process-internal, so corruption
-    /// is a logic error, not an input error.
-    pub fn decode(buf: &mut &[u8]) -> DataCommand {
-        assert!(buf.len() >= HEADER_BYTES, "truncated command header");
-        let op = buf.get_u8();
-        let object = DataObjectId(buf.get_u32_le());
-        let ticket = buf.get_u64_le();
-        let plen = buf.get_u32_le() as usize;
-        assert!(buf.len() >= plen, "truncated command payload");
+    /// Decode one command from the front of `buf`, advancing it only on
+    /// success.  Never panics: malformed, truncated, or corrupt input is
+    /// reported as a [`DecodeError`] and leaves `buf` untouched.
+    pub fn try_decode(buf: &mut &[u8]) -> Result<DataCommand, DecodeError> {
+        if buf.len() < HEADER_BYTES {
+            return Err(DecodeError::Truncated);
+        }
+        let mut cur = *buf;
+        let op = cur.get_u8();
+        let object = DataObjectId(cur.get_u32_le());
+        let ticket = cur.get_u64_le();
+        let plen = cur.get_u32_le() as usize;
+        if cur.len() < plen {
+            return Err(DecodeError::Truncated);
+        }
+        let mut body = &cur[..plen];
         let payload = match op {
             OP_LOOKUP => {
-                let n = buf.get_u32_le() as usize;
-                let mut keys = Vec::with_capacity(n);
+                let n = take_u32(&mut body)? as usize;
+                // Cap the pre-allocation by what the body can actually
+                // hold, so a corrupt count cannot demand gigabytes.
+                let mut keys = Vec::with_capacity(n.min(body.len() / 8));
                 for _ in 0..n {
-                    keys.push(buf.get_u64_le());
+                    keys.push(take_u64(&mut body)?);
                 }
                 Payload::Lookup { keys }
             }
             OP_UPSERT => {
-                let n = buf.get_u32_le() as usize;
-                let mut pairs = Vec::with_capacity(n);
+                let n = take_u32(&mut body)? as usize;
+                let mut pairs = Vec::with_capacity(n.min(body.len() / 16));
                 for _ in 0..n {
-                    let k = buf.get_u64_le();
-                    let v = buf.get_u64_le();
+                    let k = take_u64(&mut body)?;
+                    let v = take_u64(&mut body)?;
                     pairs.push((k, v));
                 }
                 Payload::Upsert { pairs }
             }
             OP_SCAN => {
-                let pred = decode_pred(buf);
-                let agg = match buf.get_u8() {
+                let pred = decode_pred(&mut body)?;
+                let agg = match take_u8(&mut body)? {
                     AGG_COUNT => Aggregate::Count,
                     AGG_SUM => Aggregate::Sum,
                     AGG_MINMAX => Aggregate::MinMax,
-                    t => panic!("unknown aggregate tag {t}"),
+                    t => return Err(DecodeError::UnknownAggregate(t)),
                 };
-                let snapshot = buf.get_u64_le();
+                let snapshot = take_u64(&mut body)?;
                 Payload::Scan {
                     pred,
                     agg,
@@ -245,9 +310,9 @@ impl DataCommand {
                 }
             }
             OP_JOIN_PROBE => {
-                let index = DataObjectId(buf.get_u32_le());
-                let pred = decode_pred(buf);
-                let snapshot = buf.get_u64_le();
+                let index = DataObjectId(take_u32(&mut body)?);
+                let pred = decode_pred(&mut body)?;
+                let snapshot = take_u64(&mut body)?;
                 Payload::JoinProbe {
                     index,
                     pred,
@@ -255,21 +320,41 @@ impl DataCommand {
                 }
             }
             OP_MATERIALIZE => {
-                let dst = DataObjectId(buf.get_u32_le());
-                let pred = decode_pred(buf);
-                let snapshot = buf.get_u64_le();
+                let dst = DataObjectId(take_u32(&mut body)?);
+                let pred = decode_pred(&mut body)?;
+                let snapshot = take_u64(&mut body)?;
                 Payload::Materialize {
                     dst,
                     pred,
                     snapshot,
                 }
             }
-            t => panic!("unknown op tag {t}"),
+            t => return Err(DecodeError::UnknownOp(t)),
         };
-        DataCommand {
+        if !body.is_empty() {
+            return Err(DecodeError::TrailingPayloadBytes {
+                declared: plen as u32,
+                consumed: (plen - body.len()) as u32,
+            });
+        }
+        *buf = &cur[plen..];
+        Ok(DataCommand {
             object,
             ticket,
             payload,
+        })
+    }
+
+    /// Decode one command from the front of `buf`, advancing it.
+    ///
+    /// # Panics
+    /// On a malformed buffer — routing buffers are process-internal, so
+    /// corruption there is a logic error, not an input error.  External
+    /// input (journal replay) goes through [`DataCommand::try_decode`].
+    pub fn decode(buf: &mut &[u8]) -> DataCommand {
+        match DataCommand::try_decode(buf) {
+            Ok(cmd) => cmd,
+            Err(e) => panic!("malformed command buffer: {e}"),
         }
     }
 
@@ -312,15 +397,15 @@ fn encode_pred(out: &mut Vec<u8>, pred: &Predicate) {
     }
 }
 
-fn decode_pred(buf: &mut &[u8]) -> Predicate {
-    let ptag = buf.get_u8();
-    let a = buf.get_u64_le();
-    let b = buf.get_u64_le();
+fn decode_pred(buf: &mut &[u8]) -> Result<Predicate, DecodeError> {
+    let ptag = take_u8(buf)?;
+    let a = take_u64(buf)?;
+    let b = take_u64(buf)?;
     match ptag {
-        PRED_ALL => Predicate::All,
-        PRED_RANGE => Predicate::Range { lo: a, hi: b },
-        PRED_EQ => Predicate::Equals(a),
-        t => panic!("unknown predicate tag {t}"),
+        PRED_ALL => Ok(Predicate::All),
+        PRED_RANGE => Ok(Predicate::Range { lo: a, hi: b }),
+        PRED_EQ => Ok(Predicate::Equals(a)),
+        t => Err(DecodeError::UnknownPredicate(t)),
     }
 }
 
@@ -463,6 +548,83 @@ mod tests {
     }
 
     #[test]
+    fn try_decode_rejects_every_truncation() {
+        let cmd = DataCommand {
+            object: DataObjectId(3),
+            ticket: 9,
+            payload: Payload::Upsert {
+                pairs: vec![(1, 2), (3, 4)],
+            },
+        };
+        let mut buf = Vec::new();
+        cmd.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut short = &buf[..cut];
+            let before = short;
+            assert_eq!(
+                DataCommand::try_decode(&mut short),
+                Err(DecodeError::Truncated),
+                "prefix of {cut} bytes"
+            );
+            assert_eq!(short, before, "buffer untouched on error");
+        }
+        let mut full = buf.as_slice();
+        assert_eq!(DataCommand::try_decode(&mut full), Ok(cmd));
+        assert!(full.is_empty());
+    }
+
+    #[test]
+    fn try_decode_rejects_unknown_tags() {
+        let cmd = DataCommand {
+            object: DataObjectId(0),
+            ticket: 0,
+            payload: Payload::Scan {
+                pred: Predicate::All,
+                agg: Aggregate::Count,
+                snapshot: 0,
+            },
+        };
+        let mut buf = Vec::new();
+        cmd.encode(&mut buf);
+        let mut bad_op = buf.clone();
+        bad_op[0] = 99;
+        assert_eq!(
+            DataCommand::try_decode(&mut bad_op.as_slice()),
+            Err(DecodeError::UnknownOp(99))
+        );
+        let mut bad_pred = buf.clone();
+        bad_pred[HEADER_BYTES] = 77;
+        assert_eq!(
+            DataCommand::try_decode(&mut bad_pred.as_slice()),
+            Err(DecodeError::UnknownPredicate(77))
+        );
+        let mut bad_agg = buf.clone();
+        bad_agg[HEADER_BYTES + 17] = 55;
+        assert_eq!(
+            DataCommand::try_decode(&mut bad_agg.as_slice()),
+            Err(DecodeError::UnknownAggregate(55))
+        );
+    }
+
+    #[test]
+    fn try_decode_survives_corrupt_element_counts() {
+        let cmd = DataCommand {
+            object: DataObjectId(0),
+            ticket: 0,
+            payload: Payload::Lookup { keys: vec![42] },
+        };
+        let mut buf = Vec::new();
+        cmd.encode(&mut buf);
+        // Blow up the key count without growing the payload: must fail
+        // cleanly instead of over-allocating or panicking.
+        buf[HEADER_BYTES..HEADER_BYTES + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            DataCommand::try_decode(&mut buf.as_slice()),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "truncated")]
     fn truncated_buffer_panics() {
         let cmd = DataCommand {
@@ -474,5 +636,90 @@ mod tests {
         cmd.encode(&mut buf);
         let mut short = &buf[..HEADER_BYTES - 2];
         DataCommand::decode(&mut short);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use eris_column::{Aggregate, Predicate};
+    use proptest::prelude::*;
+
+    const FULL: core::ops::RangeInclusive<u64> = 0..=u64::MAX;
+
+    fn arb_pred() -> impl Strategy<Value = Predicate> {
+        (0u8..3, FULL, FULL).prop_map(|(tag, a, b)| match tag {
+            0 => Predicate::All,
+            1 => Predicate::Range { lo: a, hi: b },
+            _ => Predicate::Equals(a),
+        })
+    }
+
+    fn arb_command() -> impl Strategy<Value = DataCommand> {
+        (
+            (0u8..5, 0u32..1 << 20, FULL),
+            proptest::collection::vec(FULL, 0..48),
+            proptest::collection::vec((FULL, FULL), 0..48),
+            (arb_pred(), 0u8..3, FULL, 0u32..1 << 20),
+        )
+            .prop_map(
+                |((op, object, ticket), keys, pairs, (pred, agg, snapshot, other))| {
+                    let agg = match agg {
+                        0 => Aggregate::Count,
+                        1 => Aggregate::Sum,
+                        _ => Aggregate::MinMax,
+                    };
+                    let payload = match op {
+                        0 => Payload::Lookup { keys },
+                        1 => Payload::Upsert { pairs },
+                        2 => Payload::Scan {
+                            pred,
+                            agg,
+                            snapshot,
+                        },
+                        3 => Payload::JoinProbe {
+                            index: DataObjectId(other),
+                            pred,
+                            snapshot,
+                        },
+                        _ => Payload::Materialize {
+                            dst: DataObjectId(other),
+                            pred,
+                            snapshot,
+                        },
+                    };
+                    DataCommand {
+                        object: DataObjectId(object),
+                        ticket,
+                        payload,
+                    }
+                },
+            )
+    }
+
+    proptest! {
+        #[test]
+        fn encoding_roundtrips(cmd in arb_command()) {
+            let mut buf = Vec::new();
+            cmd.encode(&mut buf);
+            prop_assert_eq!(buf.len(), cmd.encoded_len());
+            let mut cur = buf.as_slice();
+            let back = DataCommand::try_decode(&mut cur).expect("own encoding decodes");
+            prop_assert!(cur.is_empty(), "decode consumes the whole encoding");
+            prop_assert_eq!(back, cmd);
+        }
+
+        #[test]
+        fn every_truncation_is_rejected(cmd in arb_command()) {
+            let mut buf = Vec::new();
+            cmd.encode(&mut buf);
+            // Every strict prefix must fail cleanly and leave the cursor put.
+            for cut in 0..buf.len() {
+                let mut cur = &buf[..cut];
+                let before = cur;
+                prop_assert!(DataCommand::try_decode(&mut cur).is_err());
+                prop_assert_eq!(cur, before, "cursor untouched on error");
+            }
+        }
     }
 }

@@ -1,0 +1,119 @@
+//! Engine-side durability hooks.
+//!
+//! ERIS is an in-memory engine and the paper leaves persistence out of
+//! scope; this module is the narrow seam the `eris-durability` crate
+//! plugs into.  The engine stays free of any file I/O: AEUs report every
+//! *local state mutation* to an attached [`RedoSink`] as a [`RedoOp`],
+//! and the sink (a per-AEU write-ahead journal) makes it durable.
+//!
+//! Ops are recorded **post-routing** — an AEU only reports the pairs it
+//! actually applied to its own partition, never the strays it forwarded —
+//! so replay is purely local and needs no re-routing: each AEU's log can
+//! be re-applied to its own partitions independently and in order.
+//! Balancing transfers decompose into a [`RedoOp::RemoveRange`] on the
+//! source AEU and an [`RedoOp::UpsertPairs`] on the destination, which
+//! touch disjoint partitions and therefore commute across logs.
+
+use crate::command::{AeuId, DataObjectId};
+
+/// The storage layout of a data object, as needed to re-create it during
+/// recovery (`ObjectKind` conflates tree- and hash-backed range objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectClass {
+    /// Range-partitioned prefix tree (`Engine::create_index`).
+    Tree,
+    /// Range-partitioned per-AEU hash tables (`Engine::create_hash_index`).
+    Hash,
+    /// Size-partitioned column (`Engine::create_column`).
+    Column,
+}
+
+impl ObjectClass {
+    /// Stable one-byte tag for manifests and journal records.
+    pub fn tag(self) -> u8 {
+        match self {
+            ObjectClass::Tree => 0,
+            ObjectClass::Hash => 1,
+            ObjectClass::Column => 2,
+        }
+    }
+
+    /// Inverse of [`ObjectClass::tag`].
+    pub fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(ObjectClass::Tree),
+            1 => Some(ObjectClass::Hash),
+            2 => Some(ObjectClass::Column),
+            _ => None,
+        }
+    }
+}
+
+/// Metadata of one data object, for checkpoint manifests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectDescriptor {
+    pub id: DataObjectId,
+    pub class: ObjectClass,
+    /// Key domain of range-partitioned objects (0 for columns).
+    pub domain: u64,
+    pub name: String,
+}
+
+/// One local state mutation, reported to the sink *after* it was applied
+/// in memory.  Borrowed payloads keep the hot path allocation-free; a
+/// sink that needs to retain them encodes immediately.
+#[derive(Debug, Clone, Copy)]
+pub enum RedoOp<'a> {
+    /// A data object came into existence (always reported via AEU 0's
+    /// log, before any data op references the object).
+    CreateObject {
+        class: ObjectClass,
+        object: DataObjectId,
+        domain: u64,
+        name: &'a str,
+    },
+    /// Pairs applied to this AEU's index/hash partition (routed upserts
+    /// that passed the range validity check, bulk loads, or the absorb
+    /// side of a balancing transfer).
+    UpsertPairs {
+        object: DataObjectId,
+        pairs: &'a [(u64, u64)],
+    },
+    /// Rows appended to this AEU's column partition.
+    AppendRows {
+        object: DataObjectId,
+        rows: &'a [u64],
+    },
+    /// Keys of `[lo, hi)` removed (the shrink side of a transfer).
+    RemoveRange {
+        object: DataObjectId,
+        lo: u64,
+        hi: u64,
+    },
+    /// Last `n` rows removed from a column partition.
+    RemoveTail { object: DataObjectId, n: u64 },
+    /// The AEU's responsibility range changed (routing-table rebuild).
+    SetRange {
+        object: DataObjectId,
+        lo: u64,
+        hi: u64,
+    },
+}
+
+/// Where AEUs push their redo stream.  Implemented by the per-AEU
+/// write-ahead journal in `eris-durability`; all methods may be called
+/// concurrently from different AEU threads (each AEU only ever passes its
+/// own id).
+pub trait RedoSink: Send + Sync {
+    /// Record one applied mutation of `aeu`'s state.
+    fn append(&self, aeu: AeuId, op: RedoOp<'_>);
+
+    /// The AEU finished one loop iteration — a natural group-commit
+    /// boundary for buffered records.
+    fn end_of_step(&self, _aeu: AeuId) {}
+
+    /// Engine-orchestrated multi-AEU mutation (a balancing cycle)
+    /// completed: make every log durable so the transfer's remove/absorb
+    /// record pair cannot be split by a crash.
+    fn barrier(&self) {}
+}

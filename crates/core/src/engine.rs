@@ -8,10 +8,11 @@ use crate::balancer::{
 };
 use crate::command::{AeuId, DataCommand, DataObjectId};
 use crate::cost::CostParams;
+use crate::durability::{ObjectClass, ObjectDescriptor, RedoOp, RedoSink};
 use crate::monitor::{Monitor, Sample};
 use crate::results::ResultCollector;
 use crate::routing::{
-    BitmapTable, PartitionTable, RangeTable, Router, RoutingConfig, RoutingShared,
+    BitmapTable, PartitionTable, RangeTable, Router, RoutingConfig, RoutingError, RoutingShared,
 };
 use crate::telemetry::{CounterSnapshot, TelemetrySnapshot};
 use eris_index::PrefixTreeConfig;
@@ -21,6 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Engine configuration.
+#[derive(Clone)]
 pub struct EngineConfig {
     /// AEUs per node; `None` = one per core (the paper's deployment).
     pub aeus_per_node: Option<u16>,
@@ -137,6 +139,8 @@ pub struct Engine {
     balance_backoff: Vec<BackoffState>,
     monitor: Monitor,
     stop: Arc<AtomicBool>,
+    /// Durability sink shared with every AEU (None = volatile engine).
+    sink: Option<Arc<dyn RedoSink>>,
 }
 
 impl Engine {
@@ -216,7 +220,25 @@ impl Engine {
             balance_backoff: Vec::new(),
             monitor: Monitor::new(64),
             stop: Arc::new(AtomicBool::new(false)),
+            sink: None,
         }
+    }
+
+    /// Attach (or detach) a durability sink.  Every AEU reports its
+    /// applied mutations there; object creations and balancing barriers
+    /// are reported by the engine itself.  Attach only while quiesced
+    /// (freshly built or drained) — mutations applied before the sink was
+    /// attached are not retroactively journaled.
+    pub fn set_redo_sink(&mut self, sink: Option<Arc<dyn RedoSink>>) {
+        for aeu in self.aeus.iter_mut() {
+            aeu.set_redo_sink(sink.clone());
+        }
+        self.sink = sink;
+    }
+
+    /// True when a durability sink is attached.
+    pub fn has_redo_sink(&self) -> bool {
+        self.sink.is_some()
     }
 
     /// The platform the engine runs on.
@@ -254,9 +276,22 @@ impl Engine {
         &self.counters
     }
 
-    /// Reset the traffic counters (start of a measurement window).
+    /// Reset the traffic counters *and* the telemetry shards (start of a
+    /// measurement window).
     pub fn reset_counters(&mut self) {
         self.counters.reset();
+        self.reset_telemetry();
+    }
+
+    /// Zero every per-AEU telemetry shard, histogram, and incoming-buffer
+    /// statistic so a measurement window starts from a clean slate.  The
+    /// per-object conservation ledgers are left untouched — commands in
+    /// flight at reset time would otherwise unbalance them forever.
+    pub fn reset_telemetry(&mut self) {
+        self.shared.telemetry().reset_shards();
+        for i in 0..self.shared.num_aeus() {
+            self.shared.incoming(AeuId(i as u32)).reset_stats();
+        }
     }
 
     /// The per-node memory manager.
@@ -299,6 +334,7 @@ impl Engine {
             name: name.into(),
         });
         self.balance_backoff.push(BackoffState::default());
+        self.journal_create(ObjectClass::Tree, id, domain, name);
         id
     }
 
@@ -323,6 +359,7 @@ impl Engine {
             name: name.into(),
         });
         self.balance_backoff.push(BackoffState::default());
+        self.journal_create(ObjectClass::Hash, id, domain, name);
         id
     }
 
@@ -341,7 +378,96 @@ impl Engine {
             name: name.into(),
         });
         self.balance_backoff.push(BackoffState::default());
+        self.journal_create(ObjectClass::Column, id, 0, name);
         id
+    }
+
+    /// Journal an object creation on AEU 0's log — creations are engine
+    /// operations, but replay needs them ordered before AEU 0's data ops.
+    fn journal_create(&self, class: ObjectClass, id: DataObjectId, domain: u64, name: &str) {
+        if let Some(s) = &self.sink {
+            s.append(
+                AeuId(0),
+                RedoOp::CreateObject {
+                    class,
+                    object: id,
+                    domain,
+                    name,
+                },
+            );
+            // An object must never be referenced by a journal tail without
+            // its creation record being durable first.
+            s.barrier();
+        }
+    }
+
+    /// Describe every data object for checkpoint manifests: id, storage
+    /// class, key domain, and name.
+    pub fn describe_objects(&self) -> Vec<ObjectDescriptor> {
+        self.objects
+            .iter()
+            .map(|o| {
+                let (class, domain) = match o.kind {
+                    ObjectKind::Column => (ObjectClass::Column, 0),
+                    ObjectKind::Index { domain } => {
+                        // `ObjectKind` conflates the two range-partitioned
+                        // layouts; partition 0's storage distinguishes them.
+                        let class = match self.aeus[0].partition(o.id).map(|p| &p.data) {
+                            Some(crate::aeu::PartitionData::Hash(_)) => ObjectClass::Hash,
+                            _ => ObjectClass::Tree,
+                        };
+                        (class, domain)
+                    }
+                };
+                ObjectDescriptor {
+                    id: o.id,
+                    class,
+                    domain,
+                    name: o.name.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Rebuild a range-partitioned object's routing table from restored
+    /// per-AEU lower bounds (recovery only; mirrors the balancer's
+    /// table-rebuild + `set_range` sequence).
+    pub fn restore_partition_bounds(&mut self, object: DataObjectId, bounds: &[u64]) {
+        assert_eq!(bounds.len(), self.aeus.len(), "one bound per AEU");
+        let domain = match self.objects[object.0 as usize].kind {
+            ObjectKind::Index { domain } => domain,
+            ObjectKind::Column => return,
+        };
+        let owners = self.aeu_ids();
+        self.shared
+            .with_table_mut(object, |t| {
+                t.as_range_mut()
+                    .expect("range object")
+                    .rebuild(bounds.iter().copied().zip(owners.iter().copied()).collect())
+            })
+            .expect("restored object is registered");
+        for (i, aeu) in self.aeus.iter_mut().enumerate() {
+            let lo = bounds[i];
+            let hi = if i + 1 < bounds.len() {
+                bounds[i + 1]
+            } else {
+                domain
+            };
+            aeu.set_range(object, (lo, hi));
+        }
+    }
+
+    /// Overwrite one object's conservation ledger from a checkpoint
+    /// manifest (recovery only).
+    pub fn restore_object_ledger(&self, object: DataObjectId, enqueued: u64, executed: u64) {
+        self.shared
+            .telemetry()
+            .restore_object_ledger(object, enqueued, executed);
+    }
+
+    /// One AEU's telemetry shard (durability-layer counter updates).
+    pub fn telemetry_shard(&self, aeu: AeuId) -> &Arc<crate::telemetry::TelemetryShard> {
+        self.shared.telemetry().shard(aeu)
     }
 
     /// Object name (diagnostics).
@@ -358,7 +484,8 @@ impl Engine {
     ) {
         let ranges = self
             .shared
-            .with_table(object, |t| t.as_range().expect("index object").ranges());
+            .with_table(object, |t| t.as_range().expect("index object").ranges())
+            .expect("bulk-loaded object is registered");
         let domain = match self.objects[object.0 as usize].kind {
             ObjectKind::Index { domain } => domain,
             ObjectKind::Column => panic!("bulk_load_index on a column"),
@@ -404,13 +531,16 @@ impl Engine {
     }
 
     /// Submit one command through an AEU's router (client path for tests
-    /// and examples; generators are the benchmark path).
-    pub fn submit(&mut self, via: AeuId, cmd: DataCommand) {
+    /// and examples; generators are the benchmark path).  Undeliverable
+    /// commands — unknown object, point op on a size-partitioned object —
+    /// are rejected with a [`RoutingError`] and enqueue nothing.
+    pub fn submit(&mut self, via: AeuId, cmd: DataCommand) -> Result<(), RoutingError> {
         let node = self.node_of[via.index()];
         let mut w = crate::aeu::WorkSummary::new(node);
-        self.aeus[via.index()].route_external(cmd, &mut w);
+        self.aeus[via.index()].route_external(cmd, &mut w)?;
         // Submission costs are charged to the next epoch via pending ns.
         self.aeus[via.index()].add_pending_ns(w.cpu_ns + w.latency_ns);
+        Ok(())
     }
 
     /// Run one cooperative epoch: step every AEU, fair-share the traffic,
@@ -557,6 +687,11 @@ impl Engine {
             };
             self.monitor.record(id, sample);
         }
+        // A transfer's remove/absorb records live on two different AEU
+        // logs; sync them together so a crash cannot split the pair.
+        if let Some(s) = &self.sink {
+            s.barrier();
+        }
         total_ns
     }
 
@@ -616,6 +751,7 @@ impl Engine {
         let old_bounds: Vec<u64> = self
             .shared
             .with_table(object, |t| t.as_range().unwrap().ranges())
+            .expect("balanced object is registered")
             .iter()
             .map(|(b, _)| *b)
             .collect();
@@ -631,15 +767,17 @@ impl Engine {
         // All involved AEUs synchronize on the routing-table update first,
         // then execute their transfer commands.
         let owners = self.aeu_ids();
-        self.shared.with_table_mut(object, |t| {
-            t.as_range_mut().unwrap().rebuild(
-                new_bounds
-                    .iter()
-                    .copied()
-                    .zip(owners.iter().copied())
-                    .collect(),
-            )
-        });
+        self.shared
+            .with_table_mut(object, |t| {
+                t.as_range_mut().unwrap().rebuild(
+                    new_bounds
+                        .iter()
+                        .copied()
+                        .zip(owners.iter().copied())
+                        .collect(),
+                )
+            })
+            .expect("balanced object is registered");
         for (i, aeu) in self.aeus.iter_mut().enumerate() {
             let lo = new_bounds[i];
             let hi = if i + 1 < new_bounds.len() {
@@ -845,7 +983,8 @@ mod tests {
                     keys: vec![0, 4999, 5000, 60000],
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         let mut got = e.results().take_lookup_values();
         got.sort();
@@ -873,7 +1012,8 @@ mod tests {
                     pairs: vec![(100, 1), (40000, 2), (100, 3)],
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         let c = e.results().counts();
         assert_eq!(c.upserts, 3);
@@ -887,7 +1027,8 @@ mod tests {
                     keys: vec![100, 40000],
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         let mut got = e.results().take_lookup_values();
         got.sort();
@@ -910,7 +1051,8 @@ mod tests {
                     snapshot: u64::MAX,
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         assert_eq!(
             e.results().combine_scan(9),
@@ -934,7 +1076,8 @@ mod tests {
                     snapshot: u64::MAX,
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         assert_eq!(
             e.results().combine_scan(3),
@@ -957,7 +1100,8 @@ mod tests {
                     keys: (0..(1u64 << 16)).step_by(97).collect(),
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         assert!(e.clock().now_ns() > 0.0);
         assert!(e.counters().total_imc_bytes() > 0, "misses produce traffic");
@@ -1046,7 +1190,10 @@ mod tests {
         }
         e.run_for_virtual_secs(0.01);
         // After balancing, the hot range must be spread over several AEUs.
-        let ranges = e.shared.with_table(idx, |t| t.as_range().unwrap().ranges());
+        let ranges = e
+            .shared
+            .with_table(idx, |t| t.as_range().unwrap().ranges())
+            .unwrap();
         let hot_owners = ranges.iter().filter(|(b, _)| *b < (1 << 13)).count();
         assert!(
             hot_owners >= 4,
@@ -1165,7 +1312,8 @@ mod hash_partition_tests {
                     pairs: vec![(5, 50), (40_000, 77), (5, 51)],
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         let c = e.results().counts();
         assert_eq!(c.upserts, 3);
@@ -1179,7 +1327,8 @@ mod hash_partition_tests {
                     keys: vec![5, 40_000, 9],
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         let mut got = e.results().take_lookup_values();
         got.sort();
@@ -1217,7 +1366,8 @@ mod hash_partition_tests {
                     pairs: (0..1000u64).map(|k| (k * 65, k)).collect(),
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         e.submit(
             AeuId(1),
@@ -1230,7 +1380,8 @@ mod hash_partition_tests {
                     snapshot: u64::MAX,
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         assert_eq!(
             e.results().combine_scan(2),
@@ -1264,8 +1415,10 @@ mod hash_partition_tests {
             let _ = batch; // loaded below via bulk path
         }
         // Direct absorb by current owner.
-        let owners: Vec<(u64, AeuId)> =
-            e.shared.with_table(idx, |t| t.as_range().unwrap().ranges());
+        let owners: Vec<(u64, AeuId)> = e
+            .shared
+            .with_table(idx, |t| t.as_range().unwrap().ranges())
+            .unwrap();
         for k in 0..domain {
             let idx_owner = match owners.binary_search_by(|(b, _)| b.cmp(&k)) {
                 Ok(i) => i,
@@ -1309,6 +1462,7 @@ mod hash_partition_tests {
         let hot_owners = e
             .shared
             .with_table(idx, |t| t.as_range().unwrap().owners_in_range(0, 1 << 13))
+            .unwrap()
             .len();
         assert!(hot_owners >= 4, "hot range split {hot_owners} ways");
     }
@@ -1368,7 +1522,10 @@ mod balance_metric_tests {
             );
         }
         e.run_for_virtual_secs(2e-3);
-        let ranges = e.shared.with_table(idx, |t| t.as_range().unwrap().ranges());
+        let ranges = e
+            .shared
+            .with_table(idx, |t| t.as_range().unwrap().ranges())
+            .unwrap();
         let hot_owners = ranges.iter().filter(|(b, _)| *b < (1 << 13)).count();
         assert!(
             hot_owners >= 4,

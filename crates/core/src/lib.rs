@@ -28,7 +28,7 @@
 //!     object: idx,
 //!     ticket: 1,
 //!     payload: Payload::Lookup { keys: vec![21, 999_999] },
-//! });
+//! }).unwrap();
 //! engine.run_until_drained();
 //!
 //! let mut results = engine.results().take_lookup_values();
@@ -51,6 +51,8 @@
 //! * [`telemetry`] — shard-per-AEU live counters and histograms, folded
 //!   into consistent `TelemetrySnapshot`s with a per-object
 //!   enqueued-equals-executed conservation ledger.
+//! * [`durability`] — the redo-sink seam the `eris-durability` crate plugs
+//!   into: per-AEU journaling of applied effects plus checkpoint metadata.
 //! * [`baseline`] — the NUMA-agnostic shared index / shared scan the paper
 //!   compares against.
 //! * [`cost`] — virtual-time calibration and the analytic LLC model.
@@ -60,6 +62,7 @@ pub mod balancer;
 pub mod baseline;
 pub mod command;
 pub mod cost;
+pub mod durability;
 pub mod engine;
 pub mod monitor;
 pub mod results;
@@ -68,12 +71,13 @@ pub mod telemetry;
 
 pub use aeu::{Aeu, OpCounts, Partition, PartitionData, WorkSummary};
 pub use balancer::{BalanceAlgorithm, BalanceMetric, BalancerConfig};
-pub use command::{AeuId, DataCommand, DataObjectId, Payload, StorageOp};
+pub use command::{AeuId, DataCommand, DataObjectId, DecodeError, Payload, StorageOp};
 pub use cost::CostParams;
+pub use durability::{ObjectClass, ObjectDescriptor, RedoOp, RedoSink};
 pub use engine::{Engine, EngineConfig, EpochReport, ObjectKind};
 pub use monitor::{Monitor, Sample};
 pub use results::{ResultCollector, ResultCounts};
-pub use routing::RoutingConfig;
+pub use routing::{RoutingConfig, RoutingError};
 pub use telemetry::{CounterSnapshot, Telemetry, TelemetrySnapshot};
 
 /// Everything needed to drive the engine.
@@ -84,7 +88,7 @@ pub mod prelude {
     pub use crate::cost::CostParams;
     pub use crate::engine::{Engine, EngineConfig, EpochReport, ObjectKind};
     pub use crate::results::{ResultCollector, ResultCounts};
-    pub use crate::routing::RoutingConfig;
+    pub use crate::routing::{RoutingConfig, RoutingError};
     pub use crate::telemetry::{CounterSnapshot, TelemetrySnapshot};
     pub use eris_column::{Aggregate, Predicate};
     pub use eris_index::PrefixTreeConfig;

@@ -132,6 +132,16 @@ impl IncomingBuffers {
         }
     }
 
+    /// Zero the accumulated counters (start of a measurement window).
+    /// Buffered command bytes are untouched.
+    pub fn reset_stats(&self) {
+        self.stats.writes.store(0, Ordering::Relaxed);
+        self.stats.rejects.store(0, Ordering::Relaxed);
+        self.stats.swaps.store(0, Ordering::Relaxed);
+        self.stats.swapped_bytes.store(0, Ordering::Relaxed);
+        self.stats.peak_pending_bytes.store(0, Ordering::Relaxed);
+    }
+
     /// Bytes pending in the currently writable buffer.
     pub fn pending_bytes(&self) -> usize {
         let w = self.writable.load(Ordering::Acquire);

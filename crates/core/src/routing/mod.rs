@@ -27,6 +27,36 @@ use parking_lot::RwLock;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
+/// A command the routing layer cannot deliver.  Surfaced through
+/// `Engine::submit` so callers see a typed error instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The command names an object id that was never registered.
+    UnknownObject(DataObjectId),
+    /// Point lookups need a range-partitioned object; this object is
+    /// size-partitioned (a column), where keys carry no placement.
+    PointOpOnSizePartitioned(DataObjectId),
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::UnknownObject(id) => {
+                write!(f, "data object {} is not registered", id.0)
+            }
+            RoutingError::PointOpOnSizePartitioned(id) => {
+                write!(
+                    f,
+                    "point lookups need a range-partitioned object, but object {} is size-partitioned",
+                    id.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
 /// Sizing of the routing buffers.
 #[derive(Debug, Clone, Copy)]
 pub struct RoutingConfig {
@@ -84,9 +114,16 @@ impl RoutingShared {
     }
 
     /// Read access to an object's partition table.
-    pub fn with_table<R>(&self, id: DataObjectId, f: impl FnOnce(&PartitionTable) -> R) -> R {
+    pub fn with_table<R>(
+        &self,
+        id: DataObjectId,
+        f: impl FnOnce(&PartitionTable) -> R,
+    ) -> Result<R, RoutingError> {
         let tables = self.tables.read();
-        f(tables[id.0 as usize].as_ref().expect("object registered"))
+        match tables.get(id.0 as usize).and_then(|t| t.as_ref()) {
+            Some(t) => Ok(f(t)),
+            None => Err(RoutingError::UnknownObject(id)),
+        }
     }
 
     /// Write access (load balancer only).
@@ -94,9 +131,12 @@ impl RoutingShared {
         &self,
         id: DataObjectId,
         f: impl FnOnce(&mut PartitionTable) -> R,
-    ) -> R {
+    ) -> Result<R, RoutingError> {
         let mut tables = self.tables.write();
-        f(tables[id.0 as usize].as_mut().expect("object registered"))
+        match tables.get_mut(id.0 as usize).and_then(|t| t.as_mut()) {
+            Some(t) => Ok(f(t)),
+            None => Err(RoutingError::UnknownObject(id)),
+        }
     }
 
     /// The incoming buffers of one AEU.
@@ -202,20 +242,26 @@ impl Router {
     }
 
     /// The cached conservation ledger of `id`.
-    fn object_ledger(&mut self, id: DataObjectId) -> &ObjectCounters {
+    fn object_ledger(&mut self, id: DataObjectId) -> Arc<ObjectCounters> {
         let i = id.0 as usize;
         if self.tel_objects.len() <= i {
             self.tel_objects.resize_with(i + 1, || None);
         }
-        if self.tel_objects[i].is_none() {
-            self.tel_objects[i] = Some(self.shared.telemetry().object(id));
+        match &self.tel_objects[i] {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = self.shared.telemetry().object(id);
+                self.tel_objects[i] = Some(Arc::clone(&c));
+                c
+            }
         }
-        self.tel_objects[i].as_deref().unwrap()
     }
 
     /// Route one command: split by partition table, buffer, flush full
-    /// targets.  Returns the flushes performed (for traffic accounting).
-    pub fn route(&mut self, cmd: DataCommand) -> Vec<FlushInfo> {
+    /// targets.  Returns the flushes performed (for traffic accounting),
+    /// or a [`RoutingError`] if the command is undeliverable — in which
+    /// case nothing was enqueued.
+    pub fn route(&mut self, cmd: DataCommand) -> Result<Vec<FlushInfo>, RoutingError> {
         self.stats.commands_in += 1;
         let object = cmd.object;
         // Telemetry tallies of this call, published in one batch below.
@@ -224,11 +270,11 @@ impl Router {
         match &cmd.payload {
             Payload::Lookup { keys } => {
                 let groups = self.shared.with_table(cmd.object, |t| match t {
-                    PartitionTable::Range(r) => r.split_by_owner(keys),
+                    PartitionTable::Range(r) => Ok(r.split_by_owner(keys)),
                     PartitionTable::Bitmap(_) => {
-                        panic!("point lookups need a range-partitioned object")
+                        Err(RoutingError::PointOpOnSizePartitioned(cmd.object))
                     }
-                });
+                })??;
                 if groups.len() > 1 {
                     self.stats.splits += 1;
                     split += 1;
@@ -250,7 +296,7 @@ impl Router {
                 let groups = self.shared.with_table(cmd.object, |t| match t {
                     PartitionTable::Range(r) => Some(r.split_pairs_by_owner(pairs)),
                     PartitionTable::Bitmap(_) => None,
-                });
+                })?;
                 match groups {
                     Some(groups) => {
                         if groups.len() > 1 {
@@ -274,7 +320,7 @@ impl Router {
                         // Size-partitioned object: appends round-robin over
                         // the member set (NUMA-aware materialization of
                         // intermediate results).
-                        let members = self.shared.with_table(cmd.object, |t| t.scan_targets());
+                        let members = self.shared.with_table(cmd.object, |t| t.scan_targets())?;
                         self.rr_cursor = (self.rr_cursor + 1) % members.len();
                         let owner = members[self.rr_cursor];
                         self.stats.commands_out += 1;
@@ -299,7 +345,7 @@ impl Router {
                         r.owners_in_range(*x, x.saturating_add(1))
                     }
                     (t, _) => t.scan_targets(),
-                });
+                })?;
                 self.stats.commands_out += targets.len() as u64;
                 multi += targets.len() as u64;
                 full_targets.extend(self.out.push_multicast(&targets, &cmd));
@@ -330,7 +376,7 @@ impl Router {
         for t in full_targets {
             self.flush_target(t, &mut flushed);
         }
-        flushed
+        Ok(flushed)
     }
 
     fn flush_target(&mut self, target: AeuId, flushed: &mut Vec<FlushInfo>) {
@@ -400,13 +446,15 @@ mod tests {
     #[test]
     fn lookup_splits_across_owners() {
         let (shared, mut router) = setup(4, 400);
-        router.route(DataCommand {
-            object: DataObjectId(0),
-            ticket: 5,
-            payload: Payload::Lookup {
-                keys: vec![10, 110, 210, 310, 20],
-            },
-        });
+        router
+            .route(DataCommand {
+                object: DataObjectId(0),
+                ticket: 5,
+                payload: Payload::Lookup {
+                    keys: vec![10, 110, 210, 310, 20],
+                },
+            })
+            .unwrap();
         assert_eq!(router.stats.splits, 1);
         assert_eq!(router.stats.commands_out, 4);
         router.flush_all();
@@ -420,15 +468,17 @@ mod tests {
     #[test]
     fn scan_multicasts_to_overlapping_owners() {
         let (shared, mut router) = setup(4, 400);
-        router.route(DataCommand {
-            object: DataObjectId(0),
-            ticket: 1,
-            payload: Payload::Scan {
-                pred: Predicate::Range { lo: 150, hi: 250 },
-                agg: Aggregate::Count,
-                snapshot: 0,
-            },
-        });
+        router
+            .route(DataCommand {
+                object: DataObjectId(0),
+                ticket: 1,
+                payload: Payload::Scan {
+                    pred: Predicate::Range { lo: 150, hi: 250 },
+                    agg: Aggregate::Count,
+                    snapshot: 0,
+                },
+            })
+            .unwrap();
         router.flush_all();
         assert!(drain(&shared, AeuId(0)).is_empty());
         assert_eq!(drain(&shared, AeuId(1)).len(), 1);
@@ -439,15 +489,17 @@ mod tests {
     #[test]
     fn full_scan_reaches_everyone() {
         let (shared, mut router) = setup(3, 300);
-        router.route(DataCommand {
-            object: DataObjectId(0),
-            ticket: 1,
-            payload: Payload::Scan {
-                pred: Predicate::All,
-                agg: Aggregate::Sum,
-                snapshot: 9,
-            },
-        });
+        router
+            .route(DataCommand {
+                object: DataObjectId(0),
+                ticket: 1,
+                payload: Payload::Scan {
+                    pred: Predicate::All,
+                    agg: Aggregate::Sum,
+                    snapshot: 9,
+                },
+            })
+            .unwrap();
         router.flush_all();
         for a in 0..3 {
             assert_eq!(drain(&shared, AeuId(a)).len(), 1, "AEU{a}");
@@ -463,13 +515,15 @@ mod tests {
         );
         let mut router = Router::new(AeuId(0), Arc::clone(&shared), RoutingConfig::default());
         for i in 0..6 {
-            router.route(DataCommand {
-                object: DataObjectId(0),
-                ticket: i,
-                payload: Payload::Upsert {
-                    pairs: vec![(i, i)],
-                },
-            });
+            router
+                .route(DataCommand {
+                    object: DataObjectId(0),
+                    ticket: i,
+                    payload: Payload::Upsert {
+                        pairs: vec![(i, i)],
+                    },
+                })
+                .unwrap();
         }
         router.flush_all();
         for a in 0..3 {
@@ -500,11 +554,15 @@ mod tests {
         );
         let mut flushed = Vec::new();
         for i in 0..10 {
-            flushed.extend(router.route(DataCommand {
-                object: DataObjectId(0),
-                ticket: i,
-                payload: Payload::Lookup { keys: vec![60 + i] },
-            }));
+            flushed.extend(
+                router
+                    .route(DataCommand {
+                        object: DataObjectId(0),
+                        ticket: i,
+                        payload: Payload::Lookup { keys: vec![60 + i] },
+                    })
+                    .unwrap(),
+            );
         }
         assert!(!flushed.is_empty(), "auto-flush on threshold");
         assert!(router.stats.flushes > 0);
@@ -512,17 +570,59 @@ mod tests {
     }
 
     #[test]
+    fn unknown_object_is_a_typed_error() {
+        let (_, mut router) = setup(2, 100);
+        let err = router
+            .route(DataCommand {
+                object: DataObjectId(7),
+                ticket: 0,
+                payload: Payload::Lookup { keys: vec![1] },
+            })
+            .unwrap_err();
+        assert_eq!(err, RoutingError::UnknownObject(DataObjectId(7)));
+        assert!(err.to_string().contains("not registered"));
+        assert!(router.is_drained(), "nothing enqueued on error");
+    }
+
+    #[test]
+    fn point_lookup_on_column_is_a_typed_error() {
+        let shared = Arc::new(RoutingShared::new(2, RoutingConfig::default()));
+        shared.register_object(
+            DataObjectId(0),
+            PartitionTable::Bitmap(BitmapTable::new(vec![AeuId(0), AeuId(1)])),
+        );
+        let mut router = Router::new(AeuId(0), Arc::clone(&shared), RoutingConfig::default());
+        let err = router
+            .route(DataCommand {
+                object: DataObjectId(0),
+                ticket: 0,
+                payload: Payload::Lookup { keys: vec![1] },
+            })
+            .unwrap_err();
+        assert_eq!(err, RoutingError::PointOpOnSizePartitioned(DataObjectId(0)));
+        let snap = shared.telemetry_snapshot(&[]);
+        assert!(
+            snap.conservation_holds(),
+            "rejected command enqueued nothing"
+        );
+    }
+
+    #[test]
     fn version_visible_after_rebuild() {
         let (shared, _) = setup(2, 100);
-        shared.with_table_mut(DataObjectId(0), |t| {
-            t.as_range_mut()
-                .unwrap()
-                .rebuild(vec![(0, AeuId(1)), (90, AeuId(0))]);
-        });
-        shared.with_table(DataObjectId(0), |t| {
-            let r = t.as_range().unwrap();
-            assert_eq!(r.version(), 1);
-            assert_eq!(r.owner(50), AeuId(1));
-        });
+        shared
+            .with_table_mut(DataObjectId(0), |t| {
+                t.as_range_mut()
+                    .unwrap()
+                    .rebuild(vec![(0, AeuId(1)), (90, AeuId(0))]);
+            })
+            .unwrap();
+        shared
+            .with_table(DataObjectId(0), |t| {
+                let r = t.as_range().unwrap();
+                assert_eq!(r.version(), 1);
+                assert_eq!(r.owner(50), AeuId(1));
+            })
+            .unwrap();
     }
 }

@@ -52,6 +52,12 @@ macro_rules! counter_fields {
                     $($max: self.$max.load(Relaxed),)*
                 }
             }
+
+            /// Zero every counter and peak gauge (measurement-window reset).
+            pub fn reset(&self) {
+                $(self.$sum.store(0, Relaxed);)*
+                $(self.$max.store(0, Relaxed);)*
+            }
         }
 
         impl CounterSnapshot {
@@ -124,6 +130,14 @@ counter_fields! {
         scan_rows,
         /// Keys/commands forwarded after partition moves (Section 3.3.2).
         forwarded,
+        /// Redo records appended to this AEU's journal.
+        journal_records,
+        /// Journal bytes made durable (payload + framing).
+        journal_bytes,
+        /// Explicit journal syncs (group commits + barriers).
+        journal_fsyncs,
+        /// Redo records re-applied during recovery.
+        replayed_records,
     }
     max {
         /// High-water mark of bytes pending in the outgoing buffers.
@@ -186,6 +200,14 @@ impl Histogram {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Relaxed)),
             sum: self.sum.load(Relaxed),
         }
+    }
+
+    /// Zero every bucket (measurement-window reset).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.sum.store(0, Relaxed);
     }
 }
 
@@ -263,6 +285,16 @@ pub struct TelemetryShard {
     pub step_ns: Histogram,
 }
 
+impl TelemetryShard {
+    /// Zero the shard's counters and histograms.
+    pub fn reset(&self) {
+        self.counters.reset();
+        self.swap_batch.reset();
+        self.exec_group.reset();
+        self.step_ns.reset();
+    }
+}
+
 /// The engine-wide registry: one shard per AEU, one conservation ledger
 /// per data object, plus balancer-cycle counters.
 pub struct Telemetry {
@@ -309,6 +341,27 @@ impl Telemetry {
             objects.push(Arc::new(ObjectCounters::default()));
         }
         Arc::clone(&objects[id.0 as usize])
+    }
+
+    /// Reset every per-AEU shard and the balancer counters.  The
+    /// per-object conservation ledgers are deliberately left alone:
+    /// commands in flight at reset time would permanently unbalance
+    /// `enqueued == executed` if the ledgers were zeroed mid-stream.
+    pub fn reset_shards(&self) {
+        for s in &self.shards {
+            s.reset();
+        }
+        self.balancer_cycles.store(0, Relaxed);
+        self.balancer_moves.store(0, Relaxed);
+        self.balancer_keys_moved.store(0, Relaxed);
+    }
+
+    /// Overwrite one object's conservation ledger (recovery only: the
+    /// checkpoint manifest carries the ledger of the quiesced engine).
+    pub fn restore_object_ledger(&self, id: DataObjectId, enqueued: u64, executed: u64) {
+        let c = self.object(id);
+        c.enqueued.store(enqueued, Relaxed);
+        c.executed.store(executed, Relaxed);
     }
 
     /// Engine-wide counter totals.  `fill` patches per-AEU externals
@@ -548,6 +601,11 @@ impl fmt::Display for TelemetrySnapshot {
             "  balancer: {} cycles, {} moves, {} keys moved",
             self.balancer.cycles, self.balancer.moves, self.balancer.keys_moved
         )?;
+        writeln!(
+            f,
+            "  journal: {} records, {} bytes, {} fsyncs, {} replayed",
+            t.journal_records, t.journal_bytes, t.journal_fsyncs, t.replayed_records
+        )?;
         for (n, c) in &self.per_node {
             writeln!(
                 f,
@@ -674,6 +732,30 @@ mod tests {
         let t = Telemetry::new(2);
         let totals = t.totals_with(|i, c| c.incoming_writes = (i as u64 + 1) * 10);
         assert_eq!(totals.incoming_writes, 30);
+    }
+
+    #[test]
+    fn reset_clears_shards_but_keeps_object_ledgers() {
+        let t = Telemetry::new(2);
+        t.shard(AeuId(0)).counters.lookups.fetch_add(7, Relaxed);
+        t.shard(AeuId(1))
+            .counters
+            .journal_bytes
+            .fetch_add(9, Relaxed);
+        t.shard(AeuId(1)).swap_batch.record(3);
+        t.balancer_cycles.fetch_add(2, Relaxed);
+        t.object(DataObjectId(0)).enqueued.fetch_add(5, Relaxed);
+        t.object(DataObjectId(0)).executed.fetch_add(5, Relaxed);
+        t.reset_shards();
+        let snap = t.snapshot_with(&[NodeId(0), NodeId(0)], |_, _| {});
+        assert_eq!(snap.totals.lookups, 0);
+        assert_eq!(snap.totals.journal_bytes, 0);
+        assert_eq!(snap.swap_batch.count(), 0);
+        assert_eq!(snap.balancer.cycles, 0);
+        assert_eq!(snap.objects[0].enqueued, 5, "ledger survives reset");
+        assert!(snap.conservation_holds());
+        t.restore_object_ledger(DataObjectId(0), 8, 8);
+        assert_eq!(t.object(DataObjectId(0)).executed.load(Relaxed), 8);
     }
 
     #[test]

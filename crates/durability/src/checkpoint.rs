@@ -1,0 +1,416 @@
+//! NUMA-partitioned checkpoints.
+//!
+//! A checkpoint is a directory `ckpt-<seq>/` holding one *part file per
+//! AEU* — each AEU's partitions serialized independently, mirroring the
+//! engine's ownership layout so restore can repopulate every partition on
+//! its home NUMA node without cross-partition merging — plus a `MANIFEST`
+//! that makes the checkpoint atomic: it is written last, into a `.tmp`
+//! staging directory that is fsynced and renamed into place.  A crash at
+//! any earlier point leaves a manifest-less `.tmp` directory that
+//! recovery ignores.
+//!
+//! The manifest records the *journal cut*: each AEU's synced LSN at
+//! checkpoint time.  Recovery loads the newest complete checkpoint and
+//! replays only journal records at offsets ≥ the cut.
+//!
+//! ## Part file format
+//!
+//! ```text
+//! [8B magic "ERISPART"][u32 aeu]
+//! [u32 n]  n × ( [u32 object][u64 lo][u64 hi][u64 len][payload] )
+//! [u32 crc32(everything before)]
+//! ```
+//!
+//! ## Manifest format
+//!
+//! ```text
+//! [8B magic "ERISCKPT"][u64 seq]
+//! [u32 n_aeus]  n_aeus × [u64 cut]
+//! [u32 n_objects]  n × ( [u32 id][u8 class][u64 domain]
+//!                        [u32 name_len][name][u64 enqueued][u64 executed] )
+//! [u32 crc32(everything before)]
+//! ```
+
+use crate::crc::crc32;
+use crate::failpoint::{FailPoints, FP_CHECKPOINT_PARTIAL, FP_CHECKPOINT_PRE_MANIFEST};
+use eris_core::durability::{ObjectClass, ObjectDescriptor};
+use eris_core::{DataObjectId, Engine};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+pub const PART_MAGIC: &[u8; 8] = b"ERISPART";
+pub const MANIFEST_MAGIC: &[u8; 8] = b"ERISCKPT";
+
+/// One object's manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestObject {
+    pub descriptor: ObjectDescriptor,
+    /// Conservation-ledger state at checkpoint time (drained, so the two
+    /// are equal for a healthy engine; both are kept for diagnosis).
+    pub enqueued: u64,
+    pub executed: u64,
+}
+
+/// The decoded `MANIFEST` of one complete checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    pub seq: u64,
+    /// Per-AEU journal LSN at checkpoint time; replay starts here.
+    pub cuts: Vec<u64>,
+    pub objects: Vec<ManifestObject>,
+}
+
+/// One partition image from a part file.
+#[derive(Debug, Clone)]
+pub struct PartitionImage {
+    pub object: DataObjectId,
+    pub range: (u64, u64),
+    pub payload: Vec<u8>,
+}
+
+fn ckpt_dir(base: &Path, seq: u64) -> PathBuf {
+    base.join(format!("ckpt-{seq}"))
+}
+
+fn part_name(aeu: usize) -> String {
+    format!("aeu-{aeu}.part")
+}
+
+fn encode_part(aeu: usize, parts: &[(DataObjectId, (u64, u64), Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(PART_MAGIC);
+    out.extend_from_slice(&(aeu as u32).to_le_bytes());
+    out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+    for (object, (lo, hi), payload) in parts {
+        out.extend_from_slice(&object.0.to_le_bytes());
+        out.extend_from_slice(&lo.to_le_bytes());
+        out.extend_from_slice(&hi.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode one part file; `None` on any framing or CRC violation.
+pub fn decode_part(bytes: &[u8], expect_aeu: usize) -> Option<Vec<PartitionImage>> {
+    if bytes.len() < PART_MAGIC.len() + 12 || &bytes[..8] != PART_MAGIC {
+        return None;
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc32(body) != crc {
+        return None;
+    }
+    let mut cur = &body[8..];
+    let aeu = take_u32(&mut cur)? as usize;
+    if aeu != expect_aeu {
+        return None;
+    }
+    let n = take_u32(&mut cur)? as usize;
+    let mut images = Vec::with_capacity(n.min(cur.len() / 28));
+    for _ in 0..n {
+        let object = DataObjectId(take_u32(&mut cur)?);
+        let lo = take_u64(&mut cur)?;
+        let hi = take_u64(&mut cur)?;
+        let len = take_u64(&mut cur)? as usize;
+        if cur.len() < len {
+            return None;
+        }
+        images.push(PartitionImage {
+            object,
+            range: (lo, hi),
+            payload: cur[..len].to_vec(),
+        });
+        cur = &cur[len..];
+    }
+    if cur.is_empty() {
+        Some(images)
+    } else {
+        None
+    }
+}
+
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let v = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    *buf = &buf[4..];
+    Some(v)
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    if buf.len() < 8 {
+        return None;
+    }
+    let v = u64::from_le_bytes(buf[..8].try_into().unwrap());
+    *buf = &buf[8..];
+    Some(v)
+}
+
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MANIFEST_MAGIC);
+    out.extend_from_slice(&m.seq.to_le_bytes());
+    out.extend_from_slice(&(m.cuts.len() as u32).to_le_bytes());
+    for cut in &m.cuts {
+        out.extend_from_slice(&cut.to_le_bytes());
+    }
+    out.extend_from_slice(&(m.objects.len() as u32).to_le_bytes());
+    for o in &m.objects {
+        out.extend_from_slice(&o.descriptor.id.0.to_le_bytes());
+        out.push(o.descriptor.class.tag());
+        out.extend_from_slice(&o.descriptor.domain.to_le_bytes());
+        out.extend_from_slice(&(o.descriptor.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(o.descriptor.name.as_bytes());
+        out.extend_from_slice(&o.enqueued.to_le_bytes());
+        out.extend_from_slice(&o.executed.to_le_bytes());
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode and validate a manifest image; `None` rejects corruption.
+pub fn decode_manifest(bytes: &[u8]) -> Option<Manifest> {
+    if bytes.len() < MANIFEST_MAGIC.len() + 12 || &bytes[..8] != MANIFEST_MAGIC {
+        return None;
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc32(body) != crc {
+        return None;
+    }
+    let mut cur = &body[8..];
+    let seq = take_u64(&mut cur)?;
+    let n_aeus = take_u32(&mut cur)? as usize;
+    if cur.len() < n_aeus.checked_mul(8)? {
+        return None;
+    }
+    let mut cuts = Vec::with_capacity(n_aeus);
+    for _ in 0..n_aeus {
+        cuts.push(take_u64(&mut cur)?);
+    }
+    let n_objects = take_u32(&mut cur)? as usize;
+    let mut objects = Vec::with_capacity(n_objects.min(cur.len() / 33));
+    for _ in 0..n_objects {
+        let id = DataObjectId(take_u32(&mut cur)?);
+        let class = ObjectClass::from_tag(take_u8(&mut cur)?)?;
+        let domain = take_u64(&mut cur)?;
+        let name_len = take_u32(&mut cur)? as usize;
+        if cur.len() < name_len {
+            return None;
+        }
+        let name = String::from_utf8(cur[..name_len].to_vec()).ok()?;
+        cur = &cur[name_len..];
+        let enqueued = take_u64(&mut cur)?;
+        let executed = take_u64(&mut cur)?;
+        objects.push(ManifestObject {
+            descriptor: ObjectDescriptor {
+                id,
+                class,
+                domain,
+                name,
+            },
+            enqueued,
+            executed,
+        });
+    }
+    if cur.is_empty() {
+        Some(Manifest { seq, cuts, objects })
+    } else {
+        None
+    }
+}
+
+fn take_u8(buf: &mut &[u8]) -> Option<u8> {
+    let (&b, rest) = buf.split_first()?;
+    *buf = rest;
+    Some(b)
+}
+
+fn write_file_synced(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    Ok(())
+}
+
+fn sync_dir(path: &Path) -> std::io::Result<()> {
+    File::open(path)?.sync_all()
+}
+
+/// Write checkpoint `seq` of a **drained** engine under `base`.
+///
+/// The engine must be quiesced (`run_until_drained`) and every journal
+/// synced (`cuts` are the post-sync LSNs) before calling.  Serialization
+/// is sequential — AEUs are not `Sync` — but the part files are written
+/// and fsynced by one thread per file, the NUMA-partitioned analogue of
+/// parallel checkpoint writers.
+pub fn write_checkpoint(
+    engine: &Engine,
+    base: &Path,
+    seq: u64,
+    cuts: &[u64],
+    fail: &FailPoints,
+) -> std::io::Result<()> {
+    let tmp = base.join(format!("ckpt-{seq}.tmp"));
+    if tmp.exists() {
+        fs::remove_dir_all(&tmp)?;
+    }
+    fs::create_dir_all(&tmp)?;
+
+    let encoded: Vec<Vec<u8>> = engine
+        .aeu_ids()
+        .iter()
+        .map(|&a| encode_part(a.index(), &engine.aeu(a).serialize_partitions()))
+        .collect();
+
+    let results: Vec<std::io::Result<()>> = std::thread::scope(|s| {
+        let handles: Vec<_> = encoded
+            .iter()
+            .enumerate()
+            .map(|(i, bytes)| {
+                let tmp = &tmp;
+                s.spawn(move || {
+                    if fail.crashed() || fail.hit(FP_CHECKPOINT_PARTIAL) {
+                        return Ok(());
+                    }
+                    write_file_synced(&tmp.join(part_name(i)), bytes)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in results {
+        r?;
+    }
+
+    if fail.crashed() || fail.hit(FP_CHECKPOINT_PRE_MANIFEST) {
+        return Ok(());
+    }
+
+    let telemetry = engine.telemetry();
+    let ledger: std::collections::HashMap<DataObjectId, (u64, u64)> = telemetry
+        .objects
+        .iter()
+        .map(|o| (o.object, (o.enqueued, o.executed)))
+        .collect();
+    let manifest = Manifest {
+        seq,
+        cuts: cuts.to_vec(),
+        objects: engine
+            .describe_objects()
+            .into_iter()
+            .map(|descriptor| {
+                let (enqueued, executed) = ledger.get(&descriptor.id).copied().unwrap_or((0, 0));
+                ManifestObject {
+                    descriptor,
+                    enqueued,
+                    executed,
+                }
+            })
+            .collect(),
+    };
+    write_file_synced(&tmp.join("MANIFEST"), &encode_manifest(&manifest))?;
+    sync_dir(&tmp)?;
+    fs::rename(&tmp, ckpt_dir(base, seq))?;
+    sync_dir(base)?;
+    Ok(())
+}
+
+/// Find the newest *complete* checkpoint under `base`: a `ckpt-<seq>`
+/// directory whose manifest exists and passes its CRC.  Incomplete
+/// `.tmp` staging directories and corrupt manifests are skipped.
+pub fn find_latest(base: &Path) -> std::io::Result<Option<(PathBuf, Manifest)>> {
+    let mut best: Option<(PathBuf, Manifest)> = None;
+    let entries = match fs::read_dir(base) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(seq_str) = name.strip_prefix("ckpt-") else {
+            continue;
+        };
+        if seq_str.parse::<u64>().is_err() {
+            continue; // `.tmp` staging or stray files
+        }
+        let path = entry.path();
+        let Ok(bytes) = fs::read(path.join("MANIFEST")) else {
+            continue;
+        };
+        let Some(manifest) = decode_manifest(&bytes) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(_, b)| manifest.seq > b.seq) {
+            best = Some((path, manifest));
+        }
+    }
+    Ok(best)
+}
+
+/// Read and validate one part file of a complete checkpoint.
+pub fn read_part(ckpt: &Path, aeu: usize) -> std::io::Result<Vec<PartitionImage>> {
+    let path = ckpt.join(part_name(aeu));
+    let bytes = fs::read(&path)?;
+    decode_part(&bytes, aeu).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("corrupt checkpoint part {}", path.display()),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_corruption() {
+        let m = Manifest {
+            seq: 7,
+            cuts: vec![8, 120, 8, 4096],
+            objects: vec![ManifestObject {
+                descriptor: ObjectDescriptor {
+                    id: DataObjectId(0),
+                    class: ObjectClass::Hash,
+                    domain: 1 << 16,
+                    name: "orders".into(),
+                },
+                enqueued: 10,
+                executed: 10,
+            }],
+        };
+        let bytes = encode_manifest(&m);
+        assert_eq!(decode_manifest(&bytes), Some(m));
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert_eq!(decode_manifest(&corrupt), None, "flip at byte {i}");
+        }
+        assert_eq!(decode_manifest(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn part_codec_roundtrips() {
+        let parts = vec![
+            (DataObjectId(0), (0, 512), vec![1u8, 2, 3]),
+            (DataObjectId(2), (512, 1024), Vec::new()),
+        ];
+        let bytes = encode_part(3, &parts);
+        let images = decode_part(&bytes, 3).unwrap();
+        assert_eq!(images.len(), 2);
+        assert_eq!(images[0].object, DataObjectId(0));
+        assert_eq!(images[0].range, (0, 512));
+        assert_eq!(images[0].payload, vec![1, 2, 3]);
+        assert!(decode_part(&bytes, 2).is_none(), "wrong AEU rejected");
+        assert!(decode_part(&bytes[..bytes.len() - 1], 3).is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Fault injection for the durability paths.
+//!
+//! A [`FailPoints`] instance is shared (via `Arc`) between a test and the
+//! journal/checkpoint/recovery code.  The test *arms* a named point; when
+//! the durability layer reaches it, the instance trips into the *crashed*
+//! state and every subsequent durability operation becomes a no-op — the
+//! in-process analogue of the process dying at that instruction.  The
+//! test then discards the engine and recovers from whatever reached disk,
+//! exactly as a restarted process would.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Crash while a group commit has written only a prefix of its buffer —
+/// the torn-write case the record CRC exists for.
+pub const FP_JOURNAL_TORN_WRITE: &str = "journal-torn-write";
+/// Crash after the group commit's `write` but before its `fsync`.
+pub const FP_JOURNAL_PRE_SYNC: &str = "journal-pre-sync";
+/// Crash with only some checkpoint part files written.
+pub const FP_CHECKPOINT_PARTIAL: &str = "checkpoint-partial";
+/// Crash with every part file written but no manifest committed.
+pub const FP_CHECKPOINT_PRE_MANIFEST: &str = "checkpoint-pre-manifest";
+/// Crash halfway through journal-tail replay during recovery.
+pub const FP_RECOVERY_MID_REPLAY: &str = "recovery-mid-replay";
+
+/// Every fail point compiled into the durability paths.
+pub const ALL_FAIL_POINTS: [&str; 5] = [
+    FP_JOURNAL_TORN_WRITE,
+    FP_JOURNAL_PRE_SYNC,
+    FP_CHECKPOINT_PARTIAL,
+    FP_CHECKPOINT_PRE_MANIFEST,
+    FP_RECOVERY_MID_REPLAY,
+];
+
+/// A set of armed fail points plus the crashed flag they trip.
+#[derive(Debug, Default)]
+pub struct FailPoints {
+    /// Remaining passes before each armed point fires.
+    armed: Mutex<HashMap<&'static str, u64>>,
+    crashed: AtomicBool,
+}
+
+impl FailPoints {
+    /// No points armed; nothing ever fires.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm `name` to fire on the `(survive + 1)`-th visit.
+    pub fn arm(&self, name: &'static str, survive: u64) {
+        self.armed.lock().insert(name, survive);
+    }
+
+    /// Called by durability code at the injection site.  Returns `true`
+    /// when the point fires, which also trips [`FailPoints::crashed`].
+    pub fn hit(&self, name: &'static str) -> bool {
+        let mut armed = self.armed.lock();
+        match armed.get_mut(name) {
+            Some(0) => {
+                armed.remove(name);
+                self.crashed.store(true, Ordering::Release);
+                true
+            }
+            Some(n) => {
+                *n -= 1;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// True once any point has fired; durability ops check this and
+    /// become no-ops, modelling the dead process.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_surviving_the_armed_count() {
+        let fp = FailPoints::new();
+        fp.arm(FP_JOURNAL_PRE_SYNC, 2);
+        assert!(!fp.hit(FP_JOURNAL_PRE_SYNC));
+        assert!(!fp.hit(FP_JOURNAL_PRE_SYNC));
+        assert!(!fp.crashed());
+        assert!(fp.hit(FP_JOURNAL_PRE_SYNC));
+        assert!(fp.crashed());
+        // Disarmed after firing; unrelated points never fire.
+        assert!(!fp.hit(FP_JOURNAL_PRE_SYNC));
+        assert!(!fp.hit(FP_CHECKPOINT_PARTIAL));
+    }
+}

@@ -1,0 +1,251 @@
+//! Crash recovery: newest complete checkpoint + per-AEU journal tails.
+//!
+//! Recovery is deterministic and purely local per AEU, mirroring the
+//! write path: every journal holds only the effects its AEU applied to
+//! partitions it owned at the time, so the logs replay independently and
+//! in order with no cross-log merge.  The sequence:
+//!
+//! 1. Pick the newest `ckpt-<seq>` whose manifest decodes (CRC-valid);
+//!    torn `.tmp` staging directories are invisible here.
+//! 2. Re-create every manifest object (same ids — creation order is the
+//!    id order), restore each AEU's partition images and the per-object
+//!    conservation ledgers.
+//! 3. Replay each AEU's journal tail from the manifest's LSN cut:
+//!    first every `Create` record (object births since the checkpoint,
+//!    all on AEU 0's log and barrier-synced before any data record can
+//!    reference them), then the data records of each log in order.
+//! 4. Rebuild the routing tables of range-partitioned objects from the
+//!    recovered per-AEU partition bounds.
+//!
+//! Recovery itself writes nothing; crashing *during* recovery (see
+//! [`FP_RECOVERY_MID_REPLAY`]) just means discarding the half-built
+//! engine and running recovery again from the same on-disk state.
+
+use crate::checkpoint::{self, Manifest};
+use crate::failpoint::{FailPoints, FP_RECOVERY_MID_REPLAY};
+use crate::wal::{read_tail, JournalOp, WAL_MAGIC};
+use eris_core::durability::ObjectClass;
+use eris_core::{AeuId, DataObjectId, Engine};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::Ordering::Relaxed;
+
+/// What recovery rebuilt, for logging and assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint restored (None = journals only).
+    pub checkpoint: Option<u64>,
+    /// Data objects alive after recovery.
+    pub objects: usize,
+    /// Journal records re-applied past the checkpoint cut.
+    pub replayed_records: u64,
+    /// Torn bytes discarded from journal tails.
+    pub torn_bytes: u64,
+}
+
+#[derive(Debug)]
+pub enum RecoveryError {
+    Io(std::io::Error),
+    /// On-disk state decoded but is inconsistent (e.g. an object id that
+    /// does not line up with creation order).
+    Corrupt(String),
+    /// An armed [`FP_RECOVERY_MID_REPLAY`] fired; the half-recovered
+    /// engine must be discarded and recovery re-run.
+    InjectedCrash,
+    /// The target engine already holds objects or has a sink attached.
+    EngineNotFresh,
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "recovery I/O error: {e}"),
+            RecoveryError::Corrupt(m) => write!(f, "corrupt durable state: {m}"),
+            RecoveryError::InjectedCrash => write!(f, "injected crash during recovery"),
+            RecoveryError::EngineNotFresh => {
+                write!(f, "recovery target must be a fresh engine with no objects")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<std::io::Error> for RecoveryError {
+    fn from(e: std::io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+fn create_object(
+    engine: &mut Engine,
+    class: ObjectClass,
+    expect: DataObjectId,
+    domain: u64,
+    name: &str,
+) -> Result<(), RecoveryError> {
+    let got = match class {
+        ObjectClass::Tree => engine.create_index(name, domain),
+        ObjectClass::Hash => engine.create_hash_index(name, domain),
+        ObjectClass::Column => engine.create_column(name),
+    };
+    if got != expect {
+        return Err(RecoveryError::Corrupt(format!(
+            "object \"{name}\" recovered as id {} but was journaled as {}",
+            got.0, expect.0
+        )));
+    }
+    Ok(())
+}
+
+/// Rebuild engine state from the durable directory `base` (layout:
+/// `base/wal/aeu-<i>.log` + `base/ckpt-<seq>/`).  `engine` must be
+/// freshly constructed — same topology and config as the crashed one —
+/// with no objects and no redo sink attached.
+pub fn recover_into(
+    engine: &mut Engine,
+    base: &Path,
+    fail: &FailPoints,
+) -> Result<RecoveryReport, RecoveryError> {
+    if engine.has_redo_sink() || !engine.describe_objects().is_empty() {
+        return Err(RecoveryError::EngineNotFresh);
+    }
+    let n_aeus = engine.num_aeus();
+
+    // Phase 0: newest complete checkpoint (if any).
+    let latest = checkpoint::find_latest(base)?;
+    let (cuts, classes) = match &latest {
+        Some((ckpt_path, manifest)) => {
+            restore_checkpoint(engine, ckpt_path, manifest)?;
+            let classes: HashMap<DataObjectId, ObjectClass> = manifest
+                .objects
+                .iter()
+                .map(|o| (o.descriptor.id, o.descriptor.class))
+                .collect();
+            if manifest.cuts.len() != n_aeus {
+                return Err(RecoveryError::Corrupt(format!(
+                    "manifest cut count {} != {} AEUs",
+                    manifest.cuts.len(),
+                    n_aeus
+                )));
+            }
+            (manifest.cuts.clone(), classes)
+        }
+        None => (vec![WAL_MAGIC.len() as u64; n_aeus], HashMap::new()),
+    };
+    let mut classes = classes;
+
+    // Phase 1: read every journal tail; apply object creations first.
+    let wal_dir = base.join("wal");
+    let mut tails = Vec::with_capacity(n_aeus);
+    let mut torn_bytes = 0;
+    for (i, cut) in cuts.iter().enumerate() {
+        let (ops, torn) = read_tail(&wal_dir.join(format!("aeu-{i}.log")), *cut)?;
+        torn_bytes += torn;
+        tails.push(ops);
+    }
+    for tail in &tails {
+        for op in tail {
+            if let JournalOp::Create {
+                class,
+                object,
+                domain,
+                name,
+            } = op
+            {
+                create_object(engine, *class, *object, *domain, name)?;
+                classes.insert(*object, *class);
+            }
+        }
+    }
+
+    // Phase 2: replay each AEU's data records in log order.
+    let mut replayed = 0u64;
+    for (i, tail) in tails.iter().enumerate() {
+        let aeu = AeuId(i as u32);
+        for op in tail {
+            if fail.hit(FP_RECOVERY_MID_REPLAY) {
+                return Err(RecoveryError::InjectedCrash);
+            }
+            match op {
+                JournalOp::Create { .. } => {}
+                JournalOp::UpsertPairs { object, pairs } => {
+                    engine.aeu_mut(aeu).absorb_pairs(*object, pairs);
+                }
+                JournalOp::AppendRows { object, rows } => {
+                    engine.aeu_mut(aeu).absorb_rows(*object, rows);
+                }
+                JournalOp::RemoveRange { object, lo, hi } => {
+                    engine.aeu_mut(aeu).extract_range(*object, *lo, *hi);
+                }
+                JournalOp::RemoveTail { object, n } => {
+                    engine.aeu_mut(aeu).extract_tail_rows(*object, *n as usize);
+                }
+                JournalOp::SetRange { object, lo, hi } => {
+                    engine.aeu_mut(aeu).set_range(*object, (*lo, *hi));
+                }
+            }
+            replayed += 1;
+        }
+        engine
+            .telemetry_shard(aeu)
+            .counters
+            .replayed_records
+            .fetch_add(tail.len() as u64, Relaxed);
+    }
+
+    // Phase 3: routing tables from recovered partition bounds.
+    let objects: Vec<(DataObjectId, ObjectClass)> = classes.into_iter().collect();
+    for (object, class) in objects {
+        if class == ObjectClass::Column {
+            continue;
+        }
+        let bounds: Vec<u64> = (0..n_aeus)
+            .map(|i| {
+                engine
+                    .aeu(AeuId(i as u32))
+                    .partition(object)
+                    .map(|p| p.range.0)
+                    .ok_or_else(|| {
+                        RecoveryError::Corrupt(format!(
+                            "AEU {i} has no partition for recovered object {}",
+                            object.0
+                        ))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        engine.restore_partition_bounds(object, &bounds);
+    }
+
+    Ok(RecoveryReport {
+        checkpoint: latest.as_ref().map(|(_, m)| m.seq),
+        objects: engine.describe_objects().len(),
+        replayed_records: replayed,
+        torn_bytes,
+    })
+}
+
+fn restore_checkpoint(
+    engine: &mut Engine,
+    ckpt_path: &Path,
+    manifest: &Manifest,
+) -> Result<(), RecoveryError> {
+    for o in &manifest.objects {
+        let d = &o.descriptor;
+        create_object(engine, d.class, d.id, d.domain, &d.name)?;
+        engine.restore_object_ledger(d.id, o.enqueued, o.executed);
+    }
+    for i in 0..engine.num_aeus() {
+        let images = checkpoint::read_part(ckpt_path, i)?;
+        let aeu = engine.aeu_mut(AeuId(i as u32));
+        for img in images {
+            if !aeu.restore_partition(img.object, img.range, &img.payload) {
+                return Err(RecoveryError::Corrupt(format!(
+                    "partition image of object {} rejected by AEU {i}",
+                    img.object.0
+                )));
+            }
+        }
+    }
+    Ok(())
+}

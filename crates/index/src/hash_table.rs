@@ -229,6 +229,39 @@ impl HashTable {
         keys
     }
 
+    /// Append a stable little-endian serialization:
+    /// `[u64 seed][u64 n][n × (u64 key, u64 value)]`.  Pairs are emitted
+    /// in key order so the payload is deterministic regardless of probe
+    /// history; the seed pins the partition's hash function identity.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        let mut pairs = Vec::with_capacity(self.len);
+        self.for_each(|k, v| pairs.push((k, v)));
+        pairs.sort_unstable();
+        crate::codec::encode_pairs(&pairs, out);
+    }
+
+    /// Refill the table from a [`HashTable::serialize_into`] payload.
+    /// Returns `false` on malformed input or if the payload was written
+    /// by a partition with a different hash seed (a wiring error: part
+    /// files restored into the wrong AEU).
+    pub fn restore(&mut self, payload: &[u8]) -> bool {
+        if payload.len() < 8 {
+            return false;
+        }
+        let seed = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        if seed != self.seed {
+            return false;
+        }
+        let Some(pairs) = crate::codec::decode_pairs(&payload[8..]) else {
+            return false;
+        };
+        for (k, v) in pairs {
+            self.upsert(k, v);
+        }
+        true
+    }
+
     /// Synthetic addresses touched by a lookup of `key` (bucket probes),
     /// for the cache simulator.
     pub fn trace_path(&self, key: u64, out: &mut Vec<u64>) {
@@ -258,6 +291,26 @@ mod tests {
         assert_eq!(t.lookup(42), Some(2));
         assert_eq!(t.lookup(43), None);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn serialization_roundtrips_and_checks_the_seed() {
+        let mut t = HashTable::new(7, 0);
+        for k in 0..100u64 {
+            t.upsert(k, k + 1);
+        }
+        let mut buf = Vec::new();
+        t.serialize_into(&mut buf);
+        let mut back = HashTable::new(7, 0);
+        assert!(back.restore(&buf));
+        assert_eq!(back.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(back.lookup(k), Some(k + 1));
+        }
+        let mut wrong_seed = HashTable::new(8, 0);
+        assert!(!wrong_seed.restore(&buf), "seed mismatch rejected");
+        let mut fresh = HashTable::new(7, 0);
+        assert!(!fresh.restore(&buf[..buf.len() - 1]), "truncated payload");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   different hash functions on a per-partition level"), for partitions
 //!   that never need range scans.
 
+pub mod codec;
 pub mod csb_tree;
 pub mod hash_table;
 pub mod prefix_tree;

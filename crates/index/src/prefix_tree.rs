@@ -370,6 +370,30 @@ impl PrefixTree {
         t
     }
 
+    /// Append a stable little-endian serialization of the contents:
+    /// `[u64 n][n × (u64 key, u64 value)]` in key order.  The tree *shape*
+    /// is not persisted — [`PrefixTree::restore`] rebuilds it from the
+    /// receiver's own [`PrefixTreeConfig`], which keeps the format
+    /// independent of tuning parameters.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        let pairs = self.flatten();
+        crate::codec::encode_pairs(&pairs, out);
+    }
+
+    /// Refill the tree from a [`PrefixTree::serialize_into`] payload,
+    /// upserting into whatever is already stored (recovery starts from an
+    /// empty partition).  Returns `false` on malformed input, leaving the
+    /// tree with a prefix of the pairs applied.
+    pub fn restore(&mut self, payload: &[u8]) -> bool {
+        let Some(pairs) = crate::codec::decode_pairs(payload) else {
+            return false;
+        };
+        for (k, v) in pairs {
+            self.upsert(k, v);
+        }
+        true
+    }
+
     /// Split off every key in `[pivot, ∞)` into a new tree, removing them
     /// from `self` — the shrink side of a balancing command.
     pub fn split_off(&mut self, pivot: u64) -> PrefixTree {
@@ -414,6 +438,22 @@ mod tests {
         assert_eq!(t.lookup(7), Some(200));
         assert_eq!(t.lookup(8), None);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn serialization_roundtrips_into_a_fresh_tree() {
+        let mut t = small();
+        for k in [9u64, 3, 200, 0, 77] {
+            t.upsert(k, k * 10);
+        }
+        let mut buf = Vec::new();
+        t.serialize_into(&mut buf);
+        // Restore into a tree with a *different* shape: the payload is
+        // contents-only, so this must still work.
+        let mut back = PrefixTree::with_config(PrefixTreeConfig::new(8, 16), 0);
+        assert!(back.restore(&buf));
+        assert_eq!(back.flatten(), t.flatten());
+        assert!(!back.restore(&buf[..buf.len() - 1]), "truncated payload");
     }
 
     #[test]

@@ -143,18 +143,20 @@ impl QueryEngine {
         agg: Aggregate,
     ) -> AggregateResult {
         let t = self.ticket();
-        self.engine.submit(
-            AeuId(0),
-            DataCommand {
-                object: table,
-                ticket: t,
-                payload: Payload::Scan {
-                    pred,
-                    agg,
-                    snapshot: u64::MAX,
+        self.engine
+            .submit(
+                AeuId(0),
+                DataCommand {
+                    object: table,
+                    ticket: t,
+                    payload: Payload::Scan {
+                        pred,
+                        agg,
+                        snapshot: u64::MAX,
+                    },
                 },
-            },
-        );
+            )
+            .unwrap();
         self.engine.run_until_drained();
         self.engine
             .results()
@@ -173,18 +175,20 @@ impl QueryEngine {
         let dst = self.engine.create_column(name);
         let before = self.engine.results().counts().upserts;
         let t = self.ticket();
-        self.engine.submit(
-            AeuId(0),
-            DataCommand {
-                object: src,
-                ticket: t,
-                payload: Payload::Materialize {
-                    dst,
-                    pred,
-                    snapshot: u64::MAX,
+        self.engine
+            .submit(
+                AeuId(0),
+                DataCommand {
+                    object: src,
+                    ticket: t,
+                    payload: Payload::Materialize {
+                        dst,
+                        pred,
+                        snapshot: u64::MAX,
+                    },
                 },
-            },
-        );
+            )
+            .unwrap();
         self.engine.run_until_drained();
         let rows = self.engine.results().counts().upserts - before;
         (dst, rows)
@@ -200,18 +204,20 @@ impl QueryEngine {
     ) -> JoinStats {
         let before = self.engine.results().counts();
         let t = self.ticket();
-        self.engine.submit(
-            AeuId(0),
-            DataCommand {
-                object: probe_table,
-                ticket: t,
-                payload: Payload::JoinProbe {
-                    index,
-                    pred,
-                    snapshot: u64::MAX,
+        self.engine
+            .submit(
+                AeuId(0),
+                DataCommand {
+                    object: probe_table,
+                    ticket: t,
+                    payload: Payload::JoinProbe {
+                        index,
+                        pred,
+                        snapshot: u64::MAX,
+                    },
                 },
-            },
-        );
+            )
+            .unwrap();
         self.engine.run_until_drained();
         let after = self.engine.results().counts();
         JoinStats {

@@ -58,18 +58,20 @@ fn main() {
         ),
     ];
     for (i, (_, pred, agg)) in queries.iter().enumerate() {
-        engine.submit(
-            AeuId(i as u32),
-            DataCommand {
-                object: sales,
-                ticket: i as u64,
-                payload: Payload::Scan {
-                    pred: *pred,
-                    agg: *agg,
-                    snapshot: u64::MAX,
+        engine
+            .submit(
+                AeuId(i as u32),
+                DataCommand {
+                    object: sales,
+                    ticket: i as u64,
+                    payload: Payload::Scan {
+                        pred: *pred,
+                        agg: *agg,
+                        snapshot: u64::MAX,
+                    },
                 },
-            },
-        );
+            )
+            .unwrap();
     }
     engine.run_until_drained();
 

@@ -33,16 +33,18 @@ fn main() {
     engine.bulk_load_index(orders, (0..100_000u64).map(|k| (k, k % 997)));
 
     // Point lookups are routed to the owning AEUs and batched there.
-    engine.submit(
-        AeuId(0),
-        DataCommand {
-            object: orders,
-            ticket: 1,
-            payload: Payload::Lookup {
-                keys: vec![42, 99_999, 500_000],
+    engine
+        .submit(
+            AeuId(0),
+            DataCommand {
+                object: orders,
+                ticket: 1,
+                payload: Payload::Lookup {
+                    keys: vec![42, 99_999, 500_000],
+                },
             },
-        },
-    );
+        )
+        .unwrap();
     engine.run_until_drained();
     let mut results = engine.results().take_lookup_values();
     results.sort();
@@ -51,32 +53,36 @@ fn main() {
     }
 
     // Upserts route the same way; order stays intact per partition.
-    engine.submit(
-        AeuId(3),
-        DataCommand {
-            object: orders,
-            ticket: 2,
-            payload: Payload::Upsert {
-                pairs: vec![(500_000, 777)],
+    engine
+        .submit(
+            AeuId(3),
+            DataCommand {
+                object: orders,
+                ticket: 2,
+                payload: Payload::Upsert {
+                    pairs: vec![(500_000, 777)],
+                },
             },
-        },
-    );
+        )
+        .unwrap();
     engine.run_until_drained();
 
     // Scans multicast to every AEU whose range intersects the predicate;
     // each AEU contributes a partial aggregate.
-    engine.submit(
-        AeuId(7),
-        DataCommand {
-            object: orders,
-            ticket: 3,
-            payload: Payload::Scan {
-                pred: Predicate::Range { lo: 0, hi: 1 << 20 },
-                agg: Aggregate::Count,
-                snapshot: u64::MAX,
+    engine
+        .submit(
+            AeuId(7),
+            DataCommand {
+                object: orders,
+                ticket: 3,
+                payload: Payload::Scan {
+                    pred: Predicate::Range { lo: 0, hi: 1 << 20 },
+                    agg: Aggregate::Count,
+                    snapshot: u64::MAX,
+                },
             },
-        },
-    );
+        )
+        .unwrap();
     engine.run_until_drained();
     println!("\nfull scan count: {:?}", engine.results().combine_scan(3));
     println!(

@@ -168,7 +168,8 @@ fn lookups_stay_correct_across_rebalancing() {
                 ticket,
                 payload: Payload::Lookup { keys: vec![key] },
             },
-        );
+        )
+        .unwrap();
         for _ in 0..3 {
             e.run_epoch();
         }

@@ -123,7 +123,8 @@ fn scan_strategies_order_like_figure_9() {
                 snapshot: u64::MAX,
             },
         },
-    );
+    )
+    .unwrap();
     let t0 = e.clock().now_secs();
     e.run_until_drained();
     let eris = (rows as u64 * 8 * scale) as f64 / ((e.clock().now_secs() - t0) * 1e9);

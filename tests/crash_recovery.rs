@@ -1,0 +1,361 @@
+//! Crash-matrix: for every fail point compiled into the durability
+//! paths, crash a journaled engine there, recover from whatever reached
+//! disk, re-drive the post-checkpoint workload in full, and assert the
+//! result is indistinguishable from a twin engine that never crashed —
+//! identical scan/lookup oracles per object and a balanced conservation
+//! ledger.
+//!
+//! The workload is split so the equality is exact rather than "close":
+//!
+//! * **WA** (pre-checkpoint): tree/hash/column loads with a skew that
+//!   triggers balancing transfers.  WA is always durable — a checkpoint
+//!   syncs every journal before it writes a single part file.
+//! * **WB** (post-checkpoint): idempotent tree/hash upserts (`key →
+//!   f(key)`).  A journal crash may lose any suffix of WB, so recovery
+//!   re-drives WB in full; idempotency makes replayed-then-redriven
+//!   records harmless.
+//!
+//! Runs under both the cooperative virtual-time runtime and the real
+//! thread-per-AEU runtime (WB via generators on real threads).
+
+use eris_core::prelude::*;
+use eris_durability::{
+    Durability, FailPoints, RecoveryError, ALL_FAIL_POINTS, FP_CHECKPOINT_PARTIAL,
+    FP_CHECKPOINT_PRE_MANIFEST, FP_JOURNAL_PRE_SYNC, FP_JOURNAL_TORN_WRITE, FP_RECOVERY_MID_REPLAY,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const DOMAIN: u64 = 1 << 16;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "eris-crash-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+fn engine() -> Engine {
+    Engine::new(
+        eris_numa::machines::custom_machine("t", 2, 2, 20.0, 100.0, 10.0, 60.0),
+        EngineConfig {
+            collect_results: true,
+            tree: PrefixTreeConfig::new(8, 32),
+            ..Default::default()
+        },
+    )
+}
+
+struct Objects {
+    tree: DataObjectId,
+    hash: DataObjectId,
+    col: DataObjectId,
+}
+
+fn setup_objects(e: &mut Engine) -> Objects {
+    Objects {
+        tree: e.create_index("orders", DOMAIN),
+        hash: e.create_hash_index("customers", DOMAIN),
+        col: e.create_column("events"),
+    }
+}
+
+/// Pre-checkpoint load: skewed tree pairs (to provoke balancing
+/// transfers), hash pairs, and column appends.
+fn drive_wa(e: &mut Engine, o: &Objects) {
+    let tree_pairs: Vec<(u64, u64)> = (0..4000u64).map(|i| (i % (DOMAIN / 8), i * 7)).collect();
+    let hash_pairs: Vec<(u64, u64)> = (0..1500u64).map(|i| (i * 11 % DOMAIN, i + 5)).collect();
+    let rows: Vec<u64> = (0..2000u64).map(|i| i * 3).collect();
+    for (chunk, object) in [(tree_pairs, o.tree), (hash_pairs, o.hash)] {
+        for (n, batch) in chunk.chunks(500).enumerate() {
+            e.submit(
+                AeuId((n % e.num_aeus()) as u32),
+                DataCommand {
+                    object,
+                    ticket: 1000 + n as u64,
+                    payload: Payload::Upsert {
+                        pairs: batch.to_vec(),
+                    },
+                },
+            )
+            .unwrap();
+        }
+    }
+    for (n, batch) in rows.chunks(500).enumerate() {
+        e.submit(
+            AeuId((n % e.num_aeus()) as u32),
+            DataCommand {
+                object: o.col,
+                ticket: 2000 + n as u64,
+                payload: Payload::Upsert {
+                    pairs: batch.iter().map(|&r| (0, r)).collect(),
+                },
+            },
+        )
+        .unwrap();
+    }
+    e.run_until_drained();
+    // The skewed tree load makes the low AEUs heavy; rebalancing
+    // journals RemoveRange/UpsertPairs/SetRange records under a barrier.
+    e.run_balancer();
+    e.run_until_drained();
+}
+
+/// The idempotent post-checkpoint workload: same key set and value
+/// function every time it is driven.
+fn wb_commands(o: &Objects) -> Vec<DataCommand> {
+    let mut cmds = Vec::new();
+    for n in 0..16u64 {
+        let tree_pairs: Vec<(u64, u64)> = (0..200u64)
+            .map(|i| ((n * 331 + i * 17) % DOMAIN, i * 3 + 1))
+            .collect();
+        let hash_pairs: Vec<(u64, u64)> = (0..120u64)
+            .map(|i| ((n * 577 + i * 29) % DOMAIN, i + 9))
+            .collect();
+        cmds.push(DataCommand {
+            object: o.tree,
+            ticket: 3000 + n,
+            payload: Payload::Upsert { pairs: tree_pairs },
+        });
+        cmds.push(DataCommand {
+            object: o.hash,
+            ticket: 3100 + n,
+            payload: Payload::Upsert { pairs: hash_pairs },
+        });
+    }
+    cmds
+}
+
+fn drive_wb_cooperative(e: &mut Engine, o: &Objects) {
+    for (n, cmd) in wb_commands(o).into_iter().enumerate() {
+        e.submit(AeuId((n % e.num_aeus()) as u32), cmd).unwrap();
+        // Interleave processing so group commits happen mid-workload —
+        // that is where the journal fail points live.
+        e.run_epoch();
+    }
+    e.run_until_drained();
+}
+
+/// WB on the real thread-per-AEU runtime: every AEU drains its share of
+/// the command set through a generator while journaling concurrently.
+fn drive_wb_threaded(e: &mut Engine, o: &Objects) {
+    let all = wb_commands(o);
+    let n_aeus = e.num_aeus();
+    for a in 0..n_aeus {
+        let mut mine: Vec<DataCommand> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n_aeus == a)
+            .map(|(_, c)| c.clone())
+            .collect();
+        mine.reverse();
+        e.set_generator(
+            AeuId(a as u32),
+            Some(Box::new(move |_epoch, out| {
+                if let Some(cmd) = mine.pop() {
+                    out.push(cmd);
+                }
+            })),
+        );
+    }
+    e.run_threaded_for(std::time::Duration::from_millis(200));
+    for a in 0..n_aeus {
+        e.set_generator(AeuId(a as u32), None);
+    }
+    e.run_until_drained();
+}
+
+/// Everything externally observable about the logical database state:
+/// full-scan aggregates per object plus a lookup probe over a key grid.
+#[derive(Debug, PartialEq, Eq)]
+struct Oracle {
+    scans: Vec<(u32, Option<eris_column::scan::AggregateResult>)>,
+    lookups: Vec<(u64, u64, Option<u64>)>,
+}
+
+fn oracle(e: &mut Engine, o: &Objects) -> Oracle {
+    let mut scans = Vec::new();
+    for (t, object) in [(9001u64, o.tree), (9002, o.hash), (9003, o.col)] {
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object,
+                ticket: t,
+                payload: Payload::Scan {
+                    pred: Predicate::All,
+                    agg: Aggregate::Sum,
+                    snapshot: u64::MAX,
+                },
+            },
+        )
+        .unwrap();
+        e.run_until_drained();
+        scans.push((object.0, e.results().combine_scan(t)));
+    }
+    let keys: Vec<u64> = (0..DOMAIN).step_by(97).collect();
+    for (t, object) in [(9004u64, o.tree), (9005, o.hash)] {
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object,
+                ticket: t,
+                payload: Payload::Lookup { keys: keys.clone() },
+            },
+        )
+        .unwrap();
+    }
+    e.run_until_drained();
+    let mut lookups = e.results().take_lookup_values();
+    lookups.sort_unstable();
+    Oracle { scans, lookups }
+}
+
+/// The never-crashed reference: WA + checkpoint-equivalent drain + WB.
+fn twin_oracle() -> Oracle {
+    let mut e = engine();
+    let o = setup_objects(&mut e);
+    drive_wa(&mut e, &o);
+    drive_wb_cooperative(&mut e, &o);
+    assert!(e.telemetry().conservation_holds());
+    oracle(&mut e, &o)
+}
+
+/// Crash at `fp`, recover, re-drive WB, compare against `expected`.
+fn crash_and_recover(fp: &'static str, threaded: bool, expected: &Oracle) {
+    let dir = temp_dir(fp);
+    let fail = Arc::new(FailPoints::new());
+    let mut dura = Durability::open_with(&dir, engine().num_aeus(), fail.clone()).unwrap();
+    let mut e = engine();
+    dura.attach(&mut e);
+    let o = setup_objects(&mut e);
+    drive_wa(&mut e, &o);
+    dura.checkpoint(&mut e).unwrap();
+    assert!(!fail.crashed(), "WA and checkpoint 0 are crash-free");
+
+    // Arm the point, then run the lossy tail.  Journal points fire
+    // during WB's group commits; checkpoint points fire in checkpoint 1;
+    // the recovery point fires later, in the first recovery attempt.
+    fail.arm(fp, 0);
+    if threaded {
+        drive_wb_threaded(&mut e, &o);
+    } else {
+        drive_wb_cooperative(&mut e, &o);
+    }
+    match fp {
+        FP_CHECKPOINT_PARTIAL | FP_CHECKPOINT_PRE_MANIFEST => {
+            // The armed point kills checkpoint 1 partway through.
+            let _ = dura.checkpoint(&mut e);
+            assert!(fail.crashed(), "{fp} must have fired");
+        }
+        FP_JOURNAL_TORN_WRITE | FP_JOURNAL_PRE_SYNC => {
+            assert!(fail.crashed(), "{fp} must have fired during WB");
+        }
+        _ => {}
+    }
+    drop(e);
+    drop(dura);
+
+    // A recovery attempt that itself crashes is discarded and re-run.
+    if fp == FP_RECOVERY_MID_REPLAY {
+        let mut half = engine();
+        let crash = FailPoints::new();
+        crash.arm(FP_RECOVERY_MID_REPLAY, 4);
+        match eris_durability::recovery::recover_into(&mut half, &dir, &crash) {
+            Err(RecoveryError::InjectedCrash) => {}
+            other => panic!("expected an injected mid-replay crash, got {other:?}"),
+        }
+    }
+
+    let mut r = engine();
+    let report = Durability::recover(&mut r, &dir).unwrap();
+    assert_eq!(
+        report.checkpoint,
+        Some(0),
+        "checkpoint 0 is the durable base"
+    );
+
+    // Re-attach and re-drive the idempotent tail in full.
+    let dura = Durability::open(&dir, r.num_aeus()).unwrap();
+    dura.attach(&mut r);
+    drive_wb_cooperative(&mut r, &o);
+
+    assert!(
+        r.telemetry().conservation_holds(),
+        "{fp}: recovered ledger must balance (enqueued == executed)"
+    );
+    assert_eq!(
+        &oracle(&mut r, &o),
+        expected,
+        "{fp}: oracle mismatch vs twin"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_matrix_cooperative() {
+    let expected = twin_oracle();
+    for fp in ALL_FAIL_POINTS {
+        crash_and_recover(fp, false, &expected);
+    }
+}
+
+#[test]
+fn crash_matrix_threaded() {
+    let expected = twin_oracle();
+    for fp in [FP_JOURNAL_TORN_WRITE, FP_JOURNAL_PRE_SYNC] {
+        crash_and_recover(fp, true, &expected);
+    }
+}
+
+#[test]
+fn recovery_without_any_checkpoint_is_journal_only() {
+    let dir = temp_dir("no-ckpt");
+    let dura = Durability::open(&dir, engine().num_aeus()).unwrap();
+    let mut e = engine();
+    dura.attach(&mut e);
+    let o = setup_objects(&mut e);
+    drive_wa(&mut e, &o);
+    e.run_until_drained();
+    // Sync the journals the way a clean shutdown would, but never
+    // checkpoint: recovery must rebuild purely from the logs.
+    let expected = oracle(&mut e, &o);
+    drop(e);
+
+    let mut r = engine();
+    let report = Durability::recover(&mut r, &dir).unwrap();
+    assert_eq!(report.checkpoint, None);
+    assert!(report.replayed_records > 0);
+    assert_eq!(oracle(&mut r, &o), expected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn repeated_checkpoints_pick_the_newest() {
+    let dir = temp_dir("multi-ckpt");
+    let mut dura = Durability::open(&dir, engine().num_aeus()).unwrap();
+    let mut e = engine();
+    dura.attach(&mut e);
+    let o = setup_objects(&mut e);
+    drive_wa(&mut e, &o);
+    assert_eq!(dura.checkpoint(&mut e).unwrap(), 0);
+    drive_wb_cooperative(&mut e, &o);
+    assert_eq!(dura.checkpoint(&mut e).unwrap(), 1);
+    let expected = oracle(&mut e, &o);
+    drop(e);
+
+    let mut r = engine();
+    let report = Durability::recover(&mut r, &dir).unwrap();
+    assert_eq!(report.checkpoint, Some(1));
+    // Everything was inside checkpoint 1; only oracle traffic could
+    // follow it, and none did — the tails are empty.
+    assert_eq!(report.replayed_records, 0);
+    assert_eq!(oracle(&mut r, &o), expected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

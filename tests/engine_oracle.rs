@@ -45,7 +45,8 @@ fn randomized_ops_match_btreemap() {
                 ticket,
                 payload: Payload::Upsert { pairs },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
 
         // Probe lookups: mix of present and absent keys.
@@ -59,7 +60,8 @@ fn randomized_ops_match_btreemap() {
                 ticket,
                 payload: Payload::Lookup { keys: keys.clone() },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         let got = e.results().take_lookup_values();
         assert_eq!(got.len(), 50, "round {round}: every key answered once");
@@ -106,7 +108,8 @@ fn scans_match_oracle_aggregates() {
                     snapshot: u64::MAX,
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         let want: u64 = oracle.range(lo..hi).map(|(_, &v)| v).sum();
         match e.results().combine_scan(t) {
@@ -167,7 +170,8 @@ fn coalesced_scans_match_unshared_baseline() {
                         snapshot: u64::MAX,
                     },
                 },
-            );
+            )
+            .unwrap();
             if !batched {
                 // One scan in flight at a time: nothing to coalesce with.
                 e.run_until_drained();
@@ -215,7 +219,8 @@ fn multiple_objects_are_independent() {
             ticket: 1,
             payload: Payload::Lookup { keys: vec![50] },
         },
-    );
+    )
+    .unwrap();
     e.submit(
         AeuId(1),
         DataCommand {
@@ -223,7 +228,8 @@ fn multiple_objects_are_independent() {
             ticket: 2,
             payload: Payload::Lookup { keys: vec![50] },
         },
-    );
+    )
+    .unwrap();
     e.submit(
         AeuId(2),
         DataCommand {
@@ -235,7 +241,8 @@ fn multiple_objects_are_independent() {
                 snapshot: u64::MAX,
             },
         },
-    );
+    )
+    .unwrap();
     e.run_until_drained();
     let mut got = e.results().take_lookup_values();
     got.sort();
@@ -260,7 +267,8 @@ fn column_appends_distribute_over_members() {
                     pairs: vec![(0, i)],
                 },
             },
-        );
+        )
+        .unwrap();
     }
     e.run_until_drained();
     let lens: Vec<usize> = e
@@ -303,7 +311,8 @@ fn real_machines_route_correctly() {
                     keys: vec![0, 5_000_000, 9_999_000, 13],
                 },
             },
-        );
+        )
+        .unwrap();
         e.run_until_drained();
         let mut got = e.results().take_lookup_values();
         got.sort();

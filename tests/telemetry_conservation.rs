@@ -42,7 +42,8 @@ fn conservation_single_threaded_mixed_workload() {
                     keys: (0..16).map(|i| (round * 31 + i * 97) % domain).collect(),
                 },
             },
-        );
+        )
+        .unwrap();
         ticket += 1;
         // Upserts.
         e.submit(
@@ -56,7 +57,8 @@ fn conservation_single_threaded_mixed_workload() {
                         .collect(),
                 },
             },
-        );
+        )
+        .unwrap();
         ticket += 1;
         // Multicast: a full scan fans out to every member AEU.
         e.submit(
@@ -70,7 +72,8 @@ fn conservation_single_threaded_mixed_workload() {
                     snapshot: u64::MAX,
                 },
             },
-        );
+        )
+        .unwrap();
     }
     e.run_until_drained();
 
@@ -197,7 +200,8 @@ fn epoch_reports_carry_telemetry_deltas() {
                 keys: (0..64).collect(),
             },
         },
-    );
+    )
+    .unwrap();
     // `submit` routes before any epoch runs, so deltas account for
     // everything *after* this baseline.
     let base = e.telemetry().totals;
@@ -242,7 +246,8 @@ fn snapshot_renders_text_and_json() {
                 keys: vec![1, 2, 3],
             },
         },
-    );
+    )
+    .unwrap();
     e.run_until_drained();
     let snap = e.telemetry();
     let text = snap.to_string();
