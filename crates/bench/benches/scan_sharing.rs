@@ -2,7 +2,8 @@
 //! by one sweep must approach 1/N of the cost of N separate sweeps.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use eris_column::{Aggregate, Column, Predicate, SharedScan};
+use eris_column::{Aggregate, Column, Predicate, ScanKernel, SharedScan};
+use eris_index::HashTable;
 use eris_numa::NodeId;
 
 fn column(rows: u64) -> Column {
@@ -63,5 +64,60 @@ fn bench_scan_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_shared_vs_separate, bench_scan_kernels);
+fn bench_chunked_vs_scalar_dispatch(c: &mut Criterion) {
+    // The ScanKernel A/B the engine exposes: the same fused sweep through
+    // the chunked kernels and through the row-at-a-time scalar oracle.
+    let col = column(1 << 18);
+    let mut g = c.benchmark_group("kernel_dispatch");
+    for n in [1usize, 8] {
+        let ps = preds(n);
+        for (name, k) in [
+            ("chunked", ScanKernel::Chunked),
+            ("scalar", ScanKernel::Scalar),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut s = SharedScan::new();
+                    for p in &ps {
+                        s.add(*p, usize::MAX, Aggregate::Sum);
+                    }
+                    black_box(s.execute_with(&col, k))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_hash_probes(c: &mut Criterion) {
+    // Batched bucket-grouped probes vs one-at-a-time lookups.
+    let mut h = HashTable::new(7, 0);
+    for k in 0..(1u64 << 16) {
+        h.upsert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k);
+    }
+    let keys: Vec<u64> = (0..1024u64)
+        .map(|i| (i * 37 % (1 << 17)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let mut g = c.benchmark_group("hash_probes");
+    g.bench_function("batched", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            h.lookup_batch(&keys, &mut out);
+            black_box(out.iter().flatten().count())
+        })
+    });
+    g.bench_function("scalar", |b| {
+        b.iter(|| black_box(keys.iter().filter_map(|&k| h.lookup(k)).count()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shared_vs_separate,
+    bench_scan_kernels,
+    bench_chunked_vs_scalar_dispatch,
+    bench_hash_probes
+);
 criterion_main!(benches);

@@ -1,0 +1,313 @@
+//! Kernel regression benchmark — chunked vs scalar AEU execution.
+//!
+//! Unlike the paper-figure experiments (virtual time on simulated
+//! machines), this measures **wall-clock** throughput of the vectorized
+//! execution kernels themselves, because they are real compute:
+//!
+//! * the fused multi-predicate shared sweep (N coalesced scans answered
+//!   in one chunked pass) against N unshared sweeps and against the
+//!   row-at-a-time scalar oracle,
+//! * the single-predicate chunked count/sum kernels against scalar scans,
+//! * batched bucket-grouped hash probes against one-at-a-time lookups.
+//!
+//! Results land in `BENCH_kernels.json`.  When `ERIS_BENCH_BASELINE`
+//! names a baseline file (CI commits one under `ci/`), the run's
+//! *speedup ratios* — machine-portable, unlike absolute rows/s — are
+//! gated against it: a measured ratio below `baseline * (1 - tolerance)`
+//! fails the run.  `ERIS_BENCH_TOLERANCE` overrides the default 0.5.
+
+use crate::{fmt_rate, TextTable};
+use eris_column::{Aggregate, Column, Predicate, ScanKernel, SharedScan};
+use eris_index::HashTable;
+use eris_numa::NodeId;
+use std::time::Instant;
+
+/// Coalesced consumers in the fused sweep (the paper's scan-sharing N).
+const CONSUMERS: usize = 8;
+
+/// Ratio metrics the CI gate compares against the committed baseline.
+/// Absolute rows/s are recorded but never gated: they track the runner's
+/// hardware, not the code.
+const GATED: &[&str] = &[
+    "shared_vs_unshared_speedup",
+    "chunked_vs_scalar_speedup",
+    "chunked_count_speedup",
+    "chunked_sum_speedup",
+    "batched_probe_speedup",
+];
+
+fn column(rows: u64) -> Column {
+    let mut c = Column::new_local(NodeId(0), 0, 64 * 1024);
+    c.extend((0..rows).map(|i| i.wrapping_mul(0x9E37_79B9) % 100_000));
+    c.into_column()
+}
+
+fn preds(n: usize) -> Vec<Predicate> {
+    (0..n)
+        .map(|i| Predicate::Range {
+            lo: (i as u64) * 5_000,
+            hi: (i as u64) * 5_000 + 20_000,
+        })
+        .collect()
+}
+
+/// Median-of-iterations wall time of `f` (seconds per call), running for
+/// at least `min_ms` after one warmup call.
+fn time(min_ms: u64, mut f: impl FnMut() -> u64) -> f64 {
+    let mut sink = f(); // warmup
+    let t0 = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        sink = sink.wrapping_add(f());
+        iters += 1;
+        if t0.elapsed().as_millis() as u64 >= min_ms {
+            break;
+        }
+    }
+    std::hint::black_box(sink);
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+fn fused_sweep(col: &Column, ps: &[Predicate], k: ScanKernel) -> u64 {
+    let mut s = SharedScan::new();
+    for p in ps {
+        s.add(*p, usize::MAX, Aggregate::Sum);
+    }
+    let (results, examined) = s.execute_with(col, k);
+    results.len() as u64 + examined as u64
+}
+
+struct Metrics(Vec<(&'static str, f64)>);
+
+impl Metrics {
+    fn put(&mut self, key: &'static str, v: f64) {
+        self.0.push((key, v));
+    }
+
+    fn get(&self, key: &str) -> f64 {
+        self.0
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    fn to_json(&self, quick: bool, rows: u64) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"quick\": {quick},\n"));
+        s.push_str(&format!("  \"rows\": {rows},\n"));
+        s.push_str(&format!("  \"consumers\": {CONSUMERS},\n"));
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            let comma = if i + 1 < self.0.len() { "," } else { "" };
+            s.push_str(&format!("  \"{k}\": {v:.3}{comma}\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Pull `"key": <number>` out of a flat JSON object without a parser.
+fn extract(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let rest = &json[json.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn measure(quick: bool) -> (Metrics, u64) {
+    let rows: u64 = if quick { 1 << 16 } else { 1 << 20 };
+    let ms: u64 = if quick { 40 } else { 400 };
+    let col = column(rows);
+    let ps = preds(CONSUMERS);
+    let mut m = Metrics(Vec::new());
+
+    // The tentpole comparison: one fused chunked sweep answers all N
+    // consumers; the alternatives pay either N sweeps or per-row dispatch.
+    let t_fused = time(ms, || fused_sweep(&col, &ps, ScanKernel::Chunked));
+    let t_fused_scalar = time(ms, || fused_sweep(&col, &ps, ScanKernel::Scalar));
+    let t_unshared = time(ms, || {
+        let mut acc = 0u64;
+        for p in &ps {
+            acc = acc.wrapping_add(col.sum(*p, usize::MAX));
+        }
+        acc
+    });
+    let consumer_rows = (rows * CONSUMERS as u64) as f64;
+    m.put("fused_chunked_rows_per_sec", consumer_rows / t_fused);
+    m.put("fused_scalar_rows_per_sec", consumer_rows / t_fused_scalar);
+    m.put("unshared_chunked_rows_per_sec", consumer_rows / t_unshared);
+    m.put("shared_vs_unshared_speedup", t_unshared / t_fused);
+    m.put("chunked_vs_scalar_speedup", t_fused_scalar / t_fused);
+
+    // Single-predicate kernels against the row-at-a-time scan.
+    let p = Predicate::Range {
+        lo: 10_000,
+        hi: 60_000,
+    };
+    let t_count = time(ms, || col.count(p, usize::MAX));
+    let t_count_scalar = time(ms, || {
+        let mut n = 0u64;
+        col.scan(p, usize::MAX, |_, _| n += 1);
+        n
+    });
+    let t_sum = time(ms, || col.sum(p, usize::MAX));
+    let t_sum_scalar = time(ms, || {
+        let mut s = 0u64;
+        col.scan(p, usize::MAX, |_, v| s = s.wrapping_add(v));
+        s
+    });
+    m.put("chunked_count_rows_per_sec", rows as f64 / t_count);
+    m.put("chunked_sum_rows_per_sec", rows as f64 / t_sum);
+    m.put("chunked_count_speedup", t_count_scalar / t_count);
+    m.put("chunked_sum_speedup", t_sum_scalar / t_sum);
+
+    // Batched hash probes: hoisted hashing + bucket-sorted access.  The
+    // win is memory-level: visiting buckets in address order turns random
+    // DRAM probes into a prefetchable sweep, so the table must not fit in
+    // cache for the comparison to mean anything.
+    let keys_n: u64 = if quick { 1 << 20 } else { 1 << 22 };
+    let mut h = HashTable::new(0xE515, 0);
+    for k in 0..keys_n {
+        h.upsert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k);
+    }
+    // Rotate through a key set as large as the table so every iteration
+    // probes cold buckets — re-probing one small batch would let both
+    // sides run out of cache and measure nothing.
+    const BATCH: usize = 4096;
+    let all_keys: Vec<u64> = (0..keys_n)
+        .map(|i| (i * 37 % (2 * keys_n)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let windows = all_keys.len() / BATCH;
+    let mut out = Vec::new();
+    let mut w = 0usize;
+    let t_batched = time(ms, || {
+        let batch = &all_keys[w * BATCH..(w + 1) * BATCH];
+        w = (w + 1) % windows;
+        out.clear();
+        h.lookup_batch(batch, &mut out);
+        out.iter().flatten().sum()
+    });
+    let mut w = 0usize;
+    let t_scalar_probe = time(ms, || {
+        let batch = &all_keys[w * BATCH..(w + 1) * BATCH];
+        w = (w + 1) % windows;
+        batch.iter().filter_map(|&k| h.lookup(k)).sum()
+    });
+    m.put("batched_probe_keys_per_sec", BATCH as f64 / t_batched);
+    m.put("scalar_probe_keys_per_sec", BATCH as f64 / t_scalar_probe);
+    m.put("batched_probe_speedup", t_scalar_probe / t_batched);
+
+    (m, rows)
+}
+
+pub fn run(quick: bool) {
+    println!("Kernel regression benchmark: chunked vs scalar execution (wall clock)");
+    println!("({CONSUMERS} coalesced consumers per fused sweep)\n");
+    let (m, rows) = measure(quick);
+
+    let mut t = TextTable::new(&["kernel", "throughput", "speedup"]);
+    t.row(vec![
+        format!("fused shared sweep ({CONSUMERS} preds, chunked)"),
+        fmt_rate(m.get("fused_chunked_rows_per_sec")),
+        format!("{:.2}x vs unshared", m.get("shared_vs_unshared_speedup")),
+    ]);
+    t.row(vec![
+        "fused shared sweep (scalar oracle)".into(),
+        fmt_rate(m.get("fused_scalar_rows_per_sec")),
+        format!("{:.2}x chunked/scalar", m.get("chunked_vs_scalar_speedup")),
+    ]);
+    t.row(vec![
+        "chunked count".into(),
+        fmt_rate(m.get("chunked_count_rows_per_sec")),
+        format!("{:.2}x vs scalar", m.get("chunked_count_speedup")),
+    ]);
+    t.row(vec![
+        "chunked sum".into(),
+        fmt_rate(m.get("chunked_sum_rows_per_sec")),
+        format!("{:.2}x vs scalar", m.get("chunked_sum_speedup")),
+    ]);
+    t.row(vec![
+        "batched hash probe".into(),
+        fmt_rate(m.get("batched_probe_keys_per_sec")),
+        format!("{:.2}x vs scalar", m.get("batched_probe_speedup")),
+    ]);
+    t.print();
+
+    let json = m.to_json(quick, rows);
+    let out = "BENCH_kernels.json";
+    std::fs::write(out, &json).expect("write BENCH_kernels.json");
+    println!("\nwrote {out}");
+
+    if let Ok(path) = std::env::var("ERIS_BENCH_BASELINE") {
+        let tolerance: f64 = std::env::var("ERIS_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.5);
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+        println!("baseline gate: {path} (tolerance {tolerance})");
+        let mut failed = false;
+        for key in GATED {
+            let Some(want) = extract(&baseline, key) else {
+                println!("  {key}: not in baseline, skipped");
+                continue;
+            };
+            let got = m.get(key);
+            let floor = want * (1.0 - tolerance);
+            let ok = got >= floor;
+            println!(
+                "  {key}: measured {got:.2} vs baseline {want:.2} (floor {floor:.2}) {}",
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("kernel benchmark regressed beyond tolerance");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_through_the_extractor() {
+        let mut m = Metrics(Vec::new());
+        m.put("shared_vs_unshared_speedup", 4.25);
+        m.put("chunked_vs_scalar_speedup", 2.0);
+        let json = m.to_json(true, 1024);
+        assert_eq!(extract(&json, "shared_vs_unshared_speedup"), Some(4.25));
+        assert_eq!(extract(&json, "chunked_vs_scalar_speedup"), Some(2.0));
+        assert_eq!(extract(&json, "rows"), Some(1024.0));
+        assert_eq!(extract(&json, "missing"), None);
+        // Structural sanity without a parser.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n}"), "no trailing comma: {json}");
+    }
+
+    #[test]
+    fn quick_measurement_produces_sane_ratios() {
+        let (m, rows) = measure(true);
+        assert!(rows > 0);
+        for key in GATED {
+            let v = m.get(key);
+            assert!(v.is_finite() && v > 0.0, "{key} = {v}");
+        }
+        // The fused chunked sweep must beat the per-row scalar path —
+        // the acceptance criterion of the chunked-kernel tentpole.
+        // Optimized builds only: debug codegen neither vectorizes the
+        // kernels nor inlines the scalar dispatch, so the ratio there
+        // measures the compiler, not the design.
+        if cfg!(not(debug_assertions)) {
+            assert!(
+                m.get("chunked_vs_scalar_speedup") > 1.0,
+                "chunked fused sweep beats the scalar oracle: {:?}",
+                m.0
+            );
+        }
+    }
+}

@@ -10,6 +10,7 @@ pub mod fig13;
 pub mod fig5;
 pub mod fig8;
 pub mod fig9;
+pub mod kernels;
 pub mod table1;
 pub mod table2;
 pub mod zipf;
@@ -17,7 +18,7 @@ pub mod zipf;
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
     "table1", "table2", "fig1", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "energy", "zipf",
+    "energy", "zipf", "kernels",
 ];
 
 /// Run one experiment by id (with `quick` shrinking the sweep for CI).
@@ -35,6 +36,7 @@ pub fn run(id: &str, quick: bool) {
         "fig13" => fig13::run(quick),
         "energy" => energy::run(quick),
         "zipf" => zipf::run(quick),
+        "kernels" => kernels::run(quick),
         other => {
             eprintln!("unknown experiment '{other}'; available: {ALL:?}");
             std::process::exit(2);

@@ -82,7 +82,10 @@ impl Segment {
 pub enum Predicate {
     /// Every row matches.
     All,
-    /// `lo <= v < hi`.
+    /// `lo <= v < hi` — except that `hi == u64::MAX` is the unbounded-above
+    /// sentinel and *includes* `u64::MAX` itself.  A plain half-open bound
+    /// cannot express "everything from `lo` up", so the top key of the
+    /// domain would be silently unreachable without the sentinel.
     Range { lo: u64, hi: u64 },
     /// `v == x`.
     Equals(u64),
@@ -93,8 +96,31 @@ impl Predicate {
     pub fn matches(&self, v: u64) -> bool {
         match *self {
             Predicate::All => true,
-            Predicate::Range { lo, hi } => v >= lo && v < hi,
+            Predicate::Range { lo, hi } => v >= lo && (v < hi || hi == u64::MAX),
             Predicate::Equals(x) => v == x,
+        }
+    }
+
+    /// The inclusive `[lo, hi]` value interval this predicate admits, or
+    /// `None` when it can match nothing.  Exact for every variant — in
+    /// particular `Equals(x)` becomes `[x, x]` with no `x + 1` overflow,
+    /// and the `hi == u64::MAX` sentinel becomes `[lo, u64::MAX]` — so
+    /// callers that walk an index by bounds visit exactly the matching
+    /// keys and need no per-key re-check.
+    #[inline]
+    pub fn bounds_inclusive(&self) -> Option<(u64, u64)> {
+        match *self {
+            Predicate::All => Some((0, u64::MAX)),
+            Predicate::Range { lo, hi } => {
+                if hi == u64::MAX {
+                    Some((lo, u64::MAX))
+                } else if lo >= hi {
+                    None
+                } else {
+                    Some((lo, hi - 1))
+                }
+            }
+            Predicate::Equals(x) => Some((x, x)),
         }
     }
 }
@@ -261,6 +287,45 @@ impl Column {
         limit
     }
 
+    /// Visit the first `snapshot` rows as contiguous chunks of at most
+    /// [`crate::kernel::CHUNK_ROWS`] values, calling `f(row_base, values)`
+    /// per chunk.  Chunks never straddle a segment boundary, so each slice
+    /// is one contiguous run of memory a kernel can stream through.
+    /// Returns rows examined (for virtual-time accounting).
+    pub fn for_each_chunk(&self, snapshot: usize, mut f: impl FnMut(usize, &[u64])) -> usize {
+        let limit = snapshot.min(self.len);
+        let mut row = 0usize;
+        for seg in &self.segments {
+            if row >= limit {
+                break;
+            }
+            let take = (limit - row).min(seg.data.len());
+            let mut off = 0usize;
+            while off < take {
+                let end = (off + crate::kernel::CHUNK_ROWS).min(take);
+                f(row + off, &seg.data[off..end]);
+                off = end;
+            }
+            row += take;
+        }
+        limit
+    }
+
+    /// Append every value matching `pred` within the snapshot to `out`,
+    /// in row order, via the chunked bitmap kernel.  Returns rows
+    /// examined.
+    pub fn collect_matching(&self, pred: Predicate, snapshot: usize, out: &mut Vec<u64>) -> usize {
+        let p = crate::kernel::CompiledPredicate::compile(pred);
+        let mut words = [0u64; crate::kernel::CHUNK_WORDS];
+        self.for_each_chunk(snapshot, |_, chunk| {
+            let n = crate::kernel::select_bitmap(chunk, p, &mut words);
+            if n > 0 {
+                out.reserve(n as usize);
+                crate::kernel::for_each_selected(chunk, &words, |_, v| out.push(v));
+            }
+        })
+    }
+
     /// Scan rows `[start, end)` (parallel workers splitting one shared
     /// scan), calling `f(row_id, value)` for matches.  Returns rows
     /// examined.
@@ -320,17 +385,21 @@ impl Column {
         out
     }
 
-    /// Count rows matching `pred` within the snapshot.
+    /// Count rows matching `pred` within the snapshot (chunked kernel).
     pub fn count(&self, pred: Predicate, snapshot: usize) -> u64 {
+        let p = crate::kernel::CompiledPredicate::compile(pred);
         let mut n = 0u64;
-        self.scan(pred, snapshot, |_, _| n += 1);
+        self.for_each_chunk(snapshot, |_, chunk| n += crate::kernel::count(chunk, p));
         n
     }
 
-    /// Sum of matching values within the snapshot.
+    /// Sum of matching values within the snapshot (chunked kernel).
     pub fn sum(&self, pred: Predicate, snapshot: usize) -> u64 {
+        let p = crate::kernel::CompiledPredicate::compile(pred);
         let mut s = 0u64;
-        self.scan(pred, snapshot, |_, v| s = s.wrapping_add(v));
+        self.for_each_chunk(snapshot, |_, chunk| {
+            s = s.wrapping_add(crate::kernel::sum(chunk, p));
+        });
         s
     }
 
@@ -485,6 +554,67 @@ mod tests {
     }
 
     #[test]
+    fn max_key_is_reachable_through_every_predicate_form() {
+        let mut c = Column::new_local(NodeId(0), 0, 16);
+        c.extend([1, u64::MAX, 7, u64::MAX - 1]);
+        let c = c.column();
+        // The unbounded-above sentinel includes u64::MAX...
+        let unbounded = Predicate::Range {
+            lo: 5,
+            hi: u64::MAX,
+        };
+        assert_eq!(c.count(unbounded, 4), 3);
+        assert!(unbounded.matches(u64::MAX));
+        // ...while a genuinely half-open range still excludes its hi.
+        let half_open = Predicate::Range {
+            lo: 5,
+            hi: u64::MAX - 1,
+        };
+        assert_eq!(c.count(half_open, 4), 1, "only the 7");
+        assert_eq!(c.count(Predicate::Equals(u64::MAX), 4), 1);
+        let mut got = Vec::new();
+        c.collect_matching(unbounded, 4, &mut got);
+        assert_eq!(got, vec![u64::MAX, 7, u64::MAX - 1]);
+    }
+
+    #[test]
+    fn bounds_inclusive_is_exact() {
+        assert_eq!(Predicate::All.bounds_inclusive(), Some((0, u64::MAX)));
+        assert_eq!(
+            Predicate::Range { lo: 3, hi: 9 }.bounds_inclusive(),
+            Some((3, 8))
+        );
+        assert_eq!(Predicate::Range { lo: 3, hi: 3 }.bounds_inclusive(), None);
+        assert_eq!(Predicate::Range { lo: 9, hi: 3 }.bounds_inclusive(), None);
+        assert_eq!(
+            Predicate::Range {
+                lo: 3,
+                hi: u64::MAX
+            }
+            .bounds_inclusive(),
+            Some((3, u64::MAX))
+        );
+        assert_eq!(
+            Predicate::Equals(u64::MAX).bounds_inclusive(),
+            Some((u64::MAX, u64::MAX))
+        );
+    }
+
+    #[test]
+    fn chunks_respect_snapshot_and_segment_boundaries() {
+        let c = filled(40); // 16-value segments
+        let mut bases = Vec::new();
+        let mut total = 0usize;
+        let examined = c.column().for_each_chunk(35, |base, chunk| {
+            bases.push(base);
+            total += chunk.len();
+        });
+        assert_eq!(examined, 35);
+        assert_eq!(total, 35);
+        assert_eq!(bases, vec![0, 16, 32], "one chunk per partial segment");
+    }
+
+    #[test]
     fn scan_reports_row_ids() {
         let c = filled(50);
         let mut rows = Vec::new();
@@ -581,6 +711,34 @@ mod tests {
                 let expect: Vec<u64> = values.iter().take(snapshot)
                     .filter(|&&v| v >= lo && v < hi).copied().collect();
                 prop_assert_eq!(got, expect);
+            }
+
+            #[test]
+            fn chunked_aggregates_match_scalar_scan(
+                values in proptest::collection::vec(
+                    prop_oneof![any::<u64>(), Just(u64::MAX), Just(0u64), 0u64..1000],
+                    0..300),
+                lo in prop_oneof![any::<u64>(), 0u64..1000],
+                hi in prop_oneof![any::<u64>(), Just(u64::MAX), 0u64..1000],
+                snapshot in 0usize..350)
+            {
+                let mut c = Column::new_local(NodeId(0), 0, 7);
+                c.extend(values.iter().copied());
+                let pred = Predicate::Range { lo, hi };
+                // The per-row closure scan is the oracle for the kernels.
+                let mut n = 0u64;
+                let mut s = 0u64;
+                let mut vals = Vec::new();
+                c.column().scan(pred, snapshot, |_, v| {
+                    n += 1;
+                    s = s.wrapping_add(v);
+                    vals.push(v);
+                });
+                prop_assert_eq!(c.column().count(pred, snapshot), n);
+                prop_assert_eq!(c.column().sum(pred, snapshot), s);
+                let mut got = Vec::new();
+                c.column().collect_matching(pred, snapshot, &mut got);
+                prop_assert_eq!(got, vals);
             }
 
             #[test]

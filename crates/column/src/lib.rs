@@ -12,7 +12,9 @@
 //! over the data — the scan-sharing optimization of Section 3.1.
 
 pub mod column;
+pub mod kernel;
 pub mod scan;
 
 pub use column::{Column, ColumnFull, Predicate, Segment};
-pub use scan::{Aggregate, SharedScan};
+pub use kernel::{CompiledPredicate, CHUNK_ROWS};
+pub use scan::{Aggregate, ScanKernel, SharedScan};

@@ -11,6 +11,22 @@
 //! is shared.
 
 use crate::column::{Column, Predicate};
+use crate::kernel::{self, CompiledPredicate};
+
+/// Which execution path a shared sweep uses.  [`ScanKernel::Chunked`] is
+/// the default everywhere; [`ScanKernel::Scalar`] keeps the original
+/// per-row closure path alive as a correctness oracle (and a baseline for
+/// the kernel benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanKernel {
+    /// Fused chunked sweep: every consumer's predicate is evaluated
+    /// branch-free against each [`kernel::CHUNK_ROWS`]-row chunk while the
+    /// chunk is hot in L1.
+    #[default]
+    Chunked,
+    /// Row-at-a-time `Predicate::matches` closure per consumer.
+    Scalar,
+}
 
 /// The aggregate a scan command computes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,11 +95,62 @@ impl SharedScan {
         self.consumers.is_empty()
     }
 
-    /// Execute all consumers in one sweep.  Returns the rows examined —
-    /// the *maximum* snapshot across consumers, not the sum: that the data
-    /// is read once for N commands is exactly the scan-sharing win the
+    /// Execute all consumers in one sweep with the default
+    /// ([`ScanKernel::Chunked`]) kernel.  Returns the rows examined — the
+    /// *maximum* snapshot across consumers, not the sum: that the data is
+    /// read once for N commands is exactly the scan-sharing win the
     /// virtual-time model charges for.
-    pub fn execute(mut self, column: &Column) -> (Vec<AggregateResult>, usize) {
+    pub fn execute(self, column: &Column) -> (Vec<AggregateResult>, usize) {
+        self.execute_with(column, ScanKernel::Chunked)
+    }
+
+    /// Execute with an explicit kernel choice.
+    pub fn execute_with(self, column: &Column, k: ScanKernel) -> (Vec<AggregateResult>, usize) {
+        match k {
+            ScanKernel::Chunked => self.execute_chunked(column),
+            ScanKernel::Scalar => self.execute_scalar(column),
+        }
+    }
+
+    /// Fused chunked sweep: each chunk is pulled through the cache once
+    /// and every consumer's compiled predicate reduces it branch-free,
+    /// computing only the aggregate that consumer asked for.  Exactness:
+    /// count/sum/min/max are commutative–associative folds, so per-chunk
+    /// partials combine to bit-identical results vs. the scalar path.
+    fn execute_chunked(mut self, column: &Column) -> (Vec<AggregateResult>, usize) {
+        let sweep = self.consumers.iter().map(|c| c.snapshot).max().unwrap_or(0);
+        let preds: Vec<CompiledPredicate> = self
+            .consumers
+            .iter()
+            .map(|c| CompiledPredicate::compile(c.pred))
+            .collect();
+        let consumers = &mut self.consumers;
+        let examined = column.for_each_chunk(sweep, |base, chunk| {
+            for (c, &p) in consumers.iter_mut().zip(&preds) {
+                if base >= c.snapshot {
+                    continue;
+                }
+                // MVCC cut: this consumer sees only its snapshot prefix.
+                let part = &chunk[..(c.snapshot - base).min(chunk.len())];
+                match c.agg {
+                    Aggregate::Count => c.count += kernel::count(part, p),
+                    Aggregate::Sum => c.sum = c.sum.wrapping_add(kernel::sum(part, p)),
+                    Aggregate::MinMax => {
+                        if let Some((mn, mx)) = kernel::min_max(part, p) {
+                            c.min = c.min.min(mn);
+                            c.max = c.max.max(mx);
+                            c.matched = true;
+                        }
+                    }
+                }
+            }
+        });
+        (self.results(), examined)
+    }
+
+    /// The original row-at-a-time path, kept as the oracle the chunked
+    /// kernels are tested (and benchmarked) against.
+    pub fn execute_scalar(mut self, column: &Column) -> (Vec<AggregateResult>, usize) {
         let sweep = self.consumers.iter().map(|c| c.snapshot).max().unwrap_or(0);
         let examined = column.scan(Predicate::All, sweep, |row, v| {
             for c in &mut self.consumers {
@@ -100,16 +167,18 @@ impl SharedScan {
                 }
             }
         });
-        let results = self
-            .consumers
+        (self.results(), examined)
+    }
+
+    fn results(&self) -> Vec<AggregateResult> {
+        self.consumers
             .iter()
             .map(|c| match c.agg {
                 Aggregate::Count => AggregateResult::Count(c.count),
                 Aggregate::Sum => AggregateResult::Sum(c.sum),
                 Aggregate::MinMax => AggregateResult::MinMax(c.matched.then_some((c.min, c.max))),
             })
-            .collect();
-        (results, examined)
+            .collect()
     }
 }
 
@@ -171,5 +240,74 @@ mod tests {
         let (r, examined) = SharedScan::new().execute(&c);
         assert!(r.is_empty());
         assert_eq!(examined, 0);
+    }
+
+    #[test]
+    fn snapshot_cut_mid_chunk_isolates() {
+        // Snapshots that land inside a kernel chunk must still cut exactly.
+        let mut c = Column::new_local(NodeId(0), 0, 1 << 14);
+        c.extend(0..3000u64);
+        let c = c.into_column();
+        for snap in [0usize, 1, 1023, 1024, 1025, 2048, 2999, 3000] {
+            let mut s = SharedScan::new();
+            s.add(Predicate::All, snap, Aggregate::Count);
+            s.add(Predicate::All, snap, Aggregate::Sum);
+            let (r, _) = s.execute(&c);
+            assert_eq!(r[0], AggregateResult::Count(snap as u64), "snap {snap}");
+            let want: u64 = (0..snap as u64).sum();
+            assert_eq!(r[1], AggregateResult::Sum(want), "snap {snap}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn preds() -> impl Strategy<Value = Predicate> {
+            prop_oneof![
+                Just(Predicate::All),
+                (any::<u64>(), any::<u64>()).prop_map(|(lo, hi)| Predicate::Range { lo, hi }),
+                (0u64..2000, 0u64..2000).prop_map(|(lo, hi)| Predicate::Range { lo, hi }),
+                any::<u64>().prop_map(|lo| Predicate::Range { lo, hi: u64::MAX }),
+                any::<u64>().prop_map(Predicate::Equals),
+                (0u64..2000).prop_map(Predicate::Equals),
+                Just(Predicate::Equals(u64::MAX)),
+            ]
+        }
+
+        fn aggs() -> impl Strategy<Value = Aggregate> {
+            prop_oneof![
+                Just(Aggregate::Count),
+                Just(Aggregate::Sum),
+                Just(Aggregate::MinMax),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn chunked_matches_scalar_oracle(
+                values in proptest::collection::vec(
+                    prop_oneof![any::<u64>(), Just(u64::MAX), 0u64..2000],
+                    0..2600),
+                consumers in proptest::collection::vec(
+                    (preds(), aggs(), 0usize..2700), 1..8),
+                seg_cap in prop_oneof![Just(11usize), Just(1024), Just(4096)])
+            {
+                let mut c = Column::new_local(NodeId(0), 0, seg_cap);
+                c.extend(values.iter().copied());
+                let c = c.into_column();
+                let build = || {
+                    let mut s = SharedScan::new();
+                    for &(p, a, snap) in &consumers {
+                        s.add(p, snap, a);
+                    }
+                    s
+                };
+                let (chunked, ex_c) = build().execute_with(&c, ScanKernel::Chunked);
+                let (scalar, ex_s) = build().execute_with(&c, ScanKernel::Scalar);
+                prop_assert_eq!(chunked, scalar);
+                prop_assert_eq!(ex_c, ex_s);
+            }
+        }
     }
 }

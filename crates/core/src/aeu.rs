@@ -14,7 +14,7 @@ use crate::results::ResultCollector;
 use crate::routing::RoutingError;
 use crate::routing::{FlushInfo, IncomingBuffers, Router};
 use crate::telemetry::{ObjectCounters, TelemetryShard};
-use eris_column::{Column, Predicate, Segment, SharedScan};
+use eris_column::{Column, ScanKernel, Segment, SharedScan};
 use eris_index::{HashTable, PrefixTree, PrefixTreeConfig};
 use eris_mem::ThreadCache;
 use eris_numa::{CoreId, Flow, NodeId};
@@ -24,6 +24,16 @@ use std::sync::Arc;
 
 /// Values per provisioned column segment.
 const SEGMENT_VALUES: usize = 64 * 1024;
+
+/// Does the half-open validity range `[lo, hi)` contain `k`?  Matching
+/// [`eris_column::Predicate::Range`], `hi == u64::MAX` is a sentinel for
+/// unbounded-above: the top partition is closed at the top of the
+/// domain, so a key of `u64::MAX` is *mine*, not a stray — otherwise it
+/// would be forwarded forever (no half-open range can contain it).
+#[inline]
+fn range_contains(lo: u64, hi: u64, k: u64) -> bool {
+    k >= lo && (k < hi || hi == u64::MAX)
+}
 
 /// The storage of one partition.
 pub enum PartitionData {
@@ -198,6 +208,9 @@ pub struct AeuConfig {
     pub local_latency_ns: f64,
     /// AEU index → home node, for flush traffic accounting.
     pub node_of: Arc<Vec<NodeId>>,
+    /// Kernel used for coalesced column sweeps: chunked (default) or the
+    /// row-at-a-time scalar oracle.
+    pub scan_kernel: ScanKernel,
 }
 
 /// An Autonomous Execution Unit.
@@ -688,12 +701,12 @@ impl Aeu {
             let p = &self.partitions[&object];
             let examined = match &p.data {
                 PartitionData::Column(col) => {
-                    col.scan(pred, snapshot.min(col.len() as u64) as usize, |_, v| {
-                        values.push(v)
-                    })
+                    // Chunked gather: branch-free selection bitmap per
+                    // chunk, then a selected-row walk.
+                    col.collect_matching(pred, snapshot.min(col.len() as u64) as usize, &mut values)
                 }
                 PartitionData::Index(tree) => {
-                    tree.scan_range(0, u64::MAX, |_, v| {
+                    tree.scan_range_inclusive(0, u64::MAX, |_, v| {
                         if pred.matches(v) {
                             values.push(v);
                         }
@@ -778,7 +791,7 @@ impl Aeu {
             // Validity check: keys outside the updated range are forwarded
             // to the AEU now responsible (Section 3.3.2).
             let (mine, stray): (Vec<u64>, Vec<u64>) =
-                keys.iter().partition(|&&k| k >= lo && k < hi);
+                keys.iter().partition(|&&k| range_contains(lo, hi, k));
             if !stray.is_empty() {
                 strays.push((c.ticket, stray));
             }
@@ -791,7 +804,13 @@ impl Aeu {
                 PartitionData::Index(tree) => tree.lookup_batch(&mine, values),
                 PartitionData::Hash(h) => {
                     values.clear();
-                    values.extend(mine.iter().map(|&k| h.lookup(k)));
+                    // Batched probe: hash all keys up front and visit
+                    // buckets in sorted order (one pass per batch).
+                    h.lookup_batch(&mine, values);
+                    self.tel
+                        .counters
+                        .batched_probe_keys
+                        .fetch_add(mine.len() as u64, Relaxed);
                 }
                 PartitionData::Column(_) => unreachable!(),
             }
@@ -863,7 +882,7 @@ impl Aeu {
                         unreachable!()
                     };
                     let (mine, stray): (Pairs, Pairs) =
-                        pairs.iter().partition(|&&(k, _)| k >= lo && k < hi);
+                        pairs.iter().partition(|&&(k, _)| range_contains(lo, hi, k));
                     if !stray.is_empty() {
                         strays.push((c.ticket, stray));
                     }
@@ -877,11 +896,13 @@ impl Aeu {
                             }
                         }
                         PartitionData::Hash(h) => {
-                            for &(k, v) in &mine {
-                                if h.upsert(k, v).is_none() {
-                                    fresh += 1;
-                                }
-                            }
+                            // Batched upsert: one reserve, bucket-grouped
+                            // probes, input-order application.
+                            fresh += h.upsert_batch(&mine);
+                            self.tel
+                                .counters
+                                .batched_probe_keys
+                                .fetch_add(mine.len() as u64, Relaxed);
                         }
                         PartitionData::Column(_) => unreachable!(),
                     }
@@ -973,7 +994,13 @@ impl Aeu {
                     };
                     shared.add(*pred, (*snapshot).min(col.len() as u64) as usize, *agg);
                 }
-                let (outcomes, examined) = shared.execute(col);
+                let kernel = self.cfg.scan_kernel;
+                let (outcomes, examined) = shared.execute_with(col, kernel);
+                match kernel {
+                    ScanKernel::Chunked => &self.tel.counters.chunked_sweeps,
+                    ScanKernel::Scalar => &self.tel.counters.scalar_sweeps,
+                }
+                .fetch_add(1, Relaxed);
                 let examined = examined as u64;
                 for (i, (c, r)) in cmds.iter().zip(outcomes).enumerate() {
                     // The sweep is shared: attribute the examined rows once,
@@ -1007,11 +1034,6 @@ impl Aeu {
                     let Payload::Scan { pred, agg, .. } = &c.payload else {
                         unreachable!()
                     };
-                    let (lo, hi) = match *pred {
-                        Predicate::All => (0, u64::MAX),
-                        Predicate::Range { lo, hi } => (lo, hi),
-                        Predicate::Equals(x) => (x, x.saturating_add(1)),
-                    };
                     let mut count = 0u64;
                     let mut sum = 0u64;
                     let mut minmax: Option<(u64, u64)> = None;
@@ -1023,14 +1045,21 @@ impl Aeu {
                             Some((a, b)) => (a.min(v), b.max(v)),
                         });
                     };
-                    match &p.data {
-                        PartitionData::Index(tree) => tree.scan_range(lo, hi, |_, v| visit(v)),
-                        PartitionData::Hash(h) => h.for_each(|k, v| {
-                            if k >= lo && k < hi {
-                                visit(v);
+                    // Exact inclusive bounds: `Equals(u64::MAX)` and
+                    // unbounded-above ranges reach the top key instead of
+                    // losing it to half-open saturation.
+                    if let Some((lo, hi)) = pred.bounds_inclusive() {
+                        match &p.data {
+                            PartitionData::Index(tree) => {
+                                tree.scan_range_inclusive(lo, hi, |_, v| visit(v))
                             }
-                        }),
-                        PartitionData::Column(_) => unreachable!(),
+                            PartitionData::Hash(h) => h.for_each(|k, v| {
+                                if k >= lo && k <= hi {
+                                    visit(v);
+                                }
+                            }),
+                            PartitionData::Column(_) => unreachable!(),
+                        }
                     }
                     let r = match agg {
                         eris_column::Aggregate::Count => {

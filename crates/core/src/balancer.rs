@@ -60,17 +60,24 @@ impl Default for BalancerConfig {
 }
 
 /// Does the metric distribution warrant rebalancing?
+///
+/// Degenerate inputs answer `false` explicitly rather than by floating-
+/// point accident: fewer than two partitions have nothing to balance,
+/// an all-zero (or negative-sum) window means no observed load, and a
+/// non-finite mean or CV (samples carrying NaN/∞ from an upstream bug)
+/// must not silently win or lose the `>` comparison.
 pub fn needs_balancing(weights: &[f64], threshold_cv: f64) -> bool {
     let n = weights.len() as f64;
     if n < 2.0 {
         return false;
     }
     let mean = weights.iter().sum::<f64>() / n;
-    if mean <= 0.0 {
+    if !mean.is_finite() || mean <= 0.0 {
         return false;
     }
     let var = weights.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / n;
-    var.sqrt() / mean > threshold_cv
+    let cv = var.sqrt() / mean;
+    cv.is_finite() && cv > threshold_cv
 }
 
 /// Moving-average smoothing over `k` neighbours on each side (window
@@ -273,6 +280,26 @@ mod tests {
             !needs_balancing(&[5.0], 0.0),
             "single partition never triggers"
         );
+    }
+
+    #[test]
+    fn cv_trigger_degenerate_inputs_never_fire() {
+        // Empty window: no partitions sampled at all.
+        assert!(!needs_balancing(&[], 0.0));
+        // Single AEU, even with a zero threshold and zero weight.
+        assert!(!needs_balancing(&[0.0], 0.0));
+        // All-zero windows of any width (0/0 CV must not become NaN-true
+        // or NaN-false by accident — it is answered before division).
+        assert!(!needs_balancing(&[0.0, 0.0, 0.0, 0.0], 0.0));
+        // Poisoned samples: NaN or infinity anywhere must not trigger a
+        // repartitioning storm off garbage.
+        assert!(!needs_balancing(&[f64::NAN, 10.0], 0.0));
+        assert!(!needs_balancing(&[f64::INFINITY, 10.0], 0.0));
+        assert!(!needs_balancing(&[10.0, f64::NEG_INFINITY], 0.0));
+        // Negative-sum windows (metric underflow upstream) stay quiet.
+        assert!(!needs_balancing(&[-5.0, -5.0], 0.0));
+        // A healthy skewed window still fires with the same guards in.
+        assert!(needs_balancing(&[0.0, 100.0], 0.3));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::routing::{
     BitmapTable, PartitionTable, RangeTable, Router, RoutingConfig, RoutingError, RoutingShared,
 };
 use crate::telemetry::{CounterSnapshot, TelemetrySnapshot};
+use eris_column::ScanKernel;
 use eris_index::PrefixTreeConfig;
 use eris_mem::{MemoryManager, ThreadCache};
 use eris_numa::{CoreId, FlowSolver, HwCounters, NodeId, Topology, VirtualClock};
@@ -43,6 +44,10 @@ pub struct EngineConfig {
     pub balancer: BalancerConfig,
     /// Shape of index partitions.
     pub tree: PrefixTreeConfig,
+    /// Kernel used for coalesced column sweeps: chunked (default) or the
+    /// row-at-a-time scalar oracle, kept selectable for A/B checks and
+    /// regression benchmarks.
+    pub scan_kernel: ScanKernel,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +62,7 @@ impl Default for EngineConfig {
             collect_results: false,
             balancer: BalancerConfig::default(),
             tree: PrefixTreeConfig::new(8, 64),
+            scan_kernel: ScanKernel::default(),
         }
     }
 }
@@ -189,6 +195,7 @@ impl Engine {
                 size_scale: cfg.size_scale,
                 local_latency_ns: spec.local_latency_ns,
                 node_of: Arc::clone(&node_of),
+                scan_kernel: cfg.scan_kernel,
             };
             let router = Router::new(id, Arc::clone(&shared), cfg.routing);
             let incoming = Arc::clone(shared.incoming(id));

@@ -372,6 +372,49 @@ mod tests {
     fn oversized_write_panics() {
         IncomingBuffers::new(8).write(&[0; 9]).unwrap();
     }
+
+    #[test]
+    fn live_writer_count_is_bounded_by_the_thread_count() {
+        // A silent wrap of the 31-bit writer-count field needs either
+        // >2^31 concurrent writers (impossible) or a stray decrement
+        // borrowing into the offset bits.  Sample the live descriptors of
+        // both slots under real contention: the observed writer count
+        // must never exceed the number of writer threads — a borrow would
+        // read as a count near WRITERS_MASK.
+        let b = Arc::new(IncomingBuffers::new(1 << 13));
+        let writers_n = 6u64;
+        let per = 3000u32;
+        let mut handles = Vec::new();
+        for t in 0..writers_n as u32 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let rec = (t << 16 | i).to_le_bytes();
+                    while b.write(&rec).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut consumed = 0usize;
+        let want = writers_n as usize * per as usize * 4;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while consumed < want {
+            assert!(std::time::Instant::now() < deadline, "stalled protocol");
+            for s in &b.slots {
+                let w = writers(s.desc.load(Ordering::Acquire));
+                assert!(
+                    w <= writers_n,
+                    "writer count {w} exceeds {writers_n} live writers: wrapped"
+                );
+            }
+            consumed += b.swap_and_consume(|d| assert_eq!(d.len() % 4, 0));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(consumed, want, "every record delivered");
+    }
 }
 
 #[cfg(test)]
@@ -431,6 +474,40 @@ mod properties {
                 let reserved = pack(true, off + 1, wr + 1);
                 prop_assert_eq!(offset(reserved), off + 1);
                 prop_assert_eq!(writers(reserved), wr + 1);
+            }
+        }
+
+        /// The descriptor arithmetic the protocol actually performs —
+        /// `pack(active, off + len, writers + 1)` on reservation, a raw
+        /// `desc - 1` on completion (the `fetch_sub`) — stays exact with
+        /// the writer count at the brink of its 31-bit field: no carry
+        /// into the offset on the way up, no borrow out of it on the way
+        /// down, and a full reserve/complete cycle restores the
+        /// descriptor bit-for-bit.
+        #[test]
+        fn writer_count_is_exact_at_the_31_bit_brink(
+            off0 in 0u64..=(OFFSET_MASK - 512),
+            lens in proptest::collection::vec(1u64..16, 1..30),
+        ) {
+            let n = lens.len() as u64;
+            for base in [0, 1, WRITERS_MASK - 30 - n, WRITERS_MASK - n] {
+                let start = pack(true, off0, base);
+                let mut d = start;
+                let mut off = off0;
+                for (i, &l) in lens.iter().enumerate() {
+                    off += l;
+                    d = pack(true, off, writers(d) + 1);
+                    prop_assert_eq!(writers(d), base + i as u64 + 1);
+                    prop_assert_eq!(offset(d), off, "no carry into the offset");
+                    prop_assert!(is_active(d));
+                }
+                for i in 0..n {
+                    d -= 1; // exactly what `desc.fetch_sub(1)` publishes
+                    prop_assert_eq!(writers(d), base + n - i - 1);
+                    prop_assert_eq!(offset(d), off, "no borrow out of the offset");
+                    prop_assert!(is_active(d));
+                }
+                prop_assert_eq!(d, pack(true, off, base), "cycle restores the descriptor");
             }
         }
 

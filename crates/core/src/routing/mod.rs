@@ -342,7 +342,10 @@ impl Router {
                         r.owners_in_range(*lo, *hi)
                     }
                     (PartitionTable::Range(r), eris_column::Predicate::Equals(x)) => {
-                        r.owners_in_range(*x, x.saturating_add(1))
+                        // A point predicate has exactly one owner; going
+                        // through `owners_in_range(x, x + 1)` would lose
+                        // `x == u64::MAX` to bound saturation.
+                        vec![r.owner(*x)]
                     }
                     (t, _) => t.scan_targets(),
                 })?;

@@ -109,13 +109,25 @@ impl RangeTable {
         groups
     }
 
-    /// Owners whose range intersects `[lo, hi)` (scan multicast targets).
+    /// Owners whose range intersects `[lo, hi)` — except that
+    /// `hi == u64::MAX` means unbounded-above (matching
+    /// [`eris_column::Predicate::Range`]'s sentinel), so a query for
+    /// `[u64::MAX, u64::MAX)` still reaches the last partition instead
+    /// of silently targeting nobody: the last partition is closed at the
+    /// top of the domain, there is no key beyond it.
     pub fn owners_in_range(&self, lo: u64, hi: u64) -> Vec<AeuId> {
         let ranges = self.ranges();
+        let unbounded = hi == u64::MAX;
         let mut out = Vec::new();
         for (i, &(b, a)) in ranges.iter().enumerate() {
-            let next = ranges.get(i + 1).map_or(u64::MAX, |r| r.0);
-            if b < hi && next > lo {
+            let below_hi = unbounded || b < hi;
+            let above_lo = match ranges.get(i + 1) {
+                Some(r) => r.0 > lo,
+                // The last partition owns everything from its boundary
+                // up, u64::MAX included.
+                None => true,
+            };
+            if below_hi && above_lo {
                 out.push(a);
             }
         }
@@ -232,6 +244,23 @@ mod tests {
         assert_eq!(t.owners_in_range(30, 60), vec![AeuId(1), AeuId(2)]);
         assert_eq!(t.owners_in_range(25, 26), vec![AeuId(1)]);
         assert_eq!(t.owners_in_range(90, u64::MAX), vec![AeuId(3)]);
+    }
+
+    #[test]
+    fn owners_in_range_reaches_the_top_of_the_domain() {
+        let t = RangeTable::even(100, &aeus(4));
+        // The top key always has an owner, however the range is phrased.
+        assert_eq!(t.owners_in_range(u64::MAX, u64::MAX), vec![AeuId(3)]);
+        assert_eq!(t.owners_in_range(99, u64::MAX), vec![AeuId(3)]);
+        // A full-domain table (domain == u64::MAX) behaves the same at
+        // its top boundary.
+        let full = RangeTable::even(u64::MAX, &aeus(2));
+        assert_eq!(full.owner(u64::MAX), AeuId(1));
+        assert_eq!(full.owners_in_range(u64::MAX, u64::MAX), vec![AeuId(1)]);
+        assert_eq!(full.owners_in_range(0, u64::MAX), aeus(2));
+        // Bounded queries are unchanged by the sentinel handling.
+        assert_eq!(t.owners_in_range(0, 25), vec![AeuId(0)]);
+        assert_eq!(t.owners_in_range(25, 25), Vec::<AeuId>::new());
     }
 
     #[test]

@@ -41,6 +41,13 @@ macro_rules! counter_fields {
         /// A point-in-time copy of [`LiveCounters`].
         #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
         pub struct CounterSnapshot {
+            /// Reset-epoch stamp: [`Telemetry`] bumps it on every
+            /// counter reset and stamps it into the snapshots it hands
+            /// out.  [`CounterSnapshot::since`] uses it to detect that a
+            /// baseline predates a reset instead of silently clamping
+            /// every delta to zero.  Not a counter — excluded from
+            /// [`CounterSnapshot::fields`].
+            pub generation: u64,
             $($(#[$smeta])* pub $sum: u64,)*
             $($(#[$mmeta])* pub $max: u64,)*
         }
@@ -48,6 +55,7 @@ macro_rules! counter_fields {
         impl LiveCounters {
             pub fn snapshot(&self) -> CounterSnapshot {
                 CounterSnapshot {
+                    generation: 0,
                     $($sum: self.$sum.load(Relaxed),)*
                     $($max: self.$max.load(Relaxed),)*
                 }
@@ -64,14 +72,24 @@ macro_rules! counter_fields {
             /// Fold another AEU's counters in: monotonic counters add,
             /// peak gauges take the maximum.
             pub fn merge(&mut self, o: &CounterSnapshot) {
+                self.generation = self.generation.max(o.generation);
                 $(self.$sum += o.$sum;)*
                 $(self.$max = self.$max.max(o.$max);)*
             }
 
             /// Delta since `earlier`: monotonic counters subtract, peak
-            /// gauges keep the current high-water mark.
+            /// gauges keep the current high-water mark.  When a counter
+            /// reset landed between the two snapshots (the generation
+            /// stamps differ), the `earlier` baseline no longer exists
+            /// inside the live counters — the post-reset absolute values
+            /// *are* the delta since the reset, so they are returned
+            /// as-is instead of being clamped against a stale baseline.
             pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+                if self.generation != earlier.generation {
+                    return *self;
+                }
                 CounterSnapshot {
+                    generation: self.generation,
                     $($sum: self.$sum.saturating_sub(earlier.$sum),)*
                     $($max: self.$max,)*
                 }
@@ -128,6 +146,12 @@ counter_fields! {
         scans,
         /// Rows examined by scans.
         scan_rows,
+        /// Shared column sweeps dispatched to the chunked kernels.
+        chunked_sweeps,
+        /// Shared column sweeps dispatched to the scalar oracle path.
+        scalar_sweeps,
+        /// Keys probed through the batched hash-lookup entry point.
+        batched_probe_keys,
         /// Keys/commands forwarded after partition moves (Section 3.3.2).
         forwarded,
         /// Redo records appended to this AEU's journal.
@@ -300,6 +324,10 @@ impl TelemetryShard {
 pub struct Telemetry {
     shards: Vec<Arc<TelemetryShard>>,
     objects: RwLock<Vec<Arc<ObjectCounters>>>,
+    /// Bumped by [`Telemetry::reset_shards`]; stamped into every
+    /// snapshot so [`CounterSnapshot::since`] can tell whether its
+    /// baseline predates a reset.
+    reset_generation: AtomicU64,
     /// Balancing cycles that moved data.
     pub balancer_cycles: AtomicU64,
     /// Individual partition transfers executed by those cycles.
@@ -315,6 +343,7 @@ impl Telemetry {
                 .map(|_| Arc::new(TelemetryShard::default()))
                 .collect(),
             objects: RwLock::new(Vec::new()),
+            reset_generation: AtomicU64::new(0),
             balancer_cycles: AtomicU64::new(0),
             balancer_moves: AtomicU64::new(0),
             balancer_keys_moved: AtomicU64::new(0),
@@ -348,12 +377,21 @@ impl Telemetry {
     /// commands in flight at reset time would permanently unbalance
     /// `enqueued == executed` if the ledgers were zeroed mid-stream.
     pub fn reset_shards(&self) {
+        // Bump first: a snapshot racing with the reset may mix pre- and
+        // post-reset counters either way; stamping the new generation
+        // before zeroing means `since` never trusts such a baseline.
+        self.reset_generation.fetch_add(1, Relaxed);
         for s in &self.shards {
             s.reset();
         }
         self.balancer_cycles.store(0, Relaxed);
         self.balancer_moves.store(0, Relaxed);
         self.balancer_keys_moved.store(0, Relaxed);
+    }
+
+    /// Number of shard resets so far (the current snapshot generation).
+    pub fn reset_generation(&self) -> u64 {
+        self.reset_generation.load(Relaxed)
     }
 
     /// Overwrite one object's conservation ledger (recovery only: the
@@ -374,6 +412,7 @@ impl Telemetry {
             fill(i, &mut c);
             total.merge(&c);
         }
+        total.generation = self.reset_generation();
         total
     }
 
@@ -384,6 +423,7 @@ impl Telemetry {
         node_of: &[NodeId],
         fill: impl Fn(usize, &mut CounterSnapshot),
     ) -> TelemetrySnapshot {
+        let generation = self.reset_generation();
         let per_aeu: Vec<CounterSnapshot> = self
             .shards
             .iter()
@@ -391,6 +431,7 @@ impl Telemetry {
             .map(|(i, s)| {
                 let mut c = s.counters.snapshot();
                 fill(i, &mut c);
+                c.generation = generation;
                 c
             })
             .collect();
@@ -593,6 +634,11 @@ impl fmt::Display for TelemetrySnapshot {
         )?;
         writeln!(
             f,
+            "  kernels: {} chunked sweeps, {} scalar sweeps, {} batched probe keys",
+            t.chunked_sweeps, t.scalar_sweeps, t.batched_probe_keys
+        )?;
+        writeln!(
+            f,
             "  peaks: outgoing {} B, incoming {} B",
             t.peak_outgoing_bytes, t.peak_incoming_bytes
         )?;
@@ -696,6 +742,24 @@ mod tests {
         let d = later.since(&earlier);
         assert_eq!(d.lookups, 15);
         assert_eq!(d.peak_incoming_bytes, 800);
+    }
+
+    #[test]
+    fn since_across_a_reset_returns_post_reset_values() {
+        let t = Telemetry::new(1);
+        t.shard(AeuId(0)).counters.lookups.fetch_add(100, Relaxed);
+        let before = t.totals_with(|_, _| {});
+        assert_eq!(before.lookups, 100);
+        t.reset_shards();
+        t.shard(AeuId(0)).counters.lookups.fetch_add(7, Relaxed);
+        let after = t.totals_with(|_, _| {});
+        assert_ne!(after.generation, before.generation, "reset is stamped");
+        // Without the generation stamp this delta would clamp to 0 and
+        // mask the 7 post-reset lookups.
+        assert_eq!(after.since(&before).lookups, 7);
+        // Same-generation deltas still subtract normally.
+        t.shard(AeuId(0)).counters.lookups.fetch_add(3, Relaxed);
+        assert_eq!(t.totals_with(|_, _| {}).since(&after).lookups, 3);
     }
 
     #[test]

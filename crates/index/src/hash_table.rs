@@ -127,9 +127,9 @@ impl HashTable {
         }
     }
 
-    /// Point lookup.
-    pub fn lookup(&self, key: u64) -> Option<u64> {
-        let mut idx = self.bucket_of(key);
+    /// Probe for `key` starting at `idx` (its home bucket).
+    #[inline]
+    fn probe(&self, mut idx: usize, key: u64) -> Option<u64> {
         let mut psl = 1u32;
         loop {
             let s = &self.slots[idx];
@@ -142,6 +142,81 @@ impl HashTable {
             psl += 1;
             idx = (idx + 1) & self.mask;
         }
+    }
+
+    /// Point lookup.
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        self.probe(self.bucket_of(key), key)
+    }
+
+    /// Batched point lookups: appends one result per key to `out`, in
+    /// input order.  Hashing is hoisted out of the probe loop and every
+    /// probe's cache line is prefetched a fixed distance ahead of its
+    /// use, so a large batch overlaps its memory misses instead of
+    /// paying them serially — the coalesced lookup path hands whole
+    /// command batches here.  Results are identical to a loop of
+    /// [`HashTable::lookup`].
+    pub fn lookup_batch(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        // The hoisted-bucket pass only pays once the batch outgrows a
+        // few cache lines.
+        const BATCH_THRESHOLD: usize = 8;
+        if keys.len() < BATCH_THRESHOLD {
+            out.extend(keys.iter().map(|&k| self.lookup(k)));
+            return;
+        }
+        // Hoist the hashing: one pass computes every bucket up front,
+        // then the probe loop runs with its cache misses issued
+        // `PREFETCH_AHEAD` probes early.  (A bucket-sorted probe order
+        // was measured too: the sort cost more than the locality bought
+        // back — out-of-order cores already overlap independent probe
+        // misses, while the explicit prefetch stream here beats the
+        // speculative window on long batches without perturbing output
+        // order.)
+        const PREFETCH_AHEAD: usize = 16;
+        let buckets: Vec<usize> = keys.iter().map(|&k| self.bucket_of(k)).collect();
+        out.reserve(keys.len());
+        for (i, (&k, &b)) in keys.iter().zip(&buckets).enumerate() {
+            if let Some(&ahead) = buckets.get(i + PREFETCH_AHEAD) {
+                self.prefetch_slot(ahead);
+            }
+            out.push(self.probe(b, k));
+        }
+    }
+
+    /// Hint the cache hierarchy that bucket `idx` is about to be probed.
+    #[inline]
+    fn prefetch_slot(&self, idx: usize) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `idx` is a bucket index (`bucket_of` masks into range);
+        // prefetch has no architectural effect beyond the cache.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.slots.as_ptr().add(idx) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
+    }
+
+    /// Pre-size the bucket array for `extra` further keys, so a following
+    /// batch of upserts never rehashes mid-loop.
+    pub fn reserve(&mut self, extra: usize) {
+        while (self.len + extra + 1) * 100 > self.slots.len() * MAX_LOAD_PERCENT {
+            self.grow();
+        }
+    }
+
+    /// Insert or overwrite a whole batch; returns how many keys were
+    /// fresh inserts.  Pairs apply in input order (later duplicates win),
+    /// so the result is identical to a loop of [`HashTable::upsert`] —
+    /// the batch entry point exists to pre-grow the table once and keep
+    /// the per-key loop free of rehash checks that can hit.
+    pub fn upsert_batch(&mut self, pairs: &[(u64, u64)]) -> u64 {
+        self.reserve(pairs.len());
+        let mut fresh = 0u64;
+        for &(k, v) in pairs {
+            fresh += self.upsert(k, v).is_none() as u64;
+        }
+        fresh
     }
 
     /// Remove a key; returns its value.  Uses backward-shift deletion to
@@ -398,12 +473,90 @@ mod tests {
         assert_eq!(seen.len(), 500);
     }
 
+    #[test]
+    fn lookup_batch_answers_in_input_order() {
+        let mut t = HashTable::new(17, 0);
+        for k in 0..1000u64 {
+            t.upsert(k * 2, k);
+        }
+        // Duplicates, misses, and u64::MAX all allowed in one batch; 8+
+        // keys takes the hoisted prefetching path.
+        let keys = vec![4, 9999, 0, 4, u64::MAX, 998 * 2, 6, 1_000_001];
+        let mut got = vec![Some(77)]; // pre-existing entries are kept
+        t.lookup_batch(&keys, &mut got);
+        assert_eq!(
+            got,
+            vec![
+                Some(77),
+                Some(2),
+                None,
+                Some(0),
+                Some(2),
+                None,
+                Some(998),
+                Some(3),
+                None
+            ]
+        );
+        // The short path (under the batch threshold) agrees.
+        let mut short = Vec::new();
+        t.lookup_batch(&keys[..3], &mut short);
+        assert_eq!(short, vec![Some(2), None, Some(0)]);
+    }
+
+    #[test]
+    fn upsert_batch_counts_fresh_keys_and_orders_duplicates() {
+        let mut t = HashTable::new(19, 0);
+        t.upsert(1, 100);
+        let fresh = t.upsert_batch(&[(1, 200), (2, 1), (3, 1), (2, 2)]);
+        assert_eq!(fresh, 2, "keys 2 and 3 are new; 1 and the dup are not");
+        assert_eq!(t.lookup(1), Some(200));
+        assert_eq!(t.lookup(2), Some(2), "later duplicate wins");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn reserve_prevents_mid_batch_growth() {
+        let mut t = HashTable::with_capacity(23, 0, 4);
+        t.reserve(10_000);
+        let buckets = t.memory_bytes();
+        for k in 0..10_000u64 {
+            t.upsert(k, k);
+        }
+        assert_eq!(t.memory_bytes(), buckets, "no rehash during the batch");
+        assert_eq!(t.len(), 10_000);
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
         use std::collections::BTreeMap;
 
         proptest! {
+            #[test]
+            fn batch_entry_points_match_scalar_loops(
+                seed in 0u64..1000,
+                pairs in proptest::collection::vec(
+                    (prop_oneof![0u64..300, Just(u64::MAX)], 0u64..100), 0..300),
+                keys in proptest::collection::vec(
+                    prop_oneof![0u64..300, Just(u64::MAX)], 0..300))
+            {
+                let mut batched = HashTable::new(seed, 0);
+                let mut scalar = HashTable::new(seed, 0);
+                let fresh = batched.upsert_batch(&pairs);
+                let mut scalar_fresh = 0u64;
+                for &(k, v) in &pairs {
+                    scalar_fresh += scalar.upsert(k, v).is_none() as u64;
+                }
+                prop_assert_eq!(fresh, scalar_fresh);
+                prop_assert_eq!(batched.len(), scalar.len());
+                let mut got = Vec::new();
+                batched.lookup_batch(&keys, &mut got);
+                let want: Vec<Option<u64>> =
+                    keys.iter().map(|&k| scalar.lookup(k)).collect();
+                prop_assert_eq!(got, want);
+            }
+
             #[test]
             fn behaves_like_btreemap(
                 seed in 0u64..1000,

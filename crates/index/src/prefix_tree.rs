@@ -337,6 +337,36 @@ impl PrefixTree {
         }
     }
 
+    /// In-order visit of all `(key, value)` pairs in the *inclusive* range
+    /// `[lo, hi]`.  Unlike [`PrefixTree::scan_range`] this can reach the
+    /// top key of the domain: `hi == u64::MAX` on a 64-bit tree visits
+    /// `u64::MAX` itself (there is no `hi + 1` to overflow into).  Keys
+    /// outside the configured domain are clamped, not panicked on, so a
+    /// caller holding engine-level bounds (`[lo, u64::MAX]` from an
+    /// unbounded predicate) can pass them to a narrower tree verbatim.
+    pub fn scan_range_inclusive(&self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64)) {
+        if lo > hi {
+            return;
+        }
+        let top = if self.cfg.key_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cfg.key_bits) - 1
+        };
+        if lo > top {
+            return;
+        }
+        let hi = hi.min(top);
+        if hi == top {
+            self.scan_range(lo, top, &mut f);
+            if let Some(v) = self.lookup(top) {
+                f(top, v);
+            }
+        } else {
+            self.scan_range(lo, hi + 1, &mut f);
+        }
+    }
+
     /// Flatten `[lo, hi)` into a sorted `(key, value)` stream — the exchange
     /// format of the load balancer's *copy* transfer (Section 3.3.2).
     pub fn flatten_range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
@@ -484,6 +514,44 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn key_outside_domain_panics() {
         small().upsert(0x1_0000, 1);
+    }
+
+    #[test]
+    fn inclusive_scan_reaches_the_top_of_a_64_bit_domain() {
+        let mut t = PrefixTree::with_config(PrefixTreeConfig::new(8, 64), 0);
+        t.upsert(0, 1);
+        t.upsert(u64::MAX - 1, 2);
+        t.upsert(u64::MAX, 3);
+        let mut got = Vec::new();
+        t.scan_range_inclusive(1, u64::MAX, |k, v| got.push((k, v)));
+        assert_eq!(got, vec![(u64::MAX - 1, 2), (u64::MAX, 3)]);
+        // Half-open scan_range cannot see u64::MAX — that asymmetry is
+        // exactly what scan_range_inclusive exists to close.
+        let mut half_open = Vec::new();
+        t.scan_range(1, u64::MAX, |k, v| half_open.push((k, v)));
+        assert_eq!(half_open, vec![(u64::MAX - 1, 2)]);
+        // Single-key inclusive scan at the very top.
+        let mut top = Vec::new();
+        t.scan_range_inclusive(u64::MAX, u64::MAX, |k, v| top.push((k, v)));
+        assert_eq!(top, vec![(u64::MAX, 3)]);
+    }
+
+    #[test]
+    fn inclusive_scan_clamps_to_a_narrow_domain() {
+        let mut t = small(); // 16-bit keys
+        t.upsert(0xFFFF, 9);
+        t.upsert(5, 1);
+        // Engine-level unbounded bounds pass through without panicking.
+        let mut got = Vec::new();
+        t.scan_range_inclusive(1, u64::MAX, |k, v| got.push((k, v)));
+        assert_eq!(got, vec![(5, 1), (0xFFFF, 9)]);
+        let mut none = Vec::new();
+        t.scan_range_inclusive(0x1_0000, u64::MAX, |k, v| none.push((k, v)));
+        assert!(
+            none.is_empty(),
+            "lo beyond the domain is empty, not a panic"
+        );
+        t.scan_range_inclusive(9, 3, |_, _| panic!("empty inclusive range"));
     }
 
     #[test]

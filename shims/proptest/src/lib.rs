@@ -2,7 +2,8 @@
 //!
 //! Implements the subset this workspace uses: the `proptest!` macro,
 //! range/tuple/collection strategies, `prop_map`/`prop_flat_map`,
-//! `Just`, `proptest::bool::ANY`, and the `prop_assert*` macros.
+//! `Just`, `any::<T>()`, `prop_oneof!`, `proptest::bool::ANY`, and the
+//! `prop_assert*` macros.
 //!
 //! Differences from real proptest, deliberate for an offline shim:
 //! - no shrinking — a failing case reports the drawn values via the
@@ -230,6 +231,67 @@ pub mod strategy {
         (A, B, C, D, E),
         (A, B, C, D, E, F)
     );
+
+    /// Uniform choice between boxed strategies of one value type — the
+    /// backing store of the [`prop_oneof!`](crate::prop_oneof) macro.
+    pub struct Union<V> {
+        pub options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            assert!(!self.options.is_empty(), "empty prop_oneof");
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+    /// Full-domain strategy for `T` — unlike real proptest there is no
+    /// edge-case bias, so pair it with explicit `Just(T::MAX)`-style
+    /// alternatives in a `prop_oneof!` when boundaries matter.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
 }
 
 pub mod collection {
@@ -359,9 +421,21 @@ pub mod bool {
 }
 
 pub mod prelude {
+    pub use super::arbitrary::{any, Arbitrary};
     pub use super::strategy::{Just, Strategy};
     pub use super::test_runner::ProptestConfig;
-    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniformly choose one of several strategies producing the same value
+/// type.  Unweighted only — the subset this workspace uses.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            vec![$(Box::new($strat)),+];
+        $crate::strategy::Union { options }
+    }};
 }
 
 /// The property-test macro: declares `#[test]` functions whose arguments
@@ -486,5 +560,25 @@ mod tests {
         fn second_fn_in_same_block(n in 1usize..5) {
             prop_assert!((1..5).contains(&n));
         }
+
+        #[test]
+        fn oneof_and_any_compose(
+            v in prop_oneof![Just(u64::MAX), crate::arbitrary::any::<u64>(), 0u64..10],
+            w in crate::arbitrary::any::<u32>().prop_map(|x| x as u64),
+        ) {
+            prop_assert_ne!(v, v.wrapping_add(1));
+            prop_assert!(w <= u32::MAX as u64);
+        }
+    }
+
+    #[test]
+    fn oneof_eventually_draws_every_arm() {
+        let strat = crate::prop_oneof![Just(1u64), Just(2u64), Just(3u64)];
+        let mut rng = TestRng::for_case("shim::oneof", 0);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(strat.new_value(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
     }
 }

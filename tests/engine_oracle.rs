@@ -203,6 +203,190 @@ fn coalesced_scans_match_unshared_baseline() {
 }
 
 #[test]
+fn chunked_and_scalar_kernels_agree_end_to_end() {
+    // The chunked branch-free kernels are the default coalesced-scan path;
+    // the row-at-a-time scalar path survives as the oracle.  The same
+    // workload through two engines — one per kernel — must produce
+    // identical answers, including at MVCC snapshot cuts that land
+    // mid-chunk and at the very top of the u64 value domain.  Telemetry
+    // proves each engine dispatched the kernel the test assumes.
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let domain: u64 = 1 << 16;
+    let mut rows: Vec<u64> = (0..30_000).map(|_| rng.gen_range(0..domain)).collect();
+    rows.extend([0, u64::MAX - 1, u64::MAX]);
+    let queries: Vec<(Predicate, Aggregate, u64)> = (0..48)
+        .map(|i| {
+            let pred = match i % 4 {
+                0 => Predicate::All,
+                1 => {
+                    let lo = rng.gen_range(0..domain);
+                    Predicate::Range {
+                        lo,
+                        hi: rng.gen_range(lo..=domain),
+                    }
+                }
+                // Unbounded-above sentinel: reaches u64::MAX.
+                2 => Predicate::Range {
+                    lo: rng.gen_range(0..domain),
+                    hi: u64::MAX,
+                },
+                _ => Predicate::Equals(rows[rng.gen_range(0..rows.len())]),
+            };
+            let agg = match i % 3 {
+                0 => Aggregate::Count,
+                1 => Aggregate::Sum,
+                _ => Aggregate::MinMax,
+            };
+            // Snapshots cutting before, inside, and past the first chunk of
+            // each per-AEU partition (30k rows over 4 AEUs ≈ 7.5k each).
+            let snapshot = [0, 1, 1023, 1024, 1025, 5000, u64::MAX][i % 7];
+            (pred, agg, snapshot)
+        })
+        .collect();
+
+    let run = |kernel: ScanKernel| {
+        let mut e = Engine::new(
+            eris_numa::machines::custom_machine("t", 2, 2, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                collect_results: true,
+                tree: PrefixTreeConfig::new(8, 32),
+                scan_kernel: kernel,
+                ..Default::default()
+            },
+        );
+        let col = e.create_column("c");
+        e.bulk_load_column(col, rows.iter().copied());
+        for (t, &(pred, agg, snapshot)) in queries.iter().enumerate() {
+            e.submit(
+                AeuId((t % 4) as u32),
+                DataCommand {
+                    object: col,
+                    ticket: t as u64,
+                    payload: Payload::Scan {
+                        pred,
+                        agg,
+                        snapshot,
+                    },
+                },
+            )
+            .unwrap();
+        }
+        e.run_until_drained();
+        let results: Vec<_> = (0..queries.len() as u64)
+            .map(|t| e.results().combine_scan(t))
+            .collect();
+        (results, e.telemetry().totals)
+    };
+
+    let (chunked, ct) = run(ScanKernel::Chunked);
+    let (scalar, st) = run(ScanKernel::Scalar);
+
+    assert!(
+        ct.chunked_sweeps > 0 && ct.scalar_sweeps == 0,
+        "chunked engine dispatched chunked sweeps only: {ct:?}"
+    );
+    assert!(
+        st.scalar_sweeps > 0 && st.chunked_sweeps == 0,
+        "scalar engine dispatched scalar sweeps only: {st:?}"
+    );
+    for (t, (c, s)) in chunked.iter().zip(&scalar).enumerate() {
+        assert!(c.is_some(), "query {t} answered");
+        assert_eq!(c, s, "query {t} ({:?}): chunked == scalar", queries[t]);
+    }
+}
+
+#[test]
+fn the_top_key_of_the_domain_round_trips() {
+    // Key u64::MAX used to be unreachable: half-open ranges saturate at
+    // the top of the domain, so the key routed correctly but every
+    // validity check called it a stray and every scan bound excluded it.
+    // Upsert → lookup → scan must all see it now, for both in-partition
+    // structures that store keys.
+    for hash in [false, true] {
+        let mut e = Engine::new(
+            eris_numa::machines::custom_machine("t", 2, 2, 20.0, 100.0, 10.0, 60.0),
+            EngineConfig {
+                collect_results: true,
+                // Default 64-bit tree: the full u64 key domain.
+                ..Default::default()
+            },
+        );
+        let idx = if hash {
+            e.create_hash_index("t", u64::MAX)
+        } else {
+            e.create_index("t", u64::MAX)
+        };
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object: idx,
+                ticket: 1,
+                payload: Payload::Upsert {
+                    pairs: vec![(u64::MAX, 42), (0, 7), (1 << 40, 9)],
+                },
+            },
+        )
+        .unwrap();
+        e.run_until_drained();
+
+        e.submit(
+            AeuId(1),
+            DataCommand {
+                object: idx,
+                ticket: 2,
+                payload: Payload::Lookup {
+                    keys: vec![u64::MAX, 0, 12345],
+                },
+            },
+        )
+        .unwrap();
+        e.run_until_drained();
+        let mut got = e.results().take_lookup_values();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(2, 0, Some(7)), (2, 12345, None), (2, u64::MAX, Some(42)),],
+            "hash={hash}: the top key answers like any other"
+        );
+
+        // Scans phrase the top key three ways; all must include it.
+        for (t, pred, want) in [
+            (3, Predicate::Equals(u64::MAX), 42u64),
+            // `hi == u64::MAX` is the unbounded-above sentinel.
+            (
+                4,
+                Predicate::Range {
+                    lo: u64::MAX,
+                    hi: u64::MAX,
+                },
+                42,
+            ),
+            (5, Predicate::All, 42 + 7 + 9),
+        ] {
+            e.submit(
+                AeuId(0),
+                DataCommand {
+                    object: idx,
+                    ticket: t,
+                    payload: Payload::Scan {
+                        pred,
+                        agg: Aggregate::Sum,
+                        snapshot: u64::MAX,
+                    },
+                },
+            )
+            .unwrap();
+            e.run_until_drained();
+            assert_eq!(
+                e.results().combine_scan(t),
+                Some(eris_column::scan::AggregateResult::Sum(want)),
+                "hash={hash}, ticket {t}: {pred:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn multiple_objects_are_independent() {
     let mut e = engine(2, 2);
     let a = e.create_index("a", 1 << 16);

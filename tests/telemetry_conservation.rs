@@ -233,6 +233,61 @@ fn epoch_reports_carry_telemetry_deltas() {
 }
 
 #[test]
+fn deltas_survive_a_mid_window_counter_reset() {
+    // `CounterSnapshot::since` subtracts an earlier baseline — but when
+    // `reset_counters` lands inside the window, every counter restarts
+    // from zero and a plain saturating subtraction would clamp the whole
+    // delta to 0, silently masking all post-reset work.  Snapshots carry
+    // a reset generation: across a reset, the post-reset values *are* the
+    // delta.
+    let mut e = engine(2, 2);
+    let idx = e.create_index("t", 1 << 14);
+    e.bulk_load_index(idx, (0..100u64).map(|k| (k, k)));
+
+    let lookups = |e: &mut Engine, ticket: u64, n: u64| {
+        e.submit(
+            AeuId(0),
+            DataCommand {
+                object: idx,
+                ticket,
+                payload: Payload::Lookup {
+                    keys: (0..n).collect(),
+                },
+            },
+        )
+        .unwrap();
+        e.run_until_drained();
+    };
+
+    lookups(&mut e, 1, 64);
+    let before = e.telemetry().totals;
+
+    // Same-generation windows subtract as usual.
+    lookups(&mut e, 2, 5);
+    let mid = e.telemetry().totals;
+    assert_eq!(mid.generation, before.generation);
+    assert_eq!(mid.since(&before).lookups, 5, "ordinary window");
+
+    // A reset lands mid-window: the old baseline is void.
+    e.reset_counters();
+    lookups(&mut e, 3, 7);
+    let after = e.telemetry().totals;
+    assert_ne!(
+        after.generation, before.generation,
+        "reset bumps the generation"
+    );
+    let delta = after.since(&before);
+    assert_eq!(
+        delta.lookups, 7,
+        "post-reset counts are the delta — not clamped to zero: {delta:?}"
+    );
+    assert!(
+        delta.commands_executed > 0,
+        "the post-reset lookup's routing work survives: {delta:?}"
+    );
+}
+
+#[test]
 fn snapshot_renders_text_and_json() {
     let mut e = engine(2, 2);
     let idx = e.create_index("t", 1 << 12);
