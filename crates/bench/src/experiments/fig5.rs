@@ -34,6 +34,7 @@ fn one_run(buffer_cmds: usize, raw: bool, quick: bool) -> (f64, CounterSnapshot)
             routing: RoutingConfig {
                 outgoing_capacity: buffer_cmds * CMD_BYTES,
                 incoming_capacity: 1 << 22,
+                ..Default::default()
             },
             ..Default::default()
         },

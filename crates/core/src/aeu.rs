@@ -18,9 +18,13 @@ use eris_column::{Column, ScanKernel, Segment, SharedScan};
 use eris_index::{HashTable, PrefixTree, PrefixTreeConfig};
 use eris_mem::ThreadCache;
 use eris_numa::{CoreId, Flow, NodeId};
+use eris_obs::{now_ns, LatencyRecord, LatencyTable, Stamped, TraceEvent, TraceStamp};
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
+
+/// A decoded incoming command paired with its (rare) trace stamp.
+type TracedCommand = (DataCommand, Option<TraceStamp>);
 
 /// Values per provisioned column segment.
 const SEGMENT_VALUES: usize = 64 * 1024;
@@ -236,12 +240,17 @@ pub struct Aeu {
     /// symmetric benchmark workloads).
     reply_rr: usize,
     // Scratch buffers reused across steps.
-    scratch_cmds: Vec<DataCommand>,
+    scratch_cmds: Vec<TracedCommand>,
     scratch_gen: Vec<DataCommand>,
     scratch_values: Vec<Option<u64>>,
+    /// Stamped commands executed by the current group, recorded into the
+    /// latency table once the group's host-time cost is known.
+    traced_pending: Vec<(DataObjectId, u8, TraceStamp)>,
     /// This AEU's telemetry shard (execution-side counters), shared with
     /// the router.
     tel: Arc<TelemetryShard>,
+    /// The engine-wide sampled-latency table.
+    latency: Arc<LatencyTable>,
     /// Per-object conservation ledgers, cached off the registry lock.
     tel_objects: Vec<Option<Arc<ObjectCounters>>>,
     /// Durability hook: every applied local mutation is reported here.
@@ -261,6 +270,7 @@ impl Aeu {
         mem: ThreadCache,
     ) -> Self {
         let tel = Arc::clone(router.telemetry_shard());
+        let latency = Arc::clone(router.shared().telemetry().latency());
         Aeu {
             id,
             node,
@@ -279,10 +289,35 @@ impl Aeu {
             scratch_cmds: Vec::new(),
             scratch_gen: Vec::new(),
             scratch_values: Vec::new(),
+            traced_pending: Vec::new(),
             tel,
+            latency,
             tel_objects: Vec::new(),
             sink: None,
         }
+    }
+
+    /// Emit one structured trace event into this AEU's ring.
+    #[inline]
+    fn emit(&self, event: TraceEvent) {
+        self.tel.ring.emit(Stamped {
+            at_ns: now_ns(),
+            aeu: self.id.0,
+            event,
+        });
+    }
+
+    /// Forward a stray command, preserving an attached trace stamp with
+    /// its hop count bumped (the stamp's journey continues at the new
+    /// owner).  No fresh sampling happens on this path.
+    fn forward_stray(&mut self, cmd: DataCommand, stamp: Option<TraceStamp>) -> Vec<FlushInfo> {
+        let stamp = stamp.map(|s| TraceStamp {
+            submit_ns: s.submit_ns,
+            hops: s.hops + 1,
+        });
+        self.router
+            .route_traced(cmd, stamp)
+            .expect("internally produced command targets a registered object")
     }
 
     /// Attach (or detach) the durability sink.  Must happen while the
@@ -433,15 +468,6 @@ impl Aeu {
         Ok(())
     }
 
-    /// Route a command produced *inside* the processing stage (forwarded
-    /// strays, join probes, materialized appends).  These always target
-    /// objects that are registered — their commands came through routing.
-    fn route_internal(&mut self, cmd: DataCommand) -> Vec<FlushInfo> {
-        self.router
-            .route(cmd)
-            .expect("internally produced command targets a registered object")
-    }
-
     /// Provision a fresh local segment for a column partition.
     fn provision_segment(mem: &mut ThreadCache, node: NodeId, col: &mut Column) {
         let alloc = mem.alloc((SEGMENT_VALUES * 8) as u64);
@@ -565,8 +591,11 @@ impl Aeu {
         // Stage 1: swap incoming buffers and group commands.
         self.scratch_cmds.clear();
         let cmds = &mut self.scratch_cmds;
-        self.incoming
-            .swap_and_consume(|d| *cmds = DataCommand::decode_all(d));
+        let mut swapped_bytes = 0u64;
+        self.incoming.swap_and_consume(|d| {
+            swapped_bytes = d.len() as u64;
+            *cmds = DataCommand::decode_all_traced(d);
+        });
         // Telemetry: every decoded command counts as executed for the
         // conservation ledger — including raw-routing discard mode, where
         // delivery is the whole point of the measurement.
@@ -577,11 +606,15 @@ impl Aeu {
                 .commands_executed
                 .fetch_add(cmds.len() as u64, Relaxed);
             self.tel.swap_batch.record(cmds.len() as u64);
+            self.emit(TraceEvent::BufferSwap {
+                bytes: swapped_bytes,
+                commands: cmds.len() as u32,
+            });
             let mut i = 0;
             while i < cmds.len() {
-                let object = cmds[i].object;
+                let object = cmds[i].0.object;
                 let mut j = i + 1;
-                while j < cmds.len() && cmds[j].object == object {
+                while j < cmds.len() && cmds[j].0.object == object {
                     j += 1;
                 }
                 self.object_ledger(object)
@@ -592,20 +625,31 @@ impl Aeu {
             self.scratch_cmds = cmds;
         }
         if self.discard_incoming {
+            // Discarded stamps leave the system here; charge them to the
+            // trace ledger so stamped == traced + dropped stays exact.
+            let stamped = self
+                .scratch_cmds
+                .iter()
+                .filter(|(_, s)| s.is_some())
+                .count() as u64;
+            if stamped > 0 {
+                self.latency.on_dropped(stamped);
+            }
             self.scratch_cmds.clear();
         }
         if !self.scratch_cmds.is_empty() {
             // Grouping: stable sort by (object, op) so equal groups are
-            // adjacent; cheap relative to processing.
+            // adjacent; cheap relative to processing.  Stamps ride along
+            // with their command.
             self.scratch_cmds
-                .sort_by_key(|c| (c.object, c.payload.op()));
+                .sort_by_key(|(c, _)| (c.object, c.payload.op()));
             let cmds = std::mem::take(&mut self.scratch_cmds);
             let mut i = 0;
             while i < cmds.len() {
-                let object = cmds[i].object;
-                let op = cmds[i].payload.op();
+                let object = cmds[i].0.object;
+                let op = cmds[i].0.payload.op();
                 let mut j = i + 1;
-                while j < cmds.len() && cmds[j].object == object && cmds[j].payload.op() == op {
+                while j < cmds.len() && cmds[j].0.object == object && cmds[j].0.payload.op() == op {
                     j += 1;
                 }
                 self.tel.counters.exec_batches.fetch_add(1, Relaxed);
@@ -613,7 +657,34 @@ impl Aeu {
                 if op == StorageOp::Scan && j - i >= 2 {
                     self.tel.counters.coalesced_scans.fetch_add(1, Relaxed);
                 }
+                let group_t0 = now_ns();
+                self.traced_pending.clear();
                 self.process_group(object, op, &cmds[i..j], &mut w);
+                let exec_ns = now_ns().saturating_sub(group_t0);
+                let mut max_wait = 0u64;
+                if !self.traced_pending.is_empty() {
+                    let pend = std::mem::take(&mut self.traced_pending);
+                    for (obj, tag, stamp) in &pend {
+                        let wait = group_t0.saturating_sub(stamp.submit_ns);
+                        max_wait = max_wait.max(wait);
+                        self.latency.record(
+                            (obj.0, *tag),
+                            LatencyRecord {
+                                queue_wait_ns: wait,
+                                exec_ns,
+                                hops: stamp.hops,
+                            },
+                        );
+                    }
+                    self.traced_pending = pend;
+                }
+                self.emit(TraceEvent::BatchExecuted {
+                    object: object.0,
+                    op: op.tag(),
+                    batch: (j - i) as u32,
+                    queue_wait_ns: max_wait,
+                    exec_ns,
+                });
                 i = j;
             }
             self.scratch_cmds = cmds;
@@ -654,7 +725,7 @@ impl Aeu {
         &mut self,
         object: DataObjectId,
         op: StorageOp,
-        cmds: &[DataCommand],
+        cmds: &[TracedCommand],
         w: &mut WorkSummary,
     ) {
         match op {
@@ -675,22 +746,32 @@ impl Aeu {
     fn process_scan_producers(
         &mut self,
         object: DataObjectId,
-        cmds: &[DataCommand],
+        cmds: &[TracedCommand],
         w: &mut WorkSummary,
     ) {
         let params = self.cfg.params;
         let scale = self.cfg.size_scale;
         if !self.partitions.contains_key(&object) {
-            for c in cmds {
+            for (c, stamp) in cmds {
                 w.ops.forwarded += 1;
-                let fl = self.route_internal(c.clone());
+                let fl = self.forward_stray(c.clone(), *stamp);
                 charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
             }
+            self.emit(TraceEvent::ForwardedStray {
+                object: object.0,
+                count: cmds.len() as u32,
+            });
             return;
         }
         /// Rows per routed batch command.
         const PRODUCER_BATCH: usize = 128;
-        for c in cmds {
+        for (c, stamp) in cmds {
+            // Multicast deliveries are never stamped, but if one ever
+            // arrives stamped it executes right here.
+            if let Some(stamp) = stamp {
+                self.traced_pending
+                    .push((object, c.payload.op().tag(), *stamp));
+            }
             // Gather matching row values from the local partition.
             let (pred, snapshot) = match &c.payload {
                 Payload::JoinProbe { pred, snapshot, .. }
@@ -761,14 +842,23 @@ impl Aeu {
         }
     }
 
-    fn process_lookups(&mut self, object: DataObjectId, cmds: &[DataCommand], w: &mut WorkSummary) {
+    fn process_lookups(
+        &mut self,
+        object: DataObjectId,
+        cmds: &[TracedCommand],
+        w: &mut WorkSummary,
+    ) {
         let Some(p) = self.partitions.get(&object) else {
             // Partition moved away entirely: forward everything.
-            for c in cmds {
+            for (c, stamp) in cmds {
                 w.ops.forwarded += c.payload.op_count();
-                let fl = self.route_internal(c.clone());
+                let fl = self.forward_stray(c.clone(), *stamp);
                 charge_flushes_to(w, &self.cfg.node_of, &fl, &self.cfg.params, false);
             }
+            self.emit(TraceEvent::ForwardedStray {
+                object: object.0,
+                count: cmds.len() as u32,
+            });
             return;
         };
         let (lo, hi) = p.range;
@@ -783,8 +873,8 @@ impl Aeu {
         let params = self.cfg.params;
         let mut total = 0u64;
         let mut exec_ns = 0.0;
-        let mut strays: Vec<(u64, Vec<u64>)> = Vec::new();
-        for c in cmds {
+        let mut strays: Vec<(u64, Vec<u64>, Option<TraceStamp>)> = Vec::new();
+        for (c, stamp) in cmds {
             let Payload::Lookup { keys } = &c.payload else {
                 unreachable!()
             };
@@ -792,8 +882,17 @@ impl Aeu {
             // to the AEU now responsible (Section 3.3.2).
             let (mine, stray): (Vec<u64>, Vec<u64>) =
                 keys.iter().partition(|&&k| range_contains(lo, hi, k));
+            // A stamp is recorded where work happens: here if any keys
+            // are local, otherwise it rides on with the strays.
+            let fully_stray = mine.is_empty() && !stray.is_empty();
+            if let Some(s) = stamp {
+                if !fully_stray {
+                    self.traced_pending
+                        .push((object, StorageOp::Lookup.tag(), *s));
+                }
+            }
             if !stray.is_empty() {
-                strays.push((c.ticket, stray));
+                strays.push((c.ticket, stray, if fully_stray { *stamp } else { None }));
             }
             if mine.is_empty() {
                 continue;
@@ -843,26 +942,45 @@ impl Aeu {
             p.accesses += total;
             p.exec_ns += exec_ns;
         }
-        for (ticket, keys) in strays {
+        if !strays.is_empty() {
+            let stray_keys: u64 = strays.iter().map(|(_, k, _)| k.len() as u64).sum();
+            self.emit(TraceEvent::ForwardedStray {
+                object: object.0,
+                count: stray_keys as u32,
+            });
+        }
+        for (ticket, keys, stamp) in strays {
             w.ops.forwarded += keys.len() as u64;
             w.cpu_ns += keys.len() as f64 * params.cpu_ns_per_routed_cmd;
-            let fl = self.route_internal(DataCommand {
-                object,
-                ticket,
-                payload: Payload::Lookup { keys },
-            });
+            let fl = self.forward_stray(
+                DataCommand {
+                    object,
+                    ticket,
+                    payload: Payload::Lookup { keys },
+                },
+                stamp,
+            );
             charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
         }
     }
 
-    fn process_upserts(&mut self, object: DataObjectId, cmds: &[DataCommand], w: &mut WorkSummary) {
+    fn process_upserts(
+        &mut self,
+        object: DataObjectId,
+        cmds: &[TracedCommand],
+        w: &mut WorkSummary,
+    ) {
         let params = self.cfg.params;
         let Some(p) = self.partitions.get(&object) else {
-            for c in cmds {
+            for (c, stamp) in cmds {
                 w.ops.forwarded += c.payload.op_count();
-                let fl = self.route_internal(c.clone());
+                let fl = self.forward_stray(c.clone(), *stamp);
                 charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
             }
+            self.emit(TraceEvent::ForwardedStray {
+                object: object.0,
+                count: cmds.len() as u32,
+            });
             return;
         };
         match &p.data {
@@ -875,16 +993,23 @@ impl Aeu {
                 let mut total = 0u64;
                 let mut fresh = 0u64;
                 let mut exec_ns = 0.0;
-                let mut strays: Vec<(u64, Vec<(u64, u64)>)> = Vec::new();
                 type Pairs = Vec<(u64, u64)>;
-                for c in cmds {
+                let mut strays: Vec<(u64, Pairs, Option<TraceStamp>)> = Vec::new();
+                for (c, stamp) in cmds {
                     let Payload::Upsert { pairs } = &c.payload else {
                         unreachable!()
                     };
                     let (mine, stray): (Pairs, Pairs) =
                         pairs.iter().partition(|&&(k, _)| range_contains(lo, hi, k));
+                    let fully_stray = mine.is_empty() && !stray.is_empty();
+                    if let Some(s) = stamp {
+                        if !fully_stray {
+                            self.traced_pending
+                                .push((object, StorageOp::Upsert.tag(), *s));
+                        }
+                    }
                     if !stray.is_empty() {
-                        strays.push((c.ticket, stray));
+                        strays.push((c.ticket, stray, if fully_stray { *stamp } else { None }));
                     }
                     let p = self.partitions.get_mut(&object).unwrap();
                     match &mut p.data {
@@ -932,24 +1057,40 @@ impl Aeu {
                     p.accesses += total;
                     p.exec_ns += exec_ns;
                 }
-                for (ticket, pairs) in strays {
+                if !strays.is_empty() {
+                    let stray_pairs: u64 = strays.iter().map(|(_, p, _)| p.len() as u64).sum();
+                    self.emit(TraceEvent::ForwardedStray {
+                        object: object.0,
+                        count: stray_pairs as u32,
+                    });
+                }
+                for (ticket, pairs, stamp) in strays {
                     w.ops.forwarded += pairs.len() as u64;
                     w.cpu_ns += pairs.len() as f64 * params.cpu_ns_per_routed_cmd;
-                    let fl = self.route_internal(DataCommand {
-                        object,
-                        ticket,
-                        payload: Payload::Upsert { pairs },
-                    });
+                    let fl = self.forward_stray(
+                        DataCommand {
+                            object,
+                            ticket,
+                            payload: Payload::Upsert { pairs },
+                        },
+                        stamp,
+                    );
                     charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
                 }
             }
             PartitionData::Column(_) => {
                 // Appends: materialize values into the local column.
                 let mut rows: Vec<u64> = Vec::new();
-                for c in cmds {
+                for (c, stamp) in cmds {
                     let Payload::Upsert { pairs } = &c.payload else {
                         unreachable!()
                     };
+                    // Column appends are always fully local: a stamp
+                    // completes its journey here.
+                    if let Some(s) = stamp {
+                        self.traced_pending
+                            .push((object, StorageOp::Upsert.tag(), *s));
+                    }
                     rows.extend(pairs.iter().map(|&(_, v)| v));
                 }
                 let n = rows.len() as u64;
@@ -968,22 +1109,26 @@ impl Aeu {
         }
     }
 
-    fn process_scans(&mut self, object: DataObjectId, cmds: &[DataCommand], w: &mut WorkSummary) {
+    fn process_scans(&mut self, object: DataObjectId, cmds: &[TracedCommand], w: &mut WorkSummary) {
         let params = self.cfg.params;
         let scale = self.cfg.size_scale;
         let Some(p) = self.partitions.get_mut(&object) else {
-            for c in cmds {
+            for (c, stamp) in cmds {
                 w.ops.forwarded += 1;
-                let fl = self.route_internal(c.clone());
+                let fl = self.forward_stray(c.clone(), *stamp);
                 charge_flushes_to(w, &self.cfg.node_of, &fl, &params, false);
             }
+            self.emit(TraceEvent::ForwardedStray {
+                object: object.0,
+                count: cmds.len() as u32,
+            });
             return;
         };
         match &mut p.data {
             PartitionData::Column(col) => {
                 // Scan sharing: all coalesced scan commands in one sweep.
                 let mut shared = SharedScan::new();
-                for c in cmds {
+                for (c, _) in cmds {
                     let Payload::Scan {
                         pred,
                         agg,
@@ -1002,7 +1147,7 @@ impl Aeu {
                 }
                 .fetch_add(1, Relaxed);
                 let examined = examined as u64;
-                for (i, (c, r)) in cmds.iter().zip(outcomes).enumerate() {
+                for (i, ((c, _), r)) in cmds.iter().zip(outcomes).enumerate() {
                     // The sweep is shared: attribute the examined rows once,
                     // not once per coalesced consumer.
                     let rows = if i == 0 { examined * scale } else { 0 };
@@ -1030,7 +1175,7 @@ impl Aeu {
                 // Range scan: in order over the index, full-sweep filter
                 // over a hash partition (unordered, Section 3.1 trade-off).
                 let mut total_rows = 0u64;
-                for c in cmds {
+                for (c, _) in cmds {
                     let Payload::Scan { pred, agg, .. } = &c.payload else {
                         unreachable!()
                     };

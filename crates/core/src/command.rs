@@ -13,6 +13,7 @@
 
 use bytes::{Buf, BufMut};
 use eris_column::{Aggregate, Predicate};
+use eris_obs::TraceStamp;
 
 /// Identifier of a data object (a table or index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,6 +52,42 @@ pub enum StorageOp {
     /// results (Section 1: "the effective handling of intermediate results
     /// ... [is a] mission critical component").
     Materialize,
+}
+
+impl StorageOp {
+    /// Stable wire/telemetry tag of this op (the `OP_*` byte).
+    pub fn tag(self) -> u8 {
+        match self {
+            StorageOp::Lookup => OP_LOOKUP,
+            StorageOp::Upsert => OP_UPSERT,
+            StorageOp::Scan => OP_SCAN,
+            StorageOp::JoinProbe => OP_JOIN_PROBE,
+            StorageOp::Materialize => OP_MATERIALIZE,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageOp::Lookup => "lookup",
+            StorageOp::Upsert => "upsert",
+            StorageOp::Scan => "scan",
+            StorageOp::JoinProbe => "join_probe",
+            StorageOp::Materialize => "materialize",
+        }
+    }
+
+    /// Inverse of [`StorageOp::tag`] (telemetry labelling of recorded
+    /// latency keys).
+    pub fn from_tag(tag: u8) -> Option<StorageOp> {
+        match tag {
+            OP_LOOKUP => Some(StorageOp::Lookup),
+            OP_UPSERT => Some(StorageOp::Upsert),
+            OP_SCAN => Some(StorageOp::Scan),
+            OP_JOIN_PROBE => Some(StorageOp::JoinProbe),
+            OP_MATERIALIZE => Some(StorageOp::Materialize),
+            _ => None,
+        }
+    }
 }
 
 /// The parameters ("data segment") of a command.
@@ -115,6 +152,9 @@ const OP_UPSERT: u8 = 1;
 const OP_SCAN: u8 = 2;
 const OP_JOIN_PROBE: u8 = 3;
 const OP_MATERIALIZE: u8 = 4;
+/// Not a storage op: an in-band latency-trace marker that annotates the
+/// *next* command in the stream (see [`encode_trace_marker`]).
+const OP_TRACE: u8 = 5;
 
 const PRED_ALL: u8 = 0;
 const PRED_RANGE: u8 = 1;
@@ -358,14 +398,83 @@ impl DataCommand {
         }
     }
 
-    /// Decode every command in a filled buffer region.
-    pub fn decode_all(mut buf: &[u8]) -> Vec<DataCommand> {
+    /// Decode every command in a filled buffer region.  Trace markers
+    /// are skipped (their stamps dropped); callers that consume stamps
+    /// use [`DataCommand::decode_all_traced`].
+    pub fn decode_all(buf: &[u8]) -> Vec<DataCommand> {
+        DataCommand::decode_all_traced(buf)
+            .into_iter()
+            .map(|(cmd, _)| cmd)
+            .collect()
+    }
+
+    /// Decode every command in a filled buffer region, attaching each
+    /// in-band trace marker to the command that follows it.
+    ///
+    /// A marker always immediately precedes its command: the router
+    /// appends the pair in one call and flushes copy whole buffers, so a
+    /// marker at the very end of a region (no following command) is a
+    /// logic error and panics like any other malformed internal buffer.
+    pub fn decode_all_traced(mut buf: &[u8]) -> Vec<(DataCommand, Option<TraceStamp>)> {
         let mut out = Vec::new();
+        let mut pending: Option<TraceStamp> = None;
         while !buf.is_empty() {
-            out.push(DataCommand::decode(&mut buf));
+            if buf[0] == OP_TRACE {
+                let (_object, stamp) = match try_decode_trace_marker(&mut buf) {
+                    Ok(m) => m,
+                    Err(e) => panic!("malformed trace marker: {e}"),
+                };
+                assert!(
+                    !buf.is_empty(),
+                    "dangling trace marker at end of command buffer"
+                );
+                pending = Some(stamp);
+                continue;
+            }
+            out.push((DataCommand::decode(&mut buf), pending.take()));
         }
         out
     }
+}
+
+/// Encoded size of one trace marker record.
+pub const TRACE_MARKER_BYTES: usize = HEADER_BYTES + 4;
+
+/// Append an in-band latency-trace marker annotating the next command in
+/// the stream.  The marker reuses the command-header shape
+/// (`[op][object:u32][u64][plen:u32]`) so stream walking stays uniform:
+/// the ticket slot carries the submit-time clock reading and the 4-byte
+/// body the stray-forwarding hop count.
+pub fn encode_trace_marker(object: DataObjectId, stamp: TraceStamp, out: &mut Vec<u8>) {
+    out.reserve(TRACE_MARKER_BYTES);
+    out.put_u8(OP_TRACE);
+    out.put_u32_le(object.0);
+    out.put_u64_le(stamp.submit_ns);
+    out.put_u32_le(4);
+    out.put_u32_le(stamp.hops);
+}
+
+/// Decode one trace marker from the front of `buf`, advancing it only on
+/// success.
+fn try_decode_trace_marker(buf: &mut &[u8]) -> Result<(DataObjectId, TraceStamp), DecodeError> {
+    if buf.len() < TRACE_MARKER_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    let mut cur = *buf;
+    let op = cur.get_u8();
+    debug_assert_eq!(op, OP_TRACE);
+    let object = DataObjectId(cur.get_u32_le());
+    let submit_ns = cur.get_u64_le();
+    let plen = cur.get_u32_le();
+    if plen != 4 {
+        return Err(DecodeError::TrailingPayloadBytes {
+            declared: plen,
+            consumed: 4,
+        });
+    }
+    let hops = cur.get_u32_le();
+    *buf = &buf[TRACE_MARKER_BYTES..];
+    Ok((object, TraceStamp { submit_ns, hops }))
 }
 
 fn payload_len(p: &Payload) -> usize {
@@ -622,6 +731,89 @@ mod tests {
             DataCommand::try_decode(&mut buf.as_slice()),
             Err(DecodeError::Truncated)
         );
+    }
+
+    #[test]
+    fn trace_marker_attaches_to_the_following_command() {
+        let a = DataCommand {
+            object: DataObjectId(1),
+            ticket: 1,
+            payload: Payload::Lookup { keys: vec![9] },
+        };
+        let b = DataCommand {
+            object: DataObjectId(2),
+            ticket: 2,
+            payload: Payload::Upsert {
+                pairs: vec![(3, 4)],
+            },
+        };
+        let stamp = TraceStamp {
+            submit_ns: 123_456_789,
+            hops: 2,
+        };
+        let mut buf = Vec::new();
+        a.encode(&mut buf);
+        let before = buf.len();
+        encode_trace_marker(b.object, stamp, &mut buf);
+        assert_eq!(buf.len() - before, TRACE_MARKER_BYTES);
+        b.encode(&mut buf);
+
+        let traced = DataCommand::decode_all_traced(&buf);
+        assert_eq!(traced.len(), 2);
+        assert_eq!(traced[0], (a.clone(), None));
+        assert_eq!(traced[1], (b.clone(), Some(stamp)));
+        // The stamp-blind decoder sees the identical command stream.
+        assert_eq!(DataCommand::decode_all(&buf), vec![a, b]);
+    }
+
+    #[test]
+    fn trace_marker_is_rejected_by_the_external_decoder() {
+        // `try_decode` guards external input (journal replay); markers
+        // are routing-internal and must not decode as commands there.
+        let mut buf = Vec::new();
+        encode_trace_marker(
+            DataObjectId(7),
+            TraceStamp {
+                submit_ns: 1,
+                hops: 0,
+            },
+            &mut buf,
+        );
+        let mut cur = buf.as_slice();
+        assert_eq!(
+            DataCommand::try_decode(&mut cur),
+            Err(DecodeError::UnknownOp(5))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling trace marker")]
+    fn dangling_trace_marker_panics() {
+        let mut buf = Vec::new();
+        encode_trace_marker(
+            DataObjectId(0),
+            TraceStamp {
+                submit_ns: 0,
+                hops: 0,
+            },
+            &mut buf,
+        );
+        DataCommand::decode_all_traced(&buf);
+    }
+
+    #[test]
+    fn storage_op_tags_roundtrip() {
+        for op in [
+            StorageOp::Lookup,
+            StorageOp::Upsert,
+            StorageOp::Scan,
+            StorageOp::JoinProbe,
+            StorageOp::Materialize,
+        ] {
+            assert_eq!(StorageOp::from_tag(op.tag()), Some(op));
+            assert!(!op.name().is_empty());
+        }
+        assert_eq!(StorageOp::from_tag(5), None, "trace tag is not an op");
     }
 
     #[test]

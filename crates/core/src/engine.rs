@@ -9,7 +9,7 @@ use crate::balancer::{
 use crate::command::{AeuId, DataCommand, DataObjectId};
 use crate::cost::CostParams;
 use crate::durability::{ObjectClass, ObjectDescriptor, RedoOp, RedoSink};
-use crate::monitor::{Monitor, Sample};
+use crate::monitor::{BalanceDecision, BalanceVerdict, MigrationRecord, Monitor, Sample};
 use crate::results::ResultCollector;
 use crate::routing::{
     BitmapTable, PartitionTable, RangeTable, Router, RoutingConfig, RoutingError, RoutingShared,
@@ -19,6 +19,7 @@ use eris_column::ScanKernel;
 use eris_index::PrefixTreeConfig;
 use eris_mem::{MemoryManager, ThreadCache};
 use eris_numa::{CoreId, FlowSolver, HwCounters, NodeId, Topology, VirtualClock};
+use eris_obs::{now_ns, Stamped, TraceEvent};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -311,6 +312,35 @@ impl Engine {
     /// the per-object enqueued-equals-executed conservation ledger.
     pub fn telemetry(&self) -> TelemetrySnapshot {
         self.shared.telemetry_snapshot(&self.node_of)
+    }
+
+    /// All retained trace events across every AEU's ring, merged in
+    /// emission-time order (the `eris-live` dashboard's raw feed).
+    pub fn trace_events(&self) -> Vec<Stamped> {
+        let tel = self.shared.telemetry();
+        let mut events: Vec<Stamped> = (0..self.aeus.len())
+            .flat_map(|i| tel.shard(AeuId(i as u32)).ring.snapshot())
+            .collect();
+        events.sort_by_key(|e| e.at_ns);
+        events
+    }
+
+    /// The partition-table owner of `key` in a range-partitioned object
+    /// (`None` for columns and unregistered objects).
+    pub fn owner_of(&self, object: DataObjectId, key: u64) -> Option<AeuId> {
+        self.shared
+            .with_table(object, |t| {
+                t.as_range().map(|r| {
+                    let ranges = r.ranges();
+                    match ranges.binary_search_by(|(b, _)| b.cmp(&key)) {
+                        Ok(i) => ranges[i].1,
+                        Err(0) => ranges[0].1,
+                        Err(i) => ranges[i - 1].1,
+                    }
+                })
+            })
+            .ok()
+            .flatten()
     }
 
     /// Direct access to an AEU (benchmarks, tests).
@@ -711,16 +741,31 @@ impl Engine {
             }
             crate::balancer::BalanceMetric::ExecutionTime => sample.exec_ns.clone(),
         };
+        // Every evaluation leaves an audit entry: the CVs as seen, the
+        // threshold judged against, and why the balancer did what it did.
+        let mut decision = BalanceDecision {
+            at_secs: sample.at_secs,
+            object,
+            access_cv: sample.access_cv(),
+            exec_cv: sample.exec_cv(),
+            size_cv: sample.size_cv(),
+            threshold_cv: self.cfg.balancer.threshold_cv,
+            verdict: BalanceVerdict::BelowThreshold,
+            migrations: Vec::new(),
+        };
         // Oscillation backoff: while cooling down, only accumulate samples.
         let backoff = &mut self.balance_backoff[object.0 as usize];
         if backoff.skip_left > 0 {
             backoff.skip_left -= 1;
+            decision.verdict = BalanceVerdict::CoolingDown;
+            self.monitor.record_decision(decision);
             return 0.0;
         }
         let cv = coefficient_of_variation(&weights);
         if !needs_balancing(&weights, self.cfg.balancer.threshold_cv) {
             // Balanced again: reset the backoff state.
             *backoff = BackoffState::default();
+            self.monitor.record_decision(decision);
             return 0.0;
         }
         let period_ns = self.cfg.balancer.period_s * 1e9;
@@ -743,6 +788,8 @@ impl Engine {
                 skip_left: skip,
                 ..Default::default()
             };
+            decision.verdict = BalanceVerdict::OscillationDetected;
+            self.monitor.record_decision(decision);
             return 0.0;
         }
         backoff.last_cv = cv;
@@ -765,6 +812,8 @@ impl Engine {
         let new_bounds =
             target_boundaries(&old_bounds, domain, &weights, self.cfg.balancer.algorithm);
         if new_bounds == old_bounds {
+            decision.verdict = BalanceVerdict::NoBoundaryChange;
+            self.monitor.record_decision(decision);
             return 0.0;
         }
         let plan = transfer_plan(&old_bounds, &new_bounds, domain);
@@ -823,6 +872,30 @@ impl Engine {
             self.aeus[t.from].add_pending_ns(src_ns);
             self.aeus[t.to].add_pending_ns(dst_ns);
             total_ns += src_ns + dst_ns;
+            let moved_bytes = moved.len() as u64 * params.transfer_bytes_per_key;
+            decision.migrations.push(MigrationRecord {
+                src: t.from,
+                dst: t.to,
+                lo: t.lo,
+                hi: t.hi,
+                keys: moved.len() as u64,
+                bytes: moved_bytes,
+            });
+            self.shared
+                .telemetry()
+                .shard(AeuId(t.from as u32))
+                .ring
+                .emit(Stamped {
+                    at_ns: now_ns(),
+                    aeu: t.from as u32,
+                    event: TraceEvent::Migration {
+                        object: object.0,
+                        src: t.from as u32,
+                        dst: t.to as u32,
+                        keys: moved.len() as u64,
+                        bytes: moved_bytes,
+                    },
+                });
         }
         let total_keys: usize = (0..self.aeus.len())
             .map(|i| self.aeus[i].partition(object).map_or(0, |p| p.data.len()))
@@ -835,13 +908,26 @@ impl Engine {
         tel.balancer_moves.fetch_add(num_moves, Ordering::Relaxed);
         tel.balancer_keys_moved
             .fetch_add(moved_keys_total as u64, Ordering::Relaxed);
+        decision.verdict = BalanceVerdict::Rebalanced;
+        self.monitor.record_decision(decision);
         total_ns
     }
 
     fn balance_column(&mut self, object: DataObjectId, sample: &Sample) -> f64 {
         let lens = &sample.lens;
         let weights: Vec<f64> = lens.iter().map(|l| *l as f64).collect();
+        let mut decision = BalanceDecision {
+            at_secs: sample.at_secs,
+            object,
+            access_cv: sample.access_cv(),
+            exec_cv: sample.exec_cv(),
+            size_cv: sample.size_cv(),
+            threshold_cv: self.cfg.balancer.threshold_cv,
+            verdict: BalanceVerdict::BelowThreshold,
+            migrations: Vec::new(),
+        };
         if !needs_balancing(&weights, self.cfg.balancer.threshold_cv) {
+            self.monitor.record_decision(decision);
             return 0.0;
         }
         let params = self.cfg.params;
@@ -868,7 +954,39 @@ impl Engine {
             self.aeus[from].add_pending_ns(ns);
             self.aeus[to].add_pending_ns(ns);
             total_ns += 2.0 * ns;
+            let row_bytes = rows.len() as u64 * 8;
+            decision.migrations.push(MigrationRecord {
+                src: from,
+                dst: to,
+                lo: 0,
+                hi: 0,
+                keys: rows.len() as u64,
+                bytes: row_bytes,
+            });
+            self.shared
+                .telemetry()
+                .shard(AeuId(from as u32))
+                .ring
+                .emit(Stamped {
+                    at_ns: now_ns(),
+                    aeu: from as u32,
+                    event: TraceEvent::Migration {
+                        object: object.0,
+                        src: from as u32,
+                        dst: to as u32,
+                        keys: rows.len() as u64,
+                        bytes: row_bytes,
+                    },
+                });
         }
+        decision.verdict = if num_moves > 0 {
+            BalanceVerdict::Rebalanced
+        } else {
+            // Over threshold but integer row-averaging found nothing to
+            // shift — the column analogue of an unchanged boundary set.
+            BalanceVerdict::NoBoundaryChange
+        };
+        self.monitor.record_decision(decision);
         if num_moves > 0 {
             let tel = self.shared.telemetry();
             tel.balancer_cycles.fetch_add(1, Ordering::Relaxed);

@@ -75,7 +75,7 @@ pub use command::{AeuId, DataCommand, DataObjectId, DecodeError, Payload, Storag
 pub use cost::CostParams;
 pub use durability::{ObjectClass, ObjectDescriptor, RedoOp, RedoSink};
 pub use engine::{Engine, EngineConfig, EpochReport, ObjectKind};
-pub use monitor::{Monitor, Sample};
+pub use monitor::{BalanceDecision, BalanceVerdict, MigrationRecord, Monitor, Sample};
 pub use results::{ResultCollector, ResultCounts};
 pub use routing::{RoutingConfig, RoutingError};
 pub use telemetry::{CounterSnapshot, Telemetry, TelemetrySnapshot};

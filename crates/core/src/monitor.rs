@@ -10,7 +10,7 @@
 //! demo UI) would read.
 
 use crate::command::DataObjectId;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// One sampling window's per-partition measurements for one object.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -63,10 +63,78 @@ pub fn cv(values: &[f64]) -> f64 {
     var.sqrt() / mean
 }
 
-/// Per-object sample history with a bounded ring.
+/// Minimum *absolute* growth in access CV for [`Monitor::imbalance_rising`].
+/// A purely relative trigger (`last > first * 1.1`) degenerates when the
+/// window starts perfectly balanced: `first == 0.0` makes any nonzero CV —
+/// even measurement noise of 0.001 — a "rising imbalance".
+pub const RISING_MIN_DELTA: f64 = 0.05;
+
+/// Balancer evaluations retained in the audit log.
+pub const AUDIT_CAPACITY: usize = 256;
+
+/// The outcome of one balancer evaluation of one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceVerdict {
+    /// The metric CV was under the configured threshold — balanced enough.
+    BelowThreshold,
+    /// A cooldown from a previous oscillation suppressed the evaluation.
+    CoolingDown,
+    /// Over threshold, but the previous cycle paid real transfer cost
+    /// without improving the imbalance (an indivisible hotspot); the
+    /// balancer backed off instead of thrashing.
+    OscillationDetected,
+    /// Over threshold, but the target boundaries equal the current ones.
+    NoBoundaryChange,
+    /// Data moved; see [`BalanceDecision::migrations`].
+    Rebalanced,
+}
+
+/// One executed partition migration, as recorded in the audit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// Source partition index (= AEU slot in table order).
+    pub src: usize,
+    /// Destination partition index.
+    pub dst: usize,
+    /// Moved key range `[lo, hi)`; `0..0` for size-partitioned row moves,
+    /// which shift tail rows rather than a key range.
+    pub lo: u64,
+    pub hi: u64,
+    /// Keys (index objects) or rows (columns) actually moved.
+    pub keys: u64,
+    /// Payload bytes represented by those keys/rows.
+    pub bytes: u64,
+}
+
+/// One adaption-loop evaluation: the per-metric CVs the balancer saw, the
+/// threshold it compared against, its verdict, and — when it moved data —
+/// every migration it executed.
+#[derive(Debug, Clone)]
+pub struct BalanceDecision {
+    /// Virtual time of the evaluation, seconds.
+    pub at_secs: f64,
+    pub object: DataObjectId,
+    /// CV of the access histogram at evaluation time.
+    pub access_cv: f64,
+    /// CV of the per-partition execution times.
+    pub exec_cv: f64,
+    /// CV of the per-partition sizes.
+    pub size_cv: f64,
+    /// The configured trigger threshold the CVs were judged against.
+    pub threshold_cv: f64,
+    pub verdict: BalanceVerdict,
+    /// Executed migrations (empty unless `verdict == Rebalanced`).
+    pub migrations: Vec<MigrationRecord>,
+}
+
+static EMPTY_HISTORY: VecDeque<Sample> = VecDeque::new();
+
+/// Per-object sample history with a bounded ring, plus the balancer's
+/// decision audit log.
 pub struct Monitor {
-    history: HashMap<DataObjectId, Vec<Sample>>,
+    history: HashMap<DataObjectId, VecDeque<Sample>>,
     capacity: usize,
+    audit: VecDeque<BalanceDecision>,
 }
 
 impl Monitor {
@@ -76,40 +144,63 @@ impl Monitor {
         Monitor {
             history: HashMap::new(),
             capacity,
+            audit: VecDeque::new(),
         }
     }
 
-    /// Record one sampling window for `object`.
+    /// Record one sampling window for `object` (amortized O(1); the ring
+    /// is a `VecDeque`, not a `Vec` with `remove(0)` shifts).
     pub fn record(&mut self, object: DataObjectId, sample: Sample) {
         let ring = self.history.entry(object).or_default();
         if ring.len() == self.capacity {
-            ring.remove(0);
+            ring.pop_front();
         }
-        ring.push(sample);
+        ring.push_back(sample);
     }
 
     /// The most recent sample of an object.
     pub fn latest(&self, object: DataObjectId) -> Option<&Sample> {
-        self.history.get(&object).and_then(|r| r.last())
+        self.history.get(&object).and_then(|r| r.back())
     }
 
     /// Full retained history (oldest first).
-    pub fn history(&self, object: DataObjectId) -> &[Sample] {
-        self.history.get(&object).map_or(&[], |r| r.as_slice())
+    pub fn history(&self, object: DataObjectId) -> &VecDeque<Sample> {
+        self.history.get(&object).unwrap_or(&EMPTY_HISTORY)
+    }
+
+    /// Append one balancer evaluation to the audit log (bounded at
+    /// [`AUDIT_CAPACITY`], oldest evicted first).
+    pub fn record_decision(&mut self, decision: BalanceDecision) {
+        if self.audit.len() == AUDIT_CAPACITY {
+            self.audit.pop_front();
+        }
+        self.audit.push_back(decision);
+    }
+
+    /// The retained balancer evaluations, oldest first.
+    pub fn audit_log(&self) -> &VecDeque<BalanceDecision> {
+        &self.audit
+    }
+
+    /// The most recent balancer evaluation of one object.
+    pub fn last_decision(&self, object: DataObjectId) -> Option<&BalanceDecision> {
+        self.audit.iter().rev().find(|d| d.object == object)
     }
 
     /// Is the access imbalance trending up over the last `k` samples?
     /// (An increasing trend means the workload is drifting faster than the
-    /// balancer converges.)
+    /// balancer converges.)  Requires both 10% relative growth *and*
+    /// [`RISING_MIN_DELTA`] absolute growth, so a perfectly balanced
+    /// window (CV exactly 0) is not "rising" on the first speck of noise.
     pub fn imbalance_rising(&self, object: DataObjectId, k: usize) -> bool {
         let h = self.history(object);
-        if h.len() < k.max(2) {
+        let k = k.max(2);
+        if h.len() < k {
             return false;
         }
-        let tail = &h[h.len() - k.max(2)..];
-        let first = tail.first().unwrap().access_cv();
-        let last = tail.last().unwrap().access_cv();
-        last > first * 1.1
+        let first = h[h.len() - k].access_cv();
+        let last = h[h.len() - 1].access_cv();
+        last > first * 1.1 && last > first + RISING_MIN_DELTA
     }
 
     /// Mean accesses per second over the retained history of an object.
@@ -118,11 +209,11 @@ impl Monitor {
         if h.len() < 2 {
             return 0.0;
         }
-        let dt = h.last().unwrap().at_secs - h.first().unwrap().at_secs;
+        let dt = h.back().unwrap().at_secs - h.front().unwrap().at_secs;
         if dt <= 0.0 {
             return 0.0;
         }
-        let ops: u64 = h[1..].iter().map(|s| s.total_accesses()).sum();
+        let ops: u64 = h.iter().skip(1).map(|s| s.total_accesses()).sum();
         ops as f64 / dt
     }
 }
@@ -183,6 +274,92 @@ mod tests {
         flat.record(o, sample(0.0, vec![10, 10]));
         flat.record(o, sample(1.0, vec![10, 10]));
         assert!(!flat.imbalance_rising(o, 2));
+    }
+
+    #[test]
+    fn ring_order_and_capacity_semantics_match_a_plain_vec() {
+        // The VecDeque ring must be observably identical to the previous
+        // `Vec::remove(0)` implementation: oldest-first iteration, exact
+        // capacity bound, eviction strictly from the front.
+        let cap = 7;
+        let mut m = Monitor::new(cap);
+        let o = DataObjectId(1);
+        let mut oracle: Vec<f64> = Vec::new();
+        for i in 0..40 {
+            let at = i as f64;
+            m.record(o, sample(at, vec![i, i + 1]));
+            if oracle.len() == cap {
+                oracle.remove(0);
+            }
+            oracle.push(at);
+            let got: Vec<f64> = m.history(o).iter().map(|s| s.at_secs).collect();
+            assert_eq!(got, oracle, "after {} records", i + 1);
+        }
+        assert_eq!(m.history(o).len(), cap);
+        assert_eq!(m.latest(o).unwrap().at_secs, 39.0);
+        assert_eq!(m.history(o)[0].at_secs, 33.0);
+    }
+
+    #[test]
+    fn rising_needs_absolute_growth_not_just_relative() {
+        // Regression: with `first == 0.0` the old relative-only trigger
+        // (`last > first * 1.1`) fired on ANY nonzero CV — a single access
+        // of noise on a perfectly balanced object read as "rising".
+        let mut m = Monitor::new(8);
+        let o = DataObjectId(0);
+        m.record(o, sample(0.0, vec![100, 100, 100, 100]));
+        m.record(o, sample(1.0, vec![100, 100, 100, 101]));
+        let last_cv = m.latest(o).unwrap().access_cv();
+        assert!(
+            last_cv > 0.0 && last_cv < RISING_MIN_DELTA,
+            "noise-level CV"
+        );
+        assert!(
+            !m.imbalance_rising(o, 2),
+            "noise on a balanced object is not a rising imbalance"
+        );
+        // A genuine swing from flat to skewed still trips the detector.
+        m.record(o, sample(2.0, vec![10, 10, 300, 300]));
+        assert!(m.imbalance_rising(o, 2));
+    }
+
+    #[test]
+    fn audit_log_is_bounded_and_queryable() {
+        let mut m = Monitor::new(4);
+        let decision = |obj: u32, at: f64, verdict| BalanceDecision {
+            at_secs: at,
+            object: DataObjectId(obj),
+            access_cv: 0.5,
+            exec_cv: 0.4,
+            size_cv: 0.0,
+            threshold_cv: 0.3,
+            verdict,
+            migrations: vec![MigrationRecord {
+                src: 0,
+                dst: 1,
+                lo: 0,
+                hi: 10,
+                keys: 10,
+                bytes: 80,
+            }],
+        };
+        for i in 0..AUDIT_CAPACITY + 5 {
+            m.record_decision(decision(
+                (i % 2) as u32,
+                i as f64,
+                BalanceVerdict::Rebalanced,
+            ));
+        }
+        assert_eq!(m.audit_log().len(), AUDIT_CAPACITY, "bounded");
+        assert_eq!(
+            m.audit_log().front().unwrap().at_secs,
+            5.0,
+            "oldest evicted first"
+        );
+        let last = m.last_decision(DataObjectId(0)).unwrap();
+        assert_eq!(last.at_secs, (AUDIT_CAPACITY + 4) as f64);
+        assert_eq!(last.migrations.len(), 1);
+        assert!(m.last_decision(DataObjectId(9)).is_none());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub use partition_table::{BitmapTable, PartitionTable, RangeTable};
 use crate::command::{AeuId, DataCommand, DataObjectId, Payload};
 use crate::telemetry::{CounterSnapshot, ObjectCounters, Telemetry, TelemetryShard};
 use eris_numa::NodeId;
+use eris_obs::{now_ns, LatencyTable, TraceStamp};
 use parking_lot::RwLock;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -57,13 +58,19 @@ impl std::fmt::Display for RoutingError {
 
 impl std::error::Error for RoutingError {}
 
-/// Sizing of the routing buffers.
+/// Sizing of the routing buffers and trace sampling.
 #[derive(Debug, Clone, Copy)]
 pub struct RoutingConfig {
     /// Flush threshold per outgoing target buffer, in bytes.
     pub outgoing_capacity: usize,
     /// Capacity of each of the two incoming buffers, in bytes.
     pub incoming_capacity: usize,
+    /// Stamp every N-th routed command with an end-to-end trace marker
+    /// (0 disables sampling entirely).
+    pub trace_sample_every: u64,
+    /// Capacity of each AEU's trace-event ring (rounded up to a power
+    /// of two).
+    pub trace_ring_capacity: usize,
 }
 
 impl Default for RoutingConfig {
@@ -73,6 +80,8 @@ impl Default for RoutingConfig {
         RoutingConfig {
             outgoing_capacity: 128 * 29,
             incoming_capacity: 1 << 20,
+            trace_sample_every: 64,
+            trace_ring_capacity: 1024,
         }
     }
 }
@@ -94,7 +103,7 @@ impl RoutingShared {
             incoming: (0..num_aeus)
                 .map(|_| Arc::new(IncomingBuffers::new(cfg.incoming_capacity)))
                 .collect(),
-            telemetry: Telemetry::new(num_aeus),
+            telemetry: Telemetry::with_ring_capacity(num_aeus, cfg.trace_ring_capacity),
         }
     }
 
@@ -209,12 +218,19 @@ pub struct Router {
     /// Per-object conservation ledgers, cached to keep the hot path off
     /// the registry lock.
     tel_objects: Vec<Option<Arc<ObjectCounters>>>,
+    /// Stamp every N-th routed command (0 disables).
+    trace_sample_every: u64,
+    /// Commands seen by the sampler so far.
+    trace_counter: u64,
+    /// The engine-wide latency table (stamp accounting).
+    latency: Arc<LatencyTable>,
 }
 
 impl Router {
     pub fn new(src: AeuId, shared: Arc<RoutingShared>, cfg: RoutingConfig) -> Self {
         let n = shared.num_aeus();
         let tel = Arc::clone(shared.telemetry().shard(src));
+        let latency = Arc::clone(shared.telemetry().latency());
         Router {
             src,
             shared,
@@ -223,6 +239,9 @@ impl Router {
             stats: RouterStats::default(),
             tel,
             tel_objects: Vec::new(),
+            trace_sample_every: cfg.trace_sample_every,
+            trace_counter: 0,
+            latency,
         }
     }
 
@@ -257,12 +276,52 @@ impl Router {
         }
     }
 
+    /// The trace stamp for the next routed command, if the deterministic
+    /// 1-in-N sampler selects it.
+    fn maybe_stamp(&mut self) -> Option<TraceStamp> {
+        if self.trace_sample_every == 0 {
+            return None;
+        }
+        self.trace_counter += 1;
+        if self.trace_counter.is_multiple_of(self.trace_sample_every) {
+            Some(TraceStamp {
+                submit_ns: now_ns(),
+                hops: 0,
+            })
+        } else {
+            None
+        }
+    }
+
     /// Route one command: split by partition table, buffer, flush full
     /// targets.  Returns the flushes performed (for traffic accounting),
     /// or a [`RoutingError`] if the command is undeliverable — in which
-    /// case nothing was enqueued.
+    /// case nothing was enqueued.  Every N-th command is stamped with an
+    /// end-to-end trace marker (see [`RoutingConfig::trace_sample_every`]).
     pub fn route(&mut self, cmd: DataCommand) -> Result<Vec<FlushInfo>, RoutingError> {
+        let stamp = self.maybe_stamp();
+        self.route_with(cmd, stamp, true)
+    }
+
+    /// Route a command that already carries a trace stamp (stray
+    /// forwarding): the stamp is preserved — with the caller-bumped hop
+    /// count — and no new sampling happens.
+    pub fn route_traced(
+        &mut self,
+        cmd: DataCommand,
+        stamp: Option<TraceStamp>,
+    ) -> Result<Vec<FlushInfo>, RoutingError> {
+        self.route_with(cmd, stamp, false)
+    }
+
+    fn route_with(
+        &mut self,
+        cmd: DataCommand,
+        mut stamp: Option<TraceStamp>,
+        fresh: bool,
+    ) -> Result<Vec<FlushInfo>, RoutingError> {
         self.stats.commands_in += 1;
+        let had_stamp = stamp.is_some();
         let object = cmd.object;
         // Telemetry tallies of this call, published in one batch below.
         let (mut uni, mut multi, mut split) = (0u64, 0u64, 0u64);
@@ -287,7 +346,7 @@ impl Router {
                     };
                     self.stats.commands_out += 1;
                     uni += 1;
-                    if self.out.push_unicast(owner, &sub) {
+                    if self.out.push_unicast_traced(owner, &sub, stamp.take()) {
                         full_targets.push(owner);
                     }
                 }
@@ -311,7 +370,7 @@ impl Router {
                             };
                             self.stats.commands_out += 1;
                             uni += 1;
-                            if self.out.push_unicast(owner, &sub) {
+                            if self.out.push_unicast_traced(owner, &sub, stamp.take()) {
                                 full_targets.push(owner);
                             }
                         }
@@ -325,7 +384,7 @@ impl Router {
                         let owner = members[self.rr_cursor];
                         self.stats.commands_out += 1;
                         uni += 1;
-                        if self.out.push_unicast(owner, &cmd) {
+                        if self.out.push_unicast_traced(owner, &cmd, stamp.take()) {
                             full_targets.push(owner);
                         }
                     }
@@ -352,6 +411,21 @@ impl Router {
                 self.stats.commands_out += targets.len() as u64;
                 multi += targets.len() as u64;
                 full_targets.extend(self.out.push_multicast(&targets, &cmd));
+            }
+        }
+        // Stamp accounting at the emission point: a fresh stamp enters
+        // the `stamped == traced + dropped` ledger only when its marker
+        // actually hit a unicast buffer (multicast deliveries are never
+        // stamped).  A *forwarded* stamp was counted at its original
+        // stamping; if it could not be re-emitted here it is charged as
+        // dropped so the ledger stays exact.
+        if had_stamp {
+            if stamp.is_none() {
+                if fresh {
+                    self.latency.on_stamped();
+                }
+            } else if !fresh {
+                self.latency.on_dropped(1);
             }
         }
         let c = &self.tel.counters;
@@ -535,12 +609,93 @@ mod tests {
     }
 
     #[test]
+    fn sampler_stamps_every_nth_command() {
+        let shared = Arc::new(RoutingShared::new(1, RoutingConfig::default()));
+        shared.register_object(
+            DataObjectId(0),
+            PartitionTable::Range(RangeTable::even(100, &[AeuId(0)])),
+        );
+        let cfg = RoutingConfig {
+            trace_sample_every: 4,
+            ..Default::default()
+        };
+        let mut router = Router::new(AeuId(0), Arc::clone(&shared), cfg);
+        for i in 0..8 {
+            router
+                .route(DataCommand {
+                    object: DataObjectId(0),
+                    ticket: i,
+                    payload: Payload::Lookup { keys: vec![i] },
+                })
+                .unwrap();
+        }
+        router.flush_all();
+        let mut decoded = Vec::new();
+        shared
+            .incoming(AeuId(0))
+            .swap_and_consume(|d| decoded = DataCommand::decode_all_traced(d));
+        assert_eq!(decoded.len(), 8);
+        let stamped_at: Vec<usize> = decoded
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, s))| s.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(stamped_at, vec![3, 7], "1-in-4 stamps the 4th and 8th");
+        assert!(decoded
+            .iter()
+            .filter_map(|(_, s)| *s)
+            .all(|s| s.hops == 0 && s.submit_ns > 0));
+        let (stamped, traced, dropped) = shared.telemetry().latency().ledger();
+        assert_eq!((stamped, traced, dropped), (2, 0, 0));
+    }
+
+    #[test]
+    fn forwarded_stamps_keep_their_hop_count() {
+        let (shared, mut router) = setup(2, 100);
+        let stamp = Some(TraceStamp {
+            submit_ns: 42,
+            hops: 3,
+        });
+        router
+            .route_traced(
+                DataCommand {
+                    object: DataObjectId(0),
+                    ticket: 9,
+                    payload: Payload::Lookup { keys: vec![60] },
+                },
+                stamp,
+            )
+            .unwrap();
+        router.flush_all();
+        let mut decoded = Vec::new();
+        shared
+            .incoming(AeuId(1))
+            .swap_and_consume(|d| decoded = DataCommand::decode_all_traced(d));
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(
+            decoded[0].1,
+            Some(TraceStamp {
+                submit_ns: 42,
+                hops: 3
+            }),
+            "the stamp rides along unchanged"
+        );
+        let (stamped, _, _) = shared.telemetry().latency().ledger();
+        assert_eq!(stamped, 0, "re-emission never double-counts stamping");
+    }
+
+    #[test]
     fn threshold_crossing_flushes_inline() {
         let shared = Arc::new(RoutingShared::new(
             2,
             RoutingConfig {
+                // Sampling off: `flush_bytes % 29 == 0` below relies on
+                // an unstamped 29-byte-per-command byte stream.
+                trace_sample_every: 0,
                 outgoing_capacity: 64,
                 incoming_capacity: 4096,
+                ..Default::default()
             },
         ));
         shared.register_object(
@@ -551,8 +706,12 @@ mod tests {
             AeuId(0),
             Arc::clone(&shared),
             RoutingConfig {
+                // Sampling off: `flush_bytes % 29 == 0` below relies on
+                // an unstamped 29-byte-per-command byte stream.
+                trace_sample_every: 0,
                 outgoing_capacity: 64,
                 incoming_capacity: 4096,
+                ..Default::default()
             },
         );
         let mut flushed = Vec::new();

@@ -18,7 +18,8 @@
 //! sequentially over the interconnect.
 
 use super::incoming::{BufferFull, IncomingBuffers};
-use crate::command::{AeuId, DataCommand};
+use crate::command::{encode_trace_marker, AeuId, DataCommand};
+use eris_obs::TraceStamp;
 
 /// Result of flushing one outgoing buffer into a target's incoming buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +76,25 @@ impl OutgoingBuffers {
     /// Buffer a command for a single target.  Returns `true` when the
     /// target's buffer crossed the flush threshold.
     pub fn push_unicast(&mut self, target: AeuId, cmd: &DataCommand) -> bool {
+        self.push_unicast_traced(target, cmd, None)
+    }
+
+    /// [`OutgoingBuffers::push_unicast`], optionally preceded by an
+    /// in-band trace marker.  The marker and its command are appended in
+    /// one call and the whole unicast run is flushed as one contiguous
+    /// copy, so the pair stays adjacent all the way into the target's
+    /// incoming buffer.  Markers are not counted as commands — flush and
+    /// delivery accounting see the identical stream either way.
+    pub fn push_unicast_traced(
+        &mut self,
+        target: AeuId,
+        cmd: &DataCommand,
+        trace: Option<TraceStamp>,
+    ) -> bool {
         let t = &mut self.targets[target.index()];
+        if let Some(stamp) = trace {
+            encode_trace_marker(cmd.object, stamp, &mut t.unicast);
+        }
         cmd.encode(&mut t.unicast);
         t.unicast_cmds += 1;
         self.commands_routed += 1;
@@ -205,6 +224,26 @@ mod tests {
         inc.swap_and_consume(|d| decoded = DataCommand::decode_all(d));
         assert_eq!(decoded.len(), 2);
         assert_eq!(decoded[0], lookup_cmd(vec![1, 2]));
+    }
+
+    #[test]
+    fn traced_push_keeps_command_accounting_and_carries_the_stamp() {
+        let mut out = OutgoingBuffers::new(2, 1024);
+        let inc = IncomingBuffers::new(4096);
+        let stamp = TraceStamp {
+            submit_ns: 777,
+            hops: 1,
+        };
+        out.push_unicast_traced(AeuId(1), &lookup_cmd(vec![1, 2]), Some(stamp));
+        out.push_unicast_traced(AeuId(1), &lookup_cmd(vec![3]), None);
+        assert_eq!(out.pending_commands(AeuId(1)), 2, "markers aren't commands");
+        let info = out.flush_into(AeuId(1), &inc).unwrap().unwrap();
+        assert_eq!(info.commands, 2);
+        let mut traced = Vec::new();
+        inc.swap_and_consume(|d| traced = DataCommand::decode_all_traced(d));
+        assert_eq!(traced.len(), 2);
+        assert_eq!(traced[0].1, Some(stamp), "stamp rides with its command");
+        assert_eq!(traced[1].1, None);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use crate::command::{AeuId, DataObjectId};
 use eris_numa::NodeId;
+use eris_obs::{LatencyKey, LatencySeries, LatencyTable, Metric, MetricKind, RingStats, TraceRing};
 use parking_lot::RwLock;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -297,7 +298,8 @@ pub struct ObjectCounters {
     pub executed: AtomicU64,
 }
 
-/// One AEU's telemetry: counters plus hot-path histograms.
+/// One AEU's telemetry: counters plus hot-path histograms and the
+/// bounded trace-event ring.
 #[derive(Debug, Default)]
 pub struct TelemetryShard {
     pub counters: LiveCounters,
@@ -307,10 +309,20 @@ pub struct TelemetryShard {
     pub exec_group: Histogram,
     /// Virtual nanoseconds charged per AEU step.
     pub step_ns: Histogram,
+    /// The structured trace events of this AEU (overwrite-oldest).
+    pub ring: TraceRing,
 }
 
 impl TelemetryShard {
-    /// Zero the shard's counters and histograms.
+    fn with_ring_capacity(cap: usize) -> Self {
+        TelemetryShard {
+            ring: TraceRing::new(cap),
+            ..Default::default()
+        }
+    }
+
+    /// Zero the shard's counters and histograms.  The trace ring is left
+    /// alone: it is a log of the recent past, not a measurement window.
     pub fn reset(&self) {
         self.counters.reset();
         self.swap_batch.reset();
@@ -334,25 +346,40 @@ pub struct Telemetry {
     pub balancer_moves: AtomicU64,
     /// Keys/rows moved by those transfers.
     pub balancer_keys_moved: AtomicU64,
+    /// The sampled end-to-end command-latency table (engine-wide: stamps
+    /// are recorded wherever the command finally executes).
+    latency: Arc<LatencyTable>,
 }
 
 impl Telemetry {
     pub fn new(num_aeus: usize) -> Self {
+        Self::with_ring_capacity(num_aeus, 1024)
+    }
+
+    /// Like [`Telemetry::new`] with an explicit per-AEU trace-ring
+    /// capacity (rounded up to a power of two by the ring).
+    pub fn with_ring_capacity(num_aeus: usize, ring_capacity: usize) -> Self {
         Telemetry {
             shards: (0..num_aeus)
-                .map(|_| Arc::new(TelemetryShard::default()))
+                .map(|_| Arc::new(TelemetryShard::with_ring_capacity(ring_capacity)))
                 .collect(),
             objects: RwLock::new(Vec::new()),
             reset_generation: AtomicU64::new(0),
             balancer_cycles: AtomicU64::new(0),
             balancer_moves: AtomicU64::new(0),
             balancer_keys_moved: AtomicU64::new(0),
+            latency: Arc::new(LatencyTable::default()),
         }
     }
 
     /// The shard of one AEU.
     pub fn shard(&self, aeu: AeuId) -> &Arc<TelemetryShard> {
         &self.shards[aeu.index()]
+    }
+
+    /// The engine-wide sampled-latency table.
+    pub fn latency(&self) -> &Arc<LatencyTable> {
+        &self.latency
     }
 
     /// The conservation ledger of one data object.  Slots are created on
@@ -376,6 +403,8 @@ impl Telemetry {
     /// per-object conservation ledgers are deliberately left alone:
     /// commands in flight at reset time would permanently unbalance
     /// `enqueued == executed` if the ledgers were zeroed mid-stream.
+    /// The latency table's `stamped == traced + dropped` ledger survives
+    /// resets for the same reason (stamps may be in flight).
     pub fn reset_shards(&self) {
         // Bump first: a snapshot racing with the reset may mix pre- and
         // post-reset counters either way; stamping the new generation
@@ -469,6 +498,8 @@ impl Telemetry {
             step_ns.merge(&s.step_ns.snapshot());
         }
 
+        let (stamped, traced, dropped) = self.latency.ledger();
+
         TelemetrySnapshot {
             per_aeu,
             per_node,
@@ -482,6 +513,13 @@ impl Telemetry {
             swap_batch,
             exec_group,
             step_ns,
+            trace: TraceLedger {
+                stamped,
+                traced,
+                dropped,
+            },
+            latency: self.latency.snapshot(),
+            rings: self.shards.iter().map(|s| s.ring.stats()).collect(),
         }
     }
 }
@@ -509,6 +547,25 @@ pub struct BalancerCounters {
     pub keys_moved: u64,
 }
 
+/// The trace-sampling conservation ledger in a snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceLedger {
+    /// Commands stamped at routing time.
+    pub stamped: u64,
+    /// Stamped commands whose latency was recorded at execution.
+    pub traced: u64,
+    /// Stamped commands discarded before execution.
+    pub dropped: u64,
+}
+
+impl TraceLedger {
+    /// `stamped == traced + dropped`; holds exactly once the engine is
+    /// drained.
+    pub fn balances(&self) -> bool {
+        self.stamped == self.traced + self.dropped
+    }
+}
+
 /// A consistent-enough point-in-time view of the whole engine's
 /// telemetry: per-AEU counters, per-node and engine rollups, the
 /// per-object conservation ledger, balancer activity, and merged
@@ -523,6 +580,12 @@ pub struct TelemetrySnapshot {
     pub swap_batch: HistogramSnapshot,
     pub exec_group: HistogramSnapshot,
     pub step_ns: HistogramSnapshot,
+    /// Sampled-trace conservation: stamped vs. traced + dropped.
+    pub trace: TraceLedger,
+    /// Per-(object, op) sampled latency series, sorted by key.
+    pub latency: Vec<(LatencyKey, LatencySeries)>,
+    /// Per-AEU trace-ring accounting, indexed like `per_aeu`.
+    pub rings: Vec<RingStats>,
 }
 
 impl TelemetrySnapshot {
@@ -593,8 +656,208 @@ impl TelemetrySnapshot {
         hist(&self.exec_group, &mut s);
         s.push_str(",\"step_ns\":");
         hist(&self.step_ns, &mut s);
-        s.push_str("}}");
+        s.push('}');
+        s.push_str(&format!(
+            ",\"trace\":{{\"stamped\":{},\"traced\":{},\"dropped\":{}}}",
+            self.trace.stamped, self.trace.traced, self.trace.dropped
+        ));
+        s.push_str(",\"latency\":[");
+        for (i, ((object, op), series)) in self.latency.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"object\":{object},\"op\":{op},\
+                 \"queue_wait\":{{\"count\":{},\"sum\":{}}},\
+                 \"exec\":{{\"count\":{},\"sum\":{}}},\
+                 \"hops\":{{\"count\":{},\"sum\":{}}}}}",
+                series.queue_wait.count,
+                series.queue_wait.sum,
+                series.exec.count,
+                series.exec.sum,
+                series.hops.count,
+                series.hops.sum
+            ));
+        }
+        s.push_str("],\"rings\":[");
+        for (i, r) in self.rings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"capacity\":{},\"emitted\":{},\"retained\":{},\"dropped\":{}}}",
+                r.capacity, r.emitted, r.retained, r.dropped
+            ));
+        }
+        s.push_str("]}");
         s
+    }
+
+    /// Convert to the exporter's neutral metric representation: one
+    /// metric per counter (per-AEU samples labelled `aeu`), the
+    /// conservation ledgers, balancer activity, trace-ring accounting
+    /// and the sampled latency sums.
+    pub fn to_metrics(&self) -> Vec<Metric> {
+        let mut out = Vec::new();
+        // Per-AEU counters.  Peak gauges are recognizable by name; all
+        // other fields are monotonic counters.
+        let names: Vec<&'static str> = CounterSnapshot::default()
+            .fields()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        for (fi, name) in names.iter().enumerate() {
+            let kind = if name.starts_with("peak_") {
+                MetricKind::Gauge
+            } else {
+                MetricKind::Counter
+            };
+            let suffix = if kind == MetricKind::Counter {
+                "_total"
+            } else {
+                ""
+            };
+            let mut m = Metric::new(
+                &format!("eris_{name}{suffix}"),
+                &format!("Engine counter `{name}` per AEU."),
+                kind,
+            );
+            for (aeu, c) in self.per_aeu.iter().enumerate() {
+                let v = c.fields()[fi].1;
+                m = m.sample(&[("aeu", &aeu.to_string())], v as f64);
+            }
+            out.push(m);
+        }
+        // Per-object conservation ledger.
+        let mut enq = Metric::new(
+            "eris_object_enqueued_total",
+            "Sub-commands enqueued by the routing layer, per data object.",
+            MetricKind::Counter,
+        );
+        let mut exe = Metric::new(
+            "eris_object_executed_total",
+            "Commands executed by the owning AEUs, per data object.",
+            MetricKind::Counter,
+        );
+        for o in &self.objects {
+            let id = o.object.0.to_string();
+            enq = enq.sample(&[("object", &id)], o.enqueued as f64);
+            exe = exe.sample(&[("object", &id)], o.executed as f64);
+        }
+        out.push(enq);
+        out.push(exe);
+        // Balancer activity.
+        for (name, help, v) in [
+            (
+                "eris_balancer_cycles_total",
+                "Balancing cycles that moved data.",
+                self.balancer.cycles,
+            ),
+            (
+                "eris_balancer_moves_total",
+                "Partition transfers executed by balancing cycles.",
+                self.balancer.moves,
+            ),
+            (
+                "eris_balancer_keys_moved_total",
+                "Keys or rows moved by partition transfers.",
+                self.balancer.keys_moved,
+            ),
+        ] {
+            out.push(Metric::new(name, help, MetricKind::Counter).sample(&[], v as f64));
+        }
+        // Trace-sampling ledger.
+        for (name, help, v) in [
+            (
+                "eris_trace_stamped_total",
+                "Commands stamped with a trace marker at routing time.",
+                self.trace.stamped,
+            ),
+            (
+                "eris_trace_traced_total",
+                "Stamped commands whose latency was recorded at execution.",
+                self.trace.traced,
+            ),
+            (
+                "eris_trace_dropped_total",
+                "Stamped commands discarded before execution.",
+                self.trace.dropped,
+            ),
+        ] {
+            out.push(Metric::new(name, help, MetricKind::Counter).sample(&[], v as f64));
+        }
+        // Trace-ring accounting.
+        for (name, help, get) in [
+            (
+                "eris_ring_emitted_total",
+                "Trace events offered to the per-AEU ring.",
+                0usize,
+            ),
+            (
+                "eris_ring_retained",
+                "Trace events currently readable in the per-AEU ring.",
+                1,
+            ),
+            (
+                "eris_ring_dropped_total",
+                "Trace events displaced or abandoned in the per-AEU ring.",
+                2,
+            ),
+        ] {
+            let kind = if get == 1 {
+                MetricKind::Gauge
+            } else {
+                MetricKind::Counter
+            };
+            let mut m = Metric::new(name, help, kind);
+            for (aeu, r) in self.rings.iter().enumerate() {
+                let v = match get {
+                    0 => r.emitted,
+                    1 => r.retained,
+                    _ => r.dropped,
+                };
+                m = m.sample(&[("aeu", &aeu.to_string())], v as f64);
+            }
+            out.push(m);
+        }
+        // Sampled latency: count + sum per (object, op) and stage, so
+        // mean = sum / count is recoverable downstream.
+        for (stage, help) in [
+            ("queue_wait", "submit to start of the coalesced batch"),
+            ("exec", "host-time cost of the executing batch"),
+        ] {
+            let mut cnt = Metric::new(
+                &format!("eris_latency_{stage}_ns_count"),
+                &format!("Sampled command latencies recorded ({help})."),
+                MetricKind::Counter,
+            );
+            let mut sum = Metric::new(
+                &format!("eris_latency_{stage}_ns_sum"),
+                &format!("Sum of sampled command latencies in ns ({help})."),
+                MetricKind::Counter,
+            );
+            for ((object, op), series) in &self.latency {
+                let h = if stage == "queue_wait" {
+                    &series.queue_wait
+                } else {
+                    &series.exec
+                };
+                let labels = [("object", object.to_string()), ("op", op.to_string())];
+                let labels: Vec<(&str, &str)> =
+                    labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+                cnt = cnt.sample(&labels, h.count as f64);
+                sum = sum.sample(&labels, h.sum as f64);
+            }
+            out.push(cnt);
+            out.push(sum);
+        }
+        out
+    }
+
+    /// Render the whole snapshot in the Prometheus text exposition
+    /// format.
+    pub fn to_prometheus(&self) -> String {
+        eris_obs::render_prometheus(&self.to_metrics())
     }
 }
 
@@ -651,6 +914,18 @@ impl fmt::Display for TelemetrySnapshot {
             f,
             "  journal: {} records, {} bytes, {} fsyncs, {} replayed",
             t.journal_records, t.journal_bytes, t.journal_fsyncs, t.replayed_records
+        )?;
+        let ring_emitted: u64 = self.rings.iter().map(|r| r.emitted).sum();
+        let ring_dropped: u64 = self.rings.iter().map(|r| r.dropped).sum();
+        writeln!(
+            f,
+            "  trace: {} stamped, {} traced, {} dropped; {} latency series; {} ring events ({} displaced)",
+            self.trace.stamped,
+            self.trace.traced,
+            self.trace.dropped,
+            self.latency.len(),
+            ring_emitted,
+            ring_dropped
         )?;
         for (n, c) in &self.per_node {
             writeln!(

@@ -34,7 +34,8 @@
 use crate::crc::crc32;
 use crate::failpoint::{FailPoints, FP_CHECKPOINT_PARTIAL, FP_CHECKPOINT_PRE_MANIFEST};
 use eris_core::durability::{ObjectClass, ObjectDescriptor};
-use eris_core::{DataObjectId, Engine};
+use eris_core::{AeuId, DataObjectId, Engine};
+use eris_obs::{now_ns, Stamped, TraceEvent, PHASE_BEGIN, PHASE_COMMITTED, PHASE_PARTS_WRITTEN};
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -232,6 +233,19 @@ fn take_u8(buf: &mut &[u8]) -> Option<u8> {
     Some(b)
 }
 
+/// Trace one checkpoint phase transition.  Checkpoints are engine-level,
+/// not AEU-level; their events land in AEU 0's ring by convention.  A
+/// crashed checkpoint leaves `PHASE_BEGIN` (and possibly
+/// `PHASE_PARTS_WRITTEN`) without a `PHASE_COMMITTED` — exactly the
+/// signature an observer needs to spot an abandoned `.tmp` directory.
+fn emit_phase(engine: &Engine, seq: u64, phase: u8) {
+    engine.telemetry_shard(AeuId(0)).ring.emit(Stamped {
+        at_ns: now_ns(),
+        aeu: 0,
+        event: TraceEvent::CheckpointPhase { seq, phase },
+    });
+}
+
 fn write_file_synced(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut f = File::create(path)?;
     f.write_all(bytes)?;
@@ -257,6 +271,7 @@ pub fn write_checkpoint(
     cuts: &[u64],
     fail: &FailPoints,
 ) -> std::io::Result<()> {
+    emit_phase(engine, seq, PHASE_BEGIN);
     let tmp = base.join(format!("ckpt-{seq}.tmp"));
     if tmp.exists() {
         fs::remove_dir_all(&tmp)?;
@@ -289,7 +304,11 @@ pub fn write_checkpoint(
         r?;
     }
 
-    if fail.crashed() || fail.hit(FP_CHECKPOINT_PRE_MANIFEST) {
+    if fail.crashed() {
+        return Ok(());
+    }
+    emit_phase(engine, seq, PHASE_PARTS_WRITTEN);
+    if fail.hit(FP_CHECKPOINT_PRE_MANIFEST) {
         return Ok(());
     }
 
@@ -319,6 +338,7 @@ pub fn write_checkpoint(
     sync_dir(&tmp)?;
     fs::rename(&tmp, ckpt_dir(base, seq))?;
     sync_dir(base)?;
+    emit_phase(engine, seq, PHASE_COMMITTED);
     Ok(())
 }
 

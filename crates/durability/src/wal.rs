@@ -27,6 +27,7 @@ use crate::failpoint::{FailPoints, FP_JOURNAL_PRE_SYNC, FP_JOURNAL_TORN_WRITE};
 use eris_core::durability::{ObjectClass, RedoOp};
 use eris_core::telemetry::TelemetryShard;
 use eris_core::{AeuId, DataObjectId};
+use eris_obs::{now_ns, Stamped, TraceEvent};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -438,11 +439,31 @@ impl JournalSink {
 
     /// Flush + sync every AEU's log; returns the per-AEU LSN cuts.
     pub fn sync_all(&self) -> Vec<u64> {
-        let shards = self.shards.read();
-        for (i, wal) in self.wals.iter().enumerate() {
-            wal.flush(&self.fail, shards.get(i));
+        for i in 0..self.wals.len() {
+            self.flush_wal(i);
         }
         self.wals.iter().map(|w| w.synced_lsn()).collect()
+    }
+
+    /// Group-commit one AEU's log and trace the commit when it made
+    /// bytes durable.
+    fn flush_wal(&self, idx: usize) -> u64 {
+        let shards = self.shards.read();
+        let shard = shards.get(idx);
+        let n = self.wals[idx].flush(&self.fail, shard);
+        if n > 0 {
+            if let Some(shard) = shard {
+                shard.ring.emit(Stamped {
+                    at_ns: now_ns(),
+                    aeu: idx as u32,
+                    event: TraceEvent::GroupCommit {
+                        aeu: idx as u32,
+                        bytes: n,
+                    },
+                });
+            }
+        }
+        n
     }
 }
 
@@ -455,12 +476,14 @@ impl eris_core::durability::RedoSink for JournalSink {
         encode_op(&op, &mut payload);
         let wal = &self.wals[aeu.index()];
         let pending = wal.append_payload(&payload);
-        let shards = self.shards.read();
-        if let Some(shard) = shards.get(aeu.index()) {
-            shard.counters.journal_records.fetch_add(1, Relaxed);
+        {
+            let shards = self.shards.read();
+            if let Some(shard) = shards.get(aeu.index()) {
+                shard.counters.journal_records.fetch_add(1, Relaxed);
+            }
         }
         if pending >= GROUP_COMMIT_BYTES {
-            wal.flush(&self.fail, shards.get(aeu.index()));
+            self.flush_wal(aeu.index());
         }
     }
 
@@ -468,8 +491,7 @@ impl eris_core::durability::RedoSink for JournalSink {
         if self.fail.crashed() {
             return;
         }
-        let shards = self.shards.read();
-        self.wals[aeu.index()].flush(&self.fail, shards.get(aeu.index()));
+        self.flush_wal(aeu.index());
     }
 
     fn barrier(&self) {

@@ -1,0 +1,32 @@
+//! A process-wide monotonic nanosecond clock.
+//!
+//! Trace stamps must be comparable across threads and across the
+//! engine's two runtimes (the cooperative virtual-time loop and the
+//! real-thread runtime), so they use one shared wall-clock epoch: the
+//! first call pins an [`Instant`] and every later call reports the
+//! elapsed nanoseconds since it.  The engine's *virtual* clock is not
+//! used — queue-wait and execution times attributed by the tracer are
+//! real host-time measurements either way.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide trace epoch (first call = 0-ish).
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_across_threads() {
+        let a = now_ns();
+        let b = std::thread::spawn(now_ns).join().unwrap();
+        let c = now_ns();
+        assert!(a <= b && b <= c, "{a} <= {b} <= {c}");
+    }
+}

@@ -1,0 +1,179 @@
+//! The trace-event taxonomy.
+//!
+//! Every event is a small `Copy` value so ring writers never allocate on
+//! the hot path.  Identifiers are raw integers — `eris-core` owns the
+//! typed id wrappers and converts at the emission site.
+
+/// One structured trace event, as emitted at an instrumentation site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An AEU executed one coalesced `(object, op)` group.
+    BatchExecuted {
+        object: u32,
+        /// Command op tag (same encoding as the wire format).
+        op: u8,
+        /// Number of commands in the coalesced group.
+        batch: u32,
+        /// Longest submit→execute wait among the *stamped* commands in
+        /// the group (0 when none were sampled).
+        queue_wait_ns: u64,
+        /// Host-time cost of executing the whole group.
+        exec_ns: u64,
+    },
+    /// An AEU swapped its incoming double buffer and decoded a batch.
+    BufferSwap { bytes: u64, commands: u32 },
+    /// Commands arrived at a non-owning AEU and were re-routed.
+    ForwardedStray { object: u32, count: u32 },
+    /// The balancer moved a partition range between AEUs.
+    Migration {
+        object: u32,
+        src: u32,
+        dst: u32,
+        keys: u64,
+        bytes: u64,
+    },
+    /// A journal group commit made `bytes` durable for one AEU.
+    GroupCommit { aeu: u32, bytes: u64 },
+    /// A checkpoint crossed a phase boundary (see `PHASE_*` consts).
+    CheckpointPhase { seq: u64, phase: u8 },
+}
+
+/// Checkpoint started serializing state.
+pub const PHASE_BEGIN: u8 = 0;
+/// All per-AEU part files written and synced.
+pub const PHASE_PARTS_WRITTEN: u8 = 1;
+/// Manifest renamed into place; the checkpoint is durable.
+pub const PHASE_COMMITTED: u8 = 2;
+
+impl TraceEvent {
+    /// Stable kind tag (ring filters, exporter labels).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::BatchExecuted { .. } => "batch_executed",
+            TraceEvent::BufferSwap { .. } => "buffer_swap",
+            TraceEvent::ForwardedStray { .. } => "forwarded_stray",
+            TraceEvent::Migration { .. } => "migration",
+            TraceEvent::GroupCommit { .. } => "group_commit",
+            TraceEvent::CheckpointPhase { .. } => "checkpoint_phase",
+        }
+    }
+
+    /// Render as one JSON object (hand-rolled; the workspace has no
+    /// serde).  Keys are stable — the JSONL exporter and `eris-live`
+    /// both parse this shape.
+    pub fn to_json_fields(&self) -> String {
+        match *self {
+            TraceEvent::BatchExecuted {
+                object,
+                op,
+                batch,
+                queue_wait_ns,
+                exec_ns,
+            } => format!(
+                "\"object\":{object},\"op\":{op},\"batch\":{batch},\
+                 \"queue_wait_ns\":{queue_wait_ns},\"exec_ns\":{exec_ns}"
+            ),
+            TraceEvent::BufferSwap { bytes, commands } => {
+                format!("\"bytes\":{bytes},\"commands\":{commands}")
+            }
+            TraceEvent::ForwardedStray { object, count } => {
+                format!("\"object\":{object},\"count\":{count}")
+            }
+            TraceEvent::Migration {
+                object,
+                src,
+                dst,
+                keys,
+                bytes,
+            } => format!(
+                "\"object\":{object},\"src\":{src},\"dst\":{dst},\
+                 \"keys\":{keys},\"bytes\":{bytes}"
+            ),
+            TraceEvent::GroupCommit { aeu, bytes } => {
+                format!("\"aeu\":{aeu},\"bytes\":{bytes}")
+            }
+            TraceEvent::CheckpointPhase { seq, phase } => {
+                format!("\"seq\":{seq},\"phase\":{phase}")
+            }
+        }
+    }
+}
+
+/// A ring entry: the event plus when (and where) it was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped {
+    /// [`crate::clock::now_ns`] at emission.
+    pub at_ns: u64,
+    /// Emitting AEU index (or the engine's choice for engine-level
+    /// events such as checkpoint phases).
+    pub aeu: u32,
+    pub event: TraceEvent,
+}
+
+impl Stamped {
+    /// One JSON-lines record (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"at_ns\":{},\"aeu\":{},\"kind\":\"{}\",{}}}",
+            self.at_ns,
+            self.aeu,
+            self.event.kind(),
+            self.event.to_json_fields()
+        )
+    }
+}
+
+/// The sampled end-to-end latency stamp carried through routing with a
+/// command (see `eris-core`'s wire-format marker records).  `submit_ns`
+/// is the routing-time clock reading; `hops` counts stray forwardings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStamp {
+    pub submit_ns: u64,
+    pub hops: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_renders_parseable_jsonl() {
+        let events = [
+            TraceEvent::BatchExecuted {
+                object: 1,
+                op: 0,
+                batch: 64,
+                queue_wait_ns: 1200,
+                exec_ns: 900,
+            },
+            TraceEvent::BufferSwap {
+                bytes: 4096,
+                commands: 141,
+            },
+            TraceEvent::ForwardedStray {
+                object: 2,
+                count: 3,
+            },
+            TraceEvent::Migration {
+                object: 7,
+                src: 0,
+                dst: 5,
+                keys: 1000,
+                bytes: 16000,
+            },
+            TraceEvent::GroupCommit { aeu: 3, bytes: 512 },
+            TraceEvent::CheckpointPhase { seq: 2, phase: 1 },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            let line = Stamped {
+                at_ns: 42,
+                aeu: i as u32,
+                event: *e,
+            }
+            .to_jsonl();
+            let v = crate::json::parse(&line).expect("parses");
+            assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some(e.kind()));
+            assert_eq!(v.get("at_ns").and_then(|k| k.as_u64()), Some(42));
+        }
+    }
+}

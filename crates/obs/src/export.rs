@@ -1,0 +1,250 @@
+//! Exporters: a neutral metric IR rendered to Prometheus text format or
+//! JSON-lines.
+//!
+//! `eris-core` converts its `TelemetrySnapshot` into `Vec<Metric>`;
+//! rendering lives here so the format logic (naming, HELP/TYPE lines,
+//! label escaping) has one owner and one golden test, independent of
+//! the engine.
+
+use crate::event::Stamped;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One labelled sample of a metric family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl MetricSample {
+    pub fn new(labels: &[(&str, &str)], value: f64) -> Self {
+        MetricSample {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        }
+    }
+}
+
+/// One metric family: a name, help text, a kind, and its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    pub name: String,
+    pub help: String,
+    pub kind: MetricKind,
+    pub samples: Vec<MetricSample>,
+}
+
+impl Metric {
+    pub fn new(name: &str, help: &str, kind: MetricKind) -> Self {
+        Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: Vec::new(),
+        }
+    }
+
+    pub fn sample(mut self, labels: &[(&str, &str)], value: f64) -> Self {
+        self.samples.push(MetricSample::new(labels, value));
+        self
+    }
+}
+
+/// Escape a HELP line: Prometheus requires `\\` and `\n` escapes.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: `\\`, `\"`, and `\n`.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render a value the way Prometheus expects: integers without a
+/// fractional tail, everything else in shortest-roundtrip float form.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render metric families in the Prometheus text exposition format.
+pub fn render_prometheus(metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        out.push_str("# HELP ");
+        out.push_str(&m.name);
+        out.push(' ');
+        out.push_str(&escape_help(&m.help));
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(&m.name);
+        out.push(' ');
+        out.push_str(m.kind.as_str());
+        out.push('\n');
+        for s in &m.samples {
+            out.push_str(&m.name);
+            if !s.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in s.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    out.push_str(&escape_label(v));
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            out.push(' ');
+            out.push_str(&fmt_value(s.value));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render metric samples as JSON-lines: one object per sample, stamped
+/// with `at_ns` so successive exports form a time series.
+pub fn render_jsonl(metrics: &[Metric], at_ns: u64) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        for s in &m.samples {
+            out.push_str(&format!(
+                "{{\"at_ns\":{at_ns},\"metric\":\"{}\",\"kind\":\"{}\",\"labels\":{{",
+                json_escape(&m.name),
+                m.kind.as_str()
+            ));
+            for (i, (k, v)) in s.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push_str(&format!("}},\"value\":{}}}\n", fmt_value(s.value)));
+        }
+    }
+    out
+}
+
+/// Render ring events as JSON-lines, oldest first.
+pub fn render_events_jsonl(events: &[Stamped]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+/// Minimal JSON string escaping for the hand-rolled renderers.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_render_matches_the_golden_exposition() {
+        let metrics = vec![
+            Metric::new(
+                "eris_commands_routed_total",
+                "Routing decisions made (one per submitted command).",
+                MetricKind::Counter,
+            )
+            .sample(&[], 1234.0),
+            Metric::new(
+                "eris_aeu_commands_executed_total",
+                "Commands executed, per AEU.",
+                MetricKind::Counter,
+            )
+            .sample(&[("aeu", "0"), ("node", "0")], 617.0)
+            .sample(&[("aeu", "1"), ("node", "0")], 617.0),
+            Metric::new(
+                "eris_incoming_peak_pending_bytes",
+                "High-water mark of pending incoming-buffer bytes.",
+                MetricKind::Gauge,
+            )
+            .sample(&[("aeu", "0")], 3712.5),
+            Metric::new(
+                "eris_object_name_info",
+                "Object id to name mapping; value is always 1.\nSecond help line.",
+                MetricKind::Gauge,
+            )
+            .sample(
+                &[("object", "0"), ("name", "weird\"name\\with\nnewline")],
+                1.0,
+            ),
+        ];
+        let got = render_prometheus(&metrics);
+        let want = include_str!("../tests/golden/exposition.prom");
+        assert_eq!(got, want, "golden Prometheus exposition drifted");
+    }
+
+    #[test]
+    fn jsonl_samples_parse_back() {
+        let metrics = vec![Metric::new("eris_x_total", "x", MetricKind::Counter)
+            .sample(&[("aeu", "3")], 17.0)
+            .sample(&[], 0.25)];
+        let text = render_jsonl(&metrics, 99);
+        for line in text.lines() {
+            let v = crate::json::parse(line).expect("line parses");
+            assert_eq!(v.get("at_ns").and_then(|x| x.as_u64()), Some(99));
+            assert_eq!(
+                v.get("metric").and_then(|x| x.as_str()),
+                Some("eris_x_total")
+            );
+            assert!(v.get("value").and_then(|x| x.as_f64()).is_some());
+        }
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn label_escaping_survives_a_jsonl_roundtrip() {
+        let metrics = vec![Metric::new("eris_names", "names", MetricKind::Gauge)
+            .sample(&[("name", "a\"b\\c\nd\te")], 1.0)];
+        let text = render_jsonl(&metrics, 0);
+        let v = crate::json::parse(text.trim_end()).unwrap();
+        let labels = v.get("labels").unwrap();
+        assert_eq!(
+            labels.get("name").and_then(|x| x.as_str()),
+            Some("a\"b\\c\nd\te")
+        );
+    }
+}

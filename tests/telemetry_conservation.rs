@@ -288,6 +288,164 @@ fn deltas_survive_a_mid_window_counter_reset() {
 }
 
 #[test]
+fn trace_ledger_balances_under_cooperative_runtime() {
+    // Sampled-latency conservation (ISSUE 4): every command stamped at
+    // routing time is either recorded at execution or accounted as
+    // dropped — never silently lost.  Dense sampling (1-in-4) so a small
+    // workload still stamps plenty.
+    let domain: u64 = 1 << 14;
+    let mut e = Engine::new(
+        eris_numa::machines::custom_machine("t", 4, 2, 20.0, 100.0, 10.0, 60.0),
+        EngineConfig {
+            tree: PrefixTreeConfig::new(8, 32),
+            routing: RoutingConfig {
+                trace_sample_every: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let idx = e.create_index("t", domain);
+    e.bulk_load_index(idx, (0..domain).map(|k| (k, k)));
+    let num_aeus = e.num_aeus() as u32;
+    for round in 0..200u64 {
+        let via = AeuId((round as u32 * 5) % num_aeus);
+        let payload = if round.is_multiple_of(3) {
+            Payload::Upsert {
+                pairs: (0..8)
+                    .map(|i| ((round * 131 + i) % domain, round))
+                    .collect(),
+            }
+        } else {
+            Payload::Lookup {
+                keys: (0..16).map(|i| (round * 31 + i * 97) % domain).collect(),
+            }
+        };
+        e.submit(
+            via,
+            DataCommand {
+                object: idx,
+                ticket: round,
+                payload,
+            },
+        )
+        .unwrap();
+    }
+    e.run_until_drained();
+
+    let snap = e.telemetry();
+    assert!(
+        snap.trace.stamped > 0,
+        "sampler stamped commands: {:?}",
+        snap.trace
+    );
+    assert!(
+        snap.trace.balances(),
+        "stamped == traced + dropped after drain: {:?}",
+        snap.trace
+    );
+    // Every traced command landed in exactly one latency series.
+    let recorded: u64 = snap.latency.iter().map(|(_, s)| s.queue_wait.count).sum();
+    assert_eq!(
+        recorded, snap.trace.traced,
+        "latency table covers every trace"
+    );
+    // Both command kinds were sampled (round % 3 breaks sampler aliasing).
+    assert!(
+        snap.latency.len() >= 2,
+        "lookup and upsert series: {:?}",
+        snap.latency
+    );
+    // Ring accounting is exact on every AEU.
+    for (i, r) in snap.rings.iter().enumerate() {
+        assert_eq!(
+            r.emitted,
+            r.retained + r.dropped,
+            "ring {i} conserves: {r:?}"
+        );
+        assert!(r.retained <= r.capacity, "ring {i} within capacity");
+    }
+}
+
+#[test]
+fn trace_ledger_balances_under_real_threads() {
+    // The same conservation law under the real-thread runtime: stamps are
+    // taken on 8 concurrent routers and resolved on whichever AEU executes
+    // the batch.
+    let mut e = Engine::new(
+        eris_numa::machines::custom_machine("t", 4, 2, 20.0, 100.0, 10.0, 60.0),
+        EngineConfig {
+            tree: PrefixTreeConfig::new(8, 32),
+            routing: RoutingConfig {
+                trace_sample_every: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let domain: u64 = 1 << 16;
+    let _ = e.create_index("t", domain);
+    for a in e.aeu_ids() {
+        let mut x = (a.0 as u64 + 17).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        e.set_generator(
+            a,
+            Some(Box::new(move |_, out| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let payload = if x.is_multiple_of(4) {
+                    Payload::Upsert {
+                        pairs: (0..4).map(|i| ((x >> i) % (1 << 16), x)).collect(),
+                    }
+                } else {
+                    Payload::Lookup {
+                        keys: (0..16).map(|i| (x >> i) % (1 << 16)).collect(),
+                    }
+                };
+                out.push(DataCommand {
+                    object: DataObjectId(0),
+                    ticket: 0,
+                    payload,
+                });
+            })),
+        );
+    }
+    e.run_threaded_for(Duration::from_millis(250));
+    for a in e.aeu_ids() {
+        e.set_generator(a, None);
+    }
+    e.run_until_drained();
+
+    let snap = e.telemetry();
+    assert!(
+        snap.trace.stamped > 0,
+        "threaded sampler stamped: {:?}",
+        snap.trace
+    );
+    assert!(
+        snap.trace.balances(),
+        "threaded: stamped == traced + dropped: {:?}",
+        snap.trace
+    );
+    let recorded: u64 = snap.latency.iter().map(|(_, s)| s.queue_wait.count).sum();
+    assert_eq!(
+        recorded, snap.trace.traced,
+        "latency table covers every trace"
+    );
+    for (i, r) in snap.rings.iter().enumerate() {
+        assert_eq!(
+            r.emitted,
+            r.retained + r.dropped,
+            "ring {i} conserves: {r:?}"
+        );
+    }
+    assert!(
+        snap.rings.iter().map(|r| r.emitted).sum::<u64>() > 0,
+        "execution emitted trace events"
+    );
+}
+
+#[test]
 fn snapshot_renders_text_and_json() {
     let mut e = engine(2, 2);
     let idx = e.create_index("t", 1 << 12);
