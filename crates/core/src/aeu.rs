@@ -20,6 +20,9 @@ use eris_mem::ThreadCache;
 use eris_numa::{CoreId, Flow, NodeId};
 use eris_obs::{now_ns, LatencyRecord, LatencyTable, Stamped, TraceEvent, TraceStamp};
 use std::collections::BTreeMap;
+// ordering: Relaxed is the only ordering this module imports — every
+// atomic here is a monotonic telemetry counter that carries no payload;
+// command data flows through the incoming/outgoing buffer protocols.
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 

@@ -15,9 +15,15 @@
 //! republishing the writable index, clearing the old buffer's active bit,
 //! and spinning until its writer count reaches zero — at which point every
 //! reserved range has been fully written and can be processed.
+//!
+//! Concurrency note: this module is written against the `eris-sync`
+//! facade, so a build with `RUSTFLAGS="--cfg loom"` model-checks the
+//! exact shipping protocol (see the `loom_models` test module and
+//! DESIGN.md § Concurrency model).
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use eris_sync::cell::UnsafeCell;
+use eris_sync::hint;
+use eris_sync::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Descriptor bit layout: `[active:1][offset:32][writers:31]`.
 const WRITERS_BITS: u32 = 31;
@@ -62,6 +68,8 @@ struct Slot {
 // so concurrent writers never alias; the owner only reads a buffer after
 // clearing its active bit and draining the writer count.
 unsafe impl Sync for Slot {}
+// SAFETY: the slot owns its buffer; moving it between threads moves plain
+// bytes and an atomic descriptor, neither of which is thread-bound.
 unsafe impl Send for Slot {}
 
 /// Live write/swap counters of one incoming double buffer, updated with
@@ -112,6 +120,8 @@ impl IncomingBuffers {
             capacity,
             stats: LiveIncomingStats::default(),
         };
+        // ordering: Release publishes the zeroed buffer bytes before any
+        // writer can observe the slot as active.
         b.slots[0].desc.store(pack(true, 0, 0), Ordering::Release);
         b
     }
@@ -123,6 +133,8 @@ impl IncomingBuffers {
 
     /// Telemetry counters accumulated since construction.
     pub fn stats(&self) -> IncomingStats {
+        // ordering: Relaxed throughout — monotonic telemetry counters
+        // carry no payload and synchronize nothing.
         IncomingStats {
             writes: self.stats.writes.load(Ordering::Relaxed),
             rejects: self.stats.rejects.load(Ordering::Relaxed),
@@ -135,6 +147,9 @@ impl IncomingBuffers {
     /// Zero the accumulated counters (start of a measurement window).
     /// Buffered command bytes are untouched.
     pub fn reset_stats(&self) {
+        // ordering: Relaxed — counter zeroing needs no synchronization
+        // with concurrent bumps; the window boundary is approximate by
+        // design.
         self.stats.writes.store(0, Ordering::Relaxed);
         self.stats.rejects.store(0, Ordering::Relaxed);
         self.stats.swaps.store(0, Ordering::Relaxed);
@@ -144,6 +159,8 @@ impl IncomingBuffers {
 
     /// Bytes pending in the currently writable buffer.
     pub fn pending_bytes(&self) -> usize {
+        // ordering: Acquire on both loads — observe the writable index
+        // and descriptor no older than the owner's last publication.
         let w = self.writable.load(Ordering::Acquire);
         offset(self.slots[w].desc.load(Ordering::Acquire)) as usize
     }
@@ -158,20 +175,30 @@ impl IncomingBuffers {
             "write larger than a whole buffer"
         );
         loop {
+            // ordering: Acquire pairs with the owner's Release store of
+            // the republished writable index during a swap.
             let w = self.writable.load(Ordering::Acquire);
             let slot = &self.slots[w];
+            // ordering: Acquire pairs with the owner's Release
+            // (re)activation store so a writer that sees the active bit
+            // also sees a fully initialized descriptor.
             let d = slot.desc.load(Ordering::Acquire);
             if !is_active(d) {
                 // The owner is mid-swap; the writable index will move.
-                std::hint::spin_loop();
+                hint::spin_loop();
                 continue;
             }
             let off = offset(d);
             if off as usize + data.len() > self.capacity {
+                // ordering: Relaxed — telemetry counter, no payload.
                 self.stats.rejects.fetch_add(1, Ordering::Relaxed);
                 return Err(BufferFull);
             }
             let nd = pack(true, off + data.len() as u64, writers(d) + 1);
+            // ordering: AcqRel — the Acquire half keeps our byte copy
+            // below from floating above the reservation; the Release
+            // half makes the claimed range visible to the owner's
+            // retire CAS.  Failure reloads with Acquire for the retry.
             if slot
                 .desc
                 .compare_exchange_weak(d, nd, Ordering::AcqRel, Ordering::Acquire)
@@ -180,13 +207,23 @@ impl IncomingBuffers {
                 continue;
             }
             // Range [off, off+len) is exclusively ours.
-            // SAFETY: see Slot's Sync rationale.
-            unsafe {
-                let dst = slot.bytes[off as usize].get();
-                std::ptr::copy_nonoverlapping(data.as_ptr(), dst, data.len());
-            }
+            slot.bytes[off as usize].with_mut(|dst| {
+                // SAFETY: the descriptor CAS reserved [off, off+len)
+                // exclusively for this writer; cells are
+                // repr(transparent), so the pointer walks contiguous
+                // bytes that stay in bounds (off + len <= capacity).
+                unsafe {
+                    std::ptr::copy_nonoverlapping(data.as_ptr(), dst, data.len());
+                }
+            });
             // Publish completion: writers -= 1 (offset/active untouched).
+            // ordering: the Release half pairs with the owner's Acquire
+            // drain-loop load so a writer count of zero proves every
+            // reserved byte range is fully copied; AcqRel (not plain
+            // Release) also keeps the decrement ordered against the
+            // copy above on the writer side.
             slot.desc.fetch_sub(1, Ordering::AcqRel);
+            // ordering: Relaxed — telemetry counters, no payload.
             self.stats.writes.fetch_add(1, Ordering::Relaxed);
             self.stats
                 .peak_pending_bytes
@@ -200,21 +237,33 @@ impl IncomingBuffers {
     ///
     /// Returns the number of bytes consumed.
     pub fn swap_and_consume(&self, mut consume: impl FnMut(&[u8])) -> usize {
+        // ordering: Acquire — the owner rereads its own last Release
+        // store; Relaxed would do, Acquire keeps the invariant simple:
+        // every `writable` load in this module is Acquire.
         let old = self.writable.load(Ordering::Acquire);
         let new = 1 - old;
         // The other buffer was fully drained by the previous swap.
         debug_assert_eq!(
+            // ordering: Acquire — see the drain loop below.
             writers(self.slots[new].desc.load(Ordering::Acquire)),
             0,
             "drained buffer must have no writers"
         );
         // Activate the fresh buffer, then republish the writable index.
+        // ordering: Release on both stores, and activation strictly
+        // before republication — a writer that reaches the fresh slot
+        // through the new index must observe it active, and a writer
+        // that reaches it early (stale CAS on a zeroed descriptor)
+        // must see the zeroed offset, not a stale one.
         self.slots[new]
             .desc
             .store(pack(true, 0, 0), Ordering::Release);
         self.writable.store(new, Ordering::Release);
         // Retire the old buffer: clear its active bit so late CAS attempts
         // fail and writers move over to the new buffer.
+        // ordering: Acquire load + AcqRel CAS — the retire must observe
+        // every reservation that won its CAS before the bit flips, and
+        // its Release half publishes the cleared bit to spinning writers.
         let mut d = self.slots[old].desc.load(Ordering::Acquire);
         loop {
             match self.slots[old].desc.compare_exchange_weak(
@@ -229,24 +278,34 @@ impl IncomingBuffers {
         }
         // Drain: every writer that reserved a range has to finish copying.
         loop {
+            // ordering: Acquire pairs with each writer's AcqRel
+            // `fetch_sub`; once the count reads zero, every reserved
+            // range's bytes happened-before this load.
             let d = self.slots[old].desc.load(Ordering::Acquire);
             if writers(d) == 0 {
                 break;
             }
-            std::hint::spin_loop();
+            hint::spin_loop();
         }
+        // ordering: Acquire — same pairing as the drain loop; re-read
+        // for the final offset after the active bit was cleared.
         let filled = offset(self.slots[old].desc.load(Ordering::Acquire)) as usize;
         if filled > 0 {
-            // SAFETY: buffer is inactive and writer-free; we own it now.
-            let data = unsafe {
-                std::slice::from_raw_parts(self.slots[old].bytes[0].get() as *const u8, filled)
-            };
-            consume(data);
+            self.slots[old].bytes[0].with(|base| {
+                // SAFETY: the buffer is inactive and writer-free, so no
+                // writer can alias it; cells are repr(transparent) and
+                // `filled <= capacity`, so the slice stays in bounds.
+                let data = unsafe { std::slice::from_raw_parts(base, filled) };
+                consume(data);
+            });
         }
         // Leave the old buffer empty and inactive, ready for the next swap.
+        // ordering: Release — the next activation of this slot must not
+        // be observable before the owner is done reading its bytes.
         self.slots[old]
             .desc
             .store(pack(false, 0, 0), Ordering::Release);
+        // ordering: Relaxed — telemetry counters, no payload.
         self.stats.swaps.fetch_add(1, Ordering::Relaxed);
         self.stats
             .swapped_bytes
@@ -371,6 +430,39 @@ mod tests {
     #[should_panic(expected = "larger than a whole buffer")]
     fn oversized_write_panics() {
         IncomingBuffers::new(8).write(&[0; 9]).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_beyond_the_32_bit_offset_field_is_rejected() {
+        // The offset field is 32 bits wide; a buffer it cannot index is
+        // refused up front (the assert fires before any allocation).
+        IncomingBuffers::new((OFFSET_MASK as usize) + 1);
+    }
+
+    #[test]
+    fn write_at_the_exact_full_buffer_boundary() {
+        // The reservation arithmetic at `offset == capacity`: a record
+        // that lands exactly on the boundary is accepted, the very next
+        // byte is rejected, and the swap hands back precisely
+        // `capacity` bytes with the descriptor reset to zero.
+        let b = IncomingBuffers::new(8);
+        b.write(&[0xAA; 5]).unwrap();
+        b.write(&[0xBB; 3]).unwrap(); // offset is now exactly 8 == capacity
+        assert_eq!(b.pending_bytes(), 8, "offset sits on the boundary");
+        assert_eq!(b.write(&[0xCC]), Err(BufferFull), "no room for one byte");
+        assert_eq!(b.stats().rejects, 1);
+        let mut got = Vec::new();
+        let n = b.swap_and_consume(|d| got.extend_from_slice(d));
+        assert_eq!(n, 8);
+        assert_eq!(got, [[0xAA; 5].as_slice(), [0xBB; 3].as_slice()].concat());
+        assert_eq!(b.pending_bytes(), 0, "descriptor reset after the swap");
+        // The freshly activated buffer accepts a full-capacity record.
+        b.write(&[0xDD; 8]).unwrap();
+        assert_eq!(b.write(&[0xEE]), Err(BufferFull));
+        let mut got = Vec::new();
+        b.swap_and_consume(|d| got.extend_from_slice(d));
+        assert_eq!(got, [0xDD; 8]);
     }
 
     #[test]
@@ -557,5 +649,125 @@ mod properties {
             }
             prop_assert_eq!(out, written, "every accepted record delivered once, in order");
         }
+    }
+}
+
+/// Model-checked interleaving exploration of the descriptor protocol.
+///
+/// Under a plain `cargo test` each model runs once with real threads (a
+/// smoke test); under `RUSTFLAGS="--cfg loom"` the `eris-sync` facade
+/// swaps in the loom shim and every schedule within the preemption
+/// bound (`LOOM_MAX_PREEMPTIONS`, default 2) is explored exhaustively.
+/// Run with `cargo test -p eris-core --lib loom_`.
+#[cfg(test)]
+mod loom_models {
+    use super::*;
+    use eris_sync::sync::Arc;
+    use eris_sync::{model, thread};
+
+    /// No write is ever lost or duplicated across a concurrent buffer
+    /// swap: two writers race one swapping owner; every accepted byte
+    /// comes back out exactly once.
+    #[test]
+    fn loom_no_lost_writes_across_buffer_swap() {
+        model(|| {
+            let b = Arc::new(IncomingBuffers::new(8));
+            let handles: Vec<_> = [1u8, 2u8]
+                .into_iter()
+                .map(|tag| {
+                    let b = Arc::clone(&b);
+                    thread::spawn(move || {
+                        while b.write(&[tag]).is_err() {
+                            thread::yield_now();
+                        }
+                    })
+                })
+                .collect();
+            let mut got = Vec::new();
+            // One swap races the in-flight writers...
+            b.swap_and_consume(|d| got.extend_from_slice(d));
+            for h in handles {
+                h.join().unwrap();
+            }
+            // ...and two quiescent swaps drain both buffers.
+            b.swap_and_consume(|d| got.extend_from_slice(d));
+            b.swap_and_consume(|d| got.extend_from_slice(d));
+            got.sort_unstable();
+            assert_eq!(
+                got,
+                vec![1, 2],
+                "every accepted write consumed exactly once"
+            );
+            let st = b.stats();
+            assert_eq!(st.writes, 2);
+            assert_eq!(st.swapped_bytes, 2, "byte conservation across swaps");
+        });
+    }
+
+    /// The 31-bit writer count never exceeds the number of live writer
+    /// threads at any point the owner can observe, and never borrows
+    /// into the offset field — checked at every interleaving of two
+    /// writers against a swapping owner.
+    #[test]
+    fn loom_writer_count_stays_bounded_at_every_interleaving() {
+        model(|| {
+            let b = Arc::new(IncomingBuffers::new(2));
+            let writers_n = 2u64;
+            let handles: Vec<_> = (0..writers_n)
+                .map(|t| {
+                    let b = Arc::clone(&b);
+                    thread::spawn(move || {
+                        // Each record fills the buffer exactly, forcing
+                        // the full-buffer reject path and retries across
+                        // swaps.
+                        while b.write(&[t as u8; 2]).is_err() {
+                            thread::yield_now();
+                        }
+                    })
+                })
+                .collect();
+            let mut consumed = 0usize;
+            while consumed < (writers_n as usize) * 2 {
+                for s in &b.slots {
+                    // ordering: Acquire — observe the freshest count the
+                    // protocol can publish at this point.
+                    let w = writers(s.desc.load(Ordering::Acquire));
+                    assert!(w <= writers_n, "writer count {w} exceeds {writers_n}");
+                }
+                consumed += b.swap_and_consume(|d| {
+                    assert!(d.len() <= 2, "no range beyond the boundary");
+                });
+                thread::yield_now();
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(consumed, 4, "both boundary-filling records delivered");
+        });
+    }
+
+    /// A reservation landing exactly on `offset == capacity` stays
+    /// intact across a concurrent swap: the boundary write is either in
+    /// the drained buffer or the fresh one, never torn between them.
+    #[test]
+    fn loom_full_buffer_boundary_survives_concurrent_swap() {
+        model(|| {
+            let b = Arc::new(IncomingBuffers::new(4));
+            let w = {
+                let b = Arc::clone(&b);
+                thread::spawn(move || {
+                    // Fills a buffer to the boundary in one reservation.
+                    while b.write(&[7, 8, 9, 10]).is_err() {
+                        thread::yield_now();
+                    }
+                })
+            };
+            let mut got = Vec::new();
+            b.swap_and_consume(|d| got.extend_from_slice(d));
+            w.join().unwrap();
+            b.swap_and_consume(|d| got.extend_from_slice(d));
+            b.swap_and_consume(|d| got.extend_from_slice(d));
+            assert_eq!(got, vec![7, 8, 9, 10], "boundary record intact");
+        });
     }
 }

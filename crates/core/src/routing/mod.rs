@@ -25,6 +25,9 @@ use crate::telemetry::{CounterSnapshot, ObjectCounters, Telemetry, TelemetryShar
 use eris_numa::NodeId;
 use eris_obs::{now_ns, LatencyTable, TraceStamp};
 use parking_lot::RwLock;
+// ordering: Relaxed is the only ordering this module imports — every
+// atomic here is a monotonic routing/telemetry counter; delivery
+// synchronization lives in the incoming-buffer descriptor protocol.
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 

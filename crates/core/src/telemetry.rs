@@ -22,6 +22,9 @@ use eris_numa::NodeId;
 use eris_obs::{LatencyKey, LatencySeries, LatencyTable, Metric, MetricKind, RingStats, TraceRing};
 use parking_lot::RwLock;
 use std::fmt;
+// ordering: Relaxed is the only ordering this module imports — every
+// counter is monotonic telemetry with no payload to publish; snapshots
+// tolerate transient skew between counters by design.
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 

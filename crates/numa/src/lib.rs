@@ -24,6 +24,8 @@
 //! * [`affinity`] — thread-to-core pinning via `libc` for the threaded
 //!   runtime.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod affinity;
 pub mod cache;
 pub mod clock;

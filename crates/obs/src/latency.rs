@@ -13,6 +13,9 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
+// ordering: Relaxed is the only ordering this module imports — bucket
+// counters are monotonic and independent; readers accept transient
+// skew between buckets (documented on `LatencySeries`).
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Number of log2 buckets per histogram.

@@ -1,0 +1,18 @@
+//! Self-check fixture for a module *off* the hot path and *outside*
+//! the unsafe allowlist.  Hot-path-only rules must stay quiet here;
+//! unsafe must still be flagged.
+
+// Ordering without a comment is fine off the hot path (no R1)...
+pub fn relaxed_probe(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+// ...and so is a lock (no R2).
+pub fn with_lock() {
+    let _guard = Mutex::new(());
+}
+
+// seed: R3 — unsafe in a file that is not on the allowlist.
+pub fn sneaky() {
+    let _ = unsafe { core::ptr::null::<u8>().read() };
+}

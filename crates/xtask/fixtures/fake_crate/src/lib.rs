@@ -1,0 +1,9 @@
+//! Self-check fixture: a crate with unsafe code whose `lib.rs` lacks
+//! `#![deny(unsafe_op_in_unsafe_fn)]` — R5 must flag the crate, and the
+//! un-allowlisted unsafe line itself draws R3.
+
+// seed: R3 — unsafe outside the allowlist.
+// seed: R5 — crate has unsafe code but no deny attribute.
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    *p
+}

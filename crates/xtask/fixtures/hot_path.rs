@@ -1,0 +1,44 @@
+//! Seeded violations for `cargo xtask lint --self-check`.
+//!
+//! This file plays a hot-path, unsafe-allowlisted, eris-sync-ported
+//! module.  Each `// seed: R<N>` line declares one violation the linter
+//! must report; compliant examples sit alongside to prove the rules
+//! don't over-fire.  The file is never compiled.
+
+// seed: R4 — a ported module reaching for std primitives directly.
+use std::sync::atomic::AtomicU64;
+
+// A compliant ordering site: the comment below satisfies R1.
+// ordering: Relaxed — fixture counter, carries no payload.
+pub fn compliant_ordering(c: &AtomicU64) {
+    c.load(Ordering::Relaxed);
+}
+
+// Padding so the compliant justification comment above falls out of
+// the lookback window of the seeded violation below.
+//
+//
+//
+//
+//
+
+// seed: R1 — an ordering choice with no justifying comment in range.
+pub fn unjustified_ordering(c: &AtomicU64) {
+    c.store(1, Ordering::Relaxed);
+}
+
+// seed: R2 — a lock on a latch-free path, not allowlisted.
+pub fn locked() {
+    let _guard = Mutex::new(());
+}
+
+// seed: R3 — allowlisted file, but the unsafe block is not argued.
+pub fn unargued() {
+    let _ = unsafe { core::ptr::null::<u8>().read() };
+}
+
+// A compliant unsafe block: the SAFETY comment below satisfies R3.
+pub fn argued() {
+    // SAFETY: fixture; reads a dangling-but-aligned pointer nowhere.
+    let _ = unsafe { core::ptr::NonNull::<u8>::dangling().as_ptr() };
+}

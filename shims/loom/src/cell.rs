@@ -1,0 +1,31 @@
+//! Model-checked interior mutability.
+
+/// An `UnsafeCell` whose accesses are scheduling points, so the
+/// explorer can interleave other threads between a protocol's atomic
+/// claim and the data access it guards.
+///
+/// `#[repr(transparent)]`: layout-identical to `std::cell::UnsafeCell`,
+/// so arrays of cells stay contiguous and pointer arithmetic across
+/// elements (the incoming-buffer byte array) behaves identically in
+/// both modes.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+impl<T> UnsafeCell<T> {
+    pub const fn new(v: T) -> Self {
+        UnsafeCell(std::cell::UnsafeCell::new(v))
+    }
+
+    /// Immutable access to the cell contents via raw pointer.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        crate::rt::point();
+        f(self.0.get())
+    }
+
+    /// Mutable access to the cell contents via raw pointer.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        crate::rt::point();
+        f(self.0.get())
+    }
+}

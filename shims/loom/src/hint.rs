@@ -1,0 +1,10 @@
+//! Spin-loop hint that actually yields under the model.
+//!
+//! A real `std::hint::spin_loop` is invisible to a cooperative
+//! scheduler; mapping it to a voluntary yield both avoids livelock
+//! (the awaited thread always gets to run) and keeps exploration
+//! bounded (a voluntary switch is not a preemption).
+
+pub fn spin_loop() {
+    crate::rt::yield_point();
+}

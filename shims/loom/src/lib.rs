@@ -1,0 +1,25 @@
+//! In-tree stand-in for the [`loom`](https://crates.io/crates/loom)
+//! model checker (the build environment has no registry access; see
+//! `shims/README.md`).
+//!
+//! Like the real crate, this explores the interleavings of a small
+//! multi-threaded model: every `loom::sync`/`loom::cell` operation is a
+//! scheduling point, and [`model`] drives a depth-first search over all
+//! schedules up to a preemption bound.  Unlike the real crate it checks
+//! under **sequential consistency only** — thread interleavings are
+//! explored exhaustively (within the bound), but C11 weak-memory
+//! reorderings and `Arc`-drop orderings are not modeled, and
+//! `compare_exchange_weak` never fails spuriously.  Models therefore
+//! prove protocol-level properties (lost updates, torn reads, counter
+//! conservation, deadlock) rather than full memory-ordering
+//! correctness.
+
+mod model;
+pub(crate) mod rt;
+
+pub mod cell;
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;

@@ -1,0 +1,85 @@
+//! The exploration driver: run a model closure under every schedule
+//! the preemption bound admits.
+
+use crate::rt::{self, Branch, Scheduler};
+use std::panic;
+use std::sync::Arc;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Exhaustively explore every interleaving of the model closure's
+/// threads, up to `LOOM_MAX_PREEMPTIONS` involuntary context switches
+/// per execution (default 2).  Panics — failing the enclosing test —
+/// if any execution panics, deadlocks, or livelocks.
+///
+/// Environment knobs:
+/// - `LOOM_MAX_PREEMPTIONS`: preemption budget per execution (default 2).
+/// - `LOOM_MAX_EXECUTIONS`: safety cap on explored schedules (default
+///   1,000,000); exceeding it fails the model rather than silently
+///   truncating the search.
+/// - `LOOM_LOG`: when set, print the number of schedules explored.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_execs = env_usize("LOOM_MAX_EXECUTIONS", 1_000_000) as u64;
+    let f = Arc::new(f);
+    let mut trail: Vec<Branch> = Vec::new();
+    let mut execs: u64 = 0;
+    loop {
+        execs += 1;
+        assert!(
+            execs <= max_execs,
+            "loom: exceeded LOOM_MAX_EXECUTIONS ({max_execs}) — raise the cap \
+             or shrink the model"
+        );
+        let sched = Arc::new(Scheduler::new(std::mem::take(&mut trail), max_preemptions));
+        let tid0 = sched.register();
+        debug_assert_eq!(tid0, 0);
+        let f2 = Arc::clone(&f);
+        let s2 = Arc::clone(&sched);
+        // Thread 0 runs the model body; it is active from the start.
+        let root = std::thread::Builder::new()
+            .name("loom-0".into())
+            .spawn(move || {
+                rt::set_current(&s2, tid0);
+                let out = panic::catch_unwind(panic::AssertUnwindSafe(|| f2()));
+                if let Err(p) = out {
+                    if p.downcast_ref::<rt::Aborted>().is_none() {
+                        s2.record_panic(&*p);
+                    }
+                }
+                s2.finish(tid0);
+            })
+            .expect("spawn loom root thread");
+        root.join().expect("loom root wrapper never panics");
+        // Drain every OS thread this execution spawned (threads may
+        // themselves spawn more, hence the loop).
+        loop {
+            let handles = sched.take_os_handles();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        let (end_trail, abort) = sched.take_outcome();
+        if let Some(msg) = abort {
+            panic!("loom model failed (schedule {execs}): {msg}");
+        }
+        trail = end_trail;
+        if !rt::advance(&mut trail) {
+            break;
+        }
+    }
+    if std::env::var("LOOM_LOG").is_ok() {
+        eprintln!("loom: explored {execs} schedules (preemption bound {max_preemptions})");
+    }
+}

@@ -1,0 +1,346 @@
+//! The cooperative scheduler and DFS schedule explorer.
+//!
+//! One execution of a model runs every "loom thread" on a real OS
+//! thread, but only one of them is ever runnable at a time: every
+//! synchronization operation (atomic access, cell access, spawn, join,
+//! yield) funnels into [`Scheduler::switch`], which consults the
+//! current schedule *trail* to decide which thread runs next.  The
+//! explorer in [`crate::model`] then drives a depth-first search over
+//! all trails: after each execution it advances the last decision with
+//! an unexplored alternative and replays the prefix.
+//!
+//! Exploration is *preemption-bounded* (classic context-bounded model
+//! checking): switching away from a thread that could have continued
+//! costs one unit of a budget (`LOOM_MAX_PREEMPTIONS`, default 2);
+//! forced switches — the current thread blocked, finished, or yielded —
+//! are free.  Within the bound the search is exhaustive.
+
+use std::panic;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Hard cap on scheduling points in a single execution; beyond this the
+/// model is assumed to be livelocked (e.g. two threads spinning on each
+/// other) and the execution aborts with a diagnostic.
+const OPS_LIMIT: u64 = 500_000;
+
+/// Panic payload used to unwind a loom thread out of user code when the
+/// execution has been aborted (another thread panicked, deadlock, or
+/// livelock guard).  Not a model failure by itself.
+pub(crate) struct Aborted;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    /// Waiting for the given thread id to finish (a `join`).
+    Blocked(usize),
+    Done,
+}
+
+/// One recorded scheduling decision: which of `total` candidate threads
+/// was chosen at this branch point.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Branch {
+    pub chosen: usize,
+    pub total: usize,
+}
+
+/// Why the current thread is handing control to the scheduler.
+pub(crate) enum Switch {
+    /// Involuntary point (before an atomic or cell access): continuing
+    /// is free, switching away costs one preemption.
+    Point,
+    /// Voluntary yield (`yield_now` / `spin_loop`): another runnable
+    /// thread *must* be chosen if one exists, at no preemption cost.
+    /// Staying put would re-examine unchanged state, so the pruning is
+    /// sound.
+    Yield,
+    /// The current thread just blocked or finished; a switch is forced
+    /// and free.
+    Gone,
+}
+
+struct State {
+    threads: Vec<Run>,
+    active: usize,
+    /// DFS decision trail; only genuine branch points (more than one
+    /// candidate) are recorded.
+    trail: Vec<Branch>,
+    /// Index of the next branch point in this execution.
+    depth: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    ops: u64,
+    abort: Option<String>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    pub fn new(trail: Vec<Branch>, max_preemptions: usize) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                active: 0,
+                trail,
+                depth: 0,
+                preemptions: 0,
+                max_preemptions,
+                ops: 0,
+                abort: None,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panicking loom thread never holds the lock (every abort
+        // path drops the guard first), so poison is never meaningful.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register a new loom thread; returns its id (runnable).
+    pub fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(Run::Runnable);
+        st.threads.len() - 1
+    }
+
+    pub fn add_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.lock().os_handles.push(h);
+    }
+
+    pub fn take_os_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.lock().os_handles)
+    }
+
+    /// Final trail and abort message of a finished execution.
+    pub fn take_outcome(&self) -> (Vec<Branch>, Option<String>) {
+        let mut st = self.lock();
+        (std::mem::take(&mut st.trail), st.abort.take())
+    }
+
+    fn set_abort(st: &mut State, cv: &Condvar, msg: String) {
+        if st.abort.is_none() {
+            st.abort = Some(msg);
+        }
+        cv.notify_all();
+    }
+
+    /// Record a user-code panic as the model failure.
+    pub fn record_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "model thread panicked".to_string()
+        };
+        let mut st = self.lock();
+        Self::set_abort(&mut st, &self.cv, msg);
+    }
+
+    pub fn is_done(&self, tid: usize) -> bool {
+        self.lock().threads[tid] == Run::Done
+    }
+
+    /// Park a freshly spawned OS thread until it is scheduled for the
+    /// first time.  Returns `false` if the execution aborted before
+    /// that ever happened (the closure must not run).
+    pub fn wait_first(&self, me: usize) -> bool {
+        let mut st = self.lock();
+        while st.active != me && st.abort.is_none() {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.abort.is_some() {
+            st.threads[me] = Run::Done;
+            self.cv.notify_all();
+            return false;
+        }
+        true
+    }
+
+    /// Mark `me` as waiting for `target` to finish, then hand off.
+    pub fn block_on(self: &Arc<Self>, me: usize, target: usize) {
+        {
+            let mut st = self.lock();
+            if st.threads[target] == Run::Done {
+                return;
+            }
+            st.threads[me] = Run::Blocked(target);
+        }
+        self.switch(me, Switch::Gone);
+    }
+
+    /// Mark `me` finished, wake its joiners, and hand off control.
+    pub fn finish(self: &Arc<Self>, me: usize) {
+        {
+            let mut st = self.lock();
+            st.threads[me] = Run::Done;
+            for r in st.threads.iter_mut() {
+                if *r == Run::Blocked(me) {
+                    *r = Run::Runnable;
+                }
+            }
+            if st.abort.is_some() {
+                self.cv.notify_all();
+                return;
+            }
+        }
+        // The handoff may observe an abort raised meanwhile; swallow
+        // the sentinel so the OS thread exits cleanly.
+        let me_sched = Arc::clone(self);
+        let _ = panic::catch_unwind(panic::AssertUnwindSafe(move || {
+            me_sched.switch(me, Switch::Gone);
+        }));
+    }
+
+    /// The single scheduling point: pick (via the DFS trail) which
+    /// thread runs next and block until `me` is active again.
+    pub fn switch(self: &Arc<Self>, me: usize, kind: Switch) {
+        let mut st = self.lock();
+        if st.abort.is_some() {
+            drop(st);
+            panic::panic_any(Aborted);
+        }
+        st.ops += 1;
+        if st.ops > OPS_LIMIT {
+            Self::set_abort(
+                &mut st,
+                &self.cv,
+                format!("execution exceeded {OPS_LIMIT} scheduling points: livelock suspected"),
+            );
+            drop(st);
+            panic::panic_any(Aborted);
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Run::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        let candidates: Vec<usize> = match kind {
+            Switch::Point => {
+                if st.preemptions >= st.max_preemptions {
+                    vec![me]
+                } else {
+                    // Candidate 0 is "continue"; every other choice is
+                    // a preemption.
+                    let mut c = vec![me];
+                    c.extend(runnable.iter().copied().filter(|&t| t != me));
+                    c
+                }
+            }
+            Switch::Yield => {
+                let others: Vec<usize> = runnable.iter().copied().filter(|&t| t != me).collect();
+                if others.is_empty() {
+                    vec![me]
+                } else {
+                    others
+                }
+            }
+            Switch::Gone => {
+                if runnable.is_empty() {
+                    if st.threads.iter().any(|r| !matches!(r, Run::Done)) {
+                        Self::set_abort(
+                            &mut st,
+                            &self.cv,
+                            "deadlock: every unfinished thread is blocked".into(),
+                        );
+                        drop(st);
+                        panic::panic_any(Aborted);
+                    }
+                    // Everything is done; nothing left to schedule.
+                    self.cv.notify_all();
+                    return;
+                }
+                runnable
+            }
+        };
+        let chosen = if candidates.len() == 1 {
+            candidates[0]
+        } else {
+            let d = st.depth;
+            if d == st.trail.len() {
+                st.trail.push(Branch {
+                    chosen: 0,
+                    total: candidates.len(),
+                });
+            }
+            let b = st.trail[d];
+            assert_eq!(
+                b.total,
+                candidates.len(),
+                "loom: non-deterministic model (branch arity changed on replay)"
+            );
+            st.depth += 1;
+            candidates[b.chosen]
+        };
+        if matches!(kind, Switch::Point) && chosen != me {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+        if chosen == me {
+            return;
+        }
+        self.cv.notify_all();
+        if st.threads[me] == Run::Done {
+            // A finished thread hands off and exits; never re-scheduled.
+            return;
+        }
+        while st.active != me && st.abort.is_none() {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.abort.is_some() {
+            drop(st);
+            panic::panic_any(Aborted);
+        }
+    }
+}
+
+/// Advance the trail to the next unexplored schedule (DFS backtrack).
+/// Returns `false` when the whole space within the bound is exhausted.
+pub(crate) fn advance(trail: &mut Vec<Branch>) -> bool {
+    while let Some(last) = trail.last_mut() {
+        if last.chosen + 1 < last.total {
+            last.chosen += 1;
+            return true;
+        }
+        trail.pop();
+    }
+    false
+}
+
+std::thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Scheduler>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn set_current(sched: &Arc<Scheduler>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(sched), tid)));
+}
+
+pub(crate) fn current() -> (Arc<Scheduler>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom synchronization primitive used outside loom::model")
+    })
+}
+
+/// Involuntary scheduling point (before an atomic or cell access).
+pub(crate) fn point() {
+    let (sched, me) = current();
+    sched.switch(me, Switch::Point);
+}
+
+/// Voluntary yield: another runnable thread is preferred, for free.
+pub(crate) fn yield_point() {
+    let (sched, me) = current();
+    sched.switch(me, Switch::Yield);
+}

@@ -1,0 +1,143 @@
+//! Model-checked `std::sync` replacements.
+//!
+//! Every atomic operation is a scheduling point, after which the real
+//! operation runs `SeqCst` — the model explores thread *interleavings*
+//! under sequential consistency.  Weak-memory reorderings are not
+//! modeled (see `shims/README.md`); the `Ordering` arguments are
+//! accepted for API fidelity and so the checked source is identical to
+//! what ships.
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+    const SC: Ordering = Ordering::SeqCst;
+
+    macro_rules! int_atomic {
+        ($name:ident, $ty:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$name);
+
+            impl $name {
+                pub const fn new(v: $ty) -> Self {
+                    Self(std::sync::atomic::$name::new(v))
+                }
+                pub fn load(&self, _o: Ordering) -> $ty {
+                    crate::rt::point();
+                    self.0.load(SC)
+                }
+                pub fn store(&self, v: $ty, _o: Ordering) {
+                    crate::rt::point();
+                    self.0.store(v, SC)
+                }
+                pub fn swap(&self, v: $ty, _o: Ordering) -> $ty {
+                    crate::rt::point();
+                    self.0.swap(v, SC)
+                }
+                pub fn compare_exchange(
+                    &self,
+                    cur: $ty,
+                    new: $ty,
+                    _s: Ordering,
+                    _f: Ordering,
+                ) -> Result<$ty, $ty> {
+                    crate::rt::point();
+                    self.0.compare_exchange(cur, new, SC, SC)
+                }
+                /// Modeled without spurious failures (like loom).
+                pub fn compare_exchange_weak(
+                    &self,
+                    cur: $ty,
+                    new: $ty,
+                    s: Ordering,
+                    f: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(cur, new, s, f)
+                }
+                pub fn fetch_add(&self, v: $ty, _o: Ordering) -> $ty {
+                    crate::rt::point();
+                    self.0.fetch_add(v, SC)
+                }
+                pub fn fetch_sub(&self, v: $ty, _o: Ordering) -> $ty {
+                    crate::rt::point();
+                    self.0.fetch_sub(v, SC)
+                }
+                pub fn fetch_and(&self, v: $ty, _o: Ordering) -> $ty {
+                    crate::rt::point();
+                    self.0.fetch_and(v, SC)
+                }
+                pub fn fetch_or(&self, v: $ty, _o: Ordering) -> $ty {
+                    crate::rt::point();
+                    self.0.fetch_or(v, SC)
+                }
+                pub fn fetch_max(&self, v: $ty, _o: Ordering) -> $ty {
+                    crate::rt::point();
+                    self.0.fetch_max(v, SC)
+                }
+                pub fn fetch_min(&self, v: $ty, _o: Ordering) -> $ty {
+                    crate::rt::point();
+                    self.0.fetch_min(v, SC)
+                }
+                pub fn into_inner(self) -> $ty {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU8, u8);
+    int_atomic!(AtomicU32, u32);
+    int_atomic!(AtomicU64, u64);
+    int_atomic!(AtomicUsize, usize);
+    int_atomic!(AtomicI64, i64);
+
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+        pub fn load(&self, _o: Ordering) -> bool {
+            crate::rt::point();
+            self.0.load(SC)
+        }
+        pub fn store(&self, v: bool, _o: Ordering) {
+            crate::rt::point();
+            self.0.store(v, SC)
+        }
+        pub fn swap(&self, v: bool, _o: Ordering) -> bool {
+            crate::rt::point();
+            self.0.swap(v, SC)
+        }
+        pub fn compare_exchange(
+            &self,
+            cur: bool,
+            new: bool,
+            _s: Ordering,
+            _f: Ordering,
+        ) -> Result<bool, bool> {
+            crate::rt::point();
+            self.0.compare_exchange(cur, new, SC, SC)
+        }
+        pub fn compare_exchange_weak(
+            &self,
+            cur: bool,
+            new: bool,
+            s: Ordering,
+            f: Ordering,
+        ) -> Result<bool, bool> {
+            self.compare_exchange(cur, new, s, f)
+        }
+        pub fn into_inner(self) -> bool {
+            self.0.into_inner()
+        }
+    }
+
+    /// A fence is a scheduling point; ordering is already sequentially
+    /// consistent in the model.
+    pub fn fence(_o: Ordering) {
+        crate::rt::point();
+        std::sync::atomic::fence(SC);
+    }
+}

@@ -1,0 +1,67 @@
+//! Model-checked `std::thread` replacements.
+
+use crate::rt::{self, Switch};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned model thread; [`JoinHandle::join`] participates
+/// in the schedule exploration like `std::thread::JoinHandle` would.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+/// Spawn a model thread.  A scheduling point: the child may be chosen
+/// to run before the parent continues.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = rt::current();
+    let tid = sched.register();
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let child_sched = Arc::clone(&sched);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            rt::set_current(&child_sched, tid);
+            if !child_sched.wait_first(tid) {
+                return; // execution aborted before the first schedule
+            }
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            if let Err(p) = &out {
+                if p.downcast_ref::<rt::Aborted>().is_none() {
+                    child_sched.record_panic(&**p);
+                }
+            }
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            child_sched.finish(tid);
+        })
+        .expect("spawn loom thread");
+    sched.add_os_handle(os);
+    sched.switch(me, Switch::Point);
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Block until the thread finishes; returns its result exactly like
+    /// `std::thread::JoinHandle::join` (an `Err` carries the panic
+    /// payload, though a panicking child fails the whole model anyway).
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, me) = rt::current();
+        while !sched.is_done(self.tid) {
+            sched.block_on(me, self.tid);
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("loom thread result already taken")
+    }
+}
+
+/// Voluntary yield; the scheduler prefers another runnable thread.
+pub fn yield_now() {
+    rt::yield_point();
+}
