@@ -77,14 +77,14 @@ fn fused_sweep(col: &Column, ps: &[Predicate], k: ScanKernel) -> u64 {
     results.len() as u64 + examined as u64
 }
 
-struct Metrics(Vec<(&'static str, f64)>);
+pub(super) struct Metrics(pub(super) Vec<(&'static str, f64)>);
 
 impl Metrics {
-    fn put(&mut self, key: &'static str, v: f64) {
+    pub(super) fn put(&mut self, key: &'static str, v: f64) {
         self.0.push((key, v));
     }
 
-    fn get(&self, key: &str) -> f64 {
+    pub(super) fn get(&self, key: &str) -> f64 {
         self.0
             .iter()
             .find(|(k, _)| *k == key)
@@ -106,7 +106,7 @@ impl Metrics {
 }
 
 /// Pull `"key": <number>` out of a flat JSON object without a parser.
-fn extract(json: &str, key: &str) -> Option<f64> {
+pub(super) fn extract(json: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\"");
     let rest = &json[json.find(&pat)? + pat.len()..];
     let rest = rest.trim_start().strip_prefix(':')?.trim_start();

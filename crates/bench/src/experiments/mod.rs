@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig8;
 pub mod fig9;
 pub mod kernels;
+pub mod storm;
 pub mod table1;
 pub mod table2;
 pub mod zipf;
@@ -18,7 +19,7 @@ pub mod zipf;
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
     "table1", "table2", "fig1", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "energy", "zipf", "kernels",
+    "energy", "zipf", "kernels", "storm",
 ];
 
 /// Run one experiment by id (with `quick` shrinking the sweep for CI).
@@ -37,6 +38,7 @@ pub fn run(id: &str, quick: bool) {
         "energy" => energy::run(quick),
         "zipf" => zipf::run(quick),
         "kernels" => kernels::run(quick),
+        "storm" => storm::run(quick),
         other => {
             eprintln!("unknown experiment '{other}'; available: {ALL:?}");
             std::process::exit(2);

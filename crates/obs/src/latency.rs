@@ -68,6 +68,35 @@ impl LogHistogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`), i.e. a conservative estimate: the true value lies
+    /// in the same bucket, so the estimate is within one log2 bucket of
+    /// truth by construction.  Returns 0 for an empty histogram.
+    pub fn quantile_le(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_le(b);
+            }
+        }
+        bucket_le(LATENCY_BUCKETS - 1)
+    }
+
+    /// Median estimate (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile_le(0.50)
+    }
+
+    /// 99th-percentile estimate (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile_le(0.99)
+    }
 }
 
 /// Key of one latency series: (object id, command op tag).
@@ -167,6 +196,95 @@ mod tests {
         assert_eq!(bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
         assert_eq!(bucket_le(0), 1);
         assert_eq!(bucket_le(10), 2047);
+    }
+
+    /// Exact quantile over raw samples using the same rank rule the
+    /// histogram uses: the rank-th smallest sample, rank = ceil(q·n).
+    fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// The histogram estimate must land in the same log2 bucket as the
+    /// exact-sorted oracle: estimate = bucket_le(bucket_of(truth)).
+    fn assert_within_one_bucket(samples: &[u64], q: f64) {
+        let mut h = LogHistogram::default();
+        for &s in samples {
+            h.record(s);
+        }
+        let est = h.quantile_le(q);
+        let truth = exact_quantile(samples, q);
+        assert_eq!(
+            est,
+            bucket_le(bucket_of(truth)),
+            "q={q}: estimate {est} not in truth's bucket (truth {truth})"
+        );
+        assert!(est >= truth, "upper bound must dominate truth");
+    }
+
+    #[test]
+    fn quantiles_match_sorted_oracle_within_one_bucket() {
+        // A deterministic long-tailed stream: mostly small, rare spikes.
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let mut samples = Vec::with_capacity(10_000);
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = if x % 100 < 97 {
+                x % 4_096
+            } else {
+                x % 10_000_000
+            };
+            samples.push(v);
+        }
+        for q in [0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            assert_within_one_bucket(&samples, q);
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = LogHistogram::default();
+        assert_eq!(empty.quantile_le(0.5), 0);
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+
+        let mut one = LogHistogram::default();
+        one.record(777);
+        assert_eq!(one.p50(), bucket_le(bucket_of(777)));
+        assert_eq!(one.p99(), one.p50());
+
+        // All-zero samples sit in bucket 0.
+        let mut zeros = LogHistogram::default();
+        for _ in 0..100 {
+            zeros.record(0);
+        }
+        assert_eq!(zeros.p99(), bucket_le(0));
+
+        // Quantiles are monotone in q.
+        let mut h = LogHistogram::default();
+        for v in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+            for _ in 0..10 {
+                h.record(v);
+            }
+        }
+        let mut last = 0;
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let e = h.quantile_le(q);
+            assert!(e >= last);
+            last = e;
+        }
+        assert!(h.p50() <= h.p99());
+    }
+
+    #[test]
+    fn quantile_saturates_at_the_top_bucket() {
+        let mut h = LogHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.p99(), bucket_le(LATENCY_BUCKETS - 1));
     }
 
     #[test]

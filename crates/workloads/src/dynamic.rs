@@ -136,3 +136,100 @@ mod tests {
         ]);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::keygen::{KeyGen, Uniform};
+    use proptest::prelude::*;
+
+    /// Build a valid workload from `(duration, lo, width)` triples —
+    /// durations are at least 1, so `until_s` is strictly increasing by
+    /// construction and every phase is at least one second wide.
+    fn workload(spec: &[(u64, u64, u64)]) -> DynamicWorkload {
+        let mut until = 0;
+        DynamicWorkload::new(
+            spec.iter()
+                .map(|&(d, lo, w)| {
+                    until += d;
+                    Phase {
+                        until_s: until,
+                        lo,
+                        hi: lo + w,
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The boundary rule: at exactly `until_s` the *next* phase
+        /// applies; half a second earlier the current one still does;
+        /// past the schedule the last phase persists forever.
+        #[test]
+        fn boundary_at_until_s_switches_to_the_next_phase(
+            spec in proptest::collection::vec((1u64..50, 0u64..1000, 1u64..1000), 1..8),
+        ) {
+            let w = workload(&spec);
+            let phases = w.phases().to_vec();
+            let last = phases[phases.len() - 1];
+            for (i, p) in phases.iter().enumerate() {
+                let at = phases.get(i + 1).copied().unwrap_or(last);
+                prop_assert_eq!(w.range_at(p.until_s as f64), (at.lo, at.hi));
+                prop_assert_eq!(w.range_at(p.until_s as f64 - 0.5), (p.lo, p.hi));
+            }
+            prop_assert_eq!(w.range_at(last.until_s as f64 + 1e9), (last.lo, last.hi));
+        }
+
+        /// `range_at` agrees with the spec's linear-scan oracle (first
+        /// phase whose end lies beyond `t`), and the active phase index
+        /// is monotone in time.
+        #[test]
+        fn range_at_matches_the_linear_scan_oracle_and_is_monotone(
+            spec in proptest::collection::vec((1u64..50, 0u64..1000, 1u64..1000), 1..8),
+            times in proptest::collection::vec(0u64..2000, 1..32),
+        ) {
+            let w = workload(&spec);
+            let phases = w.phases();
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            let mut last_idx = 0usize;
+            for t in sorted {
+                // Oracle: first phase with t < until_s, else the last.
+                let idx = phases
+                    .iter()
+                    .position(|p| (t as f64) < p.until_s as f64)
+                    .unwrap_or(phases.len() - 1);
+                prop_assert_eq!(w.range_at(t as f64), (phases[idx].lo, phases[idx].hi));
+                prop_assert!(idx >= last_idx, "phase index went backwards");
+                last_idx = idx;
+            }
+        }
+
+        /// Hot-range membership: keys generated for the active phase all
+        /// fall inside that phase's declared `[lo, hi)` range — the
+        /// contract the balancer experiments rely on when they retarget
+        /// generators at phase boundaries.
+        #[test]
+        fn keys_drawn_for_the_active_phase_stay_in_its_range(
+            spec in proptest::collection::vec((1u64..50, 0u64..1000, 1u64..1000), 1..8),
+            t in 0u64..500,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let w = workload(&spec);
+            let (lo, hi) = w.range_at(t as f64);
+            prop_assert!(lo < hi, "active range must be non-empty");
+            prop_assert!(
+                w.phases().iter().any(|p| p.lo == lo && p.hi == hi),
+                "returned range must be one of the declared phases"
+            );
+            let mut g = Uniform::new(seed, lo, hi);
+            for _ in 0..64 {
+                let k = g.next_key();
+                prop_assert!((lo..hi).contains(&k), "key {k} outside [{lo}, {hi})");
+            }
+        }
+    }
+}

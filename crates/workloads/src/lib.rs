@@ -4,9 +4,14 @@
 //!   static workloads), Zipf-skewed, and sequential.
 //! * [`dynamic`] — the Section 4.3 dynamic workload: a timeline of hot key
 //!   ranges that shifts under the engine while the load balancer adapts.
+//! * [`storm`] — the dynamic workload scaled into a storm: per-phase Zipf
+//!   skew, hotspot drift, read/write mix shifts, and an open-loop arrival
+//!   schedule for millions of simulated clients.
 
 pub mod dynamic;
 pub mod keygen;
+pub mod storm;
 
 pub use dynamic::{DynamicWorkload, Phase};
 pub use keygen::{KeyGen, Sequential, Uniform, Zipf};
+pub use storm::{Storm, StormParams, StormPhase, StormSampler};

@@ -1,0 +1,631 @@
+//! The "storm" scenario: sustained skewed traffic with shifting hotspots.
+//!
+//! [`DynamicWorkload`](crate::dynamic::DynamicWorkload) models the paper's
+//! Figure 13 timeline: a hot *range* that jumps at phase boundaries.  A storm
+//! extends each phase with the knobs a population of millions of clients
+//! actually turns:
+//!
+//! * **skew** — a Zipf exponent applied *inside* the hot range, so the range
+//!   is not just hot but unevenly hot;
+//! * **drift** — the hot range slides continuously (keys/second) instead of
+//!   teleporting at boundaries;
+//! * **mix** — a per-phase upsert fraction (read-mostly warmup, write surges);
+//! * **load** — an open-loop arrival-rate multiplier relative to a base rate
+//!   the driver calibrates, so flash crowds oversubscribe the engine instead
+//!   of politely waiting for it.
+//!
+//! The module is pure policy: it computes *what the traffic looks like at
+//! virtual time t*.  The storm experiment in `eris-bench` owns the engine,
+//! publishes [`StormParams`] to per-AEU generators, and meters arrivals with
+//! [`Storm::load_between`].
+
+use crate::dynamic::{DynamicWorkload, Phase};
+use crate::keygen::{KeyGen, Uniform, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One phase of a storm: the Figure 13 hot range plus skew/mix/load knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormPhase {
+    /// Phase end, in (virtual) seconds since storm start.
+    pub until_s: u64,
+    /// Hot range at phase *start* (drift moves it afterwards).
+    pub hot_lo: u64,
+    /// Exclusive upper bound of the hot range at phase start.
+    pub hot_hi: u64,
+    /// Fraction of accesses drawn from the hot range; the rest are uniform
+    /// over the full domain.  `0.0` means the phase is uniform.
+    pub hot_fraction: f64,
+    /// Zipf exponent *within* the hot range (`0.0` = uniform inside it).
+    pub theta: f64,
+    /// Signed hot-range drift in keys per virtual second.  The range keeps
+    /// its width and clamps at the domain edges.
+    pub drift_per_s: i64,
+    /// Fraction of commands that are upserts (the rest are lookups).
+    pub write_fraction: f64,
+    /// Open-loop arrival-rate multiplier relative to the driver's base rate.
+    pub load: f64,
+}
+
+/// The storm parameters in effect at one instant, drift already applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormParams {
+    /// Index of the active phase.
+    pub phase: usize,
+    /// Hot range lower bound after drift.
+    pub hot_lo: u64,
+    /// Hot range upper bound after drift (width is preserved).
+    pub hot_hi: u64,
+    /// See [`StormPhase::hot_fraction`].
+    pub hot_fraction: f64,
+    /// See [`StormPhase::theta`].
+    pub theta: f64,
+    /// See [`StormPhase::write_fraction`].
+    pub write_fraction: f64,
+    /// See [`StormPhase::load`].
+    pub load: f64,
+}
+
+/// A full storm timeline over a dense key domain `[0, domain)`.
+#[derive(Debug, Clone)]
+pub struct Storm {
+    domain: u64,
+    phases: Vec<StormPhase>,
+}
+
+impl Storm {
+    /// Build from explicit phases.  Panics on non-monotone end times, hot
+    /// ranges outside the domain, fractions outside `[0, 1]`, or Zipf
+    /// exponents outside `[0,1)∪(1,2)`.
+    pub fn new(domain: u64, phases: Vec<StormPhase>) -> Self {
+        assert!(domain > 0);
+        assert!(!phases.is_empty());
+        assert!(
+            phases.windows(2).all(|w| w[0].until_s < w[1].until_s),
+            "phases must have increasing end times"
+        );
+        for p in &phases {
+            assert!(
+                p.hot_lo < p.hot_hi && p.hot_hi <= domain,
+                "hot range in domain"
+            );
+            assert!(
+                (0.0..=1.0).contains(&p.hot_fraction),
+                "hot_fraction in [0,1]"
+            );
+            assert!(
+                (0.0..=1.0).contains(&p.write_fraction),
+                "write_fraction in [0,1]"
+            );
+            assert!(
+                (0.0..2.0).contains(&p.theta) && p.theta != 1.0,
+                "theta in [0,1)∪(1,2)"
+            );
+            assert!(p.load >= 0.0, "load is a non-negative multiplier");
+        }
+        Storm { domain, phases }
+    }
+
+    /// A six-phase schedule patterned on the Section 4.3 timeline, with the
+    /// storm knobs layered on.  `keys` sets the domain; `time_div` divides
+    /// every phase length (1 = the paper's 110 s shape, 5 = a 22 s squall
+    /// for CI).  Phases:
+    ///
+    /// 1. uniform warmup over the full domain, read-mostly;
+    /// 2. a Zipf hotspot over the middle half, arrival surge begins;
+    /// 3. the hotspot *drifts* left by `keys/64` over the phase;
+    /// 4. a write surge (50% upserts) on the drifted range;
+    /// 5. a flash crowd: a narrow (`keys/16`) near-0.99-Zipf spike at 1.6×
+    ///    the base arrival rate;
+    /// 6. cooldown: uniform again at 0.6× load.
+    pub fn paper_storm(keys: u64, time_div: u64) -> Self {
+        assert!(time_div >= 1);
+        let shift = keys / 64;
+        // Phase ends at 10,30,..,110 s divided by time_div, kept monotone.
+        let mut ends = [10u64, 30, 50, 70, 90, 110].map(|e| e / time_div);
+        for i in 1..ends.len() {
+            ends[i] = ends[i].max(ends[i - 1] + 1);
+        }
+        let drift_len = (ends[2] - ends[1]).max(1);
+        let phases = vec![
+            StormPhase {
+                until_s: ends[0],
+                hot_lo: 0,
+                hot_hi: keys,
+                hot_fraction: 0.0,
+                theta: 0.0,
+                drift_per_s: 0,
+                write_fraction: 0.05,
+                load: 1.0,
+            },
+            StormPhase {
+                until_s: ends[1],
+                hot_lo: keys / 4,
+                hot_hi: 3 * keys / 4,
+                hot_fraction: 0.9,
+                theta: 0.8,
+                drift_per_s: 0,
+                write_fraction: 0.10,
+                load: 1.0,
+            },
+            StormPhase {
+                until_s: ends[2],
+                hot_lo: keys / 4,
+                hot_hi: 3 * keys / 4,
+                hot_fraction: 0.9,
+                theta: 0.8,
+                drift_per_s: -((shift / drift_len) as i64),
+                write_fraction: 0.20,
+                load: 1.0,
+            },
+            StormPhase {
+                until_s: ends[3],
+                hot_lo: keys / 4 - shift,
+                hot_hi: 3 * keys / 4 - shift,
+                hot_fraction: 0.9,
+                theta: 0.6,
+                drift_per_s: 0,
+                write_fraction: 0.50,
+                load: 0.9,
+            },
+            StormPhase {
+                until_s: ends[4],
+                hot_lo: 3 * keys / 8,
+                hot_hi: 3 * keys / 8 + keys / 16,
+                hot_fraction: 0.95,
+                theta: 0.99,
+                drift_per_s: 0,
+                write_fraction: 0.10,
+                load: 1.6,
+            },
+            StormPhase {
+                until_s: ends[5],
+                hot_lo: 0,
+                hot_hi: keys,
+                hot_fraction: 0.0,
+                theta: 0.0,
+                drift_per_s: 0,
+                write_fraction: 0.10,
+                load: 0.6,
+            },
+        ];
+        Storm::new(keys, phases)
+    }
+
+    /// The key domain `[0, domain)`.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[StormPhase] {
+        &self.phases
+    }
+
+    /// Total scheduled duration in virtual seconds.
+    pub fn duration_s(&self) -> u64 {
+        self.phases.last().unwrap().until_s
+    }
+
+    /// The parameters in effect at virtual time `t_s`, drift applied and
+    /// clamped so the range keeps its width inside the domain.  Matches the
+    /// [`DynamicWorkload::range_at`] boundary rule: at exactly `until_s` the
+    /// *next* phase applies; past the end the last phase persists (with its
+    /// drift frozen at the phase boundary).
+    pub fn params_at(&self, t_s: f64) -> StormParams {
+        let mut start = 0u64;
+        let mut idx = self.phases.len() - 1;
+        for (i, p) in self.phases.iter().enumerate() {
+            if t_s < p.until_s as f64 {
+                idx = i;
+                break;
+            }
+            start = p.until_s;
+        }
+        let p = &self.phases[idx];
+        if idx == self.phases.len() - 1 {
+            // `start` walked past the last phase when t_s >= duration; its
+            // real start is the previous phase's end.
+            start = if self.phases.len() >= 2 {
+                self.phases[self.phases.len() - 2].until_s
+            } else {
+                0
+            };
+        }
+        let dt = (t_s - start as f64)
+            .max(0.0)
+            .min((p.until_s - start) as f64);
+        let width = p.hot_hi - p.hot_lo;
+        let off = (p.drift_per_s as f64 * dt) as i64;
+        let max_lo = (self.domain - width) as i64;
+        let lo = (p.hot_lo as i64).saturating_add(off).clamp(0, max_lo) as u64;
+        StormParams {
+            phase: idx,
+            hot_lo: lo,
+            hot_hi: lo + width,
+            hot_fraction: p.hot_fraction,
+            theta: p.theta,
+            write_fraction: p.write_fraction,
+            load: p.load,
+        }
+    }
+
+    /// Integral of the load multiplier over `[t0_s, t1_s)` in load-seconds.
+    /// The open-loop driver multiplies this by its calibrated base rate to
+    /// credit arrival tokens for a slice of virtual time.
+    pub fn load_between(&self, t0_s: f64, t1_s: f64) -> f64 {
+        assert!(t0_s <= t1_s);
+        let mut total = 0.0;
+        let mut cursor = t0_s;
+        let mut start = 0u64;
+        for p in &self.phases {
+            let end = p.until_s as f64;
+            if cursor < end {
+                let slice = (t1_s.min(end) - cursor).max(0.0);
+                total += slice * p.load;
+                cursor += slice;
+                if cursor >= t1_s {
+                    return total;
+                }
+            }
+            start = p.until_s;
+        }
+        let _ = start;
+        // Past the schedule the last phase persists.
+        total + (t1_s - cursor) * self.phases.last().unwrap().load
+    }
+
+    /// Project the storm down to its hot-range timeline (the Figure 13
+    /// shape), e.g. to reuse balancer-era tooling that speaks
+    /// [`DynamicWorkload`].  Drift is ignored; each phase contributes its
+    /// starting range.
+    pub fn to_dynamic(&self) -> DynamicWorkload {
+        DynamicWorkload::new(
+            self.phases
+                .iter()
+                .map(|p| Phase {
+                    until_s: p.until_s,
+                    lo: p.hot_lo,
+                    hi: p.hot_hi,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A deterministic per-generator sampler for one storm.
+///
+/// Each AEU generator owns one sampler.  The driver publishes the current
+/// [`StormParams`] (plus a generation counter) through shared atomics; the
+/// generator calls [`retarget`](StormSampler::retarget) when the generation
+/// changes, then draws keys, op kinds, and client ids.  Rebuilding the hot
+/// Zipf on retarget keeps every draw reproducible from `(seed, generation)`.
+pub struct StormSampler {
+    seed: u64,
+    rng: StdRng,
+    domain: u64,
+    cold: Uniform,
+    hot: Zipf,
+    params: StormParams,
+    generation: u64,
+    clients: Zipf,
+    client_count: u64,
+}
+
+impl StormSampler {
+    /// `clients` models the user population: client ids are Zipf-skewed
+    /// (a few heavy hitters, a long tail), stable across phases.
+    pub fn new(seed: u64, domain: u64, clients: u64, initial: StormParams) -> Self {
+        assert!(domain > 0 && clients > 0);
+        let width = initial.hot_hi - initial.hot_lo;
+        StormSampler {
+            seed,
+            rng: StdRng::seed_from_u64(seed ^ 0x5707_1111),
+            domain,
+            cold: Uniform::new(seed ^ 0xC01D, 0, domain),
+            hot: Zipf::new(seed, width.max(1), initial.theta, true),
+            params: initial,
+            generation: 0,
+            clients: Zipf::new(seed ^ 0x00C1_1E57, clients, 0.9, true),
+            client_count: clients,
+        }
+    }
+
+    /// Adopt newly published parameters.  Cheap no-op when the generation is
+    /// unchanged; otherwise the hot-range Zipf is rebuilt (seeded from
+    /// `(seed, generation)` so the stream stays deterministic).
+    pub fn retarget(&mut self, params: StormParams, generation: u64) {
+        if generation == self.generation {
+            return;
+        }
+        let width = params.hot_hi - params.hot_lo;
+        let rebuild =
+            width != self.params.hot_hi - self.params.hot_lo || params.theta != self.params.theta;
+        if rebuild {
+            self.hot = Zipf::new(
+                self.seed ^ generation.wrapping_mul(0x9E37_79B9),
+                width.max(1),
+                params.theta,
+                true,
+            );
+        }
+        self.params = params;
+        self.generation = generation;
+    }
+
+    /// The parameters currently in effect.
+    pub fn params(&self) -> StormParams {
+        self.params
+    }
+
+    /// Draw the next key: hot-range Zipf with probability `hot_fraction`,
+    /// uniform over the full domain otherwise.
+    #[inline]
+    pub fn draw_key(&mut self) -> u64 {
+        if self.params.hot_fraction > 0.0 && self.rng.gen::<f64>() < self.params.hot_fraction {
+            let k = self.params.hot_lo + self.hot.next_key();
+            debug_assert!(k < self.domain);
+            k
+        } else {
+            self.cold.next_key()
+        }
+    }
+
+    /// Fill a batch of keys.
+    pub fn fill_keys(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.draw_key();
+        }
+    }
+
+    /// Whether the next command is an upsert.
+    #[inline]
+    pub fn draw_write(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.params.write_fraction
+    }
+
+    /// The client issuing the next command (Zipf-skewed population).
+    #[inline]
+    pub fn draw_client(&mut self) -> u64 {
+        let c = self.clients.next_key();
+        debug_assert!(c < self.client_count);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storm() -> Storm {
+        Storm::paper_storm(1 << 20, 1)
+    }
+
+    #[test]
+    fn paper_storm_keeps_the_figure_13_skeleton() {
+        let s = storm();
+        assert_eq!(s.duration_s(), 110);
+        let d = s.to_dynamic();
+        assert_eq!(d.change_times(), vec![10, 30, 50, 70, 90]);
+        // Warmup is uniform over the full domain.
+        let p0 = s.params_at(0.0);
+        assert_eq!((p0.hot_lo, p0.hot_hi), (0, 1 << 20));
+        assert_eq!(p0.hot_fraction, 0.0);
+        // The hotspot phase covers the middle half, like the paper.
+        let p1 = s.params_at(10.0);
+        assert_eq!((p1.hot_lo, p1.hot_hi), ((1 << 20) / 4, 3 * (1 << 20) / 4));
+        assert!(p1.hot_fraction > 0.5);
+    }
+
+    #[test]
+    fn boundary_rule_matches_dynamic_workload() {
+        let s = storm();
+        // At exactly until_s the next phase applies, same as range_at.
+        assert_eq!(s.params_at(9.999).phase, 0);
+        assert_eq!(s.params_at(10.0).phase, 1);
+        // Past the schedule the last phase persists.
+        assert_eq!(s.params_at(110.0).phase, 5);
+        assert_eq!(s.params_at(1e9).phase, 5);
+    }
+
+    #[test]
+    fn drift_slides_the_range_and_preserves_width() {
+        let keys = 1u64 << 20;
+        let s = storm();
+        let start = s.params_at(30.0);
+        let end = s.params_at(49.999);
+        assert_eq!(start.hot_hi - start.hot_lo, end.hot_hi - end.hot_lo);
+        assert!(end.hot_lo < start.hot_lo, "drift is leftward");
+        // Over the full phase the drift amounts to ~keys/64 (the paper's 8M
+        // shift, applied continuously).
+        let moved = start.hot_lo - end.hot_lo;
+        let target = keys / 64;
+        assert!(
+            moved >= target * 9 / 10 && moved <= target,
+            "moved {moved}, target {target}"
+        );
+    }
+
+    #[test]
+    fn drift_clamps_at_the_domain_edge() {
+        let s = Storm::new(
+            1000,
+            vec![StormPhase {
+                until_s: 100,
+                hot_lo: 100,
+                hot_hi: 200,
+                hot_fraction: 1.0,
+                theta: 0.0,
+                drift_per_s: -50,
+                write_fraction: 0.0,
+                load: 1.0,
+            }],
+        );
+        let p = s.params_at(99.0);
+        assert_eq!((p.hot_lo, p.hot_hi), (0, 100));
+        let up = Storm::new(
+            1000,
+            vec![StormPhase {
+                until_s: 100,
+                hot_lo: 100,
+                hot_hi: 200,
+                hot_fraction: 1.0,
+                theta: 0.0,
+                drift_per_s: 50,
+                write_fraction: 0.0,
+                load: 1.0,
+            }],
+        );
+        let p = up.params_at(99.0);
+        assert_eq!((p.hot_lo, p.hot_hi), (900, 1000));
+    }
+
+    #[test]
+    fn load_integral_crosses_phase_boundaries() {
+        let s = Storm::new(
+            1 << 10,
+            vec![
+                StormPhase {
+                    until_s: 10,
+                    hot_lo: 0,
+                    hot_hi: 1 << 10,
+                    hot_fraction: 0.0,
+                    theta: 0.0,
+                    drift_per_s: 0,
+                    write_fraction: 0.0,
+                    load: 1.0,
+                },
+                StormPhase {
+                    until_s: 20,
+                    hot_lo: 0,
+                    hot_hi: 1 << 10,
+                    hot_fraction: 0.0,
+                    theta: 0.0,
+                    drift_per_s: 0,
+                    write_fraction: 0.0,
+                    load: 2.0,
+                },
+            ],
+        );
+        assert!((s.load_between(0.0, 10.0) - 10.0).abs() < 1e-9);
+        assert!((s.load_between(5.0, 15.0) - (5.0 + 10.0)).abs() < 1e-9);
+        assert!((s.load_between(10.0, 20.0) - 20.0).abs() < 1e-9);
+        // Past the schedule the last phase's load persists.
+        assert!((s.load_between(20.0, 25.0) - 10.0).abs() < 1e-9);
+        // Summing slices equals the whole.
+        let whole = s.load_between(0.0, 20.0);
+        let slices: f64 = (0..20)
+            .map(|u| s.load_between(u as f64, (u + 1) as f64))
+            .sum();
+        assert!((whole - slices).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_respects_hot_fraction_and_membership() {
+        let s = storm();
+        let p = s.params_at(15.0); // hotspot phase, 90% hot
+        let mut g = StormSampler::new(42, s.domain(), 1 << 20, p);
+        let mut hot = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = g.draw_key();
+            assert!(k < s.domain());
+            if (p.hot_lo..p.hot_hi).contains(&k) {
+                hot += 1;
+            }
+        }
+        // 90% land in the hot range plus ~half the cold 10% (the range is
+        // half the domain), so ~95% total; leave slack for randomness.
+        assert!(hot > n * 88 / 100, "hot hits {hot}/{n}");
+    }
+
+    #[test]
+    fn sampler_skews_inside_the_hot_range() {
+        // Flash-crowd phase: narrow range, theta 0.99 — the hottest slice of
+        // *ranks* must dominate.  Scrambling spreads ranks over the range,
+        // so measure via per-key counts instead of positions.
+        let s = storm();
+        let p = s.params_at(75.0);
+        assert!(p.theta > 0.9);
+        let width = (p.hot_hi - p.hot_lo) as usize;
+        let mut g = StormSampler::new(7, s.domain(), 1 << 20, p);
+        let mut counts = vec![0u32; width];
+        let n = 200_000;
+        for _ in 0..n {
+            let k = g.draw_key();
+            if (p.hot_lo..p.hot_hi).contains(&k) {
+                counts[(k - p.hot_lo) as usize] += 1;
+            }
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let head: u64 = counts[..width / 100].iter().map(|&c| c as u64).sum();
+        assert!(
+            head > n * 30 / 100,
+            "top 1% of keys must draw >30% of accesses, got {head}/{n}"
+        );
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_retarget_is_stable() {
+        let s = storm();
+        let p = s.params_at(15.0);
+        let mut a = StormSampler::new(9, s.domain(), 1000, p);
+        let mut b = StormSampler::new(9, s.domain(), 1000, p);
+        for _ in 0..500 {
+            assert_eq!(a.draw_key(), b.draw_key());
+            assert_eq!(a.draw_write(), b.draw_write());
+            assert_eq!(a.draw_client(), b.draw_client());
+        }
+        // Same-generation retarget is a no-op; new generation changes phase.
+        let q = s.params_at(75.0);
+        a.retarget(q, 1);
+        b.retarget(q, 1);
+        for _ in 0..500 {
+            assert_eq!(a.draw_key(), b.draw_key());
+        }
+        assert_eq!(a.params(), q);
+    }
+
+    #[test]
+    fn write_fraction_controls_the_mix() {
+        let s = storm();
+        let p = s.params_at(60.0); // write-surge phase, 50% upserts
+        assert!((p.write_fraction - 0.5).abs() < 1e-9);
+        let mut g = StormSampler::new(3, s.domain(), 1000, p);
+        let writes = (0..10_000).filter(|_| g.draw_write()).count();
+        assert!((4_000..6_000).contains(&writes), "writes {writes}");
+    }
+
+    #[test]
+    fn client_population_is_skewed() {
+        let s = storm();
+        let mut g = StormSampler::new(5, s.domain(), 1 << 20, s.params_at(0.0));
+        let mut seen = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *seen.entry(g.draw_client()).or_insert(0u64) += 1;
+        }
+        let mut counts: Vec<u64> = seen.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // Heavy hitters exist: the top client alone is well above uniform
+        // expectation (50k draws over a million clients ≈ 0.05 each).
+        assert!(counts[0] > 100, "top client drew {}", counts[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot range in domain")]
+    fn out_of_domain_phase_rejected() {
+        Storm::new(
+            100,
+            vec![StormPhase {
+                until_s: 1,
+                hot_lo: 50,
+                hot_hi: 200,
+                hot_fraction: 0.5,
+                theta: 0.0,
+                drift_per_s: 0,
+                write_fraction: 0.0,
+                load: 1.0,
+            }],
+        );
+    }
+}

@@ -314,6 +314,105 @@ fn crash_matrix_threaded() {
     }
 }
 
+/// Idempotent dynamic-workload traffic: one upsert batch per virtual
+/// second against the tree and the hash index, keys drawn from the phase
+/// active at that second, values a pure function of the key — so a
+/// recovery re-drive converges to the same state no matter which suffix
+/// the crash lost.
+fn drive_dynamic(
+    e: &mut Engine,
+    o: &Objects,
+    w: &eris_workloads::DynamicWorkload,
+    secs: std::ops::Range<u64>,
+) {
+    for t in secs {
+        let (lo, hi) = w.range_at(t as f64);
+        let width = hi - lo;
+        let pairs = |stride: u64| -> Vec<(u64, u64)> {
+            (0..120u64)
+                .map(|i| {
+                    let k = lo + (t.wrapping_mul(stride).wrapping_add(i.wrapping_mul(17))) % width;
+                    (k, k.wrapping_mul(0x9E37_79B9).wrapping_add(1))
+                })
+                .collect()
+        };
+        for (object, ticket, stride) in [(o.tree, 5000 + t, 131u64), (o.hash, 5200 + t, 269)] {
+            e.submit(
+                AeuId((t % e.num_aeus() as u64) as u32),
+                DataCommand {
+                    object,
+                    ticket,
+                    payload: Payload::Upsert {
+                        pairs: pairs(stride),
+                    },
+                },
+            )
+            .unwrap();
+        }
+        // Interleave processing so group commits happen mid-phase.
+        e.run_epoch();
+    }
+    e.run_until_drained();
+}
+
+/// Mid-traffic chaos: the journal fail point fires *between* dynamic
+/// workload phases — phase 1 commits durably, the crash lands in the
+/// middle of phase 2's traffic — and after recovery plus a full re-drive
+/// the engine is indistinguishable from a never-crashed twin.
+#[test]
+fn mid_traffic_crash_between_dynamic_phases_matches_twin() {
+    let w = eris_workloads::DynamicWorkload::paper_schedule(DOMAIN);
+
+    let expected = {
+        let mut e = engine();
+        let o = setup_objects(&mut e);
+        drive_wa(&mut e, &o);
+        drive_dynamic(&mut e, &o, &w, 0..w.duration_s());
+        assert!(e.telemetry().conservation_holds());
+        oracle(&mut e, &o)
+    };
+
+    let dir = temp_dir("dynamic");
+    let fail = Arc::new(FailPoints::new());
+    let mut dura = Durability::open_with(&dir, engine().num_aeus(), fail.clone()).unwrap();
+    let mut e = engine();
+    dura.attach(&mut e);
+    let o = setup_objects(&mut e);
+    drive_wa(&mut e, &o);
+    dura.checkpoint(&mut e).unwrap();
+
+    // Phase 1 runs crash-free; the fail point is armed exactly at the
+    // first workload change, so the crash hits a group commit a couple of
+    // syncs into the shifted hot range.
+    let boundary = w.change_times()[0];
+    drive_dynamic(&mut e, &o, &w, 0..boundary);
+    assert!(!fail.crashed(), "phase 1 must be crash-free");
+    fail.arm(FP_JOURNAL_PRE_SYNC, 2);
+    drive_dynamic(&mut e, &o, &w, boundary..w.duration_s());
+    assert!(fail.crashed(), "the crash must fire during phase 2 traffic");
+    drop(e);
+    drop(dura);
+
+    let mut r = engine();
+    let report = Durability::recover(&mut r, &dir).unwrap();
+    assert_eq!(
+        report.checkpoint,
+        Some(0),
+        "checkpoint 0 is the durable base"
+    );
+
+    let dura = Durability::open(&dir, r.num_aeus()).unwrap();
+    dura.attach(&mut r);
+    drive_dynamic(&mut r, &o, &w, 0..w.duration_s());
+
+    assert!(
+        r.telemetry().conservation_holds(),
+        "recovered ledger must balance (enqueued == executed)"
+    );
+    assert_eq!(oracle(&mut r, &o), expected, "oracle mismatch vs twin");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn recovery_without_any_checkpoint_is_journal_only() {
     let dir = temp_dir("no-ckpt");

@@ -1,0 +1,95 @@
+//! The storm scenario as a permanent integration test: a compressed
+//! six-phase storm (Zipf hotspot, drift, write surge, flash crowd) on the
+//! 8-AEU smoke machine with the MA-8 balancer live, journaling on, a
+//! fail-point crash mid-drift, and recovery — asserting the full proof
+//! bundle the `storm` experiment gates in CI:
+//!
+//! * every conservation ledger balances in both process lifetimes
+//!   (per-object `enqueued == executed`, trace `stamped == traced +
+//!   dropped`);
+//! * zero loss: every storm lookup hits (the checkpoint is the durable
+//!   base for the whole domain, so one miss = one lost key);
+//! * p50/p99 SLOs extracted from the latency-attribution histograms hold;
+//! * the balancer actually adapted (cycles > 0) and recovery actually
+//!   replayed journal records.
+//!
+//! The heavyweight 512-AEU version of the same harness is `experiments
+//! storm` (see DESIGN.md "Storm scenario").
+
+use eris_bench::experiments::storm::{run_storm, Slo, StormConfig};
+
+fn storm_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("eris-storm-test-{}-{tag}", std::process::id()))
+}
+
+#[test]
+fn storm_with_mid_drift_crash_recovers_without_loss() {
+    let cfg = StormConfig {
+        quick: true,
+        chaos: true,
+        // An 11-unit squall keeps the debug-mode test inside the tier-1
+        // budget while covering all six phases.
+        time_div: 10,
+        dir: Some(storm_dir("chaos")),
+    };
+    let r = run_storm(&cfg);
+
+    // The chaos schedule ran: a crash mid-storm, then a recovery that
+    // restored the checkpoint base and replayed the journaled tail.
+    let at = r.crashed_at_unit.expect("fail point must fire mid-storm");
+    assert!(at < r.units, "crash inside the schedule");
+    assert!(r.recovered, "recovery restored the checkpoint base");
+    assert!(
+        r.replayed_records > 0,
+        "the journaled tail must be non-empty"
+    );
+
+    // Conservation in both process lifetimes.
+    assert!(r.conservation_ok, "enqueued == executed");
+    assert!(r.trace_ok, "stamped == traced + dropped");
+
+    // Zero loss: every lookup over the storm's whole domain hit.
+    assert!(
+        (r.hit_rate - 1.0).abs() < 1e-12,
+        "hit rate {} — recovery lost keys",
+        r.hit_rate
+    );
+
+    // The balancer adapted to the hotspot phases.
+    assert!(r.rebalance_cycles > 0, "MA-8 never rebalanced");
+
+    // Every phase produced traffic, including the open-loop ones.
+    assert_eq!(r.phases.len(), 6);
+    for p in &r.phases {
+        assert!(p.units > 0, "phase {} got no units", p.phase);
+        assert!(p.ops > 0, "phase {} produced no traffic", p.phase);
+    }
+
+    // The p50/p99 SLO bundle (tested quantile math over the merged
+    // latency histograms) holds.
+    let failures = r.slo_failures(&Slo::default());
+    assert!(failures.is_empty(), "SLO failures: {failures:?}");
+}
+
+#[test]
+fn storm_without_chaos_is_conserved_and_balanced() {
+    let cfg = StormConfig {
+        quick: true,
+        chaos: false,
+        time_div: 10,
+        dir: None,
+    };
+    let r = run_storm(&cfg);
+    assert!(r.crashed_at_unit.is_none());
+    assert!(r.conservation_ok && r.trace_ok);
+    assert!((r.hit_rate - 1.0).abs() < 1e-12);
+    // Throughput trajectory sanity: the flash crowd (1.28x oversubscribed,
+    // narrow 0.99-Zipf hotspot) must not collapse relative to warmup.
+    let warm = r.phases[0].mops;
+    let flash = r.phases[4].mops;
+    assert!(warm > 0.0 && flash > 0.0);
+    assert!(
+        flash / warm > 0.2,
+        "flash crowd collapsed: {flash:.1} vs warmup {warm:.1} Mops"
+    );
+}

@@ -10,6 +10,25 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Stress depth: the default tier-1 run uses reduced loop depths so the
+/// suite stays fast; `ERIS_STRESS=1` (set by the dedicated CI stress job)
+/// restores the original full-depth loops.
+fn stress() -> bool {
+    std::env::var("ERIS_STRESS").is_ok_and(|v| v == "1")
+}
+
+fn stress_ms(full: u64, reduced: u64) -> Duration {
+    Duration::from_millis(if stress() { full } else { reduced })
+}
+
+fn stress_n(full: u64, reduced: u64) -> u64 {
+    if stress() {
+        full
+    } else {
+        reduced
+    }
+}
+
 #[test]
 fn threaded_engine_loses_no_lookups() {
     let mut e = Engine::new(
@@ -49,9 +68,13 @@ fn threaded_engine_loses_no_lookups() {
             })),
         );
     }
-    e.run_threaded_for(Duration::from_millis(300));
+    e.run_threaded_for(stress_ms(300, 120));
     let c = e.results().counts();
-    assert!(c.lookups > 10_000, "made progress: {}", c.lookups);
+    assert!(
+        c.lookups > stress_n(10_000, 3_000),
+        "made progress: {}",
+        c.lookups
+    );
     assert_eq!(c.lookups, c.lookup_hits, "every in-domain key must hit");
 }
 
@@ -90,7 +113,7 @@ fn threaded_upserts_are_all_applied() {
             })),
         );
     }
-    e.run_threaded_for(Duration::from_millis(400));
+    e.run_threaded_for(stress_ms(400, 150));
     // Drain any stragglers cooperatively.
     for a in e.aeu_ids() {
         e.set_generator(a, None);
@@ -113,7 +136,7 @@ fn shared_tree_concurrent_mixed_workload() {
     // threads: all writes visible, no garbage reads.
     let tree = Arc::new(SharedPrefixTree::new(PrefixTreeConfig::new(8, 32), 0));
     let threads = 8u64;
-    let per = 20_000u64;
+    let per = stress_n(20_000, 5_000);
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let tree = Arc::clone(&tree);
@@ -155,7 +178,7 @@ fn contended_buffer_swap_loses_no_bytes() {
     // buffer's own telemetry must account for every consumed byte.
     let buf = Arc::new(IncomingBuffers::new(2048));
     let writers = 8u32;
-    let per = 4000u32;
+    let per = stress_n(4000, 1500) as u32;
     let stop = Arc::new(AtomicBool::new(false));
 
     let handles: Vec<_> = (0..writers)
@@ -278,7 +301,7 @@ fn threaded_run_conserves_telemetry_commands() {
             })),
         );
     }
-    e.run_threaded_for(Duration::from_millis(250));
+    e.run_threaded_for(stress_ms(250, 100));
     for a in e.aeu_ids() {
         e.set_generator(a, None);
     }
@@ -338,7 +361,7 @@ fn trace_rings_conserve_under_threaded_overwrite_pressure() {
             })),
         );
     }
-    e.run_threaded_for(Duration::from_millis(300));
+    e.run_threaded_for(stress_ms(300, 120));
     for a in e.aeu_ids() {
         e.set_generator(a, None);
     }
@@ -366,7 +389,7 @@ fn trace_rings_conserve_under_threaded_overwrite_pressure() {
     );
     assert!(
         total_dropped > 0,
-        "64-slot rings under 300ms of batches must have overwritten"
+        "64-slot rings under sustained batches must have overwritten"
     );
     // Snapshots taken after quiescence decode cleanly and in order.
     for a in e.aeu_ids() {
