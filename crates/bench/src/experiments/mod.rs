@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig8;
 pub mod fig9;
 pub mod kernels;
+pub mod server;
 pub mod storm;
 pub mod table1;
 pub mod table2;
@@ -19,7 +20,7 @@ pub mod zipf;
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
     "table1", "table2", "fig1", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "energy", "zipf", "kernels", "storm",
+    "energy", "zipf", "kernels", "storm", "server",
 ];
 
 /// Run one experiment by id (with `quick` shrinking the sweep for CI).
@@ -39,6 +40,7 @@ pub fn run(id: &str, quick: bool) {
         "zipf" => zipf::run(quick),
         "kernels" => kernels::run(quick),
         "storm" => storm::run(quick),
+        "server" => server::run(quick),
         other => {
             eprintln!("unknown experiment '{other}'; available: {ALL:?}");
             std::process::exit(2);

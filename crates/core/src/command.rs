@@ -913,5 +913,131 @@ mod proptests {
                 prop_assert_eq!(cur, before, "cursor untouched on error");
             }
         }
+
+        /// Network bytes are hostile: feeding *arbitrary* byte strings to
+        /// the external decoder must never panic, never over-allocate, and
+        /// on failure must leave the cursor exactly where it was.  On
+        /// success the decoded command must survive a re-encode/re-decode
+        /// round trip of the same length (the predicate encoding is
+        /// fixed-width with ignored pad words, so byte-for-byte equality
+        /// is deliberately not required).
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let mut cur = bytes.as_slice();
+            let before = cur;
+            match DataCommand::try_decode(&mut cur) {
+                Ok(cmd) => {
+                    let consumed = before.len() - cur.len();
+                    let mut re = Vec::new();
+                    cmd.encode(&mut re);
+                    prop_assert_eq!(re.len(), consumed, "re-encode preserves length");
+                    let back = DataCommand::try_decode(&mut re.as_slice()).expect("re-decode");
+                    prop_assert_eq!(back, cmd, "round trip is idempotent");
+                }
+                Err(_) => prop_assert_eq!(cur, before, "cursor untouched on error"),
+            }
+        }
+
+        /// Corrupting any single byte of a valid encoding must produce
+        /// either a clean typed error or a different-but-valid command —
+        /// never a panic, never a command that fails to round-trip.
+        #[test]
+        fn single_byte_corruption_is_contained(cmd in arb_command(), pos in 0usize..4096, flip in 1u8..=255) {
+            let mut buf = Vec::new();
+            cmd.encode(&mut buf);
+            let pos = pos % buf.len();
+            buf[pos] ^= flip;
+            let mut cur = buf.as_slice();
+            if let Ok(decoded) = DataCommand::try_decode(&mut cur) {
+                let consumed = buf.len() - cur.len();
+                let mut re = Vec::new();
+                decoded.encode(&mut re);
+                prop_assert_eq!(re.len(), consumed);
+                let back = DataCommand::try_decode(&mut re.as_slice()).expect("re-decode");
+                prop_assert_eq!(back, decoded);
+            }
+        }
+    }
+
+    /// Every `DecodeError` variant is reachable from hostile input — the
+    /// serving layer maps each onto a typed reject response, so an
+    /// unreachable variant would mean dead protocol surface.
+    #[test]
+    fn every_decode_error_variant_is_reachable() {
+        use std::mem::discriminant;
+
+        // Truncated: header shorter than HEADER_BYTES.
+        let short = [OP_LOOKUP; 3];
+        let got = DataCommand::try_decode(&mut &short[..]).unwrap_err();
+        assert_eq!(discriminant(&got), discriminant(&DecodeError::Truncated));
+
+        // Truncated (declared payload longer than the buffer).
+        let mut lying = Vec::new();
+        DataCommand {
+            object: DataObjectId(1),
+            ticket: 0,
+            payload: Payload::Lookup { keys: vec![7] },
+        }
+        .encode(&mut lying);
+        let plen_at = 1 + 4 + 8;
+        lying[plen_at..plen_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let got = DataCommand::try_decode(&mut lying.as_slice()).unwrap_err();
+        assert_eq!(discriminant(&got), discriminant(&DecodeError::Truncated));
+
+        // TrailingPayloadBytes: payload longer than its content needs.
+        let mut padded = Vec::new();
+        DataCommand {
+            object: DataObjectId(1),
+            ticket: 0,
+            payload: Payload::Lookup { keys: vec![] },
+        }
+        .encode(&mut padded);
+        padded[plen_at..plen_at + 4].copy_from_slice(&12u32.to_le_bytes());
+        padded.extend_from_slice(&[0u8; 8]);
+        assert_eq!(
+            DataCommand::try_decode(&mut padded.as_slice()),
+            Err(DecodeError::TrailingPayloadBytes {
+                declared: 12,
+                consumed: 4,
+            })
+        );
+
+        // UnknownOp.
+        let mut bad_op = Vec::new();
+        bad_op.push(200u8);
+        bad_op.extend_from_slice(&1u32.to_le_bytes());
+        bad_op.extend_from_slice(&0u64.to_le_bytes());
+        bad_op.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            DataCommand::try_decode(&mut bad_op.as_slice()),
+            Err(DecodeError::UnknownOp(200))
+        );
+
+        // UnknownPredicate / UnknownAggregate: corrupt a scan's tags.
+        let mut scan = Vec::new();
+        DataCommand {
+            object: DataObjectId(1),
+            ticket: 0,
+            payload: Payload::Scan {
+                pred: Predicate::All,
+                agg: Aggregate::Count,
+                snapshot: 0,
+            },
+        }
+        .encode(&mut scan);
+        let body_at = HEADER_BYTES;
+        let mut bad_pred = scan.clone();
+        bad_pred[body_at] = 250;
+        assert_eq!(
+            DataCommand::try_decode(&mut bad_pred.as_slice()),
+            Err(DecodeError::UnknownPredicate(250))
+        );
+        // The predicate field is fixed-width: tag + two u64 words.
+        let mut bad_agg = scan.clone();
+        bad_agg[body_at + 17] = 251;
+        assert_eq!(
+            DataCommand::try_decode(&mut bad_agg.as_slice()),
+            Err(DecodeError::UnknownAggregate(251))
+        );
     }
 }

@@ -125,6 +125,35 @@ pub struct EpochReport {
     pub telemetry: CounterSnapshot,
 }
 
+/// Outcome of a typed graceful shutdown ([`Engine::drain_and_quiesce`]).
+///
+/// The report is the serving layer's proof obligation: a front end that
+/// stops accepting, drains, and then observes `conservation_ok` knows
+/// every admitted command was executed — nothing was silently dropped
+/// between routing and execution.
+#[derive(Debug, Clone)]
+pub struct QuiesceReport {
+    /// Epochs run to reach the drained state.
+    pub epochs: u64,
+    /// Per-object conservation at quiesce: enqueued == executed for
+    /// every registered data object.
+    pub conservation_ok: bool,
+    /// Latency-trace conservation at quiesce: stamped == traced + dropped.
+    pub trace_ok: bool,
+    /// Commands executed over the engine's lifetime (post-drain total).
+    pub commands_executed: u64,
+    /// Bytes still pending in incoming buffers (must be 0 when drained).
+    pub pending_bytes: usize,
+}
+
+impl QuiesceReport {
+    /// True when the engine quiesced cleanly: buffers empty and both
+    /// conservation ledgers balanced.
+    pub fn clean(&self) -> bool {
+        self.conservation_ok && self.trace_ok && self.pending_bytes == 0
+    }
+}
+
 /// The ERIS storage engine on a simulated NUMA machine.
 pub struct Engine {
     topo: Arc<Topology>,
@@ -685,6 +714,66 @@ impl Engine {
             if idle && self.aeus.iter().all(|a| a.is_drained()) {
                 break;
             }
+        }
+    }
+
+    /// Bytes pending across every AEU's incoming buffers, plus the total
+    /// capacity of those buffers.  The serving layer's overload watermark
+    /// reads this at batch boundaries: occupancy = pending / capacity.
+    pub fn incoming_occupancy(&self) -> (usize, usize) {
+        let mut pending = 0;
+        let mut capacity = 0;
+        for i in 0..self.shared.num_aeus() {
+            let buf = self.shared.incoming(AeuId(i as u32));
+            pending += buf.pending_bytes();
+            capacity += buf.capacity();
+        }
+        (pending, capacity)
+    }
+
+    /// Sub-commands enqueued by routing but not yet executed, summed over
+    /// every object's conservation ledger.  A queue-depth signal for
+    /// admission control (exact at epoch boundaries, approximate while
+    /// AEUs are stepping).
+    pub fn in_flight_commands(&self) -> u64 {
+        self.telemetry()
+            .objects
+            .iter()
+            .map(|o| o.enqueued.saturating_sub(o.executed))
+            .sum()
+    }
+
+    /// Typed graceful shutdown: detach every command generator, run
+    /// epochs until all buffers drain and no AEU holds deferred work,
+    /// then audit both conservation ledgers.  Callers that stop feeding
+    /// [`Engine::submit`] before invoking this get a proof that every
+    /// accepted command executed (see [`QuiesceReport`]).
+    pub fn drain_and_quiesce(&mut self) -> QuiesceReport {
+        for aeu in self.aeus.iter_mut() {
+            aeu.set_generator(None);
+        }
+        let mut epochs = 0u64;
+        loop {
+            let r = self.run_epoch();
+            epochs += 1;
+            let idle = r.ops.lookups == 0
+                && r.ops.upserts == 0
+                && r.ops.scans == 0
+                && r.ops.commands_routed == 0
+                && r.ops.forwarded == 0;
+            if idle && self.aeus.iter().all(|a| a.is_drained()) {
+                break;
+            }
+        }
+        let snap = self.telemetry();
+        let (stamped, traced, dropped) = self.shared.telemetry().latency().ledger();
+        let (pending_bytes, _) = self.incoming_occupancy();
+        QuiesceReport {
+            epochs,
+            conservation_ok: snap.conservation_holds(),
+            trace_ok: stamped == traced + dropped,
+            commands_executed: snap.totals.commands_executed,
+            pending_bytes,
         }
     }
 

@@ -149,6 +149,69 @@ pub fn render_jsonl(metrics: &[Metric], at_ns: u64) -> String {
     out
 }
 
+/// A four-family view of a [`LogHistogram`](crate::latency::LogHistogram)
+/// for exporters: `<name>_count` / `<name>_sum` counters plus `<name>_p50`
+/// / `<name>_p99` gauges (bucket-upper-bound estimates, within one log2
+/// bucket of truth).  Call [`observe`](HistogramFamily::observe) once per
+/// label set — e.g. once per tenant for the serving layer's network-queue
+/// wait stage — then flatten with [`into_metrics`](HistogramFamily::into_metrics).
+#[derive(Debug, Clone)]
+pub struct HistogramFamily {
+    count: Metric,
+    sum: Metric,
+    p50: Metric,
+    p99: Metric,
+}
+
+impl HistogramFamily {
+    pub fn new(name: &str, help: &str) -> Self {
+        HistogramFamily {
+            count: Metric::new(
+                &format!("{name}_count"),
+                &format!("{help} (sample count)"),
+                MetricKind::Counter,
+            ),
+            sum: Metric::new(
+                &format!("{name}_sum"),
+                &format!("{help} (sum of samples)"),
+                MetricKind::Counter,
+            ),
+            p50: Metric::new(
+                &format!("{name}_p50"),
+                &format!("{help} (median, log2-bucket upper bound)"),
+                MetricKind::Gauge,
+            ),
+            p99: Metric::new(
+                &format!("{name}_p99"),
+                &format!("{help} (p99, log2-bucket upper bound)"),
+                MetricKind::Gauge,
+            ),
+        }
+    }
+
+    /// Add one labelled histogram's samples to all four families.
+    pub fn observe(&mut self, labels: &[(&str, &str)], h: &crate::latency::LogHistogram) {
+        self.count
+            .samples
+            .push(MetricSample::new(labels, h.count as f64));
+        self.sum
+            .samples
+            .push(MetricSample::new(labels, h.sum as f64));
+        self.p50
+            .samples
+            .push(MetricSample::new(labels, h.p50() as f64));
+        self.p99
+            .samples
+            .push(MetricSample::new(labels, h.p99() as f64));
+    }
+
+    /// The four metric families, ready for [`render_prometheus`] /
+    /// [`render_jsonl`].
+    pub fn into_metrics(self) -> Vec<Metric> {
+        vec![self.count, self.sum, self.p50, self.p99]
+    }
+}
+
 /// Render ring events as JSON-lines, oldest first.
 pub fn render_events_jsonl(events: &[Stamped]) -> String {
     let mut out = String::new();
@@ -233,6 +296,34 @@ mod tests {
             assert!(v.get("value").and_then(|x| x.as_f64()).is_some());
         }
         assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn histogram_family_exports_all_four_views() {
+        use crate::latency::LogHistogram;
+        let mut fast = LogHistogram::default();
+        let mut slow = LogHistogram::default();
+        for v in [1u64, 2, 3, 4] {
+            fast.record(v);
+        }
+        for v in [1_000u64, 2_000, 4_000] {
+            slow.record(v);
+        }
+        let mut fam = HistogramFamily::new("eris_server_net_wait_ns", "Network-queue wait");
+        fam.observe(&[("tenant", "0")], &fast);
+        fam.observe(&[("tenant", "1")], &slow);
+        let metrics = fam.into_metrics();
+        assert_eq!(metrics.len(), 4);
+        assert_eq!(metrics[0].name, "eris_server_net_wait_ns_count");
+        assert_eq!(metrics[0].samples[0].value, 4.0);
+        assert_eq!(metrics[1].samples[1].value, 7_000.0);
+        assert_eq!(metrics[3].samples[1].value, slow.p99() as f64);
+        // Both label sets render under the same family names.
+        let text = render_prometheus(&metrics);
+        assert!(text.contains("eris_server_net_wait_ns_p99{tenant=\"0\"}"));
+        assert!(text.contains("eris_server_net_wait_ns_p99{tenant=\"1\"}"));
+        // And every sample survives the JSONL renderer.
+        assert_eq!(render_jsonl(&metrics, 1).lines().count(), 8);
     }
 
     #[test]

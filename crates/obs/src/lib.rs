@@ -39,7 +39,8 @@ pub use event::{
     Stamped, TraceEvent, TraceStamp, PHASE_BEGIN, PHASE_COMMITTED, PHASE_PARTS_WRITTEN,
 };
 pub use export::{
-    render_events_jsonl, render_jsonl, render_prometheus, Metric, MetricKind, MetricSample,
+    render_events_jsonl, render_jsonl, render_prometheus, HistogramFamily, Metric, MetricKind,
+    MetricSample,
 };
 pub use latency::{LatencyKey, LatencyRecord, LatencySeries, LatencyTable, LogHistogram};
 pub use ring::{RingStats, TraceRing};

@@ -1,0 +1,98 @@
+//! TCP serving: a non-blocking listener in front of [`EngineServer`].
+//!
+//! There is no async runtime or epoll shim in this workspace, so the
+//! network path is the same readiness-polling loop as loopback: the
+//! listener is non-blocking, every accepted socket becomes a
+//! [`TcpTransport`] attached to the engine server, and each
+//! [`TcpServer::pump`] accepts pending connections and runs one batch
+//! cycle.  One thread drives everything — sockets, admission, and the
+//! engine — which keeps the command path deterministic relative to
+//! batch boundaries even over real sockets.
+
+use crate::client::Client;
+use crate::server::{EngineServer, PumpReport, ShutdownOutcome};
+use crate::transport::TcpTransport;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A TCP front end around an [`EngineServer`].
+pub struct TcpServer {
+    listener: TcpListener,
+    server: EngineServer,
+}
+
+impl TcpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) in non-blocking
+    /// mode and serve `server` behind it.
+    pub fn bind(addr: SocketAddr, server: EngineServer) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpServer { listener, server })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn server(&self) -> &EngineServer {
+        &self.server
+    }
+
+    pub fn server_mut(&mut self) -> &mut EngineServer {
+        &mut self.server
+    }
+
+    /// Accept every connection waiting on the listener; returns how
+    /// many were attached.
+    pub fn poll_accept(&mut self) -> usize {
+        let mut accepted = 0;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => match TcpTransport::new(stream) {
+                    Ok(t) => {
+                        self.server.attach(Box::new(t));
+                        accepted += 1;
+                    }
+                    Err(_) => continue,
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        accepted
+    }
+
+    /// One serving cycle: accept, then one engine-server batch cycle.
+    pub fn pump(&mut self) -> PumpReport {
+        self.poll_accept();
+        self.server.pump()
+    }
+
+    /// Pump until `stop` is raised, sleeping briefly on idle cycles so
+    /// an idle server does not spin a core.  Returns the shutdown
+    /// outcome (drain, ledger proof, snapshot).
+    pub fn serve(mut self, stop: &Arc<AtomicBool>) -> ShutdownOutcome {
+        while !stop.load(Ordering::Relaxed) {
+            let r = self.pump();
+            if r.frames == 0 && r.commands == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        self.server.shutdown()
+    }
+
+    /// Graceful stop without the serve loop.
+    pub fn shutdown(self) -> ShutdownOutcome {
+        self.server.shutdown()
+    }
+}
+
+impl Client<TcpTransport> {
+    /// Connect a client session over TCP.
+    pub fn connect_tcp(addr: SocketAddr, tenant: u32) -> io::Result<Client<TcpTransport>> {
+        Ok(Client::connect(TcpTransport::connect(addr)?, tenant))
+    }
+}

@@ -49,6 +49,7 @@ const HOT_PATHS: &[&str] = &[
     "crates/core/src/telemetry.rs",
     "crates/obs/src/ring.rs",
     "crates/obs/src/latency.rs",
+    "crates/server/src/admission.rs",
 ];
 
 /// Hot-path files allowed to hold a lock, with the reason reviewers
