@@ -72,6 +72,7 @@ fn bench_chunked_vs_scalar_dispatch(c: &mut Criterion) {
     for n in [1usize, 8] {
         let ps = preds(n);
         for (name, k) in [
+            ("simd", ScanKernel::Simd),
             ("chunked", ScanKernel::Chunked),
             ("scalar", ScanKernel::Scalar),
         ] {
@@ -90,7 +91,7 @@ fn bench_chunked_vs_scalar_dispatch(c: &mut Criterion) {
 }
 
 fn bench_hash_probes(c: &mut Criterion) {
-    // Batched bucket-grouped probes vs one-at-a-time lookups.
+    // AMAC interleaved batched probes vs one-at-a-time lookups.
     let mut h = HashTable::new(7, 0);
     for k in 0..(1u64 << 16) {
         h.upsert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k);

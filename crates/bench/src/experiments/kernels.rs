@@ -5,19 +5,27 @@
 //! execution kernels themselves, because they are real compute:
 //!
 //! * the fused multi-predicate shared sweep (N coalesced scans answered
-//!   in one chunked pass) against N unshared sweeps and against the
-//!   row-at-a-time scalar oracle,
-//! * the single-predicate chunked count/sum kernels against scalar scans,
-//! * batched bucket-grouped hash probes against one-at-a-time lookups.
+//!   in one pass) against N unshared sweeps and against the
+//!   row-at-a-time scalar oracle, at both the chunked and SIMD tiers,
+//! * the single-predicate count/sum kernels — explicit-AVX2 SIMD vs the
+//!   portable chunked loops vs scalar scans,
+//! * AMAC interleaved batched hash probes against one-at-a-time lookups,
+//!   under a symmetric output contract (both sides materialize
+//!   `Option<u64>` results into the same reused buffer).
 //!
 //! Results land in `BENCH_kernels.json`.  When `ERIS_BENCH_BASELINE`
 //! names a baseline file (CI commits one under `ci/`), the run's
 //! *speedup ratios* — machine-portable, unlike absolute rows/s — are
 //! gated against it: a measured ratio below `baseline * (1 - tolerance)`
 //! fails the run.  `ERIS_BENCH_TOLERANCE` overrides the default 0.5.
+//! A baseline may also carry an absolute `<key>_floor` entry; the gate
+//! uses whichever floor is *higher*, so design-level claims ("batched
+//! probes beat scalar") hold even under a loose tolerance.
 
 use crate::{fmt_rate, TextTable};
-use eris_column::{Aggregate, Column, Predicate, ScanKernel, SharedScan};
+use eris_column::{
+    simd, Aggregate, Column, CompiledPredicate, Predicate, ScanKernel, SharedScan, SimdLevel,
+};
 use eris_index::HashTable;
 use eris_numa::NodeId;
 use std::time::Instant;
@@ -25,9 +33,9 @@ use std::time::Instant;
 /// Coalesced consumers in the fused sweep (the paper's scan-sharing N).
 const CONSUMERS: usize = 8;
 
-/// Ratio metrics the CI gate compares against the committed baseline.
-/// Absolute rows/s are recorded but never gated: they track the runner's
-/// hardware, not the code.
+/// Ratio metrics the CI gate always compares against the committed
+/// baseline.  Absolute rows/s are recorded but never gated: they track
+/// the runner's hardware, not the code.
 const GATED: &[&str] = &[
     "shared_vs_unshared_speedup",
     "chunked_vs_scalar_speedup",
@@ -35,6 +43,23 @@ const GATED: &[&str] = &[
     "chunked_sum_speedup",
     "batched_probe_speedup",
 ];
+
+/// Ratio metrics gated only when explicit SIMD dispatch is active.
+/// Under `ERIS_SIMD=0` (or hardware without AVX2) the SIMD entry points
+/// dispatch to the portable chunked kernels, so these ratios sit at
+/// ~1.0 by construction — gating them against an AVX2 baseline would
+/// fail the fallback path for being a fallback.
+const SIMD_GATED: &[&str] = &["simd_count_speedup", "simd_sum_speedup"];
+
+/// The keys the gate checks this run: base set, plus the SIMD set when
+/// the process actually dispatches to vector lanes.
+fn gated_keys() -> Vec<&'static str> {
+    let mut keys = GATED.to_vec();
+    if simd::level() != SimdLevel::Portable {
+        keys.extend_from_slice(SIMD_GATED);
+    }
+    keys
+}
 
 fn column(rows: u64) -> Column {
     let mut c = Column::new_local(NodeId(0), 0, 64 * 1024);
@@ -51,21 +76,53 @@ fn preds(n: usize) -> Vec<Predicate> {
         .collect()
 }
 
-/// Median-of-iterations wall time of `f` (seconds per call), running for
-/// at least `min_ms` after one warmup call.
+/// Wall time of `f` in seconds per call: the minimum over three
+/// measurement passes of at least `min_ms` each, after one warmup call.
+/// Min-of-passes discards scheduler noise (which only ever slows a
+/// pass down), so the gated ratios are stable enough for hard floors.
 fn time(min_ms: u64, mut f: impl FnMut() -> u64) -> f64 {
     let mut sink = f(); // warmup
-    let t0 = Instant::now();
-    let mut iters = 0u64;
-    loop {
-        sink = sink.wrapping_add(f());
-        iters += 1;
-        if t0.elapsed().as_millis() as u64 >= min_ms {
-            break;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            sink = sink.wrapping_add(f());
+            iters += 1;
+            if t0.elapsed().as_millis() as u64 >= min_ms {
+                break;
+            }
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+/// [`time`] for an A/B pair whose *ratio* is gated: the passes alternate
+/// (A, B, A, B, ...) so both sides sample the same machine conditions —
+/// timing all of A and then all of B lets a load shift between them
+/// masquerade as a speedup or a regression.
+fn time_pair(min_ms: u64, mut a: impl FnMut() -> u64, mut b: impl FnMut() -> u64) -> (f64, f64) {
+    let mut sink = a().wrapping_add(b()); // warmup both
+    let (mut ta, mut tb) = (f64::INFINITY, f64::INFINITY);
+    let mut fns: [(&mut f64, &mut dyn FnMut() -> u64); 2] = [(&mut ta, &mut a), (&mut tb, &mut b)];
+    for _ in 0..3 {
+        for (best, f) in fns.iter_mut() {
+            let t0 = Instant::now();
+            let mut iters = 0u64;
+            loop {
+                sink = sink.wrapping_add(f());
+                iters += 1;
+                if t0.elapsed().as_millis() as u64 >= min_ms {
+                    break;
+                }
+            }
+            **best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
         }
     }
     std::hint::black_box(sink);
-    t0.elapsed().as_secs_f64() / iters as f64
+    (ta, tb)
 }
 
 fn fused_sweep(col: &Column, ps: &[Predicate], k: ScanKernel) -> u64 {
@@ -123,9 +180,12 @@ fn measure(quick: bool) -> (Metrics, u64) {
     let ps = preds(CONSUMERS);
     let mut m = Metrics(Vec::new());
 
-    // The tentpole comparison: one fused chunked sweep answers all N
-    // consumers; the alternatives pay either N sweeps or per-row dispatch.
+    // The tentpole comparison: one fused sweep answers all N consumers;
+    // the alternatives pay either N sweeps or per-row dispatch.  The
+    // SIMD tier runs the same fused sweep through explicit AVX2 lanes
+    // (or, under ERIS_SIMD=0, through the portable kernels — ~1.0x).
     let t_fused = time(ms, || fused_sweep(&col, &ps, ScanKernel::Chunked));
+    let t_fused_simd = time(ms, || fused_sweep(&col, &ps, ScanKernel::Simd));
     let t_fused_scalar = time(ms, || fused_sweep(&col, &ps, ScanKernel::Scalar));
     let t_unshared = time(ms, || {
         let mut acc = 0u64;
@@ -136,10 +196,12 @@ fn measure(quick: bool) -> (Metrics, u64) {
     });
     let consumer_rows = (rows * CONSUMERS as u64) as f64;
     m.put("fused_chunked_rows_per_sec", consumer_rows / t_fused);
+    m.put("fused_simd_rows_per_sec", consumer_rows / t_fused_simd);
     m.put("fused_scalar_rows_per_sec", consumer_rows / t_fused_scalar);
     m.put("unshared_chunked_rows_per_sec", consumer_rows / t_unshared);
     m.put("shared_vs_unshared_speedup", t_unshared / t_fused);
     m.put("chunked_vs_scalar_speedup", t_fused_scalar / t_fused);
+    m.put("simd_vs_chunked_fused_speedup", t_fused / t_fused_simd);
 
     // Single-predicate kernels against the row-at-a-time scan.
     let p = Predicate::Range {
@@ -163,13 +225,42 @@ fn measure(quick: bool) -> (Metrics, u64) {
     m.put("chunked_count_speedup", t_count_scalar / t_count);
     m.put("chunked_sum_speedup", t_sum_scalar / t_sum);
 
-    // Batched hash probes: hoisted hashing + a 16-ahead software
-    // prefetch stream in input order (a bucket-sorted probe order was
-    // measured and lost — see `HashTable::lookup_batch`).  The table
-    // must not fit in cache for the comparison to mean anything; note
-    // the scalar comparator folds without materializing results, which
-    // is cheaper than the batched path's output contract — see
-    // EXPERIMENTS.md for why the gated ratio sits at ~parity.
+    // Explicit SIMD against the portable chunked loops, head-to-head on
+    // one flat buffer so segment iteration doesn't dilute the kernels.
+    m.put(
+        "simd_active",
+        if simd::level() == SimdLevel::Portable {
+            0.0
+        } else {
+            1.0
+        },
+    );
+    let flat: Vec<u64> = (0..rows)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) % 100_000)
+        .collect();
+    let cp = CompiledPredicate::compile(p);
+    let t_simd_count = time(ms, || simd::count(&flat, cp));
+    let t_chunked_count = time(ms, || eris_column::kernel::count(&flat, cp));
+    let t_simd_sum = time(ms, || simd::sum(&flat, cp));
+    let t_chunked_sum = time(ms, || eris_column::kernel::sum(&flat, cp));
+    m.put("simd_count_rows_per_sec", rows as f64 / t_simd_count);
+    m.put("simd_sum_rows_per_sec", rows as f64 / t_simd_sum);
+    m.put("simd_count_speedup", t_chunked_count / t_simd_count);
+    m.put("simd_sum_speedup", t_chunked_sum / t_simd_sum);
+
+    // Batched hash probes: AMAC interleaved probing (a group of
+    // in-flight probes, each advancing one bucket inspection per
+    // round-robin step — see `HashTable::lookup_batch`).  The table
+    // must not fit in cache for the comparison to mean anything.
+    //
+    // The comparator is symmetric: the scalar loop materializes its
+    // `Option<u64>` results into the *same reused buffer* the batched
+    // path fills, then folds them identically.  An earlier version let
+    // the scalar side fold `filter_map` results without ever writing an
+    // output — a cheaper contract that understated the batched win and
+    // pushed the gated ratio below 1.0 (see EXPERIMENTS.md).  That
+    // fold-only loop is still measured below as an ungated attribution
+    // metric, so the cost of the output contract stays visible.
     let keys_n: u64 = if quick { 1 << 20 } else { 1 << 22 };
     let mut h = HashTable::new(0xE515, 0);
     for k in 0..keys_n {
@@ -183,31 +274,53 @@ fn measure(quick: bool) -> (Metrics, u64) {
         .map(|i| (i * 37 % (2 * keys_n)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .collect();
     let windows = all_keys.len() / BATCH;
-    let mut out = Vec::new();
+    // One reused output buffer per side (identical contract); interleaved
+    // passes keep the gated ratio honest on a noisy machine.
+    let mut out_b: Vec<Option<u64>> = Vec::new();
+    let mut out_s: Vec<Option<u64>> = Vec::new();
+    let mut wb = 0usize;
+    let mut ws = 0usize;
+    let (t_batched, t_scalar_probe) = time_pair(
+        ms,
+        || {
+            let batch = &all_keys[wb * BATCH..(wb + 1) * BATCH];
+            wb = (wb + 1) % windows;
+            out_b.clear();
+            h.lookup_batch(batch, &mut out_b);
+            out_b.iter().flatten().sum()
+        },
+        || {
+            let batch = &all_keys[ws * BATCH..(ws + 1) * BATCH];
+            ws = (ws + 1) % windows;
+            out_s.clear();
+            out_s.extend(batch.iter().map(|&k| h.lookup(k)));
+            out_s.iter().flatten().sum()
+        },
+    );
     let mut w = 0usize;
-    let t_batched = time(ms, || {
-        let batch = &all_keys[w * BATCH..(w + 1) * BATCH];
-        w = (w + 1) % windows;
-        out.clear();
-        h.lookup_batch(batch, &mut out);
-        out.iter().flatten().sum()
-    });
-    let mut w = 0usize;
-    let t_scalar_probe = time(ms, || {
+    let t_scalar_fold = time(ms, || {
         let batch = &all_keys[w * BATCH..(w + 1) * BATCH];
         w = (w + 1) % windows;
         batch.iter().filter_map(|&k| h.lookup(k)).sum()
     });
     m.put("batched_probe_keys_per_sec", BATCH as f64 / t_batched);
     m.put("scalar_probe_keys_per_sec", BATCH as f64 / t_scalar_probe);
+    m.put(
+        "scalar_probe_fold_keys_per_sec",
+        BATCH as f64 / t_scalar_fold,
+    );
     m.put("batched_probe_speedup", t_scalar_probe / t_batched);
+    m.put("batched_vs_fold_speedup", t_scalar_fold / t_batched);
 
     (m, rows)
 }
 
 pub fn run(quick: bool) {
-    println!("Kernel regression benchmark: chunked vs scalar execution (wall clock)");
-    println!("({CONSUMERS} coalesced consumers per fused sweep)\n");
+    println!("Kernel regression benchmark: simd vs chunked vs scalar (wall clock)");
+    println!(
+        "({CONSUMERS} coalesced consumers per fused sweep; simd level {:?})\n",
+        simd::level()
+    );
     let (m, rows) = measure(quick);
 
     let mut t = TextTable::new(&["kernel", "throughput", "speedup"]);
@@ -215,6 +328,11 @@ pub fn run(quick: bool) {
         format!("fused shared sweep ({CONSUMERS} preds, chunked)"),
         fmt_rate(m.get("fused_chunked_rows_per_sec")),
         format!("{:.2}x vs unshared", m.get("shared_vs_unshared_speedup")),
+    ]);
+    t.row(vec![
+        format!("fused shared sweep ({CONSUMERS} preds, simd)"),
+        fmt_rate(m.get("fused_simd_rows_per_sec")),
+        format!("{:.2}x vs chunked", m.get("simd_vs_chunked_fused_speedup")),
     ]);
     t.row(vec![
         "fused shared sweep (scalar oracle)".into(),
@@ -232,7 +350,17 @@ pub fn run(quick: bool) {
         format!("{:.2}x vs scalar", m.get("chunked_sum_speedup")),
     ]);
     t.row(vec![
-        "batched hash probe".into(),
+        "simd count".into(),
+        fmt_rate(m.get("simd_count_rows_per_sec")),
+        format!("{:.2}x vs chunked", m.get("simd_count_speedup")),
+    ]);
+    t.row(vec![
+        "simd sum".into(),
+        fmt_rate(m.get("simd_sum_rows_per_sec")),
+        format!("{:.2}x vs chunked", m.get("simd_sum_speedup")),
+    ]);
+    t.row(vec![
+        "batched hash probe (AMAC)".into(),
         fmt_rate(m.get("batched_probe_keys_per_sec")),
         format!("{:.2}x vs scalar", m.get("batched_probe_speedup")),
     ]);
@@ -252,13 +380,18 @@ pub fn run(quick: bool) {
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
         println!("baseline gate: {path} (tolerance {tolerance})");
         let mut failed = false;
-        for key in GATED {
+        for key in gated_keys() {
             let Some(want) = extract(&baseline, key) else {
                 println!("  {key}: not in baseline, skipped");
                 continue;
             };
             let got = m.get(key);
-            let floor = want * (1.0 - tolerance);
+            // Tolerance-relative floor, optionally raised by an absolute
+            // `<key>_floor` committed next to the baseline value.
+            let mut floor = want * (1.0 - tolerance);
+            if let Some(abs) = extract(&baseline, &format!("{key}_floor")) {
+                floor = floor.max(abs);
+            }
             let ok = got >= floor;
             println!(
                 "  {key}: measured {got:.2} vs baseline {want:.2} (floor {floor:.2}) {}",
@@ -293,13 +426,46 @@ mod tests {
     }
 
     #[test]
+    fn absolute_floor_keys_extract_independently() {
+        // `<key>_floor` must not shadow `<key>` (or vice versa) in the
+        // parserless extractor the gate relies on.
+        let json = "{\n  \"batched_probe_speedup\": 1.18,\n  \
+                    \"batched_probe_speedup_floor\": 1.02\n}\n";
+        assert_eq!(extract(json, "batched_probe_speedup"), Some(1.18));
+        assert_eq!(extract(json, "batched_probe_speedup_floor"), Some(1.02));
+    }
+
+    #[test]
+    fn gated_keys_track_the_simd_level() {
+        let keys = gated_keys();
+        for key in GATED {
+            assert!(keys.contains(key), "base key {key} always gated");
+        }
+        let simd_gated = keys.iter().any(|k| SIMD_GATED.contains(k));
+        assert_eq!(
+            simd_gated,
+            simd::level() != SimdLevel::Portable,
+            "SIMD ratios gated exactly when vector dispatch is active"
+        );
+    }
+
+    #[test]
     fn quick_measurement_produces_sane_ratios() {
         let (m, rows) = measure(true);
         assert!(rows > 0);
-        for key in GATED {
+        for key in gated_keys() {
             let v = m.get(key);
             assert!(v.is_finite() && v > 0.0, "{key} = {v}");
         }
+        assert!(
+            m.get("simd_active")
+                == if simd::level() == SimdLevel::Portable {
+                    0.0
+                } else {
+                    1.0
+                },
+            "simd_active flag matches dispatch level"
+        );
         // The fused chunked sweep must beat the per-row scalar path —
         // the acceptance criterion of the chunked-kernel tentpole.
         // Optimized builds only: debug codegen neither vectorizes the

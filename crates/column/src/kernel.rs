@@ -51,6 +51,13 @@ impl CompiledPredicate {
     pub fn matches(self, v: u64) -> bool {
         (v >= self.lo) & (v <= self.hi)
     }
+
+    /// The inclusive `[lo, hi]` bounds (for the explicit-SIMD kernels,
+    /// which broadcast them into vector lanes).
+    #[inline]
+    pub fn bounds(self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
 }
 
 /// Count matching values in one chunk.

@@ -11,10 +11,14 @@
 //! [`scan::SharedScan`], multiple scan commands coalesce into a single pass
 //! over the data — the scan-sharing optimization of Section 3.1.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod column;
 pub mod kernel;
 pub mod scan;
+pub mod simd;
 
 pub use column::{Column, ColumnFull, Predicate, Segment};
 pub use kernel::{CompiledPredicate, CHUNK_ROWS};
 pub use scan::{Aggregate, ScanKernel, SharedScan};
+pub use simd::SimdLevel;

@@ -12,17 +12,24 @@
 
 use crate::column::{Column, Predicate};
 use crate::kernel::{self, CompiledPredicate};
+use crate::simd;
 
-/// Which execution path a shared sweep uses.  [`ScanKernel::Chunked`] is
-/// the default everywhere; [`ScanKernel::Scalar`] keeps the original
-/// per-row closure path alive as a correctness oracle (and a baseline for
-/// the kernel benchmarks).
+/// Which execution path a shared sweep uses.  [`ScanKernel::Simd`] is the
+/// default everywhere and degrades to the portable chunked code when the
+/// hardware (or `ERIS_SIMD=0`) rules the explicit lanes out;
+/// [`ScanKernel::Scalar`] keeps the original per-row closure path alive
+/// as a correctness oracle (and a baseline for the kernel benchmarks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScanKernel {
-    /// Fused chunked sweep: every consumer's predicate is evaluated
-    /// branch-free against each [`kernel::CHUNK_ROWS`]-row chunk while the
-    /// chunk is hot in L1.
+    /// Fused chunked sweep through the explicit-SIMD predicate kernels
+    /// ([`crate::simd`]): AVX2 u64 lanes where detected, the portable
+    /// chunked kernels otherwise — bit-identical either way.
     #[default]
+    Simd,
+    /// Fused chunked sweep through the portable branch-free kernels:
+    /// every consumer's predicate is evaluated against each
+    /// [`kernel::CHUNK_ROWS`]-row chunk while the chunk is hot in L1,
+    /// leaving vectorization to the compiler.
     Chunked,
     /// Row-at-a-time `Predicate::matches` closure per consumer.
     Scalar,
@@ -96,28 +103,32 @@ impl SharedScan {
     }
 
     /// Execute all consumers in one sweep with the default
-    /// ([`ScanKernel::Chunked`]) kernel.  Returns the rows examined — the
+    /// ([`ScanKernel::Simd`]) kernel.  Returns the rows examined — the
     /// *maximum* snapshot across consumers, not the sum: that the data is
     /// read once for N commands is exactly the scan-sharing win the
     /// virtual-time model charges for.
     pub fn execute(self, column: &Column) -> (Vec<AggregateResult>, usize) {
-        self.execute_with(column, ScanKernel::Chunked)
+        self.execute_with(column, ScanKernel::default())
     }
 
     /// Execute with an explicit kernel choice.
     pub fn execute_with(self, column: &Column, k: ScanKernel) -> (Vec<AggregateResult>, usize) {
         match k {
-            ScanKernel::Chunked => self.execute_chunked(column),
+            ScanKernel::Simd => self.execute_fused(column, true),
+            ScanKernel::Chunked => self.execute_fused(column, false),
             ScanKernel::Scalar => self.execute_scalar(column),
         }
     }
 
     /// Fused chunked sweep: each chunk is pulled through the cache once
     /// and every consumer's compiled predicate reduces it branch-free,
-    /// computing only the aggregate that consumer asked for.  Exactness:
-    /// count/sum/min/max are commutative–associative folds, so per-chunk
-    /// partials combine to bit-identical results vs. the scalar path.
-    fn execute_chunked(mut self, column: &Column) -> (Vec<AggregateResult>, usize) {
+    /// computing only the aggregate that consumer asked for — through the
+    /// explicit-SIMD kernels when `use_simd` (which themselves fall back
+    /// to the portable code on non-AVX2 hardware), the portable chunked
+    /// kernels otherwise.  Exactness: count/sum/min/max are
+    /// commutative–associative folds, so per-chunk partials combine to
+    /// bit-identical results vs. the scalar path.
+    fn execute_fused(mut self, column: &Column, use_simd: bool) -> (Vec<AggregateResult>, usize) {
         let sweep = self.consumers.iter().map(|c| c.snapshot).max().unwrap_or(0);
         let preds: Vec<CompiledPredicate> = self
             .consumers
@@ -133,10 +144,28 @@ impl SharedScan {
                 // MVCC cut: this consumer sees only its snapshot prefix.
                 let part = &chunk[..(c.snapshot - base).min(chunk.len())];
                 match c.agg {
-                    Aggregate::Count => c.count += kernel::count(part, p),
-                    Aggregate::Sum => c.sum = c.sum.wrapping_add(kernel::sum(part, p)),
+                    Aggregate::Count => {
+                        c.count += if use_simd {
+                            simd::count(part, p)
+                        } else {
+                            kernel::count(part, p)
+                        }
+                    }
+                    Aggregate::Sum => {
+                        let s = if use_simd {
+                            simd::sum(part, p)
+                        } else {
+                            kernel::sum(part, p)
+                        };
+                        c.sum = c.sum.wrapping_add(s);
+                    }
                     Aggregate::MinMax => {
-                        if let Some((mn, mx)) = kernel::min_max(part, p) {
+                        let mm = if use_simd {
+                            simd::min_max(part, p)
+                        } else {
+                            kernel::min_max(part, p)
+                        };
+                        if let Some((mn, mx)) = mm {
                             c.min = c.min.min(mn);
                             c.max = c.max.max(mx);
                             c.matched = true;
@@ -304,9 +333,12 @@ mod tests {
                     s
                 };
                 let (chunked, ex_c) = build().execute_with(&c, ScanKernel::Chunked);
+                let (simd, ex_v) = build().execute_with(&c, ScanKernel::Simd);
                 let (scalar, ex_s) = build().execute_with(&c, ScanKernel::Scalar);
-                prop_assert_eq!(chunked, scalar);
+                prop_assert_eq!(&chunked, &scalar);
+                prop_assert_eq!(&simd, &scalar);
                 prop_assert_eq!(ex_c, ex_s);
+                prop_assert_eq!(ex_v, ex_s);
             }
         }
     }

@@ -906,8 +906,9 @@ impl Aeu {
                 PartitionData::Index(tree) => tree.lookup_batch(&mine, values),
                 PartitionData::Hash(h) => {
                     values.clear();
-                    // Batched probe: hash all keys up front and visit
-                    // buckets in sorted order (one pass per batch).
+                    // Batched probe: AMAC interleaved state machine —
+                    // every in-flight probe's next bucket is prefetched
+                    // while the others execute, results in input order.
                     h.lookup_batch(&mine, values);
                     self.tel
                         .counters
@@ -1024,8 +1025,9 @@ impl Aeu {
                             }
                         }
                         PartitionData::Hash(h) => {
-                            // Batched upsert: one reserve, bucket-grouped
-                            // probes, input-order application.
+                            // Batched upsert: one single-rehash reserve,
+                            // group-prefetched home buckets, input-order
+                            // application.
                             fresh += h.upsert_batch(&mine);
                             self.tel
                                 .counters
@@ -1145,6 +1147,7 @@ impl Aeu {
                 let kernel = self.cfg.scan_kernel;
                 let (outcomes, examined) = shared.execute_with(col, kernel);
                 match kernel {
+                    ScanKernel::Simd => &self.tel.counters.simd_sweeps,
                     ScanKernel::Chunked => &self.tel.counters.chunked_sweeps,
                     ScanKernel::Scalar => &self.tel.counters.scalar_sweeps,
                 }

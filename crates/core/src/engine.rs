@@ -45,9 +45,10 @@ pub struct EngineConfig {
     pub balancer: BalancerConfig,
     /// Shape of index partitions.
     pub tree: PrefixTreeConfig,
-    /// Kernel used for coalesced column sweeps: chunked (default) or the
-    /// row-at-a-time scalar oracle, kept selectable for A/B checks and
-    /// regression benchmarks.
+    /// Kernel used for coalesced column sweeps: explicit SIMD (default;
+    /// AVX2 lanes where detected, portable fallback otherwise), portable
+    /// chunked, or the row-at-a-time scalar oracle — kept selectable for
+    /// A/B checks and regression benchmarks.
     pub scan_kernel: ScanKernel,
 }
 

@@ -150,7 +150,10 @@ counter_fields! {
         scans,
         /// Rows examined by scans.
         scan_rows,
-        /// Shared column sweeps dispatched to the chunked kernels.
+        /// Shared column sweeps dispatched to the explicit-SIMD kernels
+        /// (AVX2 lanes where detected, portable fallback otherwise).
+        simd_sweeps,
+        /// Shared column sweeps dispatched to the portable chunked kernels.
         chunked_sweeps,
         /// Shared column sweeps dispatched to the scalar oracle path.
         scalar_sweeps,
@@ -900,8 +903,8 @@ impl fmt::Display for TelemetrySnapshot {
         )?;
         writeln!(
             f,
-            "  kernels: {} chunked sweeps, {} scalar sweeps, {} batched probe keys",
-            t.chunked_sweeps, t.scalar_sweeps, t.batched_probe_keys
+            "  kernels: {} simd sweeps, {} chunked sweeps, {} scalar sweeps, {} batched probe keys",
+            t.simd_sweeps, t.chunked_sweeps, t.scalar_sweeps, t.batched_probe_keys
         )?;
         writeln!(
             f,

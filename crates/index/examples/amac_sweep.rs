@@ -1,0 +1,75 @@
+//! Group-size sweep for the AMAC interleaved probe path.
+//!
+//! `cargo run --release -p eris-index --example amac_sweep [keys_log2]`
+//! prints keys/s for the one-at-a-time scalar loop and for
+//! `lookup_batch_grouped` across a range of in-flight group sizes —
+//! the tuning data behind the `AMAC_GROUP` default.
+
+use eris_index::HashTable;
+use std::time::Instant;
+
+fn time(min_ms: u64, mut f: impl FnMut() -> u64) -> f64 {
+    let mut sink = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            sink = sink.wrapping_add(f());
+            iters += 1;
+            if t0.elapsed().as_millis() as u64 >= min_ms {
+                break;
+            }
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+fn main() {
+    let log2: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(21);
+    let keys_n: u64 = 1 << log2;
+    let mut h = HashTable::new(0xE515, 0);
+    for k in 0..keys_n {
+        h.upsert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k);
+    }
+    const BATCH: usize = 4096;
+    let all_keys: Vec<u64> = (0..keys_n)
+        .map(|i| (i * 37 % (2 * keys_n)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let windows = all_keys.len() / BATCH;
+    let mut out: Vec<Option<u64>> = Vec::new();
+
+    let mut w = 0usize;
+    let t_scalar = time(200, || {
+        let batch = &all_keys[w * BATCH..(w + 1) * BATCH];
+        w = (w + 1) % windows;
+        out.clear();
+        out.extend(batch.iter().map(|&k| h.lookup(k)));
+        out.iter().flatten().sum()
+    });
+    println!(
+        "table 2^{log2} keys; scalar {:.1} Mkeys/s",
+        BATCH as f64 / t_scalar / 1e6
+    );
+
+    for group in [2usize, 4, 8, 12, 16, 24, 32, 48, 64, 96] {
+        let mut w = 0usize;
+        let t = time(200, || {
+            let batch = &all_keys[w * BATCH..(w + 1) * BATCH];
+            w = (w + 1) % windows;
+            out.clear();
+            h.lookup_batch_grouped(batch, &mut out, group);
+            out.iter().flatten().sum()
+        });
+        println!(
+            "group {group:3}: {:7.1} Mkeys/s  ({:.2}x vs scalar)",
+            BATCH as f64 / t / 1e6,
+            t_scalar / t
+        );
+    }
+}

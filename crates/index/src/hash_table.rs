@@ -28,6 +28,22 @@ const EMPTY: Slot = Slot {
     psl: 0,
 };
 
+/// Probes kept in flight by the AMAC interleaved batch-lookup path.  Each
+/// in-flight probe owns one pending cache line; 12 is enough to cover a
+/// DRAM miss (~60-80 ns) with useful work at ~5 ns per bucket inspection,
+/// while keeping the state array well inside one L1 set's worth of lines.
+pub const AMAC_GROUP: usize = 12;
+
+/// One in-flight probe of the AMAC state machine: where it is in its
+/// Robin-Hood displacement chain and where its answer goes.
+#[derive(Clone, Copy)]
+struct ProbeState {
+    idx: usize,
+    psl: u32,
+    key: u64,
+    out: usize,
+}
+
 /// An open-addressing hash table from `u64` keys to `u64` values with a
 /// per-instance hash function.
 pub struct HashTable {
@@ -36,6 +52,7 @@ pub struct HashTable {
     len: usize,
     seed: u64,
     base_vaddr: u64,
+    rehashes: u64,
 }
 
 impl HashTable {
@@ -55,7 +72,14 @@ impl HashTable {
             len: 0,
             seed: seed | 1,
             base_vaddr,
+            rehashes: 0,
         }
+    }
+
+    /// How many times the bucket array has been reallocated and every
+    /// resident key rehashed (growth or an explicit [`HashTable::reserve`]).
+    pub fn rehashes(&self) -> u64 {
+        self.rehashes
     }
 
     /// Number of keys.
@@ -150,36 +174,97 @@ impl HashTable {
     }
 
     /// Batched point lookups: appends one result per key to `out`, in
-    /// input order.  Hashing is hoisted out of the probe loop and every
-    /// probe's cache line is prefetched a fixed distance ahead of its
-    /// use, so a large batch overlaps its memory misses instead of
-    /// paying them serially — the coalesced lookup path hands whole
-    /// command batches here.  Results are identical to a loop of
-    /// [`HashTable::lookup`].
+    /// input order.  Large batches run through an AMAC-style interleaved
+    /// probe state machine ([`HashTable::lookup_batch_grouped`] with the
+    /// default [`AMAC_GROUP`]): every in-flight probe's next cache line
+    /// is prefetched while the other probes execute, so misses overlap
+    /// *by construction* even on long Robin-Hood displacement chains —
+    /// the coalesced lookup path hands whole command batches here.
+    /// Results are identical to a loop of [`HashTable::lookup`].
     pub fn lookup_batch(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
-        // The hoisted-bucket pass only pays once the batch outgrows a
-        // few cache lines.
+        self.lookup_batch_grouped(keys, out, AMAC_GROUP);
+    }
+
+    /// [`HashTable::lookup_batch`] with a tunable number of in-flight
+    /// probes.  `group` trades miss overlap (more probes in flight)
+    /// against prefetch-to-use distance growing past the cache's ability
+    /// to hold the lines; 8-16 is the useful range on current cores.
+    pub fn lookup_batch_grouped(&self, keys: &[u64], out: &mut Vec<Option<u64>>, group: usize) {
+        // Interleaving only pays once the batch outgrows a few cache
+        // lines; short batches probe straight through.
         const BATCH_THRESHOLD: usize = 8;
         if keys.len() < BATCH_THRESHOLD {
             out.extend(keys.iter().map(|&k| self.lookup(k)));
             return;
         }
-        // Hoist the hashing: one pass computes every bucket up front,
-        // then the probe loop runs with its cache misses issued
-        // `PREFETCH_AHEAD` probes early.  (A bucket-sorted probe order
-        // was measured too: the sort cost more than the locality bought
-        // back — out-of-order cores already overlap independent probe
-        // misses, while the explicit prefetch stream here beats the
-        // speculative window on long batches without perturbing output
-        // order.)
-        const PREFETCH_AHEAD: usize = 16;
-        let buckets: Vec<usize> = keys.iter().map(|&k| self.bucket_of(k)).collect();
-        out.reserve(keys.len());
-        for (i, (&k, &b)) in keys.iter().zip(&buckets).enumerate() {
-            if let Some(&ahead) = buckets.get(i + PREFETCH_AHEAD) {
-                self.prefetch_slot(ahead);
+        // AMAC (asynchronous memory access chaining): `group` probes are
+        // live at once, each holding its own (bucket, psl, key, out-slot)
+        // state.  A round-robin step advances one probe by exactly one
+        // bucket inspection — the line it inspects was prefetched a full
+        // rotation ago, and the line it will need next is prefetched
+        // before moving on.  Unlike the previous fixed 16-ahead prefetch
+        // stream (which only covered each probe's *first* bucket and
+        // merely duplicated the out-of-order window's overlap), chained
+        // probes past the home bucket also get their misses overlapped.
+        // Finished probes are refilled from the pending keys so the
+        // machine stays `group` wide until the tail drains; output order
+        // stays input order because each probe carries its result slot.
+        let base = out.len();
+        out.resize(base + keys.len(), None);
+        let group = group.clamp(2, keys.len());
+        let mut states: Vec<ProbeState> = Vec::with_capacity(group);
+        let mut next = 0usize;
+        let feed = |states: &mut Vec<ProbeState>, at: usize, next: &mut usize| {
+            let key = keys[*next];
+            let idx = self.bucket_of(key);
+            self.prefetch_slot(idx);
+            let st = ProbeState {
+                idx,
+                psl: 1,
+                key,
+                out: base + *next,
+            };
+            *next += 1;
+            if at == states.len() {
+                states.push(st);
+            } else {
+                states[at] = st;
             }
-            out.push(self.probe(b, k));
+        };
+        while states.len() < group && next < keys.len() {
+            let at = states.len();
+            feed(&mut states, at, &mut next);
+        }
+        let mut i = 0usize;
+        while !states.is_empty() {
+            if i >= states.len() {
+                i = 0;
+            }
+            let st = &mut states[i];
+            // SAFETY: `st.idx` is always masked into range — `bucket_of`
+            // masks at feed time and the advance below re-masks — and
+            // `slots` is never resized while `&self` probes are live.
+            let s = unsafe { self.slots.get_unchecked(st.idx) };
+            if s.psl != 0 && s.psl >= st.psl && s.key != st.key {
+                // Not resolved yet: advance one bucket, prefetch it, and
+                // hand the core to the next in-flight probe.
+                st.psl += 1;
+                st.idx = (st.idx + 1) & self.mask;
+                self.prefetch_slot(st.idx);
+                i += 1;
+                continue;
+            }
+            // Resolved: a hit writes its slot; a miss (empty bucket or
+            // Robin-Hood invariant break) leaves the pre-set `None`.
+            if s.key == st.key && s.psl != 0 {
+                out[st.out] = Some(s.value);
+            }
+            if next < keys.len() {
+                feed(&mut states, i, &mut next);
+                i += 1; // let the refill's prefetch age a full rotation
+            } else {
+                states.swap_remove(i);
+            }
         }
     }
 
@@ -202,23 +287,39 @@ impl HashTable {
     }
 
     /// Pre-size the bucket array for `extra` further keys, so a following
-    /// batch of upserts never rehashes mid-loop.
+    /// batch of upserts never rehashes mid-loop.  The array is sized
+    /// directly to the final power of two and every resident key is
+    /// rehashed exactly once — not once per doubling.
     pub fn reserve(&mut self, extra: usize) {
-        while (self.len + extra + 1) * 100 > self.slots.len() * MAX_LOAD_PERCENT {
-            self.grow();
+        let needed = self.len + extra;
+        if (needed + 1) * 100 > self.slots.len() * MAX_LOAD_PERCENT {
+            let buckets = ((needed + 1) * 100 / MAX_LOAD_PERCENT + 1)
+                .next_power_of_two()
+                .max(16);
+            self.resize_to(buckets);
         }
     }
 
     /// Insert or overwrite a whole batch; returns how many keys were
     /// fresh inserts.  Pairs apply in input order (later duplicates win),
     /// so the result is identical to a loop of [`HashTable::upsert`] —
-    /// the batch entry point exists to pre-grow the table once and keep
-    /// the per-key loop free of rehash checks that can hit.
+    /// the batch entry point pre-grows the table once (keeping the
+    /// per-key loop free of rehash checks that can hit) and walks the
+    /// batch in prefetch groups: every group's home buckets are
+    /// prefetched before any of its upserts run, so the displacement
+    /// chains start from warm lines.  (Full AMAC interleaving does not
+    /// apply to upserts: a displacement rewrites the very chain a
+    /// concurrent in-flight probe would be walking.)
     pub fn upsert_batch(&mut self, pairs: &[(u64, u64)]) -> u64 {
         self.reserve(pairs.len());
         let mut fresh = 0u64;
-        for &(k, v) in pairs {
-            fresh += self.upsert(k, v).is_none() as u64;
+        for group in pairs.chunks(AMAC_GROUP) {
+            for &(k, _) in group {
+                self.prefetch_slot(self.bucket_of(k));
+            }
+            for &(k, v) in group {
+                fresh += self.upsert(k, v).is_none() as u64;
+            }
         }
         fresh
     }
@@ -235,23 +336,7 @@ impl HashTable {
             }
             if s.key == key {
                 let value = s.value;
-                // Backward shift.
-                let mut prev = idx;
-                let mut next = (idx + 1) & self.mask;
-                loop {
-                    let n = self.slots[next];
-                    if n.psl <= 1 {
-                        break;
-                    }
-                    self.slots[prev] = Slot {
-                        psl: n.psl - 1,
-                        ..n
-                    };
-                    prev = next;
-                    next = (next + 1) & self.mask;
-                }
-                self.slots[prev] = EMPTY;
-                self.len -= 1;
+                self.remove_at(idx);
                 return Some(value);
             }
             psl += 1;
@@ -259,9 +344,39 @@ impl HashTable {
         }
     }
 
+    /// Delete the occupied slot at `idx` by backward-shifting the chain
+    /// behind it, preserving the Robin-Hood invariant.
+    fn remove_at(&mut self, idx: usize) {
+        let mut prev = idx;
+        let mut next = (idx + 1) & self.mask;
+        loop {
+            let n = self.slots[next];
+            if n.psl <= 1 {
+                break;
+            }
+            self.slots[prev] = Slot {
+                psl: n.psl - 1,
+                ..n
+            };
+            prev = next;
+            next = (next + 1) & self.mask;
+        }
+        self.slots[prev] = EMPTY;
+        self.len -= 1;
+    }
+
     fn grow(&mut self) {
-        let old = std::mem::replace(&mut self.slots, vec![EMPTY; (self.mask + 1) * 2]);
-        self.mask = self.slots.len() - 1;
+        self.resize_to((self.mask + 1) * 2);
+    }
+
+    /// Reallocate the bucket array to exactly `buckets` (a power of two)
+    /// and rehash every resident key once.
+    fn resize_to(&mut self, buckets: usize) {
+        debug_assert!(buckets.is_power_of_two());
+        debug_assert!(buckets > self.slots.len());
+        self.rehashes += 1;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; buckets]);
+        self.mask = buckets - 1;
         self.len = 0;
         for s in old {
             if s.psl > 0 {
@@ -294,18 +409,29 @@ impl HashTable {
 
     /// Extract and remove every key in `[lo, hi)` (range-partitioned
     /// balancing over hash-stored partitions — the table is unordered, so
-    /// this is a full sweep).
+    /// this is a full sweep).  Collection and deletion happen in a single
+    /// pass: a matching slot is backward-shift-deleted in place and the
+    /// scan re-examines the slot (the shift pulls the next chain entry
+    /// into it) instead of re-probing every extracted key from its home
+    /// bucket afterwards, which made dense extractions O(n·k).
     pub fn extract_range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        let mut keys = Vec::new();
-        self.for_each(|k, v| {
-            if k >= lo && k < hi {
-                keys.push((k, v));
+        let mut out = Vec::new();
+        let mut idx = 0usize;
+        while idx < self.slots.len() {
+            let s = self.slots[idx];
+            if s.psl > 0 && s.key >= lo && s.key < hi {
+                out.push((s.key, s.value));
+                // Deleting here can only move entries *backward* (toward
+                // their home bucket), i.e. into this slot or — across the
+                // wrap — from slot 0 to the array's end, which the scan
+                // has yet to visit either way: nothing is skipped, and a
+                // re-examined non-matching entry is just re-skipped.
+                self.remove_at(idx);
+            } else {
+                idx += 1;
             }
-        });
-        for &(k, _) in &keys {
-            self.remove(k);
         }
-        keys
+        out
     }
 
     /// Append a stable little-endian serialization:
@@ -531,6 +657,99 @@ mod tests {
         assert_eq!(t.len(), 10_000);
     }
 
+    #[test]
+    fn reserve_rehashes_exactly_once() {
+        // A 16-slot table asked for room for 10k keys used to rehash its
+        // residents once per doubling (16 → 32 → ... → 16384); it must
+        // size the bucket array to the final power of two directly.
+        let mut t = HashTable::with_capacity(23, 0, 4);
+        assert_eq!(t.memory_bytes(), 16 * std::mem::size_of::<Slot>() as u64);
+        for k in 0..10u64 {
+            t.upsert(k, k);
+        }
+        assert_eq!(t.rehashes(), 0, "16 slots hold 10 keys without growth");
+        t.reserve(10_000);
+        assert_eq!(t.rehashes(), 1, "one reallocation, not one per doubling");
+        for k in 0..10_000u64 {
+            t.upsert(k, k);
+        }
+        assert_eq!(t.rehashes(), 1, "reserve covered the whole batch");
+        assert_eq!(t.len(), 10_000);
+        for k in 0..10u64 {
+            assert_eq!(t.lookup(k), Some(k), "residents survive the rehash");
+        }
+    }
+
+    #[test]
+    fn extract_range_matches_per_key_removal_on_dense_ranges() {
+        // Equivalence against the old semantics (full sweep, then one
+        // backward-shift `remove` per collected key): same extracted
+        // multiset, same survivors, on ranges dense enough that the old
+        // path went quadratic.
+        for (lo, hi) in [(0, 5_000), (100, 4_900), (2_500, 2_501), (0, 0)] {
+            let mut fast = HashTable::with_capacity(31, 0, 64);
+            let mut slow = HashTable::with_capacity(31, 0, 64);
+            for k in 0..5_000u64 {
+                fast.upsert(k, k * 7);
+                slow.upsert(k, k * 7);
+            }
+            let mut got = fast.extract_range(lo, hi);
+            // Old semantics, spelled out.
+            let mut want = Vec::new();
+            slow.for_each(|k, v| {
+                if k >= lo && k < hi {
+                    want.push((k, v));
+                }
+            });
+            for &(k, _) in &want {
+                slow.remove(k);
+            }
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "extracted set for [{lo}, {hi})");
+            assert_eq!(fast.len(), slow.len());
+            for k in 0..5_000u64 {
+                assert_eq!(fast.lookup(k), slow.lookup(k), "survivor {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn amac_lookup_matches_scalar_at_the_growth_brink() {
+        // Fill the table to just under the load threshold so probe chains
+        // are at their longest, then drive the AMAC path across group
+        // sizes and a batch spanning hits, misses, duplicates, and MAX.
+        let mut t = HashTable::with_capacity(41, 0, 4);
+        let n = {
+            // Stop one insert short of the next growth trigger.
+            let mut k = 0u64;
+            while (t.len() + 2) * 100
+                <= t.memory_bytes() as usize / std::mem::size_of::<Slot>() * MAX_LOAD_PERCENT
+            {
+                t.upsert(k.wrapping_mul(0x9E37_79B9), k);
+                k += 1;
+            }
+            k
+        };
+        let grown = t.rehashes();
+        let keys: Vec<u64> = (0..4 * n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    u64::MAX - (i % 5)
+                } else {
+                    (i % (2 * n)).wrapping_mul(0x9E37_79B9)
+                }
+            })
+            .collect();
+        for group in [2usize, 8, 12, 16, 64] {
+            let mut got = Vec::new();
+            t.lookup_batch_grouped(&keys, &mut got, group);
+            let want: Vec<Option<u64>> = keys.iter().map(|&k| t.lookup(k)).collect();
+            assert_eq!(got, want, "group {group}");
+        }
+        assert_eq!(t.rehashes(), grown, "lookups never grow the table");
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -542,8 +761,16 @@ mod tests {
                 seed in 0u64..1000,
                 pairs in proptest::collection::vec(
                     (prop_oneof![0u64..300, Just(u64::MAX)], 0u64..100), 0..300),
-                keys in proptest::collection::vec(
-                    prop_oneof![0u64..300, Just(u64::MAX)], 0..300))
+                // Batch lengths concentrate around the 8-key threshold
+                // (both sides of the scalar/AMAC switch) and stretch into
+                // proper interleaving territory.
+                keys in prop_oneof![
+                    proptest::collection::vec(
+                        prop_oneof![0u64..300, Just(u64::MAX)], 0..300),
+                    proptest::collection::vec(
+                        prop_oneof![0u64..300, Just(u64::MAX)], 6..10),
+                ],
+                group in 2usize..32)
             {
                 let mut batched = HashTable::new(seed, 0);
                 let mut scalar = HashTable::new(seed, 0);
@@ -554,11 +781,44 @@ mod tests {
                 }
                 prop_assert_eq!(fresh, scalar_fresh);
                 prop_assert_eq!(batched.len(), scalar.len());
-                let mut got = Vec::new();
-                batched.lookup_batch(&keys, &mut got);
                 let want: Vec<Option<u64>> =
                     keys.iter().map(|&k| scalar.lookup(k)).collect();
+                let mut got = Vec::new();
+                batched.lookup_batch(&keys, &mut got);
+                prop_assert_eq!(&got, &want, "default AMAC group");
+                let mut grouped = Vec::new();
+                batched.lookup_batch_grouped(&keys, &mut grouped, group);
+                prop_assert_eq!(&grouped, &want, "group {}", group);
+            }
+
+            #[test]
+            fn extract_range_behaves_like_btreemap_split(
+                seed in 0u64..1000,
+                pairs in proptest::collection::vec(
+                    (prop_oneof![0u64..500, Just(u64::MAX)], 0u64..100), 0..400),
+                lo in 0u64..600,
+                width in 0u64..600)
+            {
+                let hi = lo.saturating_add(width);
+                let mut t = HashTable::new(seed, 0);
+                let mut m = BTreeMap::new();
+                for &(k, v) in &pairs {
+                    t.upsert(k, v);
+                    m.insert(k, v);
+                }
+                let mut got = t.extract_range(lo, hi);
+                got.sort_unstable();
+                let want: Vec<(u64, u64)> = m
+                    .iter()
+                    .filter(|(&k, _)| k >= lo && k < hi)
+                    .map(|(&k, &v)| (k, v))
+                    .collect();
                 prop_assert_eq!(got, want);
+                m.retain(|&k, _| !(k >= lo && k < hi));
+                prop_assert_eq!(t.len(), m.len());
+                for (&k, &v) in &m {
+                    prop_assert_eq!(t.lookup(k), Some(v));
+                }
             }
 
             #[test]

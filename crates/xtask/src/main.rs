@@ -75,6 +75,7 @@ const LOCK_ALLOWLIST: &[(&str, &str)] = &[
 
 /// Files allowed to contain `unsafe`.  Everything else must stay safe.
 const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/column/src/simd.rs",
     "crates/core/src/routing/incoming.rs",
     "crates/index/src/hash_table.rs",
     "crates/index/src/shared_tree.rs",

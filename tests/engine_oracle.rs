@@ -279,19 +279,25 @@ fn chunked_and_scalar_kernels_agree_end_to_end() {
     };
 
     let (chunked, ct) = run(ScanKernel::Chunked);
+    let (simd, vt) = run(ScanKernel::Simd);
     let (scalar, st) = run(ScanKernel::Scalar);
 
     assert!(
-        ct.chunked_sweeps > 0 && ct.scalar_sweeps == 0,
+        ct.chunked_sweeps > 0 && ct.scalar_sweeps == 0 && ct.simd_sweeps == 0,
         "chunked engine dispatched chunked sweeps only: {ct:?}"
     );
     assert!(
-        st.scalar_sweeps > 0 && st.chunked_sweeps == 0,
+        vt.simd_sweeps > 0 && vt.chunked_sweeps == 0 && vt.scalar_sweeps == 0,
+        "simd engine dispatched simd sweeps only: {vt:?}"
+    );
+    assert!(
+        st.scalar_sweeps > 0 && st.chunked_sweeps == 0 && st.simd_sweeps == 0,
         "scalar engine dispatched scalar sweeps only: {st:?}"
     );
-    for (t, (c, s)) in chunked.iter().zip(&scalar).enumerate() {
+    for (t, ((c, s), v)) in chunked.iter().zip(&scalar).zip(&simd).enumerate() {
         assert!(c.is_some(), "query {t} answered");
         assert_eq!(c, s, "query {t} ({:?}): chunked == scalar", queries[t]);
+        assert_eq!(v, s, "query {t} ({:?}): simd == scalar", queries[t]);
     }
 }
 
