@@ -9,7 +9,8 @@
 //! * a per-object partition heat map from the monitor's access samples,
 //! * a migration ticker fed by the per-AEU trace rings,
 //! * the balancer's latest audit verdict with the CVs it saw,
-//! * sampled end-to-end latency means (queue-wait / exec / hops).
+//! * sampled end-to-end latency means (queue-wait / exec / hops),
+//! * per-AEU epoch-phase wall-time shares and interconnect link bytes.
 //!
 //! ```sh
 //! cargo run --release -p eris-bench --bin eris-live            # live TUI
@@ -19,8 +20,10 @@
 //! `--once` runs a short scripted scenario under **both** runtimes
 //! (cooperative virtual-time, then real threads), drains, self-checks
 //! the observability invariants (ring conservation, trace-ledger
-//! balance, audit-vs-partition-table agreement, JSON round-trips),
-//! writes the JSONL trace artifact, and exits non-zero on any failure.
+//! balance, audit-vs-partition-table agreement, epoch-profiler phase
+//! shares summing to one, SLO burn-rate rendering, JSON round-trips),
+//! writes the JSONL trace and collapsed-stack profile artifacts, and
+//! exits non-zero on any failure.
 
 use eris_bench::fmt_size;
 use eris_core::prelude::*;
@@ -36,6 +39,7 @@ struct Args {
     sample_every: u64,
     jsonl: Option<String>,
     prom: Option<String>,
+    collapsed: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +50,7 @@ fn parse_args() -> Args {
         sample_every: 32,
         jsonl: None,
         prom: None,
+        collapsed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,10 +65,12 @@ fn parse_args() -> Args {
             "--sample-every" => args.sample_every = val("--sample-every").parse().unwrap(),
             "--jsonl" => args.jsonl = Some(val("--jsonl")),
             "--prom" => args.prom = Some(val("--prom")),
+            "--collapsed" => args.collapsed = Some(val("--collapsed")),
             "--help" | "-h" => {
                 println!(
                     "eris-live [--once] [--interval-ms N] [--duration-s S] \
-                     [--sample-every N] [--jsonl PATH] [--prom PATH]"
+                     [--sample-every N] [--jsonl PATH] [--prom PATH] \
+                     [--collapsed PATH]"
                 );
                 std::process::exit(0);
             }
@@ -260,6 +267,41 @@ fn render_frame(
         ));
     }
 
+    // Epoch-phase profile: where each AEU's wall time went this run.
+    // The breakdown is cumulative, so the panel shows lifetime shares;
+    // `Idle` is the unattributed remainder of each epoch.
+    if snap.phases.iter().any(|p| p.total_ns() > 0) {
+        out.push_str("\nepoch phases (% of attributed wall time)\n");
+        for (i, p) in snap.phases.iter().enumerate() {
+            if p.total_ns() == 0 {
+                continue;
+            }
+            out.push_str(&format!("  aeu {i:>2} "));
+            for ph in eris_obs::Phase::ALL {
+                let pct = p.fraction(ph) * 100.0;
+                if pct >= 0.5 {
+                    out.push_str(&format!(" {} {pct:.0}%", ph.name()));
+                }
+            }
+            out.push('\n');
+        }
+    }
+
+    // Cross-node interconnect traffic, when the runtime carries the
+    // hardware-counter model.
+    if !snap.links.is_empty() {
+        out.push_str("\ninterconnect links (bytes per direction)\n");
+        for l in &snap.links {
+            out.push_str(&format!(
+                "  node {} <-> node {}  ->{}  <-{}\n",
+                l.a,
+                l.b,
+                fmt_size(l.bytes_ab),
+                fmt_size(l.bytes_ba),
+            ));
+        }
+    }
+
     // Ring accounting roll-up.
     let (emitted, retained, dropped) = snap.rings.iter().fold((0, 0, 0), |acc, r| {
         (acc.0 + r.emitted, acc.1 + r.retained, acc.2 + r.dropped)
@@ -298,6 +340,9 @@ fn run_live(args: &Args) {
     }
     if let Some(path) = &args.prom {
         std::fs::write(path, engine.telemetry().to_prometheus()).unwrap();
+    }
+    if let Some(path) = &args.collapsed {
+        std::fs::write(path, engine.telemetry().collapsed_stack()).unwrap();
     }
 }
 
@@ -354,6 +399,56 @@ fn run_once(args: &Args) -> Vec<String> {
     check(
         snap.rings.iter().any(|r| r.emitted > 0),
         "trace rings saw events",
+    );
+
+    // Epoch profiler invariants: wall time was attributed and every
+    // AEU's phase shares sum to one (the Idle phase absorbs the
+    // remainder, so this holds by construction unless charging is
+    // double-counted or lost).
+    check(
+        snap.phases.iter().any(|p| p.total_ns() > 0),
+        "epoch profiler attributed wall time",
+    );
+    check(
+        snap.phases_sum_to_one(0.01),
+        "per-AEU phase fractions sum to 1 (±1%)",
+    );
+    check(
+        snap.exemplars.iter().flatten().any(|e| e.total_ns > 0),
+        "latency histogram retained at least one exemplar",
+    );
+
+    // SLO burn-rate pipeline: feed the engine-side totals through the
+    // same SloEngine the serving layer uses and make sure burn metrics
+    // render.  Engine-born traces have no admission verdicts, so the
+    // error numerator is the trace ledger's dropped count.
+    let slo = eris_obs::SloEngine::new(eris_obs::SloConfig::default());
+    let threshold = slo.config().latency_threshold_ns;
+    let scale = args.sample_every.max(1);
+    let bad: u64 = snap
+        .latency
+        .iter()
+        .map(|(_, s)| s.exec.count_over(threshold))
+        .sum::<u64>()
+        * scale;
+    slo.observe(
+        0,
+        eris_obs::now_ns(),
+        eris_obs::SloTotals {
+            requests: snap.totals.commands_executed,
+            bad_latency: bad.min(snap.totals.commands_executed),
+            errors: snap.trace.dropped,
+        },
+    );
+    let slo_now = eris_obs::now_ns();
+    let slo_prom = eris_obs::render_prometheus(&slo.to_metrics(slo_now));
+    check(
+        slo_prom.contains("eris_slo_burn_rate"),
+        "SLO burn-rate metrics render",
+    );
+    check(
+        slo.worst_burn(0, slo_now).is_finite(),
+        "SLO burn rates are finite",
     );
 
     // The hotspot phase must have produced balancer activity, and every
@@ -432,6 +527,21 @@ fn run_once(args: &Args) -> Vec<String> {
         std::fs::write(path, &prom).unwrap();
         println!("  wrote {path}");
     }
+    let collapsed = snap.collapsed_stack();
+    check(
+        !collapsed.is_empty() && collapsed.lines().all(|l| l.contains(';')),
+        "collapsed stack renders aeu;phase frames",
+    );
+    let collapsed_path = args
+        .collapsed
+        .clone()
+        .unwrap_or_else(|| "eris-live-profile.collapsed".into());
+    std::fs::write(&collapsed_path, &collapsed).unwrap();
+    println!(
+        "  wrote {} ({} frames)",
+        collapsed_path,
+        collapsed.lines().count()
+    );
     failures
 }
 

@@ -64,7 +64,16 @@ const GATED: &[&str] = &[
     "zero_silent_drops",
     "conservation",
     "quiesce_clean",
+    "trace_ledger_balanced",
+    "exemplar_ok",
+    "phases_ok",
+    "slo_burn_exported",
 ];
+
+/// Serving-side trace sampling for the storm run: low enough that tail
+/// buckets retain exemplars, high enough not to distort the measured
+/// path.
+const TRACE_SAMPLE_EVERY: u32 = 8;
 
 struct BenchShape {
     aeus_nodes: u16,
@@ -266,6 +275,24 @@ pub struct ServerBenchReport {
     pub zero_silent_drops: bool,
     pub conservation_ok: bool,
     pub quiesce_clean: bool,
+    /// `stamped == traced + dropped` on the engine's trace ledger after
+    /// drain, with stamps actually issued — the full-path tracing proof
+    /// under forced shedding.
+    pub trace_stamped: u64,
+    pub trace_traced: u64,
+    pub trace_dropped: u64,
+    pub trace_ledger_balanced: bool,
+    /// At least one histogram-bucket exemplar resolved to a full-path
+    /// serving trace with a nonzero admission span.
+    pub exemplar_ok: bool,
+    /// Every active AEU's epoch-phase fractions sum to 1 (±1%).
+    pub phases_ok: bool,
+    /// Worst per-tenant error burn rate over the shortest window at the
+    /// end of the storm (> 1 means the error budget is burning faster
+    /// than the objective allows — expected while shedding).
+    pub worst_error_burn: f64,
+    /// Burn-rate gauges made it into the Prometheus export.
+    pub slo_burn_exported: bool,
     pub prometheus: String,
     pub jsonl: String,
 }
@@ -282,6 +309,7 @@ pub fn run_bench(quick: bool) -> ServerBenchReport {
             tenants: s.tenants,
             admission: admission(None),
             clock: ClockSource::Virtual,
+            ..Default::default()
         },
     );
     let mut fleet = Fleet::new(&mut cal, s.conns, s.tenants);
@@ -317,6 +345,8 @@ pub fn run_bench(quick: bool) -> ServerBenchReport {
             tenants: s.tenants,
             admission: admission(Some(shed_watermark)),
             clock: ClockSource::Virtual,
+            trace_sample_every: TRACE_SAMPLE_EVERY,
+            ..Default::default()
         },
     );
     let mut fleet = Fleet::new(&mut server, s.conns * STORM_FLEET_FACTOR, s.tenants);
@@ -369,8 +399,41 @@ pub fn run_bench(quick: bool) -> ServerBenchReport {
         && snap.accepted_total() == c_accepted
         && snap.shed_total() == c_shed;
 
+    // Per-tenant burn rates at the end of the storm (the tracker was fed
+    // once per pump; while shedding, the error budget must be burning).
+    let slo_now = server.now_ns();
+    let worst_error_burn = server
+        .slo()
+        .tenants()
+        .iter()
+        .flat_map(|t| server.slo().burn_rates(*t, slo_now))
+        .map(|b| b.error_burn)
+        .fold(0.0f64, f64::max);
+
     let ledger = server.ledger();
     let outcome = server.shutdown();
+
+    // The engine-side observability proofs: trace ledger conservation,
+    // tail-bucket exemplars with full-path spans, per-AEU phase
+    // attribution.  All read after drain so nothing is in flight.
+    let tel = outcome.engine.telemetry();
+    let trace_ledger_balanced =
+        tel.trace.stamped > 0 && tel.trace.stamped == tel.trace.traced + tel.trace.dropped;
+    let exemplar_ok = tel
+        .exemplars
+        .iter()
+        .flatten()
+        .any(|e| e.tenant != eris_obs::TENANT_NONE && e.admit_ns > 0 && e.trace_id != 0);
+    let phases_ok = tel.phases.iter().any(|p| p.total_ns() > 0) && tel.phases_sum_to_one(0.01);
+
+    // One artifact: serving-layer metrics (admission, SLO burn) plus the
+    // engine's (exemplars, phases, links), so the export self-contains
+    // the full request path.
+    let mut all_metrics = outcome.snapshot.to_metrics();
+    all_metrics.extend(tel.to_metrics());
+    let prometheus = eris_obs::render_prometheus(&all_metrics);
+    let jsonl = eris_obs::render_jsonl(&all_metrics, eris_obs::now_ns());
+    let slo_burn_exported = prometheus.contains("eris_slo_burn_rate");
 
     ServerBenchReport {
         aeus,
@@ -390,8 +453,16 @@ pub fn run_bench(quick: bool) -> ServerBenchReport {
         zero_silent_drops,
         conservation_ok: ledger.holds() && outcome.ledger.holds(),
         quiesce_clean: outcome.quiesce.clean(),
-        prometheus: outcome.snapshot.to_prometheus(),
-        jsonl: outcome.snapshot.to_jsonl(eris_obs::now_ns()),
+        trace_stamped: tel.trace.stamped,
+        trace_traced: tel.trace.traced,
+        trace_dropped: tel.trace.dropped,
+        trace_ledger_balanced,
+        exemplar_ok,
+        phases_ok,
+        worst_error_burn,
+        slo_burn_exported,
+        prometheus,
+        jsonl,
     }
 }
 
@@ -424,6 +495,14 @@ fn metrics(r: &ServerBenchReport) -> Metrics {
     m.put("zero_silent_drops", b(r.zero_silent_drops));
     m.put("conservation", b(r.conservation_ok));
     m.put("quiesce_clean", b(r.quiesce_clean));
+    m.put("trace_stamped", r.trace_stamped as f64);
+    m.put("trace_traced", r.trace_traced as f64);
+    m.put("trace_dropped", r.trace_dropped as f64);
+    m.put("trace_ledger_balanced", b(r.trace_ledger_balanced));
+    m.put("exemplar_ok", b(r.exemplar_ok));
+    m.put("phases_ok", b(r.phases_ok));
+    m.put("worst_error_burn", r.worst_error_burn);
+    m.put("slo_burn_exported", b(r.slo_burn_exported));
     m
 }
 
@@ -506,6 +585,23 @@ pub fn run(quick: bool) {
         if r.quiesce_clean { "clean" } else { "DIRTY" },
     );
     println!(
+        "tracing: {} stamped = {} traced + {} dropped ({}) | exemplar {} | phases {}",
+        r.trace_stamped,
+        r.trace_traced,
+        r.trace_dropped,
+        if r.trace_ledger_balanced {
+            "balanced"
+        } else {
+            "UNBALANCED"
+        },
+        if r.exemplar_ok { "ok" } else { "MISSING" },
+        if r.phases_ok { "ok" } else { "INCONSISTENT" },
+    );
+    println!(
+        "SLO burn: worst tenant error burn {:.2}x budget (shedding is expected to burn)",
+        r.worst_error_burn
+    );
+    println!(
         "throughput while shedding: {}",
         fmt_rate(r.accepted as f64 / (r.mean_epoch_ns * 1e-9 * 150.0).max(1e-9))
     );
@@ -569,6 +665,21 @@ pub fn run(quick: bool) {
     if !r.prometheus.contains("eris_server_shed_total") {
         failures.push("shed counters missing from Prometheus export".to_string());
     }
+    if !r.trace_ledger_balanced {
+        failures.push(format!(
+            "trace ledger unbalanced under shedding: {} stamped != {} traced + {} dropped",
+            r.trace_stamped, r.trace_traced, r.trace_dropped
+        ));
+    }
+    if !r.exemplar_ok {
+        failures.push("no tail-bucket exemplar with a full-path serving trace".to_string());
+    }
+    if !r.phases_ok {
+        failures.push("per-AEU epoch-phase fractions do not sum to 1 (±1%)".to_string());
+    }
+    if !r.slo_burn_exported {
+        failures.push("SLO burn-rate gauges missing from Prometheus export".to_string());
+    }
     if !failures.is_empty() {
         eprintln!("\nSERVING FAILURES:");
         for f in &failures {
@@ -596,6 +707,26 @@ mod tests {
         assert!(r.quiesce_clean);
         assert!(r.prometheus.contains("eris_server_shed_total"));
         assert!(r.jsonl.contains("eris_server_accepted_total"));
+        // The observability proofs ride the same storm.
+        assert!(
+            r.trace_ledger_balanced,
+            "trace ledger: {} != {} + {}",
+            r.trace_stamped, r.trace_traced, r.trace_dropped
+        );
+        assert!(
+            r.trace_dropped > 0,
+            "forced shedding must drop sampled stamps"
+        );
+        assert!(r.exemplar_ok, "full-path exemplar with admission span");
+        assert!(r.phases_ok, "phase fractions sum to 1");
+        assert!(r.slo_burn_exported);
+        assert!(
+            r.worst_error_burn > 1.0,
+            "shedding under 1.5x oversubscription must burn the error budget: {}",
+            r.worst_error_burn
+        );
+        assert!(r.prometheus.contains("eris_latency_exemplar_ns"));
+        assert!(r.prometheus.contains("eris_aeu_phase_ns_total"));
     }
 
     #[test]
@@ -618,6 +749,14 @@ mod tests {
             zero_silent_drops: true,
             conservation_ok: true,
             quiesce_clean: true,
+            trace_stamped: 12,
+            trace_traced: 7,
+            trace_dropped: 5,
+            trace_ledger_balanced: true,
+            exemplar_ok: true,
+            phases_ok: true,
+            worst_error_burn: 3.5,
+            slo_burn_exported: true,
             prometheus: String::new(),
             jsonl: String::new(),
         };

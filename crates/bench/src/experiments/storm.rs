@@ -39,7 +39,7 @@ use crate::{fmt_rate, scale_for, TextTable};
 use eris_core::prelude::*;
 use eris_core::DataObjectId;
 use eris_durability::{Durability, FailPoints, FP_JOURNAL_PRE_SYNC};
-use eris_obs::{LatencySeries, LogHistogram};
+use eris_obs::{LatencySeries, LogHistogram, SloConfig, SloEngine, SloTotals};
 use eris_workloads::{Storm, StormParams, StormSampler};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -71,7 +71,95 @@ const GATED: &[&str] = &[
     "rebalanced",
     "recovered",
     "flash_over_warmup",
+    "slo_burn_ok",
 ];
+
+/// One storm unit in virtual nanoseconds (the SLO tracker's clock).
+const UNIT_NS: u64 = (UNIT_S * 1e9) as u64;
+
+/// Engine-wide SLO burn tracking across process lifetimes: one
+/// pseudo-tenant (id 0), cumulative totals that survive the crash,
+/// global unit time as the clock.  "Bad latency" is `count_over` of the
+/// objective threshold on the sampled exec histograms; "errors" are
+/// trace stamps dropped before execution.  Both numerators cover only
+/// sampled commands while the denominator covers all executed ops, so
+/// the burns are diluted lower bounds — a healthy storm must keep them
+/// under 1× budget, and that is what `slo_failures` asserts.
+struct SloTrack {
+    slo: SloEngine,
+    acc: SloTotals,
+    worst_latency_burn: f64,
+    worst_error_burn: f64,
+    observations: u64,
+    // Per-lifetime cumulative baselines (telemetry restarts at zero in
+    // the recovered engine).
+    last_ops: u64,
+    last_bad: u64,
+    last_dropped: u64,
+}
+
+impl SloTrack {
+    fn new() -> Self {
+        SloTrack {
+            slo: SloEngine::new(SloConfig {
+                // 8-unit fast window, 64-unit slow window: the fast one
+                // reacts inside a single storm phase, the slow one spans
+                // most of the 110-unit schedule.
+                windows_ns: vec![8 * UNIT_NS, 64 * UNIT_NS],
+                ..SloConfig::default()
+            }),
+            acc: SloTotals::default(),
+            worst_latency_burn: 0.0,
+            worst_error_burn: 0.0,
+            observations: 0,
+            last_ops: 0,
+            last_bad: 0,
+            last_dropped: 0,
+        }
+    }
+
+    fn bad_and_dropped(&self, tel: &TelemetrySnapshot) -> (u64, u64) {
+        let threshold = self.slo.config().latency_threshold_ns;
+        let bad = tel
+            .latency
+            .iter()
+            .map(|(_, s)| s.exec.count_over(threshold))
+            .sum();
+        (bad, tel.trace.dropped)
+    }
+
+    /// Re-baseline the per-lifetime counters (idempotent; called at the
+    /// start of every `run_units` segment).
+    fn begin_lifetime(&mut self, e: &Engine, tel: &TelemetrySnapshot) {
+        let c = e.results().counts();
+        self.last_ops = c.lookups + c.upserts;
+        let (bad, dropped) = self.bad_and_dropped(tel);
+        self.last_bad = bad;
+        self.last_dropped = dropped;
+    }
+
+    /// One unit's observation tick: fold the lifetime deltas into the
+    /// cross-lifetime totals, feed the tracker, and record the worst
+    /// burn seen over any window.
+    fn observe_unit(&mut self, e: &Engine, tel: &TelemetrySnapshot, unit: u64) {
+        let c = e.results().counts();
+        let ops = c.lookups + c.upserts;
+        let (bad, dropped) = self.bad_and_dropped(tel);
+        self.acc.requests += ops.saturating_sub(self.last_ops);
+        self.acc.bad_latency += bad.saturating_sub(self.last_bad);
+        self.acc.errors += dropped.saturating_sub(self.last_dropped);
+        self.last_ops = ops;
+        self.last_bad = bad;
+        self.last_dropped = dropped;
+        let at_ns = (unit + 1) * UNIT_NS;
+        self.slo.observe(0, at_ns, self.acc);
+        self.observations += 1;
+        for b in self.slo.burn_rates(0, at_ns) {
+            self.worst_latency_burn = self.worst_latency_burn.max(b.latency_burn);
+            self.worst_error_burn = self.worst_error_burn.max(b.error_burn);
+        }
+    }
+}
 
 /// How a storm run is scaled.
 pub struct StormConfig {
@@ -159,6 +247,13 @@ pub struct StormReport {
     pub replayed_records: u64,
     /// Unit at which the injected crash was detected (chaos runs).
     pub crashed_at_unit: Option<u64>,
+    /// SLO burn-tracker observation ticks (one per storm unit).
+    pub slo_observations: u64,
+    /// Worst per-window latency burn seen at any unit (fraction of the
+    /// latency error budget consumed per unit of budgeted time).
+    pub worst_latency_burn: f64,
+    /// Worst per-window error burn (dropped-stamp fraction over budget).
+    pub worst_error_burn: f64,
 }
 
 /// SLO bounds asserted over a [`StormReport`].  Latency stamps are host
@@ -235,6 +330,21 @@ impl StormReport {
         }
         if self.crashed_at_unit.is_some() && !self.recovered {
             f.push("crash injected but recovery did not complete".into());
+        }
+        if self.slo_observations == 0 {
+            f.push("SLO burn tracker never observed a unit".into());
+        }
+        if self.worst_latency_burn > 1.0 {
+            f.push(format!(
+                "engine latency budget burned at {:.2}x in some window",
+                self.worst_latency_burn
+            ));
+        }
+        if self.worst_error_burn > 1.0 {
+            f.push(format!(
+                "engine error budget (dropped stamps) burned at {:.2}x in some window",
+                self.worst_error_burn
+            ));
         }
         f
     }
@@ -434,11 +544,14 @@ fn run_units(
     base_rate: &mut Option<f64>,
     fail: Option<&FailPoints>,
     samples: &mut Vec<UnitSample>,
+    slo: &mut SloTrack,
 ) -> Option<u64> {
     let t0 = e.clock().now_secs();
     let base = e.results().counts();
     let mut last_ops = 0u64;
-    let mut last_cycles = e.telemetry().balancer.cycles;
+    let tel0 = e.telemetry();
+    let mut last_cycles = tel0.balancer.cycles;
+    slo.begin_lifetime(e, &tel0);
     let first = units.start;
     for unit in units {
         let p = storm.params_at(unit as f64);
@@ -460,12 +573,14 @@ fn run_units(
         }
         let c = e.results().counts() - base;
         let total = c.lookups + c.upserts;
-        let cycles = e.telemetry().balancer.cycles;
+        let tel = e.telemetry();
+        let cycles = tel.balancer.cycles;
         samples.push(UnitSample {
             phase: p.phase,
             ops: total - last_ops,
             cycles_delta: cycles - last_cycles,
         });
+        slo.observe_unit(e, &tel, unit);
         last_ops = total;
         last_cycles = cycles;
         if fail.is_some_and(|f| f.crashed()) {
@@ -541,6 +656,7 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
     attach_storm_gens(&mut e, idx, &ctl, &storm, scale);
 
     let mut samples = Vec::new();
+    let mut slo_track = SloTrack::new();
     let mut base_rate = None;
     let mut merged: Vec<(u8, LatencySeries)> = Vec::new();
     let mut crashed_at = None;
@@ -586,6 +702,7 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
             &mut base_rate,
             None,
             &mut samples,
+            &mut slo_track,
         );
         assert!(pre.is_none());
         // Arm mid-drift: one of the next group commits kills the process.
@@ -599,6 +716,7 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
             &mut base_rate,
             Some(&fail),
             &mut samples,
+            &mut slo_track,
         );
         let at = crashed
             .unwrap_or_else(|| panic!("armed {FP_JOURNAL_PRE_SYNC} never fired during the storm"));
@@ -624,6 +742,7 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
             &mut base_rate,
             None,
             &mut samples,
+            &mut slo_track,
         );
         assert!(crashed.is_none());
         finish_segment(&mut r, true);
@@ -638,6 +757,7 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
             &mut base_rate,
             None,
             &mut samples,
+            &mut slo_track,
         );
         assert!(crashed.is_none());
         finish_segment(&mut e, true);
@@ -702,6 +822,9 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
         recovered: if cfg.chaos { recovered } else { false },
         replayed_records: replayed,
         crashed_at_unit: crashed_at,
+        slo_observations: slo_track.observations,
+        worst_latency_burn: slo_track.worst_latency_burn,
+        worst_error_burn: slo_track.worst_error_burn,
     }
 }
 
@@ -749,6 +872,13 @@ fn metrics(r: &StormReport, cfg: &StormConfig) -> Metrics {
     m.put("traced", r.traced as f64);
     m.put("dropped_stamps", r.dropped_stamps as f64);
     m.put("replayed_records", r.replayed_records as f64);
+    m.put("slo_observations", r.slo_observations as f64);
+    m.put("worst_latency_burn", r.worst_latency_burn);
+    m.put("worst_error_burn", r.worst_error_burn);
+    m.put(
+        "slo_burn_ok",
+        b(r.slo_observations > 0 && r.worst_latency_burn <= 1.0 && r.worst_error_burn <= 1.0),
+    );
     for l in &r.latencies {
         match l.op {
             "lookup" => {
@@ -847,6 +977,10 @@ pub fn run(quick: bool) {
             r.replayed_records
         );
     }
+    println!(
+        "SLO burn: {} observation ticks, worst latency burn {:.3}x, worst error burn {:.3}x",
+        r.slo_observations, r.worst_latency_burn, r.worst_error_burn
+    );
 
     let failures = r.slo_failures(&Slo::default());
     let m = metrics(&r, &cfg);
@@ -944,6 +1078,9 @@ mod tests {
             recovered: true,
             replayed_records: 40,
             crashed_at_unit: Some(8),
+            slo_observations: 22,
+            worst_latency_burn: 0.0,
+            worst_error_burn: 0.2,
         };
         let m = metrics(&r, &StormConfig::quick());
         let json = to_json(&m, true);
@@ -990,6 +1127,9 @@ mod tests {
             recovered: false,
             replayed_records: 0,
             crashed_at_unit: Some(1),
+            slo_observations: 0,
+            worst_latency_burn: 2.0,
+            worst_error_burn: 3.0,
         };
         let f = r.slo_failures(&Slo::default());
         for needle in [
@@ -1001,6 +1141,9 @@ mod tests {
             "hops p99",
             "recovery did not complete",
             "no traced upsert",
+            "burn tracker never observed",
+            "latency budget burned",
+            "error budget (dropped stamps) burned",
         ] {
             assert!(
                 f.iter().any(|m| m.contains(needle)),
@@ -1031,5 +1174,14 @@ mod tests {
         assert!(r.phases[0].ops > 0, "warmup produced traffic");
         // Open-loop phases produce traffic too (tokens were credited).
         assert!(r.phases[4].ops > 0, "flash crowd produced traffic");
+        // The engine-wide SLO tracker ran and the healthy storm did not
+        // burn its budgets.
+        assert!(r.slo_observations > 0, "SLO tracker never ticked");
+        assert!(
+            r.worst_latency_burn <= 1.0 && r.worst_error_burn <= 1.0,
+            "healthy mini-storm burned an SLO budget: latency {:.3}x errors {:.3}x",
+            r.worst_latency_burn,
+            r.worst_error_burn
+        );
     }
 }

@@ -18,7 +18,9 @@ use eris_column::{Column, ScanKernel, Segment, SharedScan};
 use eris_index::{HashTable, PrefixTree, PrefixTreeConfig};
 use eris_mem::ThreadCache;
 use eris_numa::{CoreId, Flow, NodeId};
-use eris_obs::{now_ns, LatencyRecord, LatencyTable, Stamped, TraceEvent, TraceStamp};
+use eris_obs::{
+    now_ns, LatencyRecord, LatencyTable, Phase, Stamped, TraceEvent, TraceStamp, NUM_PHASES,
+};
 use std::collections::BTreeMap;
 // ordering: Relaxed is the only ordering this module imports — every
 // atomic here is a monotonic telemetry counter that carries no payload;
@@ -315,8 +317,8 @@ impl Aeu {
     /// owner).  No fresh sampling happens on this path.
     fn forward_stray(&mut self, cmd: DataCommand, stamp: Option<TraceStamp>) -> Vec<FlushInfo> {
         let stamp = stamp.map(|s| TraceStamp {
-            submit_ns: s.submit_ns,
             hops: s.hops + 1,
+            ..s
         });
         self.router
             .route_traced(cmd, stamp)
@@ -453,6 +455,19 @@ impl Aeu {
         self.route_and_charge(cmd, w)
     }
 
+    /// Route a command on behalf of the serving layer with a trace
+    /// stamp born at frame decode (full-path tracing: the stamp carries
+    /// `(tenant, conn, seq)` and the net-queue/admission spans).  Costs
+    /// are charged to `w` exactly like [`Self::route_external`].
+    pub fn route_external_traced(
+        &mut self,
+        cmd: DataCommand,
+        stamp: TraceStamp,
+        w: &mut WorkSummary,
+    ) -> Result<(), RoutingError> {
+        self.route_and_charge_with(cmd, Some(stamp), w)
+    }
+
     /// Route one command, charging CPU per emitted sub-command (the batch
     /// target lookup + encode of routing step 1) and flush costs.
     fn route_and_charge(
@@ -460,9 +475,21 @@ impl Aeu {
         cmd: DataCommand,
         w: &mut WorkSummary,
     ) -> Result<(), RoutingError> {
+        self.route_and_charge_with(cmd, None, w)
+    }
+
+    fn route_and_charge_with(
+        &mut self,
+        cmd: DataCommand,
+        stamp: Option<TraceStamp>,
+        w: &mut WorkSummary,
+    ) -> Result<(), RoutingError> {
         let before = self.router.stats.commands_out;
         let keys = cmd.payload.op_count();
-        let fl = self.router.route(cmd)?;
+        let fl = match stamp {
+            Some(s) => self.router.route_stamped(cmd, s)?,
+            None => self.router.route(cmd)?,
+        };
         let emitted = (self.router.stats.commands_out - before).max(1);
         w.cpu_ns += emitted as f64 * self.cfg.params.cpu_ns_per_routed_cmd
             + keys as f64 * self.cfg.params.cpu_ns_per_routed_key;
@@ -579,6 +606,14 @@ impl Aeu {
         self.epoch += 1;
         let mut w = WorkSummary::new(self.node);
         w.cpu_ns += std::mem::take(&mut self.pending_ns);
+        // Epoch profiler: host wall time is attributed to phases as the
+        // step moves through its stages; whatever the stage timeline and
+        // the per-group kernel timings below don't claim is charged as
+        // idle at the end, so the per-AEU phase sums always equal the
+        // measured wall time.
+        let mut phase_ns = [0u64; NUM_PHASES];
+        let step_t0 = now_ns();
+        let mut mark = step_t0;
 
         // Stage 0: command generation (the query layer above).
         if let Some(gen) = &mut self.generator {
@@ -589,6 +624,9 @@ impl Aeu {
                 self.route_and_charge(cmd, &mut w)
                     .expect("generated command targets a registered object");
             }
+            let now = now_ns();
+            phase_ns[Phase::Route as usize] += now.saturating_sub(mark);
+            mark = now;
         }
 
         // Stage 1: swap incoming buffers and group commands.
@@ -640,6 +678,12 @@ impl Aeu {
             }
             self.scratch_cmds.clear();
         }
+        {
+            // Everything since the last mark — buffer swap, decode,
+            // conservation tallies, discard — is input intake.
+            let now = now_ns();
+            phase_ns[Phase::ReadAdmit as usize] += now.saturating_sub(mark);
+        }
         if !self.scratch_cmds.is_empty() {
             // Grouping: stable sort by (object, op) so equal groups are
             // adjacent; cheap relative to processing.  Stamps ride along
@@ -664,6 +708,7 @@ impl Aeu {
                 self.traced_pending.clear();
                 self.process_group(object, op, &cmds[i..j], &mut w);
                 let exec_ns = now_ns().saturating_sub(group_t0);
+                phase_ns[kernel_phase(op) as usize] += exec_ns;
                 let mut max_wait = 0u64;
                 if !self.traced_pending.is_empty() {
                     let pend = std::mem::take(&mut self.traced_pending);
@@ -676,6 +721,10 @@ impl Aeu {
                                 queue_wait_ns: wait,
                                 exec_ns,
                                 hops: stamp.hops,
+                                net_ns: stamp.net_ns as u64,
+                                admit_ns: stamp.admit_ns as u64,
+                                trace_id: stamp.trace_id(),
+                                tenant: stamp.tenant,
                             },
                         );
                     }
@@ -694,8 +743,10 @@ impl Aeu {
         }
 
         // Stage 2 epilogue: flush outgoing buffers before starting over.
+        mark = now_ns();
         let flushes = self.router.flush_all();
         charge_flushes_to(&mut w, &self.cfg.node_of, &flushes, &self.cfg.params, true);
+        phase_ns[Phase::Flush as usize] += now_ns().saturating_sub(mark);
 
         // Fold the step's operation tallies into the telemetry shard
         // (routing-side counters are maintained by the router itself).
@@ -719,6 +770,15 @@ impl Aeu {
         self.tel.step_ns.record((w.cpu_ns + w.latency_ns) as u64);
         if let Some(s) = &self.sink {
             s.end_of_step(self.id);
+        }
+        // Close the profiler's books: idle is the wall-time remainder.
+        let wall = now_ns().saturating_sub(step_t0);
+        let attributed: u64 = phase_ns.iter().sum();
+        phase_ns[Phase::Idle as usize] += wall.saturating_sub(attributed);
+        for (i, &ns) in phase_ns.iter().enumerate() {
+            if ns > 0 {
+                self.tel.profiler.add(Phase::ALL[i], ns);
+            }
         }
         w
     }
@@ -1300,6 +1360,18 @@ impl Aeu {
     /// True when the outgoing buffers are fully drained.
     pub fn is_drained(&self) -> bool {
         self.router.is_drained() && self.incoming.pending_bytes() == 0
+    }
+}
+
+/// The profiler phase a coalesced `(object, op)` group's execution wall
+/// time is charged to: scans hit the chunked scan kernels, lookups and
+/// join probes the hash/index probe kernels, upserts and materialized
+/// appends the write path.
+fn kernel_phase(op: StorageOp) -> Phase {
+    match op {
+        StorageOp::Scan => Phase::ScanKernel,
+        StorageOp::Lookup | StorageOp::JoinProbe => Phase::Probe,
+        StorageOp::Upsert | StorageOp::Materialize => Phase::Write,
     }
 }
 

@@ -437,21 +437,32 @@ impl DataCommand {
     }
 }
 
+/// Trace-marker body length: hops + tenant + conn + net_ns + admit_ns
+/// (4 bytes each) + seq (8 bytes).
+const TRACE_BODY_BYTES: usize = 4 * 5 + 8;
+
 /// Encoded size of one trace marker record.
-pub const TRACE_MARKER_BYTES: usize = HEADER_BYTES + 4;
+pub const TRACE_MARKER_BYTES: usize = HEADER_BYTES + TRACE_BODY_BYTES;
 
 /// Append an in-band latency-trace marker annotating the next command in
 /// the stream.  The marker reuses the command-header shape
 /// (`[op][object:u32][u64][plen:u32]`) so stream walking stays uniform:
-/// the ticket slot carries the submit-time clock reading and the 4-byte
-/// body the stray-forwarding hop count.
+/// the ticket slot carries the submit-time clock reading and the body
+/// the stray-forwarding hop count plus the serving-side trace context
+/// (`tenant`/`conn`/`seq` identity and the net-queue / admission spans
+/// accumulated before routing).
 pub fn encode_trace_marker(object: DataObjectId, stamp: TraceStamp, out: &mut Vec<u8>) {
     out.reserve(TRACE_MARKER_BYTES);
     out.put_u8(OP_TRACE);
     out.put_u32_le(object.0);
     out.put_u64_le(stamp.submit_ns);
-    out.put_u32_le(4);
+    out.put_u32_le(TRACE_BODY_BYTES as u32);
     out.put_u32_le(stamp.hops);
+    out.put_u32_le(stamp.tenant);
+    out.put_u32_le(stamp.conn);
+    out.put_u32_le(stamp.net_ns);
+    out.put_u32_le(stamp.admit_ns);
+    out.put_u64_le(stamp.seq);
 }
 
 /// Decode one trace marker from the front of `buf`, advancing it only on
@@ -466,15 +477,31 @@ fn try_decode_trace_marker(buf: &mut &[u8]) -> Result<(DataObjectId, TraceStamp)
     let object = DataObjectId(cur.get_u32_le());
     let submit_ns = cur.get_u64_le();
     let plen = cur.get_u32_le();
-    if plen != 4 {
+    if plen != TRACE_BODY_BYTES as u32 {
         return Err(DecodeError::TrailingPayloadBytes {
             declared: plen,
-            consumed: 4,
+            consumed: TRACE_BODY_BYTES as u32,
         });
     }
     let hops = cur.get_u32_le();
+    let tenant = cur.get_u32_le();
+    let conn = cur.get_u32_le();
+    let net_ns = cur.get_u32_le();
+    let admit_ns = cur.get_u32_le();
+    let seq = cur.get_u64_le();
     *buf = &buf[TRACE_MARKER_BYTES..];
-    Ok((object, TraceStamp { submit_ns, hops }))
+    Ok((
+        object,
+        TraceStamp {
+            submit_ns,
+            hops,
+            tenant,
+            conn,
+            seq,
+            net_ns,
+            admit_ns,
+        },
+    ))
 }
 
 fn payload_len(p: &Payload) -> usize {
@@ -748,8 +775,13 @@ mod tests {
             },
         };
         let stamp = TraceStamp {
-            submit_ns: 123_456_789,
             hops: 2,
+            tenant: 11,
+            conn: 4,
+            seq: 900,
+            net_ns: 5_000,
+            admit_ns: 250,
+            ..TraceStamp::engine(123_456_789)
         };
         let mut buf = Vec::new();
         a.encode(&mut buf);
@@ -771,14 +803,7 @@ mod tests {
         // `try_decode` guards external input (journal replay); markers
         // are routing-internal and must not decode as commands there.
         let mut buf = Vec::new();
-        encode_trace_marker(
-            DataObjectId(7),
-            TraceStamp {
-                submit_ns: 1,
-                hops: 0,
-            },
-            &mut buf,
-        );
+        encode_trace_marker(DataObjectId(7), TraceStamp::engine(1), &mut buf);
         let mut cur = buf.as_slice();
         assert_eq!(
             DataCommand::try_decode(&mut cur),
@@ -790,14 +815,7 @@ mod tests {
     #[should_panic(expected = "dangling trace marker")]
     fn dangling_trace_marker_panics() {
         let mut buf = Vec::new();
-        encode_trace_marker(
-            DataObjectId(0),
-            TraceStamp {
-                submit_ns: 0,
-                hops: 0,
-            },
-            &mut buf,
-        );
+        encode_trace_marker(DataObjectId(0), TraceStamp::engine(0), &mut buf);
         DataCommand::decode_all_traced(&buf);
     }
 
@@ -889,7 +907,60 @@ mod proptests {
             )
     }
 
+    fn arb_stamp() -> impl Strategy<Value = TraceStamp> {
+        (
+            (FULL, 0u32..=u32::MAX, 0u32..=u32::MAX),
+            (0u32..=u32::MAX, FULL, 0u32..=u32::MAX, 0u32..=u32::MAX),
+        )
+            .prop_map(
+                |((submit_ns, hops, tenant), (conn, seq, net_ns, admit_ns))| TraceStamp {
+                    submit_ns,
+                    hops,
+                    tenant,
+                    conn,
+                    seq,
+                    net_ns,
+                    admit_ns,
+                },
+            )
+    }
+
     proptest! {
+        /// The extended trace-context marker (identity + serving-side
+        /// spans) round-trips bit-for-bit through the in-band wire
+        /// encoding, and the stamp lands on the command it precedes.
+        #[test]
+        fn trace_marker_roundtrips_full_context(
+            stamp in arb_stamp(),
+            cmd in arb_command(),
+        ) {
+            let mut buf = Vec::new();
+            encode_trace_marker(cmd.object, stamp, &mut buf);
+            prop_assert_eq!(buf.len(), TRACE_MARKER_BYTES);
+            cmd.encode(&mut buf);
+            let traced = DataCommand::decode_all_traced(&buf);
+            prop_assert_eq!(traced.len(), 1);
+            let (back, got) = traced.into_iter().next().unwrap();
+            prop_assert_eq!(back, cmd);
+            prop_assert_eq!(got, Some(stamp));
+            // Derived trace ids are stable across the round trip.
+            prop_assert_eq!(got.unwrap().trace_id(), stamp.trace_id());
+        }
+
+        /// Truncating a marker anywhere must yield a clean typed error
+        /// from the internal marker decoder path (via decode_all_traced
+        /// panicking is reserved for malformed *internal* buffers; here
+        /// we check the guarded entry point used on journal bytes).
+        #[test]
+        fn truncated_marker_is_rejected_externally(stamp in arb_stamp()) {
+            let mut buf = Vec::new();
+            encode_trace_marker(DataObjectId(3), stamp, &mut buf);
+            for cut in 1..buf.len() {
+                let mut cur = &buf[..cut];
+                prop_assert!(DataCommand::try_decode(&mut cur).is_err());
+            }
+        }
+
         #[test]
         fn encoding_roundtrips(cmd in arb_command()) {
             let mut buf = Vec::new();

@@ -19,7 +19,7 @@ use eris_column::ScanKernel;
 use eris_index::PrefixTreeConfig;
 use eris_mem::{MemoryManager, ThreadCache};
 use eris_numa::{CoreId, FlowSolver, HwCounters, NodeId, Topology, VirtualClock};
-use eris_obs::{now_ns, Stamped, TraceEvent};
+use eris_obs::{now_ns, Stamped, TraceEvent, TraceStamp};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -340,8 +340,26 @@ impl Engine {
     /// A consistent point-in-time snapshot of the engine's telemetry:
     /// per-AEU, per-node and engine-wide counters, merged histograms, and
     /// the per-object enqueued-equals-executed conservation ledger.
+    /// Cross-node link traffic from the hardware-counter model is
+    /// attributed per link and direction.
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        self.shared.telemetry_snapshot(&self.node_of)
+        let mut snap = self.shared.telemetry_snapshot(&self.node_of);
+        snap.links = self
+            .topo
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let d = self.counters.link_bytes(i);
+                crate::telemetry::LinkTraffic {
+                    a: l.a.0 as u32,
+                    b: l.b.0 as u32,
+                    bytes_ab: d[0],
+                    bytes_ba: d[1],
+                }
+            })
+            .collect();
+        snap
     }
 
     /// All retained trace events across every AEU's ring, merged in
@@ -537,6 +555,14 @@ impl Engine {
         self.shared.telemetry().shard(aeu)
     }
 
+    /// The engine-wide live latency table.  The serving layer charges
+    /// stamps it drops at admission (shed / quota-denied / rejected)
+    /// directly against this `stamped == traced + dropped` ledger so the
+    /// trace conservation law holds across the full request path.
+    pub fn latency(&self) -> &Arc<eris_obs::LatencyTable> {
+        self.shared.telemetry().latency()
+    }
+
     /// Object name (diagnostics).
     pub fn object_name(&self, id: DataObjectId) -> &str {
         &self.objects[id.0 as usize].name
@@ -606,6 +632,22 @@ impl Engine {
         let mut w = crate::aeu::WorkSummary::new(node);
         self.aeus[via.index()].route_external(cmd, &mut w)?;
         // Submission costs are charged to the next epoch via pending ns.
+        self.aeus[via.index()].add_pending_ns(w.cpu_ns + w.latency_ns);
+        Ok(())
+    }
+
+    /// Submit one command carrying a serving-layer trace stamp born at
+    /// frame decode (full-path tracing: identity + net/admit spans ride
+    /// to the executing AEU).  Otherwise identical to [`Self::submit`].
+    pub fn submit_traced(
+        &mut self,
+        via: AeuId,
+        cmd: DataCommand,
+        stamp: TraceStamp,
+    ) -> Result<(), RoutingError> {
+        let node = self.node_of[via.index()];
+        let mut w = crate::aeu::WorkSummary::new(node);
+        self.aeus[via.index()].route_external_traced(cmd, stamp, &mut w)?;
         self.aeus[via.index()].add_pending_ns(w.cpu_ns + w.latency_ns);
         Ok(())
     }

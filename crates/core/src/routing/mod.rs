@@ -287,10 +287,7 @@ impl Router {
         }
         self.trace_counter += 1;
         if self.trace_counter.is_multiple_of(self.trace_sample_every) {
-            Some(TraceStamp {
-                submit_ns: now_ns(),
-                hops: 0,
-            })
+            Some(TraceStamp::engine(now_ns()))
         } else {
             None
         }
@@ -304,6 +301,19 @@ impl Router {
     pub fn route(&mut self, cmd: DataCommand) -> Result<Vec<FlushInfo>, RoutingError> {
         let stamp = self.maybe_stamp();
         self.route_with(cmd, stamp, true)
+    }
+
+    /// Route a command stamped *by the serving layer*: the stamp was
+    /// born at frame decode (it carries the `(tenant, conn, seq)`
+    /// identity and the net-queue/admission spans) rather than by the
+    /// router's own sampler, so this charges stamp accounting like a
+    /// fresh stamp and bypasses the 1-in-N counter entirely.
+    pub fn route_stamped(
+        &mut self,
+        cmd: DataCommand,
+        stamp: TraceStamp,
+    ) -> Result<Vec<FlushInfo>, RoutingError> {
+        self.route_with(cmd, Some(stamp), true)
     }
 
     /// Route a command that already carries a trace stamp (stray
@@ -657,8 +667,8 @@ mod tests {
     fn forwarded_stamps_keep_their_hop_count() {
         let (shared, mut router) = setup(2, 100);
         let stamp = Some(TraceStamp {
-            submit_ns: 42,
             hops: 3,
+            ..TraceStamp::engine(42)
         });
         router
             .route_traced(
@@ -679,13 +689,53 @@ mod tests {
         assert_eq!(
             decoded[0].1,
             Some(TraceStamp {
-                submit_ns: 42,
-                hops: 3
+                hops: 3,
+                ..TraceStamp::engine(42)
             }),
             "the stamp rides along unchanged"
         );
         let (stamped, _, _) = shared.telemetry().latency().ledger();
         assert_eq!(stamped, 0, "re-emission never double-counts stamping");
+    }
+
+    #[test]
+    fn serving_stamps_charge_the_ledger_and_carry_context() {
+        let (shared, mut router) = setup(2, 100);
+        let stamp = TraceStamp {
+            tenant: 9,
+            conn: 3,
+            seq: 77,
+            net_ns: 1_000,
+            admit_ns: 50,
+            ..TraceStamp::engine(1234)
+        };
+        router
+            .route_stamped(
+                DataCommand {
+                    object: DataObjectId(0),
+                    ticket: 1,
+                    payload: Payload::Lookup { keys: vec![60] },
+                },
+                stamp,
+            )
+            .unwrap();
+        router.flush_all();
+        let mut decoded = Vec::new();
+        shared
+            .incoming(AeuId(1))
+            .swap_and_consume(|d| decoded = DataCommand::decode_all_traced(d));
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(
+            decoded[0].1,
+            Some(stamp),
+            "identity and serving spans survive the wire"
+        );
+        let (stamped, traced, dropped) = shared.telemetry().latency().ledger();
+        assert_eq!(
+            (stamped, traced, dropped),
+            (1, 0, 0),
+            "a serving stamp enters the ledger at marker emission"
+        );
     }
 
     #[test]

@@ -231,8 +231,8 @@ mod tests {
         let mut out = OutgoingBuffers::new(2, 1024);
         let inc = IncomingBuffers::new(4096);
         let stamp = TraceStamp {
-            submit_ns: 777,
             hops: 1,
+            ..TraceStamp::engine(777)
         };
         out.push_unicast_traced(AeuId(1), &lookup_cmd(vec![1, 2]), Some(stamp));
         out.push_unicast_traced(AeuId(1), &lookup_cmd(vec![3]), None);

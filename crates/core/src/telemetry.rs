@@ -19,7 +19,10 @@
 
 use crate::command::{AeuId, DataObjectId};
 use eris_numa::NodeId;
-use eris_obs::{LatencyKey, LatencySeries, LatencyTable, Metric, MetricKind, RingStats, TraceRing};
+use eris_obs::{
+    Exemplar, LatencyKey, LatencySeries, LatencyTable, LogHistogram, Metric, MetricKind, Phase,
+    PhaseBreakdown, PhaseProfiler, RingStats, TraceRing,
+};
 use parking_lot::RwLock;
 use std::fmt;
 // ordering: Relaxed is the only ordering this module imports — every
@@ -317,6 +320,10 @@ pub struct TelemetryShard {
     pub step_ns: Histogram,
     /// The structured trace events of this AEU (overwrite-oldest).
     pub ring: TraceRing,
+    /// Epoch wall time attributed to execution phases (the per-AEU
+    /// epoch profiler; idle is charged as the unattributed remainder,
+    /// so phase fractions sum to 1 by construction).
+    pub profiler: PhaseProfiler,
 }
 
 impl TelemetryShard {
@@ -334,6 +341,7 @@ impl TelemetryShard {
         self.swap_batch.reset();
         self.exec_group.reset();
         self.step_ns.reset();
+        self.profiler.reset();
     }
 }
 
@@ -525,6 +533,12 @@ impl Telemetry {
                 dropped,
             },
             latency: self.latency.snapshot(),
+            tenant_latency: self.latency.tenant_snapshot(),
+            exemplars: self.latency.exemplars(),
+            phases: self.shards.iter().map(|s| s.profiler.snapshot()).collect(),
+            // Cross-node link traffic lives in the engine's HwCounters,
+            // not the registry; `Engine::telemetry` patches it in.
+            links: Vec::new(),
             rings: self.shards.iter().map(|s| s.ring.stats()).collect(),
         }
     }
@@ -590,8 +604,32 @@ pub struct TelemetrySnapshot {
     pub trace: TraceLedger,
     /// Per-(object, op) sampled latency series, sorted by key.
     pub latency: Vec<(LatencyKey, LatencySeries)>,
+    /// Per-tenant full-path latency histograms (serving traces only),
+    /// sorted by tenant id.
+    pub tenant_latency: Vec<(u32, LogHistogram)>,
+    /// Per-bucket most-recent full-path trace exemplars.
+    pub exemplars: Vec<Option<Exemplar>>,
+    /// Per-AEU epoch-phase wall-time attribution, indexed like
+    /// `per_aeu`.
+    pub phases: Vec<PhaseBreakdown>,
+    /// Cross-node interconnect traffic per link and direction (empty
+    /// when the runtime has no hardware-counter model attached).
+    pub links: Vec<LinkTraffic>,
     /// Per-AEU trace-ring accounting, indexed like `per_aeu`.
     pub rings: Vec<RingStats>,
+}
+
+/// Byte traffic over one interconnect link, per direction, as recorded
+/// by the engine's `eris_numa::HwCounters` model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkTraffic {
+    /// Endpoint node ids (the topology's link endpoint order).
+    pub a: u32,
+    pub b: u32,
+    /// Bytes that flowed `a → b`.
+    pub bytes_ab: u64,
+    /// Bytes that flowed `b → a`.
+    pub bytes_ba: u64,
 }
 
 impl TelemetrySnapshot {
@@ -599,6 +637,25 @@ impl TelemetrySnapshot {
     /// Holds exactly when the engine is drained.
     pub fn conservation_holds(&self) -> bool {
         self.objects.iter().all(|o| o.enqueued == o.executed)
+    }
+
+    /// Profiler invariant: for every AEU that attributed any wall time,
+    /// the phase fractions sum to 1 within `tol` (the `server`
+    /// experiment asserts this at ±1%).
+    pub fn phases_sum_to_one(&self, tol: f64) -> bool {
+        self.phases.iter().all(|p| {
+            if p.total_ns() == 0 {
+                return true;
+            }
+            let sum: f64 = Phase::ALL.iter().map(|&ph| p.fraction(ph)).sum();
+            (sum - 1.0).abs() <= tol
+        })
+    }
+
+    /// Collapsed-stack (flamegraph input) render of the per-AEU epoch
+    /// phase profile: one `aeu{i};{phase} {ns}` line per nonzero pair.
+    pub fn collapsed_stack(&self) -> String {
+        eris_obs::collapsed_stack(&self.phases)
     }
 
     /// Hand-rolled JSON render (no serde dependency).
@@ -683,6 +740,65 @@ impl TelemetrySnapshot {
                 series.exec.sum,
                 series.hops.count,
                 series.hops.sum
+            ));
+        }
+        s.push_str("],\"tenant_latency\":[");
+        for (i, (tenant, h)) in self.tenant_latency.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"tenant\":{tenant},\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{}}}",
+                h.count,
+                h.sum,
+                h.p50(),
+                h.p99()
+            ));
+        }
+        s.push_str("],\"exemplars\":[");
+        let mut first = true;
+        for (bucket, e) in self.exemplars.iter().enumerate() {
+            let Some(e) = e else { continue };
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"bucket\":{bucket},\"trace_id\":\"{:016x}\",\"tenant\":{},\
+                 \"total_ns\":{},\"net_ns\":{},\"admit_ns\":{},\"queue_ns\":{},\
+                 \"exec_ns\":{},\"hops\":{}}}",
+                e.trace_id,
+                e.tenant,
+                e.total_ns,
+                e.net_ns,
+                e.admit_ns,
+                e.queue_ns,
+                e.exec_ns,
+                e.hops
+            ));
+        }
+        s.push_str("],\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            for (j, &ph) in Phase::ALL.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{}\":{}", ph.name(), p.get(ph)));
+            }
+            s.push('}');
+        }
+        s.push_str("],\"links\":[");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"a\":{},\"b\":{},\"bytes_ab\":{},\"bytes_ba\":{}}}",
+                l.a, l.b, l.bytes_ab, l.bytes_ba
             ));
         }
         s.push_str("],\"rings\":[");
@@ -857,6 +973,88 @@ impl TelemetrySnapshot {
             out.push(cnt);
             out.push(sum);
         }
+        // Per-tenant full-path latency (serving traces).
+        let mut tcnt = Metric::new(
+            "eris_tenant_full_latency_ns_count",
+            "Serving-layer traces recorded per tenant (full path: net + admit + queue + exec).",
+            MetricKind::Counter,
+        );
+        let mut tsum = Metric::new(
+            "eris_tenant_full_latency_ns_sum",
+            "Sum of per-tenant full-path trace latencies in ns.",
+            MetricKind::Counter,
+        );
+        let mut tp99 = Metric::new(
+            "eris_tenant_full_latency_p99_ns",
+            "Per-tenant full-path p99 latency estimate (log2 bucket upper bound).",
+            MetricKind::Gauge,
+        );
+        for (tenant, h) in &self.tenant_latency {
+            let t = tenant.to_string();
+            tcnt = tcnt.sample(&[("tenant", &t)], h.count as f64);
+            tsum = tsum.sample(&[("tenant", &t)], h.sum as f64);
+            tp99 = tp99.sample(&[("tenant", &t)], h.p99() as f64);
+        }
+        out.push(tcnt);
+        out.push(tsum);
+        out.push(tp99);
+        // Histogram exemplars: one sample per retained bucket occupant
+        // and span, so a tail bucket resolves to its full-path trace.
+        let mut exm = Metric::new(
+            "eris_latency_exemplar_ns",
+            "Most recent full-path trace retained per latency bucket, decomposed by span.",
+            MetricKind::Gauge,
+        );
+        for (bucket, e) in self.exemplars.iter().enumerate() {
+            let Some(e) = e else { continue };
+            let le = eris_obs::latency::bucket_le(bucket).to_string();
+            let id = format!("{:016x}", e.trace_id);
+            let tenant = e.tenant.to_string();
+            for (span, v) in [
+                ("total", e.total_ns),
+                ("net", e.net_ns),
+                ("admit", e.admit_ns),
+                ("queue", e.queue_ns),
+                ("exec", e.exec_ns),
+            ] {
+                exm = exm.sample(
+                    &[
+                        ("le", &le),
+                        ("trace_id", &id),
+                        ("tenant", &tenant),
+                        ("span", span),
+                    ],
+                    v as f64,
+                );
+            }
+        }
+        out.push(exm);
+        // Per-AEU epoch-phase attribution.
+        let mut phase = Metric::new(
+            "eris_aeu_phase_ns_total",
+            "Epoch wall time attributed to each execution phase, per AEU.",
+            MetricKind::Counter,
+        );
+        for (aeu, p) in self.phases.iter().enumerate() {
+            let a = aeu.to_string();
+            for &ph in Phase::ALL.iter() {
+                phase = phase.sample(&[("aeu", &a), ("phase", ph.name())], p.get(ph) as f64);
+            }
+        }
+        out.push(phase);
+        // Cross-node link traffic.
+        let mut link = Metric::new(
+            "eris_link_bytes_total",
+            "Bytes that crossed each interconnect link, per direction.",
+            MetricKind::Counter,
+        );
+        for l in &self.links {
+            let (a, b) = (l.a.to_string(), l.b.to_string());
+            link = link
+                .sample(&[("a", &a), ("b", &b), ("dir", "ab")], l.bytes_ab as f64)
+                .sample(&[("a", &a), ("b", &b), ("dir", "ba")], l.bytes_ba as f64);
+        }
+        out.push(link);
         out
     }
 
@@ -953,6 +1151,37 @@ impl fmt::Display for TelemetrySnapshot {
                     format!("({} in flight)", o.in_flight())
                 }
             )?;
+        }
+        let filled = self.exemplars.iter().flatten().count();
+        if !self.tenant_latency.is_empty() || filled > 0 {
+            writeln!(
+                f,
+                "  serving: {} tenant latency series, {} bucket exemplars",
+                self.tenant_latency.len(),
+                filled
+            )?;
+        }
+        let mut agg = PhaseBreakdown::default();
+        for p in &self.phases {
+            for (slot, v) in agg.ns.iter_mut().zip(p.ns.iter()) {
+                *slot += v;
+            }
+        }
+        if agg.total_ns() > 0 {
+            write!(f, "  phases:")?;
+            for &ph in Phase::ALL.iter() {
+                write!(f, " {} {:.0}%", ph.name(), agg.fraction(ph) * 100.0)?;
+            }
+            writeln!(f)?;
+        }
+        for l in &self.links {
+            if l.bytes_ab + l.bytes_ba > 0 {
+                writeln!(
+                    f,
+                    "  link {}<->{}: {} B ->, {} B <-",
+                    l.a, l.b, l.bytes_ab, l.bytes_ba
+                )?;
+            }
         }
         writeln!(f, "  swap batch: {}", self.swap_batch)?;
         writeln!(f, "  exec group: {}", self.exec_group)?;

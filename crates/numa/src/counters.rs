@@ -69,6 +69,18 @@ impl HwCounters {
         self.link_bytes[link][0] + self.link_bytes[link][1]
     }
 
+    /// Per-direction bytes over one link: `[a→b, b→a]` in the link's
+    /// endpoint order (`Topology::links()[link].a` / `.b`).  Feeds the
+    /// live link-attribution panel and the telemetry snapshot.
+    pub fn link_bytes(&self, link: usize) -> [u64; 2] {
+        self.link_bytes[link]
+    }
+
+    /// Number of links this counter set tracks.
+    pub fn num_links(&self) -> usize {
+        self.link_bytes.len()
+    }
+
     /// Fraction of requests that were remote.
     pub fn remote_fraction(&self) -> f64 {
         let total = self.local_requests + self.remote_requests;
@@ -138,6 +150,29 @@ mod tests {
         assert_eq!(c.total_link_bytes(), 1000, "500 bytes over each of 2 links");
         assert_eq!(c.imc_bytes(b), 500);
         assert_eq!(c.remote_requests, 1);
+    }
+
+    #[test]
+    fn link_bytes_are_attributed_per_direction() {
+        let t = intel_machine();
+        // A directly-linked pair: traffic each way lands in opposite
+        // direction slots of the same link.
+        let (a, b) = t
+            .nodes()
+            .flat_map(|a| t.nodes().map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && t.hops(a, b) == 1)
+            .unwrap();
+        let mut c = HwCounters::new(&t);
+        c.record(&t, a, b, 100);
+        c.record(&t, b, a, 300);
+        let (link, _) = (0..c.num_links())
+            .map(|i| (i, c.link_bytes(i)))
+            .find(|(_, d)| d[0] + d[1] > 0)
+            .unwrap();
+        let d = c.link_bytes(link);
+        assert_eq!(d[0] + d[1], 400);
+        assert!(d[0] > 0 && d[1] > 0, "both directions saw traffic: {d:?}");
+        assert_ne!(d[0], d[1], "asymmetric traffic stays asymmetric");
     }
 
     #[test]

@@ -123,18 +123,98 @@ impl Stamped {
     }
 }
 
+/// Sentinel tenant for stamps originated inside the engine (generator
+/// traffic, tests) rather than by a serving-layer request.
+pub const TENANT_NONE: u32 = u32::MAX;
+
 /// The sampled end-to-end latency stamp carried through routing with a
 /// command (see `eris-core`'s wire-format marker records).  `submit_ns`
 /// is the routing-time clock reading; `hops` counts stray forwardings.
+///
+/// Serving-layer stamps additionally carry the request identity
+/// `(tenant, conn, seq)` plus the spans accumulated *before* routing:
+/// the network-queue wait and the admission decision.  Engine-originated
+/// stamps use [`TraceStamp::engine`], which zeroes those fields and sets
+/// `tenant` to [`TENANT_NONE`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceStamp {
     pub submit_ns: u64,
     pub hops: u32,
+    /// Originating tenant, or [`TENANT_NONE`] for engine-born stamps.
+    pub tenant: u32,
+    /// Originating connection id (0 when engine-born).
+    pub conn: u32,
+    /// Request sequence number on the connection (0 when engine-born).
+    pub seq: u64,
+    /// Network-queue span: frame arrival to admission, in ns.
+    pub net_ns: u32,
+    /// Admission span: verdict computation (credit/quota/watermark), ns.
+    pub admit_ns: u32,
+}
+
+impl TraceStamp {
+    /// A stamp born at engine routing time, with no serving-side spans.
+    pub fn engine(submit_ns: u64) -> Self {
+        TraceStamp {
+            submit_ns,
+            hops: 0,
+            tenant: TENANT_NONE,
+            conn: 0,
+            seq: 0,
+            net_ns: 0,
+            admit_ns: 0,
+        }
+    }
+
+    /// Stable trace id derived from the request identity: FNV-1a over
+    /// `(tenant, conn, seq, submit_ns)`.  Exemplars store this id so a
+    /// tail-bucket outlier links back to the full-path trace.
+    pub fn trace_id(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [
+            self.tenant as u64,
+            self.conn as u64,
+            self.seq,
+            self.submit_ns,
+        ] {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_stamps_have_no_serving_identity() {
+        let s = TraceStamp::engine(1234);
+        assert_eq!(s.submit_ns, 1234);
+        assert_eq!(s.tenant, TENANT_NONE);
+        assert_eq!(
+            (s.conn, s.seq, s.net_ns, s.admit_ns, s.hops),
+            (0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn trace_ids_distinguish_requests() {
+        let a = TraceStamp {
+            tenant: 1,
+            conn: 2,
+            seq: 3,
+            ..TraceStamp::engine(100)
+        };
+        let b = TraceStamp { seq: 4, ..a };
+        let c = TraceStamp { tenant: 2, ..a };
+        assert_eq!(a.trace_id(), a.trace_id(), "deterministic");
+        assert_ne!(a.trace_id(), b.trace_id());
+        assert_ne!(a.trace_id(), c.trace_id());
+    }
 
     #[test]
     fn every_kind_renders_parseable_jsonl() {

@@ -7,10 +7,18 @@
 //! batch), **execution** (the batch's host-time cost) and **forwarding
 //! hops** (how many times the command was re-routed as a stray).
 //!
+//! Serving-layer traces (originated by `eris-server` at frame decode)
+//! additionally carry the **network-queue** and **admission** spans and
+//! a `(tenant, conn, seq)` identity; those land in per-tenant full-path
+//! histograms and per-bucket [`Exemplar`] slots so a tail outlier in
+//! the export links back to its complete span breakdown.
+//!
 //! Histograms are log2-bucketed: bucket `b` holds values in
 //! `[2^b, 2^(b+1))` (bucket 0 also holds 0).  32 buckets cover ~4.3 s
 //! in nanoseconds, far beyond any sane command latency.
 
+use crate::event::TENANT_NONE;
+use crate::exemplar::{Exemplar, ExemplarTable};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 // ordering: Relaxed is the only ordering this module imports — bucket
@@ -97,17 +105,64 @@ impl LogHistogram {
     pub fn p99(&self) -> u64 {
         self.quantile_le(0.99)
     }
+
+    /// Number of recorded samples that *may* exceed `threshold`: the
+    /// population of every bucket whose inclusive upper bound is above
+    /// it.  Conservative by at most one log2 bucket (a sample in the
+    /// straddling bucket counts as bad even if it was just under) —
+    /// the SLO engine prefers over-counting badness to under-counting.
+    pub fn count_over(&self, threshold: u64) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| bucket_le(*b) > threshold)
+            .map(|(_, &n)| n)
+            .sum()
+    }
 }
 
 /// Key of one latency series: (object id, command op tag).
 pub type LatencyKey = (u32, u8);
 
 /// The decomposed latency record of one traced command.
+///
+/// Engine-born traces leave the serving-side fields at their defaults
+/// (`tenant == TENANT_NONE`, zero net/admit spans, `trace_id` 0 is
+/// accepted but serving traces carry `TraceStamp::trace_id`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyRecord {
     pub queue_wait_ns: u64,
     pub exec_ns: u64,
     pub hops: u32,
+    /// Network-queue span (frame arrival → admission), serving only.
+    pub net_ns: u64,
+    /// Admission-verdict span, serving only.
+    pub admit_ns: u64,
+    /// Stable trace id (see `TraceStamp::trace_id`), 0 if unset.
+    pub trace_id: u64,
+    /// Originating tenant, [`TENANT_NONE`] when engine-born.
+    pub tenant: u32,
+}
+
+impl Default for LatencyRecord {
+    fn default() -> Self {
+        LatencyRecord {
+            queue_wait_ns: 0,
+            exec_ns: 0,
+            hops: 0,
+            net_ns: 0,
+            admit_ns: 0,
+            trace_id: 0,
+            tenant: TENANT_NONE,
+        }
+    }
+}
+
+impl LatencyRecord {
+    /// Full-path latency: every span the trace accumulated.
+    pub fn total_ns(&self) -> u64 {
+        self.net_ns + self.admit_ns + self.queue_wait_ns + self.exec_ns
+    }
 }
 
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -127,12 +182,19 @@ pub struct LatencySeries {
 #[derive(Debug, Default)]
 pub struct LatencyTable {
     series: Mutex<HashMap<LatencyKey, LatencySeries>>,
+    /// Per-tenant full-path (net + admit + queue + exec) histograms,
+    /// fed only by serving-layer traces (`tenant != TENANT_NONE`).
+    tenant_full: Mutex<HashMap<u32, LogHistogram>>,
+    /// Per-bucket most-recent-trace exemplars for the full-path
+    /// histogram (seqlock slots, read lock-free by exporters).
+    exemplars: ExemplarTable,
     /// Commands stamped at routing time.
     stamped: AtomicU64,
     /// Stamped commands whose latency was recorded at execution.
     traced: AtomicU64,
     /// Stamped commands discarded before execution (e.g. an incoming
-    /// buffer dropped in a crash-injection run).
+    /// buffer dropped in a crash-injection run, or a serving-side
+    /// shed/denial after the stamp was charged).
     dropped: AtomicU64,
 }
 
@@ -148,11 +210,35 @@ impl LatencyTable {
     /// Record one traced command's decomposition.
     pub fn record(&self, key: LatencyKey, rec: LatencyRecord) {
         self.traced.fetch_add(1, Relaxed);
-        let mut map = self.series.lock();
-        let s = map.entry(key).or_default();
-        s.queue_wait.record(rec.queue_wait_ns);
-        s.exec.record(rec.exec_ns);
-        s.hops.record(rec.hops as u64);
+        let total = rec.total_ns();
+        {
+            let mut map = self.series.lock();
+            let s = map.entry(key).or_default();
+            s.queue_wait.record(rec.queue_wait_ns);
+            s.exec.record(rec.exec_ns);
+            s.hops.record(rec.hops as u64);
+        }
+        if rec.tenant != TENANT_NONE {
+            self.tenant_full
+                .lock()
+                .entry(rec.tenant)
+                .or_default()
+                .record(total);
+        }
+        self.exemplars.record(
+            bucket_of(total),
+            Exemplar {
+                trace_id: rec.trace_id,
+                at_ns: crate::clock::now_ns(),
+                total_ns: total,
+                net_ns: rec.net_ns,
+                admit_ns: rec.admit_ns,
+                queue_ns: rec.queue_wait_ns,
+                exec_ns: rec.exec_ns,
+                hops: rec.hops,
+                tenant: rec.tenant,
+            },
+        );
     }
 
     /// `(stamped, traced, dropped)` — conservation requires
@@ -173,9 +259,25 @@ impl LatencyTable {
         out
     }
 
+    /// Per-tenant full-path histograms, sorted by tenant id.
+    pub fn tenant_snapshot(&self) -> Vec<(u32, LogHistogram)> {
+        let map = self.tenant_full.lock();
+        let mut out: Vec<_> = map.iter().map(|(k, v)| (*k, v.clone())).collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Per-bucket exemplars of the full-path histogram (`None` = the
+    /// bucket never received a traced command).
+    pub fn exemplars(&self) -> Vec<Option<Exemplar>> {
+        self.exemplars.snapshot()
+    }
+
     pub fn reset(&self) {
         let mut map = self.series.lock();
         map.clear();
+        self.tenant_full.lock().clear();
+        self.exemplars.reset();
         self.stamped.store(0, Relaxed);
         self.traced.store(0, Relaxed);
         self.dropped.store(0, Relaxed);
@@ -300,6 +402,7 @@ mod tests {
                     queue_wait_ns: i * 100,
                     exec_ns: i * 10,
                     hops: (i % 2) as u32,
+                    ..LatencyRecord::default()
                 },
             );
         }
@@ -313,5 +416,72 @@ mod tests {
         assert_eq!(s.exec.count, 7);
         assert_eq!(s.hops.count, 7);
         assert!(s.queue_wait.mean() > 0.0);
+    }
+
+    #[test]
+    fn count_over_is_conservative_within_one_bucket() {
+        let mut h = LogHistogram::default();
+        for v in [10u64, 100, 1_000, 10_000, 100_000] {
+            h.record(v);
+        }
+        // Exactly at a bucket upper bound: buckets strictly above count.
+        assert_eq!(h.count_over(bucket_le(bucket_of(1_000))), 2);
+        // Far below everything / above everything.
+        assert_eq!(h.count_over(0), 5);
+        assert_eq!(h.count_over(u64::MAX), 0);
+        // A threshold inside a bucket counts that whole bucket as bad
+        // (over-estimate, never under): 70_000 shares 100_000's log2
+        // bucket, so the 100_000 sample counts even though 70_000 < it.
+        assert_eq!(h.count_over(70_000), 1);
+        assert_eq!(LogHistogram::default().count_over(0), 0);
+    }
+
+    #[test]
+    fn serving_records_feed_tenant_histograms_and_exemplars() {
+        let t = LatencyTable::default();
+        // Engine-born record: no tenant series, but an exemplar.
+        t.on_stamped();
+        t.record(
+            (1, 0),
+            LatencyRecord {
+                queue_wait_ns: 50,
+                exec_ns: 14,
+                ..LatencyRecord::default()
+            },
+        );
+        assert!(t.tenant_snapshot().is_empty());
+
+        // Serving-born record with all four spans.
+        let rec = LatencyRecord {
+            queue_wait_ns: 300,
+            exec_ns: 100,
+            hops: 1,
+            net_ns: 2_000,
+            admit_ns: 600,
+            trace_id: 0xdead_beef,
+            tenant: 7,
+        };
+        t.on_stamped();
+        t.record((1, 0), rec);
+
+        let tenants = t.tenant_snapshot();
+        assert_eq!(tenants.len(), 1);
+        assert_eq!(tenants[0].0, 7);
+        assert_eq!(tenants[0].1.count, 1);
+        assert_eq!(tenants[0].1.sum, rec.total_ns());
+
+        let ex = t.exemplars()[bucket_of(rec.total_ns())].expect("exemplar retained");
+        assert_eq!(ex.trace_id, 0xdead_beef);
+        assert_eq!(ex.tenant, 7);
+        assert_eq!(ex.net_ns, 2_000);
+        assert_eq!(ex.admit_ns, 600);
+        assert_eq!(
+            ex.total_ns,
+            ex.net_ns + ex.admit_ns + ex.queue_ns + ex.exec_ns
+        );
+
+        t.reset();
+        assert!(t.tenant_snapshot().is_empty());
+        assert!(t.exemplars().iter().all(|e| e.is_none()));
     }
 }

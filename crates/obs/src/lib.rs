@@ -14,7 +14,16 @@
 //!   (`emitted == retained + dropped`, always).
 //! * [`latency`] — [`LatencyTable`], per-(object, command-kind) latency
 //!   histograms decomposing sampled end-to-end command latency into
-//!   queue-wait vs execution vs forwarding hops.
+//!   queue-wait vs execution vs forwarding hops, plus per-tenant
+//!   full-path histograms fed by serving-layer traces.
+//! * [`exemplar`] — [`ExemplarTable`], one seqlock slot per latency
+//!   bucket retaining the most recent trace id + span breakdown so a
+//!   tail-bucket outlier links to its full-path trace.
+//! * [`slo`] — [`SloEngine`], per-tenant latency/error objectives with
+//!   multi-window error-budget burn-rate computation.
+//! * [`profiler`] — [`PhaseProfiler`], lock-free per-AEU attribution of
+//!   epoch wall time to phases, with a collapsed-stack (flamegraph)
+//!   renderer.
 //! * [`clock`] — a process-wide monotonic nanosecond clock valid under
 //!   both the cooperative and the real-thread runtime.
 //! * [`export`] — a neutral [`Metric`] IR with Prometheus text-format
@@ -29,18 +38,24 @@
 
 pub mod clock;
 pub mod event;
+pub mod exemplar;
 pub mod export;
 pub mod json;
 pub mod latency;
+pub mod profiler;
 pub mod ring;
+pub mod slo;
 
 pub use clock::now_ns;
 pub use event::{
-    Stamped, TraceEvent, TraceStamp, PHASE_BEGIN, PHASE_COMMITTED, PHASE_PARTS_WRITTEN,
+    Stamped, TraceEvent, TraceStamp, PHASE_BEGIN, PHASE_COMMITTED, PHASE_PARTS_WRITTEN, TENANT_NONE,
 };
+pub use exemplar::{Exemplar, ExemplarTable};
 pub use export::{
     render_events_jsonl, render_jsonl, render_prometheus, HistogramFamily, Metric, MetricKind,
     MetricSample,
 };
 pub use latency::{LatencyKey, LatencyRecord, LatencySeries, LatencyTable, LogHistogram};
+pub use profiler::{collapsed_stack, Phase, PhaseBreakdown, PhaseProfiler, NUM_PHASES};
 pub use ring::{RingStats, TraceRing};
+pub use slo::{BurnRate, SloConfig, SloEngine, SloTotals};

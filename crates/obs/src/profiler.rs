@@ -1,0 +1,204 @@
+//! Per-AEU epoch profiler: lock-free attribution of each epoch's wall
+//! time to coarse execution phases.
+//!
+//! Each AEU owns one [`PhaseProfiler`] in its telemetry shard and
+//! charges host-clock nanoseconds to a [`Phase`] as it moves through an
+//! epoch: reading + admitting input, routing, the three kernel shapes,
+//! flushing outgoing buffers, and whatever wall time remains as idle.
+//! Because the AEU charges `idle` as `wall - attributed` at the end of
+//! every step, the per-AEU phase fractions sum to 100% of measured wall
+//! time by construction — the `server` experiment asserts that.
+//!
+//! Counters are relaxed atomics: single writer (the owning AEU), racy
+//! readers (exporters) that tolerate transient skew between phases, the
+//! same contract as the telemetry counter shards.
+//!
+//! The [`collapsed_stack`] renderer emits the one-line-per-stack text
+//! format consumed by flamegraph tooling (`aeu3;probe 12345`).
+
+// ordering: Relaxed is the only ordering this module uses — phase
+// counters are monotonic and independent; readers accept transient
+// skew between phases (same contract as the telemetry counter shards).
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// The epoch phases wall time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Swapping the incoming double buffer, decoding, admitting input
+    /// (server-side: frame reads + admission verdicts on the pump).
+    ReadAdmit = 0,
+    /// Routing decisions and stray re-forwarding.
+    Route = 1,
+    /// Chunked column-scan kernels.
+    ScanKernel = 2,
+    /// Hash/index probe kernels (lookups).
+    Probe = 3,
+    /// Write/upsert application.
+    Write = 4,
+    /// Flushing outgoing routing buffers (server-side: settling
+    /// responses back onto connections).
+    Flush = 5,
+    /// Wall time inside the epoch not attributed to any phase above.
+    Idle = 6,
+}
+
+/// Number of phases (length of [`Phase::ALL`]).
+pub const NUM_PHASES: usize = 7;
+
+impl Phase {
+    /// Every phase, in export order.
+    pub const ALL: [Phase; NUM_PHASES] = [
+        Phase::ReadAdmit,
+        Phase::Route,
+        Phase::ScanKernel,
+        Phase::Probe,
+        Phase::Write,
+        Phase::Flush,
+        Phase::Idle,
+    ];
+
+    /// Stable label (metric label values, collapsed-stack frames).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::ReadAdmit => "read_admit",
+            Phase::Route => "route",
+            Phase::ScanKernel => "scan_kernel",
+            Phase::Probe => "probe",
+            Phase::Write => "write",
+            Phase::Flush => "flush",
+            Phase::Idle => "idle",
+        }
+    }
+}
+
+/// Lock-free per-AEU phase-time accumulator.
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    ns: [AtomicU64; NUM_PHASES],
+}
+
+impl PhaseProfiler {
+    /// Charge `ns` nanoseconds of wall time to `phase`.
+    pub fn add(&self, phase: Phase, ns: u64) {
+        // ordering: Relaxed — monotonic counter, single logical writer.
+        self.ns[phase as usize].fetch_add(ns, Relaxed);
+    }
+
+    /// Racy copy of the accumulated phase times.
+    pub fn snapshot(&self) -> PhaseBreakdown {
+        let mut out = [0u64; NUM_PHASES];
+        for (o, c) in out.iter_mut().zip(self.ns.iter()) {
+            // ordering: Relaxed — readers accept skew between phases.
+            *o = c.load(Relaxed);
+        }
+        PhaseBreakdown { ns: out }
+    }
+
+    pub fn reset(&self) {
+        for c in self.ns.iter() {
+            // ordering: Relaxed — reset happens at quiescent points.
+            c.store(0, Relaxed);
+        }
+    }
+}
+
+/// One AEU's snapshot of phase times, indexed by `Phase as usize`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    pub ns: [u64; NUM_PHASES],
+}
+
+impl PhaseBreakdown {
+    /// Nanoseconds charged to one phase.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.ns[phase as usize]
+    }
+
+    /// Total attributed wall time across every phase (== measured epoch
+    /// wall time, since the AEU charges the remainder to `Idle`).
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Fraction of total wall time spent in `phase` (`0.0` when no time
+    /// has been attributed at all).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(phase) as f64 / total as f64
+        }
+    }
+}
+
+/// Render per-AEU phase breakdowns as collapsed-stack text — one
+/// `aeu{i};{phase} {ns}` line per nonzero (AEU, phase) pair — the input
+/// format of `flamegraph.pl` / `inferno-flamegraph`.
+pub fn collapsed_stack(profiles: &[PhaseBreakdown]) -> String {
+    let mut out = String::new();
+    for (aeu, p) in profiles.iter().enumerate() {
+        for phase in Phase::ALL {
+            let ns = p.get(phase);
+            if ns > 0 {
+                out.push_str(&format!("aeu{aeu};{} {ns}\n", phase.name()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_fractions_sum_to_one() {
+        let p = PhaseProfiler::default();
+        p.add(Phase::ReadAdmit, 100);
+        p.add(Phase::Probe, 250);
+        p.add(Phase::Probe, 250);
+        p.add(Phase::Idle, 400);
+        let snap = p.snapshot();
+        assert_eq!(snap.get(Phase::Probe), 500);
+        assert_eq!(snap.total_ns(), 1_000);
+        let total: f64 = Phase::ALL.iter().map(|&ph| snap.fraction(ph)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "fractions sum to {total}");
+        p.reset();
+        assert_eq!(p.snapshot().total_ns(), 0);
+        assert_eq!(p.snapshot().fraction(Phase::Probe), 0.0);
+    }
+
+    #[test]
+    fn collapsed_stack_emits_one_line_per_nonzero_phase() {
+        let a = PhaseProfiler::default();
+        a.add(Phase::ScanKernel, 7_000);
+        a.add(Phase::Idle, 3_000);
+        let b = PhaseProfiler::default();
+        b.add(Phase::Flush, 42);
+        let text = collapsed_stack(&[a.snapshot(), b.snapshot()]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["aeu0;scan_kernel 7000", "aeu0;idle 3000", "aeu1;flush 42"]
+        );
+        // Every line parses as `stack space value` for flamegraph tools.
+        for l in lines {
+            let (stack, v) = l.rsplit_once(' ').unwrap();
+            assert!(stack.contains(';'));
+            v.parse::<u64>().unwrap();
+        }
+        assert_eq!(collapsed_stack(&[]), "");
+    }
+
+    #[test]
+    fn phase_names_are_unique_and_stable() {
+        let names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), NUM_PHASES);
+        assert_eq!(Phase::ALL[Phase::Idle as usize], Phase::Idle);
+    }
+}

@@ -31,7 +31,10 @@ use crate::frame::{
 use crate::transport::Transport;
 use eris_core::{DataCommand, Engine, QuiesceReport};
 use eris_obs::latency::LogHistogram;
-use eris_obs::{render_jsonl, render_prometheus, HistogramFamily, Metric, MetricKind};
+use eris_obs::{
+    render_jsonl, render_prometheus, HistogramFamily, Metric, MetricKind, Phase, SloConfig,
+    SloEngine, SloTotals, TraceStamp,
+};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// Where the admission clock comes from.
@@ -52,6 +55,16 @@ pub struct ServerConfig {
     pub tenants: u32,
     pub admission: AdmissionConfig,
     pub clock: ClockSource,
+    /// Trace one in N commands end to end (0 disables serving-side
+    /// tracing).  A sampled command carries a [`TraceStamp`] born at
+    /// frame decode — identity `(tenant, conn, seq)` plus the
+    /// network-queue and admission spans — to the executing AEU.  A
+    /// sampled command dropped at admission (shed, quota-denied,
+    /// rejected) is charged to the engine's trace ledger so
+    /// `stamped == traced + dropped` holds under overload.
+    pub trace_sample_every: u32,
+    /// Per-tenant SLO objectives and burn-rate windows.
+    pub slo: SloConfig,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +73,8 @@ impl Default for ServerConfig {
             tenants: 1,
             admission: AdmissionConfig::default(),
             clock: ClockSource::Virtual,
+            trace_sample_every: 64,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -134,6 +149,9 @@ pub struct ServerSnapshot {
     /// one per tenant.
     pub net_wait: Vec<LogHistogram>,
     pub open_connections: u64,
+    /// Per-tenant SLO burn-rate gauges, rendered at snapshot time
+    /// (`eris_slo_burn_rate{tenant,objective,window}` and friends).
+    pub slo_metrics: Vec<Metric>,
 }
 
 /// The serving layer's own conservation ledger, combined with the
@@ -280,6 +298,7 @@ impl ServerSnapshot {
             wait.observe(&[("tenant", &id)], h);
         }
         metrics.extend(wait.into_metrics());
+        metrics.extend(self.slo_metrics.iter().cloned());
         metrics
     }
 
@@ -309,12 +328,16 @@ pub struct EngineServer {
     conns: Vec<Option<Conn>>,
     counters: ServerCounters,
     net_wait: Vec<LogHistogram>,
+    slo: SloEngine,
+    /// Commands seen by the 1-in-N trace sampler.
+    trace_seq: u64,
 }
 
 impl EngineServer {
     pub fn new(engine: Engine, cfg: ServerConfig) -> Self {
         let admission = Admission::new(cfg.admission.clone(), cfg.tenants);
         let net_wait = (0..cfg.tenants).map(|_| LogHistogram::default()).collect();
+        let slo = SloEngine::new(cfg.slo.clone());
         EngineServer {
             engine,
             cfg,
@@ -322,6 +345,8 @@ impl EngineServer {
             conns: Vec::new(),
             counters: ServerCounters::default(),
             net_wait,
+            slo,
+            trace_seq: 0,
         }
     }
 
@@ -339,6 +364,11 @@ impl EngineServer {
 
     pub fn config(&self) -> &ServerConfig {
         &self.cfg
+    }
+
+    /// The per-tenant SLO burn-rate tracker (fed once per pump).
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
     }
 
     /// The admission clock, in nanoseconds.
@@ -386,11 +416,19 @@ impl EngineServer {
         };
 
         // Phase 1: read and admit, bounded by each connection's window.
+        // Wall time is charged as `read_admit` to the profiler of the
+        // AEU each connection submits through.
         for slot in 0..self.conns.len() {
             let Some(mut conn) = self.conns[slot].take() else {
                 continue;
             };
+            let t0 = eris_obs::now_ns();
             self.read_and_admit(&mut conn, now, load, &mut report);
+            let dt = eris_obs::now_ns().saturating_sub(t0);
+            self.engine
+                .telemetry_shard(conn.via)
+                .profiler
+                .add(Phase::ReadAdmit, dt);
             self.conns[slot] = Some(conn);
         }
 
@@ -399,12 +437,18 @@ impl EngineServer {
         report.epoch_duration_ns = epoch.duration_ns;
 
         // Phase 3: settle responses (regrants happen here, after the
-        // boundary) and flush transports.
+        // boundary) and flush transports.  Charged as `flush`.
         for slot in 0..self.conns.len() {
             let Some(mut conn) = self.conns[slot].take() else {
                 continue;
             };
+            let t0 = eris_obs::now_ns();
             self.settle_and_flush(&mut conn);
+            let dt = eris_obs::now_ns().saturating_sub(t0);
+            self.engine
+                .telemetry_shard(conn.via)
+                .profiler
+                .add(Phase::Flush, dt);
             let dead = !conn.transport.is_open() && conn.inbuf.is_empty();
             if (conn.closing && conn.outbuf.is_empty()) || dead {
                 conn.transport.close();
@@ -413,7 +457,61 @@ impl EngineServer {
                 self.conns[slot] = Some(conn);
             }
         }
+        self.observe_slo();
         report
+    }
+
+    /// Feed the burn-rate tracker one observation tick per tenant.
+    /// Admission verdicts give the request and error totals; the
+    /// engine's per-tenant full-path histograms give the bad-latency
+    /// count, scaled by the sampling rate (only 1-in-N commands are
+    /// traced) and clamped so the estimated bad fraction stays ≤ 1.
+    fn observe_slo(&mut self) {
+        let now = self.now_ns();
+        let threshold = self.slo.config().latency_threshold_ns;
+        let scale = self.cfg.trace_sample_every.max(1) as u64;
+        let tenant_full = self.engine.latency().tenant_snapshot();
+        for t in self.admission.counts() {
+            let errors = t.shed + t.quota_denied + t.rejected;
+            let requests = t.accepted + errors;
+            if requests == 0 {
+                continue;
+            }
+            let bad_latency = tenant_full
+                .iter()
+                .find(|(id, _)| *id == t.tenant)
+                .map(|(_, h)| (h.count_over(threshold) * scale).min(requests))
+                .unwrap_or(0);
+            self.slo.observe(
+                t.tenant,
+                now,
+                SloTotals {
+                    requests,
+                    bad_latency,
+                    errors,
+                },
+            );
+        }
+    }
+
+    /// 1-in-N serving-side trace sampling decision.
+    fn trace_sampled(&mut self) -> bool {
+        let every = self.cfg.trace_sample_every as u64;
+        if every == 0 {
+            return false;
+        }
+        let hit = self.trace_seq.is_multiple_of(every);
+        self.trace_seq += 1;
+        hit
+    }
+
+    /// A sampled command dropped before routing (shed, quota-denied, or
+    /// rejected): charge the engine's trace ledger so
+    /// `stamped == traced + dropped` stays balanced under overload.
+    fn trace_drop(&self) {
+        let lat = self.engine.latency();
+        lat.on_stamped();
+        lat.on_dropped(1);
     }
 
     fn read_and_admit(
@@ -533,6 +631,10 @@ impl EngineServer {
             ReqKind::Command => {
                 self.counters.commands_received += 1;
                 report.commands += 1;
+                // The trace decision is made the moment the command frame
+                // is seen, so every later verdict — including rejects —
+                // accounts for the stamp.
+                let sampled = self.trace_sampled();
                 let reject = |conn: &mut Conn, code: u8, seq: u64| {
                     conn.pending.push(PendingResponse {
                         kind: RespKind::Rejected,
@@ -545,6 +647,9 @@ impl EngineServer {
                 let Some(tenant) = conn.tenant else {
                     // Commands before Hello are a protocol violation.
                     self.counters.protocol_errors += 1;
+                    if sampled {
+                        self.trace_drop();
+                    }
                     reject(conn, REJ_PROTOCOL, frame.seq);
                     return;
                 };
@@ -552,6 +657,9 @@ impl EngineServer {
                     self.counters.protocol_errors += 1;
                     self.admission.shard(tenant).rejected.fetch_add(1, Relaxed);
                     report.rejected += 1;
+                    if sampled {
+                        self.trace_drop();
+                    }
                     reject(conn, REJ_PROTOCOL, frame.seq);
                     return;
                 }
@@ -561,14 +669,43 @@ impl EngineServer {
                     _ => {
                         self.admission.shard(tenant).rejected.fetch_add(1, Relaxed);
                         report.rejected += 1;
+                        if sampled {
+                            self.trace_drop();
+                        }
                         reject(conn, REJ_DECODE, frame.seq);
                         return;
                     }
                 };
+                // Span: network-queue wait, from the arrival of the
+                // oldest unparsed byte to now (admission clock domain).
+                let net_ns = now.saturating_sub(conn.inbuf_since_ns.unwrap_or(now));
                 let ops = cmd.payload.op_count().max(1).min(u32::MAX as u64) as u32;
-                match self.admission.admit(tenant, ops, now, load) {
+                // Span: the admission verdict itself, in host wall time
+                // (the virtual clock does not advance inside a pump) —
+                // clamped to ≥ 1 ns so a traced verdict is never
+                // indistinguishable from "not measured".
+                let admit_t0 = eris_obs::now_ns();
+                let verdict = self.admission.admit(tenant, ops, now, load);
+                let admit_ns = eris_obs::now_ns().saturating_sub(admit_t0).max(1);
+                let stamp = if sampled {
+                    Some(TraceStamp {
+                        submit_ns: eris_obs::now_ns(),
+                        hops: 0,
+                        tenant,
+                        conn: conn.id,
+                        seq: frame.seq,
+                        net_ns: net_ns.min(u32::MAX as u64) as u32,
+                        admit_ns: admit_ns.min(u32::MAX as u64) as u32,
+                    })
+                } else {
+                    None
+                };
+                match verdict {
                     Admit::Overloaded { retry_after_ms } => {
                         report.shed += 1;
+                        if sampled {
+                            self.trace_drop();
+                        }
                         conn.pending.push(PendingResponse {
                             kind: RespKind::Shed,
                             code: SHED_OVERLOAD,
@@ -579,6 +716,9 @@ impl EngineServer {
                     }
                     Admit::QuotaDenied { retry_after_ms } => {
                         report.quota_denied += 1;
+                        if sampled {
+                            self.trace_drop();
+                        }
                         conn.pending.push(PendingResponse {
                             kind: RespKind::QuotaDenied,
                             code: 0,
@@ -587,28 +727,40 @@ impl EngineServer {
                             regrant: 1,
                         });
                     }
-                    Admit::Granted => match self.engine.submit(conn.via, cmd) {
-                        Ok(()) => {
-                            report.accepted += 1;
-                            let wait = now.saturating_sub(conn.inbuf_since_ns.unwrap_or(now));
-                            self.net_wait[tenant as usize].record(wait);
-                            conn.pending.push(PendingResponse {
-                                kind: RespKind::Accepted,
-                                code: 0,
-                                seq: frame.seq,
-                                retry_after_ms: 0,
-                                regrant: 1,
-                            });
+                    Admit::Granted => {
+                        let submitted = match stamp {
+                            Some(stamp) => self.engine.submit_traced(conn.via, cmd, stamp),
+                            None => self.engine.submit(conn.via, cmd),
+                        };
+                        match submitted {
+                            Ok(()) => {
+                                report.accepted += 1;
+                                let wait = now.saturating_sub(conn.inbuf_since_ns.unwrap_or(now));
+                                self.net_wait[tenant as usize].record(wait);
+                                conn.pending.push(PendingResponse {
+                                    kind: RespKind::Accepted,
+                                    code: 0,
+                                    seq: frame.seq,
+                                    retry_after_ms: 0,
+                                    regrant: 1,
+                                });
+                            }
+                            Err(_) => {
+                                // Admitted but unroutable: settle as a typed
+                                // reject and undo the `accepted` bump so the
+                                // ledger stays `accepted == routed`.  Routing
+                                // errors charge nothing to the trace ledger
+                                // themselves, so the dropped stamp is
+                                // accounted here.
+                                self.admission.unaccept(tenant);
+                                report.rejected += 1;
+                                if sampled {
+                                    self.trace_drop();
+                                }
+                                reject(conn, REJ_ROUTING, frame.seq);
+                            }
                         }
-                        Err(_) => {
-                            // Admitted but unroutable: settle as a typed
-                            // reject and undo the `accepted` bump so the
-                            // ledger stays `accepted == routed`.
-                            self.admission.unaccept(tenant);
-                            report.rejected += 1;
-                            reject(conn, REJ_ROUTING, frame.seq);
-                        }
-                    },
+                    }
                 }
             }
         }
@@ -662,6 +814,7 @@ impl EngineServer {
             counters: self.counters,
             net_wait: self.net_wait.clone(),
             open_connections: self.open_connections(),
+            slo_metrics: self.slo.to_metrics(self.now_ns()),
         }
     }
 
@@ -786,6 +939,70 @@ mod tests {
         server.pump_until_quiet(16);
         let l = server.ledger();
         assert!(l.holds(), "{l:?}");
+    }
+
+    #[test]
+    fn sampled_command_resolves_to_a_full_path_trace() {
+        let (engine, obj) = small_engine();
+        let cfg = ServerConfig {
+            trace_sample_every: 1, // trace everything
+            ..Default::default()
+        };
+        let mut server = EngineServer::new(engine, cfg);
+        let (server_side, mut client_side) = loopback_pair();
+        let id = server.attach(Box::new(server_side));
+
+        let mut bytes = Vec::new();
+        RequestFrame {
+            kind: ReqKind::Hello,
+            tenant: 0,
+            conn: 0,
+            seq: 0,
+            payload: vec![],
+        }
+        .encode(&mut bytes);
+        for seq in 1..=8u64 {
+            let cmd = DataCommand {
+                object: obj,
+                ticket: seq,
+                payload: Payload::Lookup {
+                    keys: vec![(seq % 1000) * 64],
+                },
+            };
+            RequestFrame::command(0, id, seq, &cmd).encode(&mut bytes);
+        }
+        client_side.try_write(&bytes).unwrap();
+        server.pump_until_quiet(32);
+
+        let tel = server.engine().telemetry();
+        assert_eq!(
+            tel.trace.stamped,
+            tel.trace.traced + tel.trace.dropped,
+            "trace ledger balanced: {:?}",
+            tel.trace
+        );
+        assert!(
+            tel.trace.traced >= 1,
+            "at least one command executed traced"
+        );
+        assert!(
+            tel.tenant_latency
+                .iter()
+                .any(|(t, h)| *t == 0 && h.count > 0),
+            "tenant 0 has a full-path latency histogram"
+        );
+        let ex = tel
+            .exemplars
+            .iter()
+            .flatten()
+            .find(|e| e.tenant == 0)
+            .expect("a bucket exemplar for tenant 0");
+        assert!(ex.admit_ns > 0, "admission span measured: {ex:?}");
+        assert!(ex.trace_id != 0, "exemplar carries a trace id");
+        assert!(
+            ex.total_ns >= ex.net_ns + ex.admit_ns,
+            "span breakdown is consistent: {ex:?}"
+        );
     }
 
     #[test]

@@ -80,6 +80,7 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/index/src/hash_table.rs",
     "crates/index/src/shared_tree.rs",
     "crates/numa/src/affinity.rs",
+    "crates/obs/src/exemplar.rs",
     "crates/obs/src/ring.rs",
 ];
 
@@ -87,6 +88,7 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
 /// here would silently escape loom model checking (R4).
 const PORTED_FILES: &[&str] = &[
     "crates/core/src/routing/incoming.rs",
+    "crates/obs/src/exemplar.rs",
     "crates/obs/src/ring.rs",
 ];
 

@@ -75,6 +75,7 @@ fn loopback_mixed_workload_conserves() {
                 ..Default::default()
             },
             clock: ClockSource::Virtual,
+            ..Default::default()
         },
     );
     let mut clients: Vec<Client<PipeTransport>> = (0..6u32)
@@ -151,6 +152,7 @@ fn over_quota_commands_get_typed_denials() {
                 ..Default::default()
             },
             clock: ClockSource::Virtual,
+            ..Default::default()
         },
     );
     let mk_client = |server: &mut EngineServer, tenant| {
@@ -216,6 +218,7 @@ fn credit_window_bounds_outstanding_commands() {
                 ..Default::default()
             },
             clock: ClockSource::Virtual,
+            ..Default::default()
         },
     );
     let (server_side, client_side) = loopback_pair();
@@ -321,6 +324,7 @@ fn mid_traffic_shutdown_conserves() {
                 ..Default::default()
             },
             clock: ClockSource::Virtual,
+            ..Default::default()
         },
     );
     let mut clients: Vec<Client<PipeTransport>> = (0..4u32)
@@ -375,6 +379,7 @@ fn overload_sheds_with_typed_retry_hints() {
                 ..Default::default()
             },
             clock: ClockSource::Virtual,
+            ..Default::default()
         },
     );
     let (server_side, client_side) = loopback_pair();
@@ -402,6 +407,65 @@ fn overload_sheds_with_typed_retry_hints() {
     assert!(server.ledger().holds());
 }
 
+/// Regression (trace-ledger accounting at admission): with every command
+/// traced and the overload watermark forced to trip, stamps on shed
+/// commands must be charged as dropped — `stamped == traced + dropped`
+/// holds even though most sampled commands never reach the engine.
+#[test]
+fn trace_ledger_balances_under_forced_shedding() {
+    let (engine, obj) = small_engine(1, 2);
+    let mut server = EngineServer::new(
+        engine,
+        ServerConfig {
+            tenants: 1,
+            admission: AdmissionConfig {
+                credit_limit: 64,
+                quota_capacity_ops: 1 << 20,
+                quota_refill_ops_per_sec: 1 << 20,
+                shed_in_flight: 1,
+                shed_retry_after_ms: 25,
+                ..Default::default()
+            },
+            clock: ClockSource::Virtual,
+            trace_sample_every: 1, // stamp every command
+            ..Default::default()
+        },
+    );
+    let (server_side, client_side) = loopback_pair();
+    server.attach(Box::new(server_side));
+    let mut c = Client::connect(client_side, 0);
+
+    for cycle in 0..40u64 {
+        c.poll();
+        for k in 0..8u64 {
+            c.try_send(&upsert(obj, cycle * 8 + k));
+        }
+        c.poll();
+        server.pump();
+    }
+    server.pump_until_quiet(32);
+    c.poll();
+
+    let s = c.stats();
+    assert!(s.shed > 0, "watermark must have tripped: {s:?}");
+    assert!(s.accepted > 0, "some commands still got through: {s:?}");
+    assert!(server.ledger().holds());
+
+    let outcome = server.shutdown();
+    assert!(outcome.quiesce.clean(), "{:?}", outcome.quiesce);
+    let trace = outcome.engine.telemetry().trace;
+    assert_eq!(
+        trace.stamped,
+        trace.traced + trace.dropped,
+        "trace ledger must balance under forced shedding: {trace:?}"
+    );
+    assert!(
+        trace.dropped >= s.shed,
+        "every traced shed command was charged as dropped: {trace:?} vs {s:?}"
+    );
+    assert!(trace.traced > 0, "accepted traced commands were recorded");
+}
+
 /// Short TCP round trip over localhost: the same protocol, admission,
 /// and conservation guarantees over real sockets.
 #[test]
@@ -416,6 +480,7 @@ fn tcp_round_trip_on_localhost() {
             tenants: 1,
             admission: AdmissionConfig::default(),
             clock: ClockSource::Host,
+            ..Default::default()
         },
     );
     let tcp = TcpServer::bind("127.0.0.1:0".parse().unwrap(), server).unwrap();
