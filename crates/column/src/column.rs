@@ -211,6 +211,9 @@ impl Column {
                 break;
             }
             let take = room.min(values.len() - written);
+            // BOUNDS: take = min(room, len - written), so the slice stays in
+            // `values`.  ALLOC-OK: room > 0 was just checked, so this extend
+            // fills pre-provisioned segment capacity without reallocating.
             seg.data.extend_from_slice(&values[written..written + take]);
             written += take;
         }
@@ -260,6 +263,7 @@ impl Column {
         }
         for seg in &self.segments {
             if i < seg.data.len() {
+                // BOUNDS: guarded by `i < seg.data.len()` on the previous line.
                 return Some(seg.data[i]);
             }
             i -= seg.data.len();
@@ -320,6 +324,8 @@ impl Column {
         self.for_each_chunk(snapshot, |_, chunk| {
             let n = crate::kernel::select_bitmap(chunk, p, &mut words);
             if n > 0 {
+                // ALLOC-OK: `out` is the caller's reusable result vector; reserve
+                // amortizes and the push writes into reserved capacity.
                 out.reserve(n as usize);
                 crate::kernel::for_each_selected(chunk, &words, |_, v| out.push(v));
             }

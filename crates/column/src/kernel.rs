@@ -106,6 +106,9 @@ pub fn min_max(values: &[u64], p: CompiledPredicate) -> Option<(u64, u64)> {
 #[inline]
 pub fn select_bitmap(values: &[u64], p: CompiledPredicate, out: &mut [u64]) -> u64 {
     let words = values.len().div_ceil(64);
+    // BOUNDS: the documented precondition on `out` (callers size it as
+    // CHUNK_WORDS); `out[w]` below stays under the asserted length
+    // because w < values.len().div_ceil(64) == words.
     assert!(out.len() >= words, "bitmap buffer too small");
     let mut total = 0u64;
     for (w, chunk) in values.chunks(64).enumerate() {

@@ -80,6 +80,9 @@ impl SharedScan {
 
     /// Register one scan command; returns its consumer index.
     pub fn add(&mut self, pred: Predicate, snapshot: usize, agg: Aggregate) -> usize {
+        // ALLOC-OK: one consumer registration per scan command in the
+        // fused batch; the vector's growth amortizes across the sweep
+        // that shares it.
         self.consumers.push(Consumer {
             pred,
             snapshot,
@@ -130,6 +133,8 @@ impl SharedScan {
     /// bit-identical results vs. the scalar path.
     fn execute_fused(mut self, column: &Column, use_simd: bool) -> (Vec<AggregateResult>, usize) {
         let sweep = self.consumers.iter().map(|c| c.snapshot).max().unwrap_or(0);
+        // ALLOC-OK: one predicate-compilation vector per fused sweep,
+        // amortized over every chunk the sweep touches.
         let preds: Vec<CompiledPredicate> = self
             .consumers
             .iter()
@@ -142,6 +147,8 @@ impl SharedScan {
                     continue;
                 }
                 // MVCC cut: this consumer sees only its snapshot prefix.
+                // BOUNDS: the end is clamped with min(chunk.len()), and
+                // base < c.snapshot was checked above, so the range is valid.
                 let part = &chunk[..(c.snapshot - base).min(chunk.len())];
                 match c.agg {
                     Aggregate::Count => {
@@ -202,6 +209,7 @@ impl SharedScan {
     fn results(&self) -> Vec<AggregateResult> {
         self.consumers
             .iter()
+            // ALLOC-OK: result materialization, once per completed sweep.
             .map(|c| match c.agg {
                 Aggregate::Count => AggregateResult::Count(c.count),
                 Aggregate::Sum => AggregateResult::Sum(c.sum),

@@ -223,6 +223,7 @@ mod avx2 {
             _mm256_storeu_si256(mx_l.as_mut_ptr() as *mut __m256i, mx);
             (
                 _mm256_movemask_epi8(any) != 0,
+                // BOUNDS: min/max over fixed-size [u64; 4] arrays — never empty.
                 mn_l.into_iter().min().unwrap(),
                 mx_l.into_iter().max().unwrap(),
             )
@@ -244,6 +245,8 @@ mod avx2 {
     pub unsafe fn select_bitmap(values: &[u64], p: CompiledPredicate, out: &mut [u64]) -> u64 {
         let (lo, hi) = p.bounds();
         let words = values.len().div_ceil(64);
+        // BOUNDS: same precondition as the scalar kernel; `out[w]` stays
+        // under the asserted length for every chunk index w < words.
         assert!(out.len() >= words, "bitmap buffer too small");
         let mut total = 0u64;
         // SAFETY: loads read 32 bytes from 4-element in-bounds slices.
@@ -265,6 +268,7 @@ mod avx2 {
                 for (i, &v) in groups.remainder().iter().enumerate() {
                     word |= (p.matches(v) as u64) << (base + i);
                 }
+                // BOUNDS: w < words <= out.len() (asserted precondition above).
                 out[w] = word;
                 total += word.count_ones() as u64;
             }

@@ -44,6 +44,15 @@ fn range_contains(lo: u64, hi: u64, k: u64) -> bool {
     k >= lo && (k < hi || hi == u64::MAX)
 }
 
+/// Why [`Aeu::absorb_rows`] refused a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsorbError {
+    /// The AEU holds no partition of that object.
+    UnknownPartition(DataObjectId),
+    /// The partition exists but is an index, not a column.
+    NotAColumn(DataObjectId),
+}
+
 /// The storage of one partition.
 pub enum PartitionData {
     /// Range-partitioned prefix tree (order-preserving; supports range scans).
@@ -315,6 +324,8 @@ impl Aeu {
     /// Forward a stray command, preserving an attached trace stamp with
     /// its hop count bumped (the stamp's journey continues at the new
     /// owner).  No fresh sampling happens on this path.
+    // HOT-PATH-CUT: rebalancing slow path — a command that landed on
+    // the wrong AEU mid-migration is re-routed; rare by construction.
     fn forward_stray(&mut self, cmd: DataCommand, stamp: Option<TraceStamp>) -> Vec<FlushInfo> {
         let stamp = stamp.map(|s| TraceStamp {
             hops: s.hops + 1,
@@ -334,6 +345,9 @@ impl Aeu {
 
     /// Report one applied mutation to the attached sink, if any.
     #[inline]
+    // HOT-PATH-CUT: durability handoff — the WAL shard buffers the
+    // redo record and group-commits off the latch-free path; the
+    // journal subsystem is reviewed (and fsync-gated) separately.
     fn journal(&self, op: RedoOp<'_>) {
         if let Some(s) = &self.sink {
             s.append(self.id, op);
@@ -341,6 +355,8 @@ impl Aeu {
     }
 
     /// The cached conservation ledger of `id` (execution side).
+    // HOT-PATH-CUT: first-touch ledger registration; allocates the
+    // counter arc once per object, steady state is a map hit.
     fn object_ledger(&mut self, id: DataObjectId) -> Arc<ObjectCounters> {
         let i = id.0 as usize;
         if self.tel_objects.len() <= i {
@@ -499,29 +515,35 @@ impl Aeu {
     }
 
     /// Provision a fresh local segment for a column partition.
+    // HOT-PATH-CUT: amortized segment provisioning — runs once per
+    // SEGMENT_ROWS appends, never per command.
     fn provision_segment(mem: &mut ThreadCache, node: NodeId, col: &mut Column) {
         let alloc = mem.alloc((SEGMENT_VALUES * 8) as u64);
         col.push_segment(Segment::with_capacity(node, alloc.vaddr, SEGMENT_VALUES));
     }
 
     /// Append rows to a column partition, provisioning segments on demand.
-    pub fn absorb_rows(&mut self, object: DataObjectId, rows: &[u64]) {
+    ///
+    /// Total over its inputs: callers that hand it an unknown object or
+    /// an index partition get a typed error instead of a panicked AEU.
+    pub fn absorb_rows(&mut self, object: DataObjectId, rows: &[u64]) -> Result<(), AbsorbError> {
         let node = self.node;
-        let p = self
-            .partitions
-            .get_mut(&object)
-            .expect("column partition exists");
+        let Some(p) = self.partitions.get_mut(&object) else {
+            return Err(AbsorbError::UnknownPartition(object));
+        };
         let PartitionData::Column(col) = &mut p.data else {
-            panic!("absorb_rows on an index partition")
+            return Err(AbsorbError::NotAColumn(object));
         };
         let mut written = 0;
         while written < rows.len() {
+            // BOUNDS: the loop guard keeps written < rows.len().
             written += col.append_slice(&rows[written..]);
             if written < rows.len() {
                 Self::provision_segment(&mut self.mem, node, col);
             }
         }
         self.journal(RedoOp::AppendRows { object, rows });
+        Ok(())
     }
 
     /// Insert pairs into an index or hash partition (balancing absorb side).
@@ -784,6 +806,8 @@ impl Aeu {
     }
 
     /// Process one (object, op) group — the coalesced execution stage.
+    // HOT-PATH-ROOT: the AEU's per-group execution dispatch; every
+    // command the engine processes flows through here.
     fn process_group(
         &mut self,
         object: DataObjectId,
@@ -831,6 +855,8 @@ impl Aeu {
         for (c, stamp) in cmds {
             // Multicast deliveries are never stamped, but if one ever
             // arrives stamped it executes right here.
+            // ALLOC-OK: trace bookkeeping for the sampled minority of
+            // commands; the pending vector drains every epoch.
             if let Some(stamp) = stamp {
                 self.traced_pending
                     .push((object, c.payload.op().tag(), *stamp));
@@ -838,6 +864,11 @@ impl Aeu {
             // Gather matching row values from the local partition.
             let (pred, snapshot) = match &c.payload {
                 Payload::JoinProbe { pred, snapshot, .. }
+                // BOUNDS: dispatch invariant — process_group routes only
+                // JoinProbe/Materialize payloads here; the map lookup below is
+                // backed by the contains_key guard at fn entry.
+                // ALLOC-OK: `values` stages the gathered rows for downstream
+                // batching; it is the producer's working set by design.
                 | Payload::Materialize { pred, snapshot, .. } => (*pred, *snapshot),
                 _ => unreachable!(),
             };
@@ -850,6 +881,8 @@ impl Aeu {
                     col.collect_matching(pred, snapshot.min(col.len() as u64) as usize, &mut values)
                 }
                 PartitionData::Index(tree) => {
+                    // ALLOC-OK: gathering into the producer's staging vector, as the
+                    // column arm above.
                     tree.scan_range_inclusive(0, u64::MAX, |_, v| {
                         if pred.matches(v) {
                             values.push(v);
@@ -858,6 +891,8 @@ impl Aeu {
                     tree.len()
                 }
                 PartitionData::Hash(h) => {
+                    // ALLOC-OK: gathering into the producer's staging vector, as the
+                    // column arm above.
                     h.for_each(|_, v| {
                         if pred.matches(v) {
                             values.push(v);
@@ -871,6 +906,9 @@ impl Aeu {
             w.cpu_ns += exec_ns;
             w.ops.scans += 1;
             w.ops.scan_rows += examined * scale;
+            // ALLOC-OK: one flow record per executed command, drained into
+            // the epoch's work summary.
+            // ALLOC-OK: flow records drain into the epoch's work summary.
             w.flows.push((
                 Flow::new(self.node, self.node, examined * 8 * scale),
                 FlowKind::Serial,
@@ -881,11 +919,19 @@ impl Aeu {
             }
             // Produce downstream commands in batches.
             for chunk in values.chunks(PRODUCER_BATCH) {
+                // BOUNDS: same dispatch invariant as the gather above; the
+                // expect below is infallible for the same reason as
+                // `route_internal` (internally produced commands target
+                // registered objects).
+                // ALLOC-OK: each produced command owns its key batch — the
+                // payload crosses an AEU boundary.
                 let cmd = match &c.payload {
                     Payload::JoinProbe { index, .. } => DataCommand {
                         object: *index,
                         ticket: c.ticket,
                         payload: Payload::Lookup {
+                            // ALLOC-OK: the produced command owns its key batch — the
+                            // payload crosses an AEU boundary.
                             keys: chunk.to_vec(),
                         },
                     },
@@ -893,6 +939,10 @@ impl Aeu {
                         object: *dst,
                         ticket: c.ticket,
                         payload: Payload::Upsert {
+                            // ALLOC-OK: owned payload, as the lookup arm above.
+                            // BOUNDS: the unreachable arm below restates the dispatch
+                            // invariant already matched at the top of this loop body, and
+                            // the route expect is infallible as for `route_internal`.
                             pairs: chunk.iter().map(|&v| (v, v)).collect(),
                         },
                     },
@@ -925,7 +975,9 @@ impl Aeu {
             return;
         };
         let (lo, hi) = p.range;
-        assert!(
+        // BOUNDS: routing invariant — the router never targets a column
+        // partition with point lookups; debug-checked, total in release.
+        debug_assert!(
             !matches!(p.data, PartitionData::Column(_)),
             "lookup on a column partition"
         );
@@ -938,6 +990,10 @@ impl Aeu {
         let mut exec_ns = 0.0;
         let mut strays: Vec<(u64, Vec<u64>, Option<TraceStamp>)> = Vec::new();
         for (c, stamp) in cmds {
+            // BOUNDS: dispatch invariant — process_group groups by op, so
+            // every payload in this batch is a Lookup.
+            // ALLOC-OK: the mine/stray partition below stages the batch's
+            // keys; strays ride out as owned payloads across AEUs.
             let Payload::Lookup { keys } = &c.payload else {
                 unreachable!()
             };
@@ -947,6 +1003,9 @@ impl Aeu {
                 keys.iter().partition(|&&k| range_contains(lo, hi, k));
             // A stamp is recorded where work happens: here if any keys
             // are local, otherwise it rides on with the strays.
+            // ALLOC-OK: trace bookkeeping for the sampled minority, and the
+            // stray push hands leftover keys an owned ride to their new
+            // owner; both drain every epoch.
             let fully_stray = mine.is_empty() && !stray.is_empty();
             if let Some(s) = stamp {
                 if !fully_stray {
@@ -955,11 +1014,16 @@ impl Aeu {
                 }
             }
             if !stray.is_empty() {
+                // ALLOC-OK: strays ride out as owned payloads to their
+                // new owner; the vector drains at the end of the batch.
                 strays.push((c.ticket, stray, if fully_stray { *stamp } else { None }));
             }
             if mine.is_empty() {
                 continue;
             }
+            // BOUNDS: presence proven by the `else` at fn entry; nothing in
+            // this loop removes partitions.  The unreachable arm below
+            // restates the column debug_assert above.
             let data = &self.partitions[&object].data;
             let values = &mut self.scratch_values;
             match data {
@@ -975,6 +1039,7 @@ impl Aeu {
                         .batched_probe_keys
                         .fetch_add(mine.len() as u64, Relaxed);
                 }
+                // BOUNDS: restates the column routing debug_assert at fn entry.
                 PartitionData::Column(_) => unreachable!(),
             }
             self.results.lookup_batch(c.ticket, &mine, values);
@@ -982,15 +1047,18 @@ impl Aeu {
             total += n;
             // Result reply path: the callback owner receives the values.
             self.reply_rr = (self.reply_rr + 1) % self.cfg.node_of.len();
+            // BOUNDS: reply_rr was just reduced modulo node_of.len().
             let reply_node = self.cfg.node_of[self.reply_rr];
             w.latency_ns += FLUSH_BASE_LATENCY_NS / (2.0 * params.mlp);
             w.cpu_ns += n as f64 * 2.0;
+            // ALLOC-OK: flow records, as above.
             w.flows.push((
                 Flow::new(self.node, reply_node, n * 16),
                 FlowKind::Overlapped,
             ));
             exec_ns += n as f64 * per_op_cpu;
             w.latency_ns += n as f64 * misses * self.cfg.local_latency_ns / params.mlp;
+            // ALLOC-OK: flow records drain into the epoch's work summary.
             w.flows.push((
                 Flow::new(
                     self.node,
@@ -1060,12 +1128,17 @@ impl Aeu {
                 type Pairs = Vec<(u64, u64)>;
                 let mut strays: Vec<(u64, Pairs, Option<TraceStamp>)> = Vec::new();
                 for (c, stamp) in cmds {
+                    // BOUNDS: dispatch invariant — process_group groups by op, so
+                    // every payload in this batch is an Upsert.
                     let Payload::Upsert { pairs } = &c.payload else {
                         unreachable!()
                     };
                     let (mine, stray): (Pairs, Pairs) =
                         pairs.iter().partition(|&&(k, _)| range_contains(lo, hi, k));
                     let fully_stray = mine.is_empty() && !stray.is_empty();
+                    // ALLOC-OK: trace bookkeeping for the sampled minority; the
+                    // pending vector drains every epoch.  The stray push hands the
+                    // leftover keys an owned ride to their new owner.
                     if let Some(s) = stamp {
                         if !fully_stray {
                             self.traced_pending
@@ -1075,7 +1148,15 @@ impl Aeu {
                     if !stray.is_empty() {
                         strays.push((c.ticket, stray, if fully_stray { *stamp } else { None }));
                     }
-                    let p = self.partitions.get_mut(&object).unwrap();
+                    // BOUNDS: presence was proven at fn entry (the
+                    // stray-forwarding `else` above) and nothing in this
+                    // loop removes partitions; the re-fetch only scopes
+                    // the mutable borrow.  Release builds skip the batch
+                    // instead of crashing the AEU if that ever rots.
+                    let Some(p) = self.partitions.get_mut(&object) else {
+                        debug_assert!(false, "partition vanished mid-batch");
+                        continue;
+                    };
                     match &mut p.data {
                         PartitionData::Index(tree) => {
                             for &(k, v) in &mine {
@@ -1094,6 +1175,7 @@ impl Aeu {
                                 .batched_probe_keys
                                 .fetch_add(mine.len() as u64, Relaxed);
                         }
+                        // BOUNDS: this match arm runs under Index|Hash only.
                         PartitionData::Column(_) => unreachable!(),
                     }
                     if !mine.is_empty() {
@@ -1106,6 +1188,7 @@ impl Aeu {
                     total += n;
                     exec_ns += n as f64 * (per_op_cpu + params.cpu_ns_per_upsert);
                     w.latency_ns += n as f64 * misses * self.cfg.local_latency_ns / params.mlp;
+                    // ALLOC-OK: flow records drain into the epoch's work summary.
                     w.flows.push((
                         Flow::new(
                             self.node,
@@ -1147,6 +1230,9 @@ impl Aeu {
                 // Appends: materialize values into the local column.
                 let mut rows: Vec<u64> = Vec::new();
                 for (c, stamp) in cmds {
+                    // BOUNDS: dispatch invariant, as the index/hash branch above.
+                    // ALLOC-OK: `rows` stages the batch's values for one absorb
+                    // call; the traced push drains every epoch.
                     let Payload::Upsert { pairs } = &c.payload else {
                         unreachable!()
                     };
@@ -1156,15 +1242,22 @@ impl Aeu {
                         self.traced_pending
                             .push((object, StorageOp::Upsert.tag(), *s));
                     }
+                    // ALLOC-OK: `rows` stages the whole batch for one
+                    // absorb call into pre-provisioned segments.
                     rows.extend(pairs.iter().map(|&(_, v)| v));
                 }
                 let n = rows.len() as u64;
-                self.absorb_rows(object, &rows);
+                // This match arm proved the partition is a local column,
+                // so the absorb cannot fail; a debug build still screams
+                // if that invariant ever rots.
+                let absorbed = self.absorb_rows(object, &rows);
+                debug_assert!(absorbed.is_ok(), "{absorbed:?}");
                 self.results.upsert_batch(n, n);
                 let exec_ns = n as f64 * (params.cpu_ns_per_scan_row + params.cpu_ns_per_upsert);
                 w.cpu_ns += exec_ns;
                 w.ops.upserts += n;
                 w.flows
+                    // ALLOC-OK: one flow record per absorbed batch.
                     .push((Flow::new(self.node, self.node, n * 8), FlowKind::Overlapped));
                 if let Some(p) = self.partitions.get_mut(&object) {
                     p.accesses += n;
@@ -1194,6 +1287,9 @@ impl Aeu {
                 // Scan sharing: all coalesced scan commands in one sweep.
                 let mut shared = SharedScan::new();
                 for (c, _) in cmds {
+                    // BOUNDS: dispatch invariant — process_group groups by op, so
+                    // every payload in this batch is a Scan; registration into the
+                    // shared sweep allocates per command (ALLOC-OK, fused batch).
                     let Payload::Scan {
                         pred,
                         agg,
@@ -1228,6 +1324,7 @@ impl Aeu {
                 for seg in col.segments() {
                     let seg_rows = (seg.len() as u64).min(examined);
                     if seg_rows > 0 {
+                        // ALLOC-OK: one flow record per scanned batch.
                         w.flows.push((
                             Flow::new(self.node, seg.home(), seg_rows * 8 * scale),
                             FlowKind::Serial,
@@ -1242,6 +1339,7 @@ impl Aeu {
                 // over a hash partition (unordered, Section 3.1 trade-off).
                 let mut total_rows = 0u64;
                 for (c, _) in cmds {
+                    // BOUNDS: dispatch invariant, as the column branch above.
                     let Payload::Scan { pred, agg, .. } = &c.payload else {
                         unreachable!()
                     };
@@ -1269,6 +1367,7 @@ impl Aeu {
                                     visit(v);
                                 }
                             }),
+                            // BOUNDS: this match runs under Index|Hash only.
                             PartitionData::Column(_) => unreachable!(),
                         }
                     }
@@ -1289,6 +1388,7 @@ impl Aeu {
                 w.cpu_ns += exec_ns;
                 w.ops.scans += cmds.len() as u64;
                 w.ops.scan_rows += total_rows * scale;
+                // ALLOC-OK: one flow record per scanned batch.
                 w.flows.push((
                     Flow::new(self.node, self.node, total_rows * 16 * scale),
                     FlowKind::Serial,
@@ -1401,6 +1501,9 @@ fn charge_flushes_to(
     };
     for f in flushes {
         w.latency_ns += params.flush_latency_factor * per_flush;
+        // ALLOC-OK: flow records drain into the epoch's work summary.
+        // BOUNDS: FlushInfo targets come from the router, which only
+        // issues AEU ids it owns — always within node_of.
         w.flows.push((
             Flow::new(w.node, node_of[f.target.index()], f.bytes),
             FlowKind::Overlapped,

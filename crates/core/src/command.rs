@@ -234,6 +234,8 @@ impl DataCommand {
 
     /// Append the wire encoding to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
+        // ALLOC-OK: serializes into the caller's reusable outgoing
+        // buffer; one exact reserve, steady state writes in place.
         out.reserve(self.encoded_len());
         let (op, plen) = (
             match self.payload {
@@ -452,6 +454,8 @@ pub const TRACE_MARKER_BYTES: usize = HEADER_BYTES + TRACE_BODY_BYTES;
 /// (`tenant`/`conn`/`seq` identity and the net-queue / admission spans
 /// accumulated before routing).
 pub fn encode_trace_marker(object: DataObjectId, stamp: TraceStamp, out: &mut Vec<u8>) {
+    // ALLOC-OK: as DataCommand::encode — one exact reserve into the
+    // caller's reusable buffer.
     out.reserve(TRACE_MARKER_BYTES);
     out.put_u8(OP_TRACE);
     out.put_u32_le(object.0);

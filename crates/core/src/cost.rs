@@ -108,6 +108,8 @@ pub fn tree_level_bytes(keys: u64, cfg: PrefixTreeConfig) -> Vec<f64> {
             };
             nodes * node_bytes
         })
+        // ALLOC-OK: one small Vec (one entry per tree level) per cost
+        // model evaluation, at batch grouping time — not per key.
         .collect()
 }
 

@@ -342,6 +342,8 @@ impl Engine {
     /// the per-object enqueued-equals-executed conservation ledger.
     /// Cross-node link traffic from the hardware-counter model is
     /// attributed per link and direction.
+    // HOT-PATH-CUT: report assembly — snapshots every counter into an
+    // owned struct; called by harnesses and the stats endpoint only.
     pub fn telemetry(&self) -> TelemetrySnapshot {
         let mut snap = self.shared.telemetry_snapshot(&self.node_of);
         snap.links = self
@@ -613,7 +615,9 @@ impl Engine {
         }
         for (i, batch) in batches.into_iter().enumerate() {
             if !batch.is_empty() {
-                self.aeus[i].absorb_rows(object, &batch);
+                self.aeus[i]
+                    .absorb_rows(object, &batch)
+                    .expect("load targets a provisioned column");
             }
         }
     }
@@ -1082,7 +1086,9 @@ impl Engine {
                     .record(&self.topo, to_node, from_node, bytes as u64);
                 route.latency_ns + bytes / route.bandwidth_gbps
             };
-            self.aeus[to].absorb_rows(object, &rows);
+            self.aeus[to]
+                .absorb_rows(object, &rows)
+                .expect("migration lands on the freshly provisioned column");
             self.aeus[from].add_pending_ns(ns);
             self.aeus[to].add_pending_ns(ns);
             total_ns += 2.0 * ns;
@@ -1482,7 +1488,8 @@ mod tests {
         let col = e.create_column("c");
         // Load everything onto AEU 0.
         e.aeu_mut(AeuId(0))
-            .absorb_rows(col, &(0..10_000u64).collect::<Vec<_>>());
+            .absorb_rows(col, &(0..10_000u64).collect::<Vec<_>>())
+            .unwrap();
         e.run_for_virtual_secs(0.001);
         let lens: Vec<usize> = e
             .aeu_ids()

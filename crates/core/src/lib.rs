@@ -71,7 +71,7 @@ pub mod results;
 pub mod routing;
 pub mod telemetry;
 
-pub use aeu::{Aeu, OpCounts, Partition, PartitionData, WorkSummary};
+pub use aeu::{AbsorbError, Aeu, OpCounts, Partition, PartitionData, WorkSummary};
 pub use balancer::{BalanceAlgorithm, BalanceMetric, BalancerConfig};
 pub use command::{AeuId, DataCommand, DataObjectId, DecodeError, Payload, StorageOp};
 pub use cost::CostParams;

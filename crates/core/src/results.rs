@@ -38,6 +38,9 @@ impl ResultCollector {
     }
 
     /// Record a batch of lookup results.
+    // HOT-PATH-CUT: reply staging — result batches own their payload
+    // vectors by design; the collector is the handoff out of the
+    // latch-free section.
     pub fn lookup_batch(&self, ticket: u64, keys: &[u64], values: &[Option<u64>]) {
         debug_assert_eq!(keys.len(), values.len());
         self.lookups.fetch_add(keys.len() as u64, Ordering::Relaxed);
@@ -52,12 +55,18 @@ impl ResultCollector {
     }
 
     /// Record a batch of upserts, `new` of which inserted fresh keys.
+    // HOT-PATH-CUT: reply staging — result batches own their payload
+    // vectors by design; the collector is the handoff out of the
+    // latch-free section.
     pub fn upsert_batch(&self, n: u64, new: u64) {
         self.upserts.fetch_add(n, Ordering::Relaxed);
         self.inserted_new.fetch_add(new, Ordering::Relaxed);
     }
 
     /// Record one partition's contribution to a scan.
+    // HOT-PATH-CUT: reply staging — result batches own their payload
+    // vectors by design; the collector is the handoff out of the
+    // latch-free section.
     pub fn scan_partial(&self, ticket: u64, from: AeuId, result: AggregateResult, rows: u64) {
         self.scans.fetch_add(1, Ordering::Relaxed);
         self.rows_scanned.fetch_add(rows, Ordering::Relaxed);

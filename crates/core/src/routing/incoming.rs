@@ -121,7 +121,8 @@ impl IncomingBuffers {
             stats: LiveIncomingStats::default(),
         };
         // ordering: Release publishes the zeroed buffer bytes before any
-        // writer can observe the slot as active.
+        // writer can observe the slot as active;
+        // pairs-with: incoming-slot-activate.
         b.slots[0].desc.store(pack(true, 0, 0), Ordering::Release);
         b
     }
@@ -160,8 +161,11 @@ impl IncomingBuffers {
     /// Bytes pending in the currently writable buffer.
     pub fn pending_bytes(&self) -> usize {
         // ordering: Acquire on both loads — observe the writable index
-        // and descriptor no older than the owner's last publication.
+        // and descriptor no older than the owner's last publication;
+        // pairs-with: incoming-writable, incoming-reserve.
         let w = self.writable.load(Ordering::Acquire);
+        // BOUNDS: the writable index is only ever stored as 0 or 1 over
+        // the fixed two-slot array.
         offset(self.slots[w].desc.load(Ordering::Acquire)) as usize
     }
 
@@ -169,19 +173,30 @@ impl IncomingBuffers {
     ///
     /// Implements the paper's writer protocol: reserve offset + increment
     /// writer count in one CAS, copy, decrement writer count.
+    // HOT-PATH-ROOT: the paper's writer protocol — every producer
+    // thread runs this per command; it must never panic, allocate,
+    // or block.
     pub fn write(&self, data: &[u8]) -> Result<(), BufferFull> {
-        assert!(
-            data.len() <= self.capacity,
-            "write larger than a whole buffer"
-        );
+        if data.len() > self.capacity {
+            // A record no swap could ever make room for: rejecting it as
+            // BufferFull (rather than asserting) keeps the writer
+            // protocol total — the caller already handles full buffers.
+            // ordering: Relaxed — telemetry counter, no payload.
+            self.stats.rejects.fetch_add(1, Ordering::Relaxed);
+            return Err(BufferFull);
+        }
         loop {
             // ordering: Acquire pairs with the owner's Release store of
-            // the republished writable index during a swap.
+            // the republished writable index during a swap;
+            // pairs-with: incoming-writable.
             let w = self.writable.load(Ordering::Acquire);
+            // BOUNDS: the writable index is only ever stored as 0 or 1 over
+            // the fixed two-slot array.
             let slot = &self.slots[w];
             // ordering: Acquire pairs with the owner's Release
             // (re)activation store so a writer that sees the active bit
-            // also sees a fully initialized descriptor.
+            // also sees a fully initialized descriptor;
+            // pairs-with: incoming-slot-activate, incoming-retire, incoming-slot-recycle.
             let d = slot.desc.load(Ordering::Acquire);
             if !is_active(d) {
                 // The owner is mid-swap; the writable index will move.
@@ -198,7 +213,8 @@ impl IncomingBuffers {
             // ordering: AcqRel — the Acquire half keeps our byte copy
             // below from floating above the reservation; the Release
             // half makes the claimed range visible to the owner's
-            // retire CAS.  Failure reloads with Acquire for the retry.
+            // retire CAS.  Failure reloads with Acquire for the retry;
+            // pairs-with: incoming-reserve, incoming-slot-activate.
             if slot
                 .desc
                 .compare_exchange_weak(d, nd, Ordering::AcqRel, Ordering::Acquire)
@@ -207,6 +223,8 @@ impl IncomingBuffers {
                 continue;
             }
             // Range [off, off+len) is exclusively ours.
+            // BOUNDS: the descriptor CAS reserved [off, off+len) with
+            // off + len <= capacity == bytes.len().
             slot.bytes[off as usize].with_mut(|dst| {
                 // SAFETY: the descriptor CAS reserved [off, off+len)
                 // exclusively for this writer; cells are
@@ -221,7 +239,8 @@ impl IncomingBuffers {
             // drain-loop load so a writer count of zero proves every
             // reserved byte range is fully copied; AcqRel (not plain
             // Release) also keeps the decrement ordered against the
-            // copy above on the writer side.
+            // copy above on the writer side;
+            // pairs-with: incoming-writer-done.
             slot.desc.fetch_sub(1, Ordering::AcqRel);
             // ordering: Relaxed — telemetry counters, no payload.
             self.stats.writes.fetch_add(1, Ordering::Relaxed);
@@ -236,15 +255,19 @@ impl IncomingBuffers {
     /// wait for its writers, and hand its contents to `consume`.
     ///
     /// Returns the number of bytes consumed.
+    // HOT-PATH-ROOT: the owner-side swap, once per AEU step; the
+    // spin-drain makes any blocking call here a latency cliff.
     pub fn swap_and_consume(&self, mut consume: impl FnMut(&[u8])) -> usize {
         // ordering: Acquire — the owner rereads its own last Release
         // store; Relaxed would do, Acquire keeps the invariant simple:
-        // every `writable` load in this module is Acquire.
+        // every `writable` load in this module is Acquire;
+        // pairs-with: incoming-writable.
         let old = self.writable.load(Ordering::Acquire);
         let new = 1 - old;
         // The other buffer was fully drained by the previous swap.
         debug_assert_eq!(
-            // ordering: Acquire — see the drain loop below.
+            // ordering: Acquire — see the drain loop below;
+            // pairs-with: incoming-writer-done, incoming-slot-recycle.
             writers(self.slots[new].desc.load(Ordering::Acquire)),
             0,
             "drained buffer must have no writers"
@@ -254,7 +277,8 @@ impl IncomingBuffers {
         // before republication — a writer that reaches the fresh slot
         // through the new index must observe it active, and a writer
         // that reaches it early (stale CAS on a zeroed descriptor)
-        // must see the zeroed offset, not a stale one.
+        // must see the zeroed offset, not a stale one;
+        // pairs-with: incoming-slot-activate, incoming-writable.
         self.slots[new]
             .desc
             .store(pack(true, 0, 0), Ordering::Release);
@@ -263,7 +287,8 @@ impl IncomingBuffers {
         // fail and writers move over to the new buffer.
         // ordering: Acquire load + AcqRel CAS — the retire must observe
         // every reservation that won its CAS before the bit flips, and
-        // its Release half publishes the cleared bit to spinning writers.
+        // its Release half publishes the cleared bit to spinning writers;
+        // pairs-with: incoming-retire, incoming-reserve.
         let mut d = self.slots[old].desc.load(Ordering::Acquire);
         loop {
             match self.slots[old].desc.compare_exchange_weak(
@@ -280,7 +305,8 @@ impl IncomingBuffers {
         loop {
             // ordering: Acquire pairs with each writer's AcqRel
             // `fetch_sub`; once the count reads zero, every reserved
-            // range's bytes happened-before this load.
+            // range's bytes happened-before this load;
+            // pairs-with: incoming-writer-done, incoming-reserve.
             let d = self.slots[old].desc.load(Ordering::Acquire);
             if writers(d) == 0 {
                 break;
@@ -288,7 +314,8 @@ impl IncomingBuffers {
             hint::spin_loop();
         }
         // ordering: Acquire — same pairing as the drain loop; re-read
-        // for the final offset after the active bit was cleared.
+        // for the final offset after the active bit was cleared;
+        // pairs-with: incoming-writer-done, incoming-reserve.
         let filled = offset(self.slots[old].desc.load(Ordering::Acquire)) as usize;
         if filled > 0 {
             self.slots[old].bytes[0].with(|base| {
@@ -301,7 +328,8 @@ impl IncomingBuffers {
         }
         // Leave the old buffer empty and inactive, ready for the next swap.
         // ordering: Release — the next activation of this slot must not
-        // be observable before the owner is done reading its bytes.
+        // be observable before the owner is done reading its bytes;
+        // pairs-with: incoming-slot-recycle.
         self.slots[old]
             .desc
             .store(pack(false, 0, 0), Ordering::Release);
@@ -427,9 +455,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "larger than a whole buffer")]
-    fn oversized_write_panics() {
-        IncomingBuffers::new(8).write(&[0; 9]).unwrap();
+    fn oversized_write_is_rejected_not_panicking() {
+        // A record larger than a whole buffer can never fit, even after
+        // a swap: the writer gets BufferFull (counted as a reject), and
+        // the buffer stays fully usable for sane records.
+        let b = IncomingBuffers::new(8);
+        assert_eq!(b.write(&[0; 9]), Err(BufferFull));
+        assert_eq!(b.stats().rejects, 1);
+        assert_eq!(b.write(&[7; 8]), Ok(()));
+        assert_eq!(b.pending_bytes(), 8);
     }
 
     #[test]

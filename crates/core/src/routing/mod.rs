@@ -153,6 +153,8 @@ impl RoutingShared {
 
     /// The incoming buffers of one AEU.
     pub fn incoming(&self, aeu: AeuId) -> &Arc<IncomingBuffers> {
+        // BOUNDS: AeuId is constructed by the router/engine from the
+        // configured AEU count, which sized this vector.
         &self.incoming[aeu.index()]
     }
 
@@ -264,6 +266,7 @@ impl Router {
     }
 
     /// The cached conservation ledger of `id`.
+    // HOT-PATH-CUT: first-touch ledger registration, as Aeu::object_ledger.
     fn object_ledger(&mut self, id: DataObjectId) -> Arc<ObjectCounters> {
         let i = id.0 as usize;
         if self.tel_objects.len() <= i {
@@ -360,6 +363,8 @@ impl Router {
                     self.stats.commands_out += 1;
                     uni += 1;
                     if self.out.push_unicast_traced(owner, &sub, stamp.take()) {
+                        // ALLOC-OK: full-target list is bounded by the AEU count and
+                        // lives for one routing call.
                         full_targets.push(owner);
                     }
                 }
@@ -384,6 +389,8 @@ impl Router {
                             self.stats.commands_out += 1;
                             uni += 1;
                             if self.out.push_unicast_traced(owner, &sub, stamp.take()) {
+                                // ALLOC-OK: full-target list is bounded by the AEU count and
+                                // lives for one routing call.
                                 full_targets.push(owner);
                             }
                         }
@@ -394,10 +401,14 @@ impl Router {
                         // intermediate results).
                         let members = self.shared.with_table(cmd.object, |t| t.scan_targets())?;
                         self.rr_cursor = (self.rr_cursor + 1) % members.len();
+                        // BOUNDS: the cursor was just reduced modulo `members.len()`,
+                        // which `with_table` guarantees non-empty for a provisioned object.
                         let owner = members[self.rr_cursor];
                         self.stats.commands_out += 1;
                         uni += 1;
                         if self.out.push_unicast_traced(owner, &cmd, stamp.take()) {
+                            // ALLOC-OK: full-target list is bounded by the AEU count and
+                            // lives for one routing call.
                             full_targets.push(owner);
                         }
                     }
@@ -417,12 +428,16 @@ impl Router {
                         // A point predicate has exactly one owner; going
                         // through `owners_in_range(x, x + 1)` would lose
                         // `x == u64::MAX` to bound saturation.
+                        // ALLOC-OK: one-element owner list for the point-predicate fast
+                        // path, shaped like the general multicast target set.
                         vec![r.owner(*x)]
                     }
                     (t, _) => t.scan_targets(),
                 })?;
                 self.stats.commands_out += targets.len() as u64;
                 multi += targets.len() as u64;
+                // ALLOC-OK: extends the per-call full-target list (bounded by the
+                // AEU count).
                 full_targets.extend(self.out.push_multicast(&targets, &cmd));
             }
         }
@@ -478,6 +493,8 @@ impl Router {
                 c.flushes.fetch_add(1, Relaxed);
                 c.flush_commands.fetch_add(info.commands, Relaxed);
                 c.flush_bytes.fetch_add(info.bytes, Relaxed);
+                // ALLOC-OK: flush summaries accumulate into the caller's reusable
+                // report vector, one entry per flushed target.
                 flushed.push(info);
             }
             Ok(None) => {}

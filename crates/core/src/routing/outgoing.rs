@@ -91,6 +91,8 @@ impl OutgoingBuffers {
         cmd: &DataCommand,
         trace: Option<TraceStamp>,
     ) -> bool {
+        // BOUNDS: `targets` is sized to the AEU count at construction and
+        // AeuId indexes come from the same topology.
         let t = &mut self.targets[target.index()];
         if let Some(stamp) = trace {
             encode_trace_marker(cmd.object, stamp, &mut t.unicast);
@@ -110,8 +112,13 @@ impl OutgoingBuffers {
         let off = self.multicast.len() as u32;
         cmd.encode(&mut self.multicast);
         let len = self.multicast.len() as u32 - off;
+        // ALLOC-OK: per-call list of targets that crossed the flush
+        // threshold — bounded by the multicast fan-out.
         let mut full = Vec::new();
         for &t in targets {
+            // BOUNDS: `targets` is sized to the AEU count at construction.
+            // ALLOC-OK: multicast reference lists grow amortized with the
+            // batch and are drained every flush.
             self.targets[t.index()].refs.push((off, len));
             self.commands_routed += 1;
             let pending = self.pending_bytes(t);
@@ -132,12 +139,16 @@ impl OutgoingBuffers {
     /// Bytes currently pending towards `target` (unicast + referenced
     /// multicast commands).
     pub fn pending_bytes(&self, target: AeuId) -> usize {
+        // BOUNDS: `targets` is sized to the AEU count at construction and
+        // AeuId indexes come from the same topology.
         let t = &self.targets[target.index()];
         t.unicast.len() + t.refs.iter().map(|&(_, l)| l as usize).sum::<usize>()
     }
 
     /// Pending command count towards `target`.
     pub fn pending_commands(&self, target: AeuId) -> u64 {
+        // BOUNDS: `targets` is sized to the AEU count at construction and
+        // AeuId indexes come from the same topology.
         let t = &self.targets[target.index()];
         t.unicast_cmds + t.refs.len() as u64
     }
@@ -164,13 +175,23 @@ impl OutgoingBuffers {
         }
         let commands = self.pending_commands(target);
         // Assemble unicast bytes + referenced multicast commands.
+        // BOUNDS: `targets` is sized to the AEU count at construction and
+        // AeuId indexes come from the same topology.
         let t = &self.targets[target.index()];
+        // ALLOC-OK: one exactly-sized assembly buffer per flush; flushes
+        // are batched, not per-command.
+        // ALLOC-OK: extend copies below stage into that same buffer.
         let mut assembled = Vec::with_capacity(bytes);
         assembled.extend_from_slice(&t.unicast);
         for &(off, len) in &t.refs {
+            // BOUNDS: (off, len) was recorded from `multicast.len()` when the
+            // command was encoded; the buffer only grows until the flush.
+            // ALLOC-OK: extends the pre-sized assembly buffer.
             assembled.extend_from_slice(&self.multicast[off as usize..(off + len) as usize]);
         }
         incoming.write(&assembled)?;
+        // BOUNDS: `targets` is sized to the AEU count at construction and
+        // AeuId indexes come from the same topology.
         let t = &mut self.targets[target.index()];
         t.unicast.clear();
         t.unicast_cmds = 0;

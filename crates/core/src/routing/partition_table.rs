@@ -46,6 +46,8 @@ impl RangeTable {
 
     /// Current `(boundary, owner)` pairs in key order.
     pub fn ranges(&self) -> Vec<(u64, AeuId)> {
+        // ALLOC-OK: materializes the boundary list (bounded by the
+        // partition count, typically tens of entries).
         self.csb.iter().map(|(b, a)| (b, *a)).collect()
     }
 
@@ -88,6 +90,9 @@ impl RangeTable {
         let mut groups: Vec<(AeuId, Vec<u64>)> = Vec::new();
         for &k in keys {
             let owner = self.owner(k);
+            // ALLOC-OK: the split groups own their key vectors by design —
+            // each becomes the payload of a per-owner sub-command.
+            // ALLOC-OK: group count is bounded by the owner count.
             match groups.iter_mut().find(|(a, _)| *a == owner) {
                 Some((_, v)) => v.push(k),
                 None => groups.push((owner, vec![k])),
@@ -101,6 +106,9 @@ impl RangeTable {
         let mut groups: Vec<(AeuId, Vec<(u64, u64)>)> = Vec::new();
         for &(k, v) in pairs {
             let owner = self.owner(k);
+            // ALLOC-OK: the split groups own their pair vectors by design —
+            // each becomes the payload of a per-owner sub-command.
+            // ALLOC-OK: group count is bounded by the owner count.
             match groups.iter_mut().find(|(a, _)| *a == owner) {
                 Some((_, g)) => g.push((k, v)),
                 None => groups.push((owner, vec![(k, v)])),
@@ -128,6 +136,7 @@ impl RangeTable {
                 None => true,
             };
             if below_hi && above_lo {
+                // ALLOC-OK: owner list bounded by the partition count.
                 out.push(a);
             }
         }
@@ -180,7 +189,10 @@ impl PartitionTable {
     /// The owner set for a whole-object scan.
     pub fn scan_targets(&self) -> Vec<AeuId> {
         match self {
+            // ALLOC-OK: scan-target lists are bounded by the owner count and
+            // become the multicast target set.
             PartitionTable::Range(r) => r.ranges().iter().map(|(_, a)| *a).collect(),
+            // ALLOC-OK: same — a copy of the (small) member set.
             PartitionTable::Bitmap(b) => b.members().to_vec(),
         }
     }

@@ -399,6 +399,8 @@ impl Telemetry {
     /// The conservation ledger of one data object.  Slots are created on
     /// first use so stand-alone routers (benchmarks) need no registration
     /// step; `RoutingShared::register_object` pre-creates them.
+    // HOT-PATH-CUT: object-counter registration under the allowlisted
+    // RwLock; per-command bumps use the returned arc's relaxed atomics.
     pub fn object(&self, id: DataObjectId) -> Arc<ObjectCounters> {
         {
             let objects = self.objects.read();

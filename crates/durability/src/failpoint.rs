@@ -54,6 +54,8 @@ impl FailPoints {
 
     /// Called by durability code at the injection site.  Returns `true`
     /// when the point fires, which also trips [`FailPoints::crashed`].
+    // HOT-PATH-CUT: chaos-injection check — test-only fail points,
+    // disabled (empty table) in production configs.
     pub fn hit(&self, name: &'static str) -> bool {
         let mut armed = self.armed.lock();
         match armed.get_mut(name) {

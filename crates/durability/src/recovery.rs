@@ -173,7 +173,10 @@ pub fn recover_into(
                     engine.aeu_mut(aeu).absorb_pairs(*object, pairs);
                 }
                 JournalOp::AppendRows { object, rows } => {
-                    engine.aeu_mut(aeu).absorb_rows(*object, rows);
+                    engine
+                        .aeu_mut(aeu)
+                        .absorb_rows(*object, rows)
+                        .expect("replay targets partitions the redo log provisioned");
                 }
                 JournalOp::RemoveRange { object, lo, hi } => {
                     engine.aeu_mut(aeu).extract_range(*object, *lo, *hi);

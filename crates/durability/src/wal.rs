@@ -308,6 +308,8 @@ impl Wal {
     /// model a crash with a torn write or before the sync.  Returns the
     /// number of records' bytes made durable (0 when nothing pended or
     /// the crash fired).
+    // HOT-PATH-CUT: group-commit flush — file IO on the durability
+    // thread, never under the AEU's latch-free section.
     pub fn flush(&self, fail: &FailPoints, shard: Option<&Arc<TelemetryShard>>) -> u64 {
         if fail.crashed() {
             return 0;
@@ -447,6 +449,7 @@ impl JournalSink {
 
     /// Group-commit one AEU's log and trace the commit when it made
     /// bytes durable.
+    // HOT-PATH-CUT: group-commit flush entry, as Wal::flush.
     fn flush_wal(&self, idx: usize) -> u64 {
         let shards = self.shards.read();
         let shard = shards.get(idx);
@@ -468,6 +471,8 @@ impl JournalSink {
 }
 
 impl eris_core::durability::RedoSink for JournalSink {
+    // HOT-PATH-CUT: journal append — buffers the redo record on the
+    // durability path; reviewed with the WAL, not the AEU loop.
     fn append(&self, aeu: AeuId, op: RedoOp<'_>) {
         if self.fail.crashed() {
             return;

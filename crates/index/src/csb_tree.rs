@@ -88,6 +88,10 @@ impl<V> CsbTree<V> {
     /// # Panics
     /// When `key` is below the first boundary (no owning range).
     pub fn lookup(&self, key: u64) -> &V {
+        // BOUNDS: documented precondition — keys below the domain
+        // minimum are a caller bug, checked once at the tree entry;
+        // build() guarantees boundaries is non-empty, so boundaries[0]
+        // exists.
         assert!(
             key >= self.boundaries[0],
             "key {key} below the domain minimum {}",
@@ -98,6 +102,10 @@ impl<V> CsbTree<V> {
             // Node j's keys start at sum of preceding node sizes; all nodes
             // except the last are full, so the offset is j * NODE_KEYS when
             // full — track via prefix to stay correct for ragged tails.
+            // BOUNDS: `node` is a child index produced by the previous level
+            // (at most its separator count + 1), which the bulk build sized
+            // this level for; start/size come from the level's own layout,
+            // so the key slice stays inside `level.keys`.
             let start = node_key_start(level, node);
             let size = level.node_sizes[node] as usize;
             let keys = &level.keys[start..start + size];
@@ -108,6 +116,10 @@ impl<V> CsbTree<V> {
             node = node * (NODE_KEYS + 1) + idx;
         }
         // Leaf `node` covers boundaries[node*NODE_KEYS ..].
+        // BOUNDS: the last level's child index lands inside the leaf
+        // array by construction; `hi` is clamped to boundaries.len() and
+        // values is parallel to boundaries (idx > 0 is debug-asserted
+        // and guaranteed by the entry assert + separator routing).
         let lo = node * NODE_KEYS;
         let hi = (lo + NODE_KEYS).min(self.boundaries.len());
         let leaf = &self.boundaries[lo..hi];
@@ -116,6 +128,8 @@ impl<V> CsbTree<V> {
             idx += 1;
         }
         debug_assert!(idx > 0, "internal separators must route above the node min");
+        // BOUNDS: idx > 0 (entry assert + separator routing) and
+        // lo + idx - 1 < boundaries.len() == values.len().
         &self.values[lo + idx - 1]
     }
 
@@ -133,6 +147,8 @@ impl<V> CsbTree<V> {
 #[inline]
 fn node_key_start(level: &Level, node: usize) -> usize {
     // All nodes before the last are full (bulk build), so this is exact.
+    // BOUNDS: the else branch only runs for the (short) last node,
+    // whose recorded size is <= keys.len().
     let full = NODE_KEYS * node;
     if full <= level.keys.len() {
         // May still be ragged if an earlier group was short (only the last
@@ -161,6 +177,8 @@ impl<V> FlatRangeMap<V> {
     /// The value of the greatest boundary `<= key`.
     pub fn lookup(&self, key: u64) -> &V {
         let idx = self.boundaries.partition_point(|&b| b <= key);
+        // BOUNDS: documented precondition, mirrored from CsbTree::lookup;
+        // idx > 0 makes `idx - 1` in-bounds for the parallel values array.
         assert!(idx > 0, "key {key} below the domain minimum");
         &self.values[idx - 1]
     }

@@ -130,6 +130,8 @@ impl HashTable {
         // while the original is still being carried.
         let mut carrying_original = true;
         loop {
+            // BOUNDS: `idx` starts at bucket_of (masked) and every advance
+            // re-masks, so it always lands inside the power-of-two array.
             let s = &mut self.slots[idx];
             if s.psl == 0 {
                 *s = cur;
@@ -156,6 +158,8 @@ impl HashTable {
     fn probe(&self, mut idx: usize, key: u64) -> Option<u64> {
         let mut psl = 1u32;
         loop {
+            // BOUNDS: the caller passes a masked home bucket and the advance
+            // below re-masks.
             let s = &self.slots[idx];
             if s.psl == 0 || s.psl < psl {
                 return None; // Robin Hood invariant: key would be here
@@ -194,6 +198,8 @@ impl HashTable {
         // lines; short batches probe straight through.
         const BATCH_THRESHOLD: usize = 8;
         if keys.len() < BATCH_THRESHOLD {
+            // ALLOC-OK: results append to the caller's reusable output
+            // vector (batch API contract).
             out.extend(keys.iter().map(|&k| self.lookup(k)));
             return;
         }
@@ -210,11 +216,16 @@ impl HashTable {
         // machine stays `group` wide until the tail drains; output order
         // stays input order because each probe carries its result slot.
         let base = out.len();
+        // ALLOC-OK: pre-sizes the caller's reusable output vector once
+        // per batch.
+        // ALLOC-OK: the probe-state ring below is bounded by `group`
+        // (8-16 entries) and lives for one batch.
         out.resize(base + keys.len(), None);
         let group = group.clamp(2, keys.len());
         let mut states: Vec<ProbeState> = Vec::with_capacity(group);
         let mut next = 0usize;
         let feed = |states: &mut Vec<ProbeState>, at: usize, next: &mut usize| {
+            // BOUNDS: feed is only invoked while `*next < keys.len()`.
             let key = keys[*next];
             let idx = self.bucket_of(key);
             self.prefetch_slot(idx);
@@ -226,6 +237,9 @@ impl HashTable {
             };
             *next += 1;
             if at == states.len() {
+                // ALLOC-OK: `at == states.len()` appends within the
+                // reserved `group` capacity.
+                // BOUNDS: otherwise `at` indexes a live slot.
                 states.push(st);
             } else {
                 states[at] = st;
@@ -240,6 +254,8 @@ impl HashTable {
             if i >= states.len() {
                 i = 0;
             }
+            // BOUNDS: `i` was just wrapped to `< states.len()`, and states is
+            // non-empty inside the loop.
             let st = &mut states[i];
             // SAFETY: `st.idx` is always masked into range — `bucket_of`
             // masks at feed time and the advance below re-masks — and
@@ -257,6 +273,8 @@ impl HashTable {
             // Resolved: a hit writes its slot; a miss (empty bucket or
             // Robin-Hood invariant break) leaves the pre-set `None`.
             if s.key == st.key && s.psl != 0 {
+                // BOUNDS: `st.out = base + key-index < out.len()` after the
+                // resize above.
                 out[st.out] = Some(s.value);
             }
             if next < keys.len() {
@@ -311,6 +329,8 @@ impl HashTable {
     /// apply to upserts: a displacement rewrites the very chain a
     /// concurrent in-flight probe would be walking.)
     pub fn upsert_batch(&mut self, pairs: &[(u64, u64)]) -> u64 {
+        // ALLOC-OK: the one pre-grow that keeps the per-key loop
+        // rehash-free; amortized over the batch.
         self.reserve(pairs.len());
         let mut fresh = 0u64;
         for group in pairs.chunks(AMAC_GROUP) {
@@ -375,6 +395,8 @@ impl HashTable {
         debug_assert!(buckets.is_power_of_two());
         debug_assert!(buckets > self.slots.len());
         self.rehashes += 1;
+        // ALLOC-OK: table growth is amortized doubling — reached only
+        // when an upsert crosses the load factor.
         let old = std::mem::replace(&mut self.slots, vec![EMPTY; buckets]);
         self.mask = buckets - 1;
         self.len = 0;

@@ -74,6 +74,9 @@ impl PrefixTreeConfig {
 
     fn check_key(&self, key: u64) {
         if self.key_bits < 64 {
+            // BOUNDS: documented domain precondition — keys wider than
+            // the configured key_bits are a caller bug, rejected once
+            // at every tree entry point.
             assert!(
                 key < (1u64 << self.key_bits),
                 "key {key} exceeds the configured {}-bit domain",
@@ -152,12 +155,16 @@ impl PrefixTree {
 
     fn new_inner(&mut self) -> u32 {
         let id = (self.inner.len() / self.cfg.fanout()) as u32;
+        // ALLOC-OK: node allocation is the tree growing — amortized
+        // over the keys that land in the fresh node.
         self.inner
             .resize(self.inner.len() + self.cfg.fanout(), NULL);
         id
     }
 
     fn new_leaf(&mut self) -> u32 {
+        // ALLOC-OK: leaf allocation (values + present bitmap) is the tree
+        // growing — amortized over the keys that land in the fresh leaf.
         let id = (self.values.len() / self.cfg.fanout()) as u32;
         self.values.resize(self.values.len() + self.cfg.fanout(), 0);
         self.present
@@ -183,6 +190,8 @@ impl PrefixTree {
         for level in 0..levels.saturating_sub(1) {
             let digit = self.cfg.digit(key, level);
             let slot = node as usize * fanout + digit;
+            // BOUNDS: `node` names a live inner node and `digit` is masked to
+            // fanout by `digit()`, so slot < inner.len().
             let child = self.inner[slot];
             node = if child == NULL {
                 let fresh = if level + 2 == levels {
@@ -190,6 +199,7 @@ impl PrefixTree {
                 } else {
                     self.new_inner()
                 };
+                // BOUNDS: same slot as the load above.
                 self.inner[node as usize * fanout + digit] = fresh;
                 fresh
             } else {
@@ -198,6 +208,8 @@ impl PrefixTree {
         }
         let digit = self.cfg.digit(key, levels - 1);
         let (word, bit) = self.present_word(node, digit);
+        // BOUNDS: `node` is a live leaf id; `digit` is masked to fanout;
+        // present/values were sized for the leaf at new_leaf time.
         let slot = node as usize * fanout + digit;
         if self.present[word] & bit != 0 {
             let old = self.values[slot];
@@ -220,6 +232,8 @@ impl PrefixTree {
         let mut node = 0u32;
         for level in 0..levels - 1 {
             let digit = self.cfg.digit(key, level);
+            // BOUNDS: `node` names a live inner node and `digit` is masked to
+            // fanout by `digit()`.
             node = self.inner[node as usize * fanout + digit];
             if node == NULL {
                 return None;
@@ -233,6 +247,8 @@ impl PrefixTree {
         self.cfg.check_key(key);
         let (leaf, digit) = self.descend(key)?;
         let (word, bit) = self.present_word(leaf, digit);
+        // BOUNDS: descend returned a live leaf; word/bit come from
+        // present_word over that leaf and digit is masked to fanout.
         (self.present[word] & bit != 0)
             .then(|| self.values[leaf as usize * self.cfg.fanout() + digit])
     }
@@ -241,6 +257,8 @@ impl PrefixTree {
     /// many lookups in one pass to hide memory latency.
     pub fn lookup_batch(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
         out.clear();
+        // ALLOC-OK: pre-sizes the caller's reusable output vector once
+        // per batch; the pushes below stay within that reservation.
         out.reserve(keys.len());
         for &k in keys {
             out.push(self.lookup(k));

@@ -62,13 +62,25 @@ impl<T: Default> AtomicArena<T> {
     fn alloc_node(&self) -> u32 {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         let seg = id / SEGMENT;
+        // BOUNDS: capacity precondition — the fixed segment-pointer
+        // table bounds the arena; exhausting it is a sizing bug, not a
+        // data-dependent state, and the check caps `seg` for the
+        // pointer-table indexes below.
         assert!(seg < MAX_SEGMENTS, "shared tree arena exhausted");
         if self.ptrs[seg].load(Ordering::Acquire).is_null() {
+            // BOUNDS: the grow mutex cannot be poisoned — the critical
+            // section below never panics (allocation aborts on OOM).
+            // Taken only on the first allocation in each segment
+            // (once per SEGMENT nodes); the per-node fast path above is
+            // a fetch_add plus an Acquire null check.
             let _g = self.grow.lock().unwrap();
             if self.ptrs[seg].load(Ordering::Acquire).is_null() {
+                // ALLOC-OK: segment-granular arena growth — one boxed
+                // slice per SEGMENT nodes, amortized across them.
                 let mut v: Vec<T> = Vec::with_capacity(self.segment_len());
                 v.resize_with(self.segment_len(), T::default);
                 let raw = Box::into_raw(v.into_boxed_slice()) as *mut T;
+                // BOUNDS: `seg` re-checked under the same capped index.
                 self.ptrs[seg].store(raw, Ordering::Release);
             }
         }
@@ -80,6 +92,8 @@ impl<T: Default> AtomicArena<T> {
     fn node(&self, id: u32) -> &[T] {
         let seg = id as usize / SEGMENT;
         let off = (id as usize % SEGMENT) * self.slots_per_node;
+        // BOUNDS: node ids come from alloc_node, which asserted
+        // seg < MAX_SEGMENTS before handing the id out.
         let ptr = self.ptrs[seg].load(Ordering::Acquire);
         debug_assert!(!ptr.is_null(), "node {id} read before its segment exists");
         // SAFETY: a non-null segment pointer refers to a live boxed slice of
@@ -174,6 +188,8 @@ impl SharedPrefixTree {
 
     /// Create-and-CAS a child; on a lost race the orphan node stays unused.
     fn get_or_install_child(&self, parent: u32, digit: usize, leaf_level: bool) -> u32 {
+        // BOUNDS: `parent` is a live inner node and `digit` is masked
+        // to fanout by `digit()`, inside the node's slots_per_node.
         let slot = &self.inner.node(parent)[digit];
         let cur = slot.load(Ordering::Acquire);
         if cur != NULL {
@@ -205,6 +221,9 @@ impl SharedPrefixTree {
         }
         let digit = self.digit(key, levels - 1);
         let leaf = self.leaves.node(node);
+        // BOUNDS: leaf nodes carry fanout value slots plus the presence
+        // bitmap words; `digit` is masked to fanout, so both indexes
+        // stay inside slots_per_node.
         // Value first, then publish the presence bit with release ordering.
         leaf[digit].store(value, Ordering::Relaxed);
         let word = &leaf[fanout + digit / 64];
@@ -224,6 +243,7 @@ impl SharedPrefixTree {
         let mut node = self.root;
         for level in 0..levels.saturating_sub(1) {
             let digit = self.digit(key, level);
+            // BOUNDS: `node` is live and `digit` is masked to fanout.
             node = self.inner.node(node)[digit].load(Ordering::Acquire);
             if node == NULL {
                 return None;
@@ -232,6 +252,8 @@ impl SharedPrefixTree {
         let digit = self.digit(key, levels - 1);
         let leaf = self.leaves.node(node);
         let bit = 1u64 << (digit % 64);
+        // BOUNDS: same leaf layout as upsert — fanout value slots plus
+        // bitmap words, digit masked to fanout.
         if leaf[fanout + digit / 64].load(Ordering::Acquire) & bit == 0 {
             return None;
         }
@@ -250,6 +272,7 @@ impl SharedPrefixTree {
         for level in 0..levels.saturating_sub(1) {
             let digit = self.digit(key, level);
             out.push(self.base_vaddr + (node as u64 * fanout + digit as u64) * 4);
+            // BOUNDS: `node` is live and `digit` is masked to fanout.
             node = self.inner.node(node)[digit].load(Ordering::Acquire);
             if node == NULL {
                 return;

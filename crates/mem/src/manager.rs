@@ -42,6 +42,7 @@ impl MemoryManager {
 
     /// The allocator of one node (for wiring up AEU thread caches).
     pub fn node(&self, node: NodeId) -> &Arc<NodeAllocator> {
+        // BOUNDS: NodeId comes from the topology that sized this vector.
         &self.allocators[node.index()]
     }
 

@@ -281,6 +281,8 @@ impl Topology {
     /// The precomputed route from `src` to `dst`, or `None` when local.
     #[inline]
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<&Route> {
+        // BOUNDS: NodeIds come from this topology, which precomputed the
+        // full routes matrix over its own node count.
         self.routes[src.index()][dst.index()].as_ref()
     }
 

@@ -99,7 +99,10 @@ impl ExemplarTable {
     /// a bounded spin when another writer is mid-write in the same
     /// bucket; a writer that loses the generation race simply abandons
     /// (a newer exemplar is already there or imminent).
+    // HOT-PATH-ROOT: called per sampled command on the latency path;
+    // same wait-free seqlock discipline as the trace ring.
     pub fn record(&self, bucket: usize, ex: Exemplar) {
+        // BOUNDS: the bucket index is clamped to the fixed table size.
         let slot = &self.slots[bucket.min(LATENCY_BUCKETS - 1)];
         // ordering: Relaxed — the write counter only needs atomicity;
         // payload publication is ordered by the per-slot seqlock below.
@@ -108,7 +111,8 @@ impl ExemplarTable {
         let busy = done | 1;
         loop {
             // ordering: Acquire pairs with the Release completion store
-            // of whichever writer last owned this slot.
+            // of whichever writer last owned this slot;
+            // pairs-with: exemplar-slot-seq.
             let cur = slot.seq.load(Ordering::Acquire);
             if cur >= done {
                 // A newer write already owns this bucket: ours is stale
@@ -134,7 +138,8 @@ impl ExemplarTable {
                     unsafe { std::ptr::write_volatile(p, ex) }
                 });
                 // ordering: Release publishes the payload before the
-                // even sequence that readers validate against.
+                // even sequence that readers validate against;
+                // pairs-with: exemplar-slot-seq.
                 slot.seq.store(done, Ordering::Release);
                 return;
             }
@@ -151,7 +156,8 @@ impl ExemplarTable {
             for _ in 0..8 {
                 // ordering: Acquire pairs with a completing writer's
                 // Release store, so an even sequence implies its
-                // payload bytes are visible below.
+                // payload bytes are visible below;
+                // pairs-with: exemplar-slot-seq.
                 let s1 = slot.seq.load(Ordering::Acquire);
                 if s1 == 0 {
                     break;

@@ -65,6 +65,8 @@ impl Value {
 
 /// Parse one complete JSON document; trailing non-whitespace is an
 /// error.
+// HOT-PATH-CUT: report-time JSON parser; reached from the hot
+// paths only through method-name collisions, never at runtime.
 pub fn parse(input: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
@@ -99,6 +101,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
+    // HOT-PATH-CUT: report-time JSON parsing, as `parse`.
     fn expect(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
@@ -126,6 +129,7 @@ impl Parser<'_> {
         }
     }
 
+    // HOT-PATH-CUT: report-time JSON parsing, as `parse`.
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
@@ -135,6 +139,7 @@ impl Parser<'_> {
         }
     }
 
+    // HOT-PATH-CUT: report-time JSON parsing, as `parse`.
     fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
@@ -163,6 +168,7 @@ impl Parser<'_> {
         }
     }
 
+    // HOT-PATH-CUT: report-time JSON parsing, as `parse`.
     fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
@@ -186,6 +192,7 @@ impl Parser<'_> {
         }
     }
 
+    // HOT-PATH-CUT: report-time JSON parsing, as `parse`.
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -239,6 +246,7 @@ impl Parser<'_> {
         }
     }
 
+    // HOT-PATH-CUT: report-time JSON parsing, as `parse`.
     fn number(&mut self) -> Result<Value, String> {
         let start = self.pos;
         while let Some(b) = self.peek() {

@@ -82,6 +82,8 @@ impl PhaseProfiler {
     /// Charge `ns` nanoseconds of wall time to `phase`.
     pub fn add(&self, phase: Phase, ns: u64) {
         // ordering: Relaxed — monotonic counter, single logical writer.
+        // BOUNDS: Phase is a fieldless enum indexing an array sized
+        // Phase::ALL.len().
         self.ns[phase as usize].fetch_add(ns, Relaxed);
     }
 
@@ -112,6 +114,7 @@ pub struct PhaseBreakdown {
 impl PhaseBreakdown {
     /// Nanoseconds charged to one phase.
     pub fn get(&self, phase: Phase) -> u64 {
+        // BOUNDS: Phase indexes an array sized Phase::ALL.len().
         self.ns[phase as usize]
     }
 

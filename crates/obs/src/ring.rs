@@ -103,17 +103,22 @@ impl TraceRing {
     /// Record one event.  Wait-free except for a bounded spin when an
     /// older writer is mid-write in the same slot (a full ring-lap race,
     /// vanishingly rare at sane capacities).
+    // HOT-PATH-ROOT: called per traced command from the AEU loop;
+    // the seqlock claim must stay wait-free.
     pub fn emit(&self, event: Stamped) {
         // ordering: Relaxed — the generation counter only needs
         // atomicity; payload publication is ordered by the per-slot
         // seqlock below, and `stats` tolerates transient skew.
         let pos = self.head.fetch_add(1, Ordering::Relaxed);
+        // BOUNDS: the claim position is masked to the power-of-two
+        // capacity.
         let slot = &self.slots[(pos & self.mask) as usize];
         let done = (pos + 1) << 1;
         let busy = done | 1;
         loop {
             // ordering: Acquire pairs with the Release completion store
-            // of whichever writer last owned this slot.
+            // of whichever writer last owned this slot;
+            // pairs-with: ring-slot-seq.
             let cur = slot.seq.load(Ordering::Acquire);
             if cur >= done {
                 // A newer generation already owns this slot: our event
@@ -146,7 +151,8 @@ impl TraceRing {
                     unsafe { std::ptr::write_volatile(p, event) }
                 });
                 // ordering: Release publishes the payload before the
-                // even sequence that readers validate against.
+                // even sequence that readers validate against;
+                // pairs-with: ring-slot-seq.
                 slot.seq.store(done, Ordering::Release);
                 return;
             }
@@ -162,7 +168,8 @@ impl TraceRing {
             for _ in 0..8 {
                 // ordering: Acquire pairs with a completing writer's
                 // Release store, so an even sequence implies its
-                // payload bytes are visible below.
+                // payload bytes are visible below;
+                // pairs-with: ring-slot-seq.
                 let s1 = slot.seq.load(Ordering::Acquire);
                 if s1 == 0 {
                     break;

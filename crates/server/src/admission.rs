@@ -51,6 +51,7 @@ impl CreditWindow {
 
     /// Consume one credit; `false` when the window is exhausted (the
     /// caller must stall, not buffer).
+    // HOT-PATH-ROOT: per-request credit check on the accept path.
     pub fn try_consume(&self) -> bool {
         let mut cur = self.available.load(Relaxed);
         loop {
@@ -70,6 +71,7 @@ impl CreditWindow {
     /// Return `n` credits to the window, saturating at `limit`.  Returns
     /// how many were actually granted — the total ever available can
     /// therefore never exceed the configured bound.
+    // HOT-PATH-ROOT: per-completion credit return on the reply path.
     pub fn regrant(&self, n: u32) -> u32 {
         let mut cur = self.available.load(Relaxed);
         loop {
@@ -251,6 +253,9 @@ pub enum Admit {
     Overloaded {
         retry_after_ms: u32,
     },
+    /// The tenant id is not in the admission table at all (handshake
+    /// bypass or config mismatch): a protocol violation, never retried.
+    UnknownTenant,
 }
 
 /// The engine-side load signals the server samples at batch boundaries
@@ -291,16 +296,24 @@ impl Admission {
         self.tenants.len() as u32
     }
 
-    pub fn shard(&self, tenant: u32) -> &TenantShard {
-        &self.tenants[tenant as usize].1
+    /// The counter shard of `tenant`, or `None` for an id the table
+    /// does not know — admission is total over untrusted tenant ids.
+    pub fn shard(&self, tenant: u32) -> Option<&TenantShard> {
+        self.tenants.get(tenant as usize).map(|(_, s)| s)
     }
 
     /// Decide one command of `ops` logical operations for `tenant`.
     /// Overload is checked first so a shedding server stops draining
     /// quota; the bucket is only charged for commands that pass it.
     /// Bumps the tenant's `shed` / `quota_denied` / `accepted` counters.
+    // HOT-PATH-ROOT: the per-request admission decision; runs on
+    // every network frame before any queueing.
     pub fn admit(&self, tenant: u32, ops: u32, now_ns: u64, load: LoadSignal) -> Admit {
-        let (bucket, shard) = &self.tenants[tenant as usize];
+        // Total over untrusted input: an id beyond the table (a handshake
+        // bypass or a config mismatch) is a verdict, not a panic.
+        let Some((bucket, shard)) = self.tenants.get(tenant as usize) else {
+            return Admit::UnknownTenant;
+        };
         if load.occupancy >= self.cfg.shed_occupancy || load.in_flight >= self.cfg.shed_in_flight {
             shard.shed.fetch_add(1, Relaxed);
             return Admit::Overloaded {
@@ -323,9 +336,11 @@ impl Admission {
     /// route (it becomes `rejected` instead) — keeps the conservation
     /// ledger `accepted == routed` exact.
     pub fn unaccept(&self, tenant: u32) {
-        let (_, shard) = &self.tenants[tenant as usize];
-        shard.accepted.fetch_sub(1, Relaxed);
-        shard.rejected.fetch_add(1, Relaxed);
+        // An unknown id never had an `accepted` bump to undo.
+        if let Some((_, shard)) = self.tenants.get(tenant as usize) {
+            shard.accepted.fetch_sub(1, Relaxed);
+            shard.rejected.fetch_add(1, Relaxed);
+        }
     }
 
     pub fn counts(&self) -> Vec<TenantCounts> {
@@ -435,6 +450,25 @@ mod tests {
         assert_eq!(counts[0].quota_denied, 1);
         assert_eq!(counts[1].accepted, 1);
         assert_eq!(counts[1].shed, 1);
+    }
+
+    #[test]
+    fn out_of_range_tenant_ids_are_a_verdict_not_a_panic() {
+        let adm = Admission::new(AdmissionConfig::default(), 2);
+        assert_eq!(
+            adm.admit(2, 1, 0, LoadSignal::default()),
+            Admit::UnknownTenant
+        );
+        assert_eq!(
+            adm.admit(u32::MAX, 1, 0, LoadSignal::default()),
+            Admit::UnknownTenant
+        );
+        assert!(adm.shard(2).is_none());
+        // unaccept on an unknown id is a no-op, not an underflow.
+        adm.unaccept(7);
+        assert!(adm.counts().iter().all(|c| c.rejected == 0));
+        // Known tenants are unaffected.
+        assert_eq!(adm.admit(1, 1, 0, LoadSignal::default()), Admit::Granted);
     }
 
     #[test]

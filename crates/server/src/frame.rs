@@ -123,6 +123,7 @@ pub const SHED_CREDIT_VIOLATION: u8 = 2;
 pub const REJ_DECODE: u8 = 1;
 pub const REJ_ROUTING: u8 = 2;
 pub const REJ_PROTOCOL: u8 = 3;
+pub const REJ_TENANT: u8 = 4;
 
 /// One decoded request frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -203,6 +204,8 @@ impl RequestFrame {
         }
     }
 
+    // HOT-PATH-CUT: network frame assembly on the session thread;
+    // the frame owns its output vector by design.
     pub fn encode(&self, out: &mut Vec<u8>) {
         out.push(REQ_MAGIC);
         out.push(self.kind.tag());
@@ -256,6 +259,7 @@ impl RequestFrame {
 }
 
 impl ResponseFrame {
+    // HOT-PATH-CUT: network frame assembly, as RequestFrame::encode.
     pub fn encode(&self, out: &mut Vec<u8>) {
         out.push(RESP_MAGIC);
         out.push(self.kind.tag());

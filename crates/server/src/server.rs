@@ -26,7 +26,7 @@
 use crate::admission::{Admission, AdmissionConfig, Admit, CreditWindow, LoadSignal, TenantCounts};
 use crate::frame::{
     ReqKind, RequestFrame, RespKind, ResponseFrame, REJ_DECODE, REJ_PROTOCOL, REJ_ROUTING,
-    SHED_OVERLOAD,
+    REJ_TENANT, SHED_OVERLOAD,
 };
 use crate::transport::Transport;
 use eris_core::{DataCommand, Engine, QuiesceReport};
@@ -550,8 +550,8 @@ impl EngineServer {
                         retry_after_ms: 0,
                         regrant: 0,
                     });
-                    if let Some(t) = conn.tenant {
-                        self.admission.shard(t).rejected.fetch_add(1, Relaxed);
+                    if let Some(s) = conn.tenant.and_then(|t| self.admission.shard(t)) {
+                        s.rejected.fetch_add(1, Relaxed);
                         report.rejected += 1;
                     }
                     let _ = err;
@@ -563,11 +563,8 @@ impl EngineServer {
                     if frame.kind == ReqKind::Command && !conn.credits.try_consume() {
                         // Window empty: withhold — leave the frame in
                         // the buffer and stop reading this connection.
-                        if let Some(t) = conn.tenant {
-                            self.admission
-                                .shard(t)
-                                .credits_stalled
-                                .fetch_add(1, Relaxed);
+                        if let Some(s) = conn.tenant.and_then(|t| self.admission.shard(t)) {
+                            s.credits_stalled.fetch_add(1, Relaxed);
                         }
                         report.stalled_conns += 1;
                         break;
@@ -655,7 +652,9 @@ impl EngineServer {
                 };
                 if frame.conn != conn.id {
                     self.counters.protocol_errors += 1;
-                    self.admission.shard(tenant).rejected.fetch_add(1, Relaxed);
+                    if let Some(s) = self.admission.shard(tenant) {
+                        s.rejected.fetch_add(1, Relaxed);
+                    }
                     report.rejected += 1;
                     if sampled {
                         self.trace_drop();
@@ -667,7 +666,9 @@ impl EngineServer {
                 let cmd = match DataCommand::try_decode(&mut body) {
                     Ok(cmd) if body.is_empty() => cmd,
                     _ => {
-                        self.admission.shard(tenant).rejected.fetch_add(1, Relaxed);
+                        if let Some(s) = self.admission.shard(tenant) {
+                            s.rejected.fetch_add(1, Relaxed);
+                        }
                         report.rejected += 1;
                         if sampled {
                             self.trace_drop();
@@ -726,6 +727,17 @@ impl EngineServer {
                             retry_after_ms,
                             regrant: 1,
                         });
+                    }
+                    Admit::UnknownTenant => {
+                        // Unreachable through the normal handshake (Hello
+                        // validated the id), but admission is total:
+                        // answer like any other protocol violation.
+                        self.counters.protocol_errors += 1;
+                        report.rejected += 1;
+                        if sampled {
+                            self.trace_drop();
+                        }
+                        reject(conn, REJ_TENANT, frame.seq);
                     }
                     Admit::Granted => {
                         let submitted = match stamp {

@@ -46,6 +46,8 @@ struct PipeInner {
 }
 
 impl Pipe {
+    // HOT-PATH-CUT: loopback test transport — Mutex-based by design,
+    // used by the harness, never on the engine's latch-free paths.
     pub fn push(&self, data: &[u8]) {
         self.inner.bytes.lock().extend(data.iter().copied());
     }
@@ -57,6 +59,7 @@ impl Pipe {
         n
     }
 
+    // HOT-PATH-CUT: loopback test transport, as `push`.
     pub fn len(&self) -> usize {
         self.inner.bytes.lock().len()
     }

@@ -1,0 +1,51 @@
+//! Analyzer self-check fixture (A3): ordering-pairing audit seeds.
+//! Never compiled — scanned only by `cargo xtask analyze --self-check`.
+//!
+//! The compliant pair below must stay silent; the two seeded release
+//! sites (one unlabeled, one with a dangling label) must each fire
+//! exactly once.  Padding comments keep each site's lookback window
+//! free of the other sites' `pairs-with:` labels.
+
+pub fn publish(slot: &AtomicU64, val: u64) {
+    // ordering: Release publishes the payload; pairs-with: fixture-slot-seq.
+    slot.store(val, Ordering::Release);
+}
+
+pub fn consume(slot: &AtomicU64) -> u64 {
+    // ordering: Acquire observes the published payload; pairs-with: fixture-slot-seq.
+    slot.load(Ordering::Acquire)
+}
+
+// ---- padding: keep the labeled comments above out of the next ----
+// ---- site's lookback window (ten lines of separation). ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+
+pub fn unlabeled_release(slot: &AtomicU64) {
+    // ordering: Release hand-off, deliberately missing its pair label.
+    // seed: A3 — release-side ordering without a pairs-with label.
+    slot.store(7, Ordering::Release);
+}
+
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+// ---- padding ----
+
+pub fn dangling_release(slot: &AtomicU64) {
+    // ordering: Release; pairs-with: fixture-missing-acquire.
+    // seed: A3 — the named acquire end does not exist in this file.
+    slot.store(9, Ordering::Release);
+}

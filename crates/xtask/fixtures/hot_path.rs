@@ -42,3 +42,38 @@ pub fn argued() {
     // SAFETY: fixture; reads a dangling-but-aligned pointer nowhere.
     let _ = unsafe { core::ptr::NonNull::<u8>::dangling().as_ptr() };
 }
+
+// ---- lexer regression seeds: these only count correctly with the ----
+// ---- real lexer; the old `code_of` stripper missed or over-fired ----
+// ---- on every one of them. ----
+
+// seed: R2 — the `//` inside the URL string must not hide the lock
+// after it (the old stripper truncated the line at the first `//`).
+pub fn url_lock() {
+    let _x = ("https://eris.example/metrics", Mutex::new(()));
+}
+
+// seed: R1 — the '"' char literal must not open a phantom string that
+// swallows the rest of the line.
+pub fn quote_char(c: &AtomicU64) {
+    let _sep = '"'; c.store(2, Ordering::Relaxed);
+}
+
+// seed: R1 — raw-string contents must be masked, not read as code or
+// comment.
+pub fn raw_string(c: &AtomicU64) {
+    let _q = r#"// not a comment, "quotes" inside"#; c.store(3, Ordering::Relaxed);
+}
+
+// A compliant line: the old per-line stripper never removed block
+// comments, so the word inside the one below used to over-fire R2.
+pub fn block_comment_control() {
+    let _n = 1; /* not a real Mutex, just prose */
+}
+
+// seed: R3 — a justification marker smuggled inside a string is not a
+// comment; only real comment text satisfies the lookback search.
+pub fn smuggled_marker() {
+    let _fake = "// SAFETY: not a real justification";
+    let _ = unsafe { core::ptr::null::<u8>().read() };
+}

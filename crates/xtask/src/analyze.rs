@@ -1,0 +1,616 @@
+//! `cargo xtask analyze` — transitive hot-path rules over the
+//! conservative call graph (A1–A4).
+//!
+//! Reachability starts at functions annotated `// HOT-PATH-ROOT:` and
+//! follows every call edge the name-based resolver admits (see
+//! `graph.rs`).  `// HOT-PATH-CUT:` marks a reviewed amortization or
+//! control-plane boundary: the cut function and everything only
+//! reachable through it are out of scope.
+//!
+//! Rules over the reachable set:
+//!
+//! * **A1 panic-freedom** — no `unwrap`/`expect`, no panicking macro
+//!   (`panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert!`
+//!   family), no index/slice expression, unless a `// BOUNDS:` comment
+//!   within the lookback window argues why it cannot fire.
+//!   `debug_assert!` is exempt (compiled out of release hot paths).
+//! * **A2 allocation-freedom** — no allocating call (`Vec::push`,
+//!   `collect`, `format!`, `Box::new`, `to_vec`, …) unless the site
+//!   carries `// ALLOC-OK:` or the whole function is blessed with
+//!   `// ALLOC-OK(fn):` (reviewed warm-up/amortized allocation).
+//! * **A3 ordering-pairing** — in the hot-path files, every
+//!   `Release`/`AcqRel` site names its paired acquire end via
+//!   `pairs-with: <label>` (comma-separated list, labels `[a-z0-9-]`),
+//!   and every named label must appear on both a release-side and an
+//!   acquire-side line of the same file.
+//! * **A4 no-blocking-calls** — no `.lock()`, `Mutex`/`RwLock` usage,
+//!   `sleep`, `std::io`/`std::fs`/`std::net`/`std::process`, or stdout
+//!   printing reachable from a root.  Lock hits are excused only by the
+//!   file-level lock allowlist (shared with R2); io and sleep have no
+//!   escape hatch short of a reviewed `HOT-PATH-CUT`.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use crate::graph::{FnMarks, Graph};
+use crate::lexer::{lex, Lexed};
+use crate::lint::has_comment_within_lookback;
+use crate::parser::{parse_fns, Call, CallKind, FnItem};
+use crate::{Violation, GRAPH_CRATES, HOT_PATHS, LOCK_ALLOWLIST, LOOKBACK};
+
+const A1_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+const A1_METHODS: &[&str] = &["unwrap", "expect"];
+
+const A2_MACROS: &[&str] = &["vec", "format"];
+const A2_NAMES: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "reserve",
+    "resize",
+    "collect",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "with_capacity",
+];
+/// `Q::new` allocates for these qualifiers (`Vec::new`/`String::new`
+/// do not — they defer to the first push, which A2 catches).
+const A2_NEW_QUALS: &[&str] = &["Box", "Arc", "Rc"];
+const A2_FROM_QUALS: &[&str] = &["Box", "Arc", "Rc", "String", "Vec"];
+
+const A4_METHODS: &[&str] = &["lock"];
+const A4_NAMES: &[&str] = &["sleep"];
+const A4_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+const A4_IO_SUBSTRINGS: &[&str] = &["std::io::", "std::fs::", "std::net::", "std::process::"];
+const A4_LOCK_TYPES: &[&str] = &["Mutex", "RwLock"];
+
+/// Inputs of one analyzer run; the real tree and the self-check
+/// fixtures share every code path.
+pub struct AnalyzeConfig {
+    /// The call-graph universe (library crates).
+    pub graph_files: Vec<PathBuf>,
+    /// Files under the A3 ordering-pairing audit.
+    pub a3_files: Vec<PathBuf>,
+    /// Files allowed to hold locks (shared with R2).
+    pub lock_allowlist: Vec<PathBuf>,
+}
+
+/// One lexed + parsed source file with per-fn annotation marks.
+pub struct LoadedFile {
+    pub path: PathBuf,
+    pub lexed: Lexed,
+    pub fns: Vec<FnItem>,
+    pub marks: Vec<FnMarks>,
+}
+
+pub fn load_file(path: &Path) -> Option<LoadedFile> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let lexed = lex(&text);
+    let cut = lexed.test_cut(&text);
+    let fns = parse_fns(&lexed, cut);
+    let marks = fns.iter().map(|f| fn_marks(&lexed, f)).collect();
+    Some(LoadedFile {
+        path: path.to_path_buf(),
+        lexed,
+        fns,
+        marks,
+    })
+}
+
+/// Read a function's annotations from the contiguous comment/attribute
+/// block directly above its signature (and the signature line itself).
+/// Unlike site justifications this is *not* a fixed lookback window: a
+/// blank non-comment line ends the block, so an annotation can never
+/// bleed onto the next function.
+fn fn_marks(lexed: &Lexed, item: &FnItem) -> FnMarks {
+    let mut j = item.sig_line;
+    let mut marks = FnMarks::default();
+    loop {
+        let comment = lexed.comments.get(j).map(String::as_str).unwrap_or("");
+        if comment.contains("HOT-PATH-ROOT") {
+            marks.root = true;
+        }
+        if comment.contains("HOT-PATH-CUT") {
+            marks.cut = true;
+        }
+        if comment.contains("ALLOC-OK(fn):") {
+            marks.alloc_ok_fn = true;
+        }
+        if j == 0 {
+            break;
+        }
+        let above_code = lexed.code.get(j - 1).map(String::as_str).unwrap_or("");
+        let above_comment = lexed.comments.get(j - 1).map(String::as_str).unwrap_or("");
+        let is_attr = above_code.trim_start().starts_with('#');
+        let is_comment_only = above_code.trim().is_empty() && !above_comment.is_empty();
+        if is_attr || is_comment_only {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    marks
+}
+
+/// The heart of the analyzer: build the graph, walk from the roots,
+/// apply A1/A2/A4 to every reachable function, and audit A3 pairings.
+pub fn run_analyze_with(config: &AnalyzeConfig) -> (Vec<Violation>, AnalyzeStats) {
+    let files: Vec<LoadedFile> = config
+        .graph_files
+        .iter()
+        .filter_map(|p| load_file(p))
+        .collect();
+    let graph = Graph::new(
+        files.iter().map(|f| f.fns.iter().collect()).collect(),
+        files.iter().map(|f| f.marks.clone()).collect(),
+    );
+    let (reachable, cuts) = graph.reachable();
+
+    let mut out = Vec::new();
+    let mut dedup: HashSet<(usize, usize, &'static str, String)> = HashSet::new();
+    for &(fi, ii) in &reachable {
+        let file = &files[fi];
+        let item = &file.fns[ii];
+        let marks = &file.marks[ii];
+        check_fn(fi, file, item, marks, config, &mut dedup, &mut out);
+    }
+    for file in &files {
+        if config.a3_files.contains(&file.path) {
+            check_a3(file, &mut out);
+        }
+    }
+    // A3 files outside the graph universe (fixture runs).
+    for path in &config.a3_files {
+        if !files.iter().any(|f| f.path == *path) {
+            if let Some(file) = load_file(path) {
+                check_a3(&file, &mut out);
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let stats = AnalyzeStats {
+        files: files.len(),
+        roots: graph.roots().len(),
+        reachable: reachable.len(),
+        cuts: cuts.len(),
+    };
+    (out, stats)
+}
+
+pub struct AnalyzeStats {
+    pub files: usize,
+    pub roots: usize,
+    pub reachable: usize,
+    pub cuts: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_once(
+    dedup: &mut HashSet<(usize, usize, &'static str, String)>,
+    out: &mut Vec<Violation>,
+    file_idx: usize,
+    rule: &'static str,
+    file: &Path,
+    line0: usize,
+    key: String,
+    message: String,
+) {
+    if dedup.insert((file_idx, line0, rule, key)) {
+        out.push(Violation {
+            rule,
+            file: file.to_path_buf(),
+            line: line0 + 1,
+            message,
+        });
+    }
+}
+
+fn check_fn(
+    fidx: usize,
+    file: &LoadedFile,
+    item: &FnItem,
+    marks: &FnMarks,
+    config: &AnalyzeConfig,
+    dedup: &mut HashSet<(usize, usize, &'static str, String)>,
+    out: &mut Vec<Violation>,
+) {
+    let lock_allowed = config.lock_allowlist.contains(&file.path);
+    let qual = item.qualified();
+    let bounds_ok =
+        |line: usize| has_comment_within_lookback(&file.lexed.comments, line, "BOUNDS:");
+    let alloc_ok =
+        |line: usize| has_comment_within_lookback(&file.lexed.comments, line, "ALLOC-OK:");
+
+    for call in &item.calls {
+        if let Some(kind_word) = a1_call(call) {
+            if !bounds_ok(call.line) {
+                push_once(
+                    dedup,
+                    out,
+                    fidx,
+                    "A1",
+                    &file.path,
+                    call.line,
+                    call.name.clone(),
+                    format!(
+                        "{kind_word} `{}` reachable from a hot-path root (in \
+                         `{qual}`) with no `// BOUNDS:` justification within \
+                         {LOOKBACK} lines",
+                        call.name
+                    ),
+                );
+            }
+        }
+        if !marks.alloc_ok_fn {
+            if let Some(kind_word) = a2_call(call) {
+                if !alloc_ok(call.line) {
+                    push_once(
+                        dedup,
+                        out,
+                        fidx,
+                        "A2",
+                        &file.path,
+                        call.line,
+                        call.name.clone(),
+                        format!(
+                            "{kind_word} `{}` reachable from a hot-path root \
+                             (in `{qual}`) with no `// ALLOC-OK:` \
+                             justification within {LOOKBACK} lines",
+                            call.name
+                        ),
+                    );
+                }
+            }
+        }
+        if let Some(kind_word) = a4_call(call) {
+            let excused = call.name == "lock" && lock_allowed;
+            if !excused {
+                push_once(
+                    dedup,
+                    out,
+                    fidx,
+                    "A4",
+                    &file.path,
+                    call.line,
+                    call.name.clone(),
+                    format!(
+                        "{kind_word} `{}` reachable from a hot-path root (in \
+                         `{qual}`) — blocking is not allowed on latch-free \
+                         paths (cut the boundary with `// HOT-PATH-CUT:` if \
+                         this is reviewed control-plane)",
+                        call.name
+                    ),
+                );
+            }
+        }
+    }
+
+    for &line in &item.index_sites {
+        if !bounds_ok(line) {
+            push_once(
+                dedup,
+                out,
+                fidx,
+                "A1",
+                &file.path,
+                line,
+                "[index]".into(),
+                format!(
+                    "index expression reachable from a hot-path root (in \
+                     `{qual}`) with no `// BOUNDS:` justification within \
+                     {LOOKBACK} lines"
+                ),
+            );
+        }
+    }
+
+    // A4 type/path usage inside the body: io modules and lock types.
+    let (b0, b1) = item.body;
+    for line in b0..=b1.min(file.lexed.code.len().saturating_sub(1)) {
+        let code = &file.lexed.code[line];
+        for s in A4_IO_SUBSTRINGS {
+            if code.contains(s) {
+                push_once(
+                    dedup,
+                    out,
+                    fidx,
+                    "A4",
+                    &file.path,
+                    line,
+                    (*s).into(),
+                    format!("`{s}` usage reachable from a hot-path root (in `{qual}`)"),
+                );
+            }
+        }
+        if !lock_allowed {
+            for s in A4_LOCK_TYPES {
+                if code.contains(s) {
+                    push_once(
+                        dedup,
+                        out,
+                        fidx,
+                        "A4",
+                        &file.path,
+                        line,
+                        (*s).into(),
+                        format!(
+                            "`{s}` usage reachable from a hot-path root (in \
+                             `{qual}`) — latch-free paths must not touch locks"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn a1_call(call: &Call) -> Option<&'static str> {
+    match &call.kind {
+        CallKind::Macro if A1_MACROS.contains(&call.name.as_str()) => Some("panicking macro"),
+        CallKind::Method if A1_METHODS.contains(&call.name.as_str()) => Some("panicking call"),
+        _ => None,
+    }
+}
+
+fn a2_call(call: &Call) -> Option<&'static str> {
+    match &call.kind {
+        CallKind::Macro if A2_MACROS.contains(&call.name.as_str()) => Some("allocating macro"),
+        CallKind::Method if A2_NAMES.contains(&call.name.as_str()) => Some("allocating call"),
+        CallKind::Path(q) if A2_NAMES.contains(&call.name.as_str()) => {
+            let _ = q;
+            Some("allocating call")
+        }
+        CallKind::Path(q) if call.name == "new" && A2_NEW_QUALS.contains(&q.as_str()) => {
+            Some("allocating constructor")
+        }
+        CallKind::Path(q) if call.name == "from" && A2_FROM_QUALS.contains(&q.as_str()) => {
+            Some("allocating constructor")
+        }
+        _ => None,
+    }
+}
+
+fn a4_call(call: &Call) -> Option<&'static str> {
+    match &call.kind {
+        CallKind::Macro if A4_MACROS.contains(&call.name.as_str()) => Some("io macro"),
+        CallKind::Method if A4_METHODS.contains(&call.name.as_str()) => Some("lock acquisition"),
+        _ if A4_NAMES.contains(&call.name.as_str()) => Some("blocking call"),
+        _ => None,
+    }
+}
+
+/// A3: every release-side ordering names its acquire end, and every
+/// named label has both ends in the file.
+fn check_a3(file: &LoadedFile, out: &mut Vec<Violation>) {
+    let code = &file.lexed.code;
+    let comments = &file.lexed.comments;
+    // (label, line) per side.
+    let mut release_labels: Vec<(String, usize)> = Vec::new();
+    let mut acquire_labels: Vec<(String, usize)> = Vec::new();
+
+    for (idx, line) in code.iter().enumerate() {
+        let is_release = line.contains("Ordering::Release") || line.contains("Ordering::AcqRel");
+        let is_acquire = line.contains("Ordering::Acquire") || line.contains("Ordering::AcqRel");
+        if !is_release && !is_acquire {
+            continue;
+        }
+        let labels = pair_labels_in_window(comments, idx);
+        if is_release {
+            if labels.is_empty() {
+                out.push(Violation {
+                    rule: "A3",
+                    file: file.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "release-side ordering with no `pairs-with:` label \
+                         within {LOOKBACK} lines: `{}`",
+                        line.trim()
+                    ),
+                });
+            }
+            for l in &labels {
+                release_labels.push((l.clone(), idx));
+            }
+        }
+        if is_acquire {
+            for l in &labels {
+                acquire_labels.push((l.clone(), idx));
+            }
+        }
+    }
+
+    let acq_set: HashSet<&String> = acquire_labels.iter().map(|(l, _)| l).collect();
+    let rel_set: HashSet<&String> = release_labels.iter().map(|(l, _)| l).collect();
+    let mut reported: HashSet<&String> = HashSet::new();
+    for (label, line) in &release_labels {
+        if !acq_set.contains(label) && reported.insert(label) {
+            out.push(Violation {
+                rule: "A3",
+                file: file.path.clone(),
+                line: line + 1,
+                message: format!(
+                    "pairing label `{label}` has a release side but no \
+                     acquire side in this file"
+                ),
+            });
+        }
+    }
+    for (label, line) in &acquire_labels {
+        if !rel_set.contains(label) && reported.insert(label) {
+            out.push(Violation {
+                rule: "A3",
+                file: file.path.clone(),
+                line: line + 1,
+                message: format!(
+                    "pairing label `{label}` has an acquire side but no \
+                     release side in this file"
+                ),
+            });
+        }
+    }
+}
+
+/// Parse `pairs-with: a, b` labels from the comments in the lookback
+/// window of `idx`.  The list is comma-continued: it ends at the first
+/// token without a trailing comma, so prose may follow on the same
+/// comment.  Labels are `[a-z0-9-]+`.
+fn pair_labels_in_window(comments: &[String], idx: usize) -> Vec<String> {
+    let start = idx.saturating_sub(LOOKBACK);
+    let end = idx.min(comments.len().saturating_sub(1));
+    let mut out = Vec::new();
+    for c in &comments[start..=end] {
+        let mut rest = c.as_str();
+        while let Some(i) = rest.find("pairs-with:") {
+            rest = &rest[i + "pairs-with:".len()..];
+            let mut more = true;
+            let mut iter = rest.split_whitespace();
+            while more {
+                let Some(tok) = iter.next() else { break };
+                more = tok.ends_with(',');
+                let label: &str = tok.trim_matches(|ch: char| {
+                    !(ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '-')
+                });
+                if !label.is_empty()
+                    && label
+                        .chars()
+                        .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '-')
+                {
+                    out.push(label.to_string());
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Real-tree configuration: graph over the library crates, A3 over the
+/// hot-path files, lock allowlist shared with R2.
+fn tree_config(root: &Path) -> AnalyzeConfig {
+    let mut graph_files = Vec::new();
+    for c in GRAPH_CRATES {
+        crate::collect_rs_files(&root.join(c).join("src"), &mut graph_files);
+    }
+    graph_files.sort();
+    AnalyzeConfig {
+        graph_files,
+        a3_files: HOT_PATHS.iter().map(|p| root.join(p)).collect(),
+        lock_allowlist: LOCK_ALLOWLIST.iter().map(|(p, _)| root.join(p)).collect(),
+    }
+}
+
+pub fn run_analyze(root: &Path) -> ExitCode {
+    let config = tree_config(root);
+    let (violations, stats) = run_analyze_with(&config);
+    if violations.is_empty() {
+        println!(
+            "static analysis: {} roots, {} reachable fns ({} cut boundaries) \
+             across {} files — clean",
+            stats.roots, stats.reachable, stats.cuts, stats.files
+        );
+        if stats.roots == 0 {
+            eprintln!("static analysis: no HOT-PATH-ROOT annotations found — nothing was proved");
+            return ExitCode::FAILURE;
+        }
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "static analysis: {} violation(s) over {} reachable fns from {} roots",
+            violations.len(),
+            stats.reachable,
+            stats.roots
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Mutation-test the rules: every A-rule must fire on the seeded
+/// fixture crate with exactly the seeded counts, and the negative
+/// controls (unreachable, cut, justified) must stay silent — any
+/// over-fire breaks the exact-count match just like a dead rule does.
+pub fn run_analyze_self_check(root: &Path) -> ExitCode {
+    let fixtures = root.join("crates/xtask/fixtures/analyze_crate");
+    let hot = fixtures.join("hot.rs");
+    let ordering = fixtures.join("ordering.rs");
+    let config = AnalyzeConfig {
+        graph_files: vec![hot.clone()],
+        a3_files: vec![ordering.clone()],
+        lock_allowlist: vec![],
+    };
+    let (violations, stats) = run_analyze_with(&config);
+    let mut failed = false;
+    for rule in ["A1", "A2", "A3", "A4"] {
+        let n = violations.iter().filter(|v| v.rule == rule).count();
+        let seeded = crate::seeded_count(rule, &[&hot, &ordering]);
+        if n == seeded && n > 0 {
+            println!("self-check {rule}: {n}/{seeded} seeded violations caught");
+        } else {
+            eprintln!(
+                "self-check {rule}: caught {n}, seeded {seeded} — rule is {}",
+                if n == 0 { "dead" } else { "miscounting" }
+            );
+            failed = true;
+        }
+    }
+    if stats.roots == 0 {
+        eprintln!("self-check: fixture root annotation was not recognised");
+        failed = true;
+    }
+    if failed {
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    } else {
+        println!("self-check: all analyzer rules fire on the seeded fixtures");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_label_lists_are_comma_continued() {
+        let comments = vec![
+            "// ordering: Release publishes; pairs-with: ring-slot-seq.".to_string(),
+            "// ordering: pairs-with: incoming-reserve, incoming-retire, then prose".to_string(),
+        ];
+        let labels = pair_labels_in_window(&comments, 1);
+        assert_eq!(
+            labels,
+            vec![
+                "ring-slot-seq",
+                "incoming-reserve",
+                "incoming-retire",
+                "then"
+            ]
+        );
+    }
+
+    #[test]
+    fn pair_label_list_stops_without_comma() {
+        let comments =
+            vec!["// ordering: pairs-with: incoming-writable the drain loop".to_string()];
+        let labels = pair_labels_in_window(&comments, 0);
+        assert_eq!(labels, vec!["incoming-writable"]);
+    }
+}

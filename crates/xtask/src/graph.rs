@@ -1,0 +1,281 @@
+//! Conservative intra-workspace call graph.
+//!
+//! Resolution is name-based: a method call `x.m(..)` resolves to
+//! *every* workspace `fn m`; a qualified call `T::f(..)` resolves to
+//! the exact `impl T` item when one exists, falling back to every
+//! *free* `fn f` otherwise (so `module::helper(..)` still resolves,
+//! but `Vec::new(..)` does not fan out to every workspace method named
+//! `new`); `Self::f(..)` resolves through the enclosing impl type.
+//! That over-approximates the real dispatch (no type inference, no
+//! trait resolution), which is the safe direction for the rules
+//! built on top: a violation in any *possibly* reached function is
+//! flagged, and reviewed boundaries are cut explicitly with
+//! `// HOT-PATH-CUT:` annotations rather than silently missed.
+//!
+//! Known under-approximations (documented in DESIGN.md): calls through
+//! function pointers/closures passed as values are not edges, and
+//! macro-generated calls are invisible.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::parser::{CallKind, FnItem};
+
+/// A function's position in the workspace: (file index, fn index).
+pub type FnId = (usize, usize);
+
+/// Per-function annotation state, read from the comment block directly
+/// above the signature.
+#[derive(Debug, Default, Clone)]
+pub struct FnMarks {
+    /// `// HOT-PATH-ROOT: reason` — reachability starts here.
+    pub root: bool,
+    /// `// HOT-PATH-CUT: reason` — reviewed boundary; the function and
+    /// everything only reachable through it are out of scope.
+    pub cut: bool,
+    /// `// ALLOC-OK(fn): reason` — every allocation site in the body is
+    /// blessed at once (amortized/warm-up allocation, reviewed).
+    pub alloc_ok_fn: bool,
+}
+
+pub struct Graph<'a> {
+    /// Parallel to the caller's file list.
+    pub fns: Vec<Vec<&'a FnItem>>,
+    pub marks: Vec<Vec<FnMarks>>,
+    by_name: HashMap<&'a str, Vec<FnId>>,
+    by_qual: HashMap<String, Vec<FnId>>,
+    free_by_name: HashMap<&'a str, Vec<FnId>>,
+}
+
+impl<'a> Graph<'a> {
+    /// Build the resolution index.  `fns[f][i]` is fn `i` of file `f`;
+    /// `marks` must be parallel.
+    pub fn new(fns: Vec<Vec<&'a FnItem>>, marks: Vec<Vec<FnMarks>>) -> Self {
+        let mut by_name: HashMap<&str, Vec<FnId>> = HashMap::new();
+        let mut by_qual: HashMap<String, Vec<FnId>> = HashMap::new();
+        let mut free_by_name: HashMap<&str, Vec<FnId>> = HashMap::new();
+        for (f, file_fns) in fns.iter().enumerate() {
+            for (i, item) in file_fns.iter().enumerate() {
+                by_name.entry(&item.name).or_default().push((f, i));
+                by_qual.entry(item.qualified()).or_default().push((f, i));
+                if item.impl_type.is_none() {
+                    free_by_name.entry(&item.name).or_default().push((f, i));
+                }
+            }
+        }
+        Graph {
+            fns,
+            marks,
+            by_name,
+            by_qual,
+            free_by_name,
+        }
+    }
+
+    pub fn item(&self, id: FnId) -> &'a FnItem {
+        self.fns[id.0][id.1]
+    }
+
+    pub fn marks_of(&self, id: FnId) -> &FnMarks {
+        &self.marks[id.0][id.1]
+    }
+
+    /// All functions a call may dispatch to, conservatively.
+    pub fn resolve(&self, call_kind: &CallKind, name: &str, current_impl: Option<&str>) -> &[FnId] {
+        static EMPTY: [FnId; 0] = [];
+        match call_kind {
+            CallKind::Macro => &EMPTY,
+            CallKind::Path(q) if q == "Self" || q == "self" => {
+                // `Self::f` is always an associated fn of the enclosing
+                // impl: exact match or unresolved (macro-generated items
+                // are invisible to the parser; fanning out by bare name
+                // would be wildly imprecise for `new`/`default`).
+                if let Some(t) = current_impl {
+                    if let Some(ids) = self.by_qual.get(&format!("{t}::{name}")) {
+                        return ids;
+                    }
+                }
+                &EMPTY
+            }
+            CallKind::Path(q) if !q.is_empty() => {
+                if let Some(ids) = self.by_qual.get(&format!("{q}::{name}")) {
+                    return ids;
+                }
+                // Unknown qualifier: a module path (`kernel::probe(..)`)
+                // may still name a workspace free function, but an
+                // external type (`Vec::new(..)`) must NOT fan out to
+                // every workspace method of that name — associated fns
+                // only resolve through the exact `T::f` entry above.
+                self.free_by_name
+                    .get(name)
+                    .map_or(&EMPTY[..], Vec::as_slice)
+            }
+            _ => self.by_name.get(name).map_or(&EMPTY[..], Vec::as_slice),
+        }
+    }
+
+    /// Every function annotated `HOT-PATH-ROOT`.
+    pub fn roots(&self) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for (f, file_marks) in self.marks.iter().enumerate() {
+            for (i, m) in file_marks.iter().enumerate() {
+                if m.root {
+                    out.push((f, i));
+                }
+            }
+        }
+        out
+    }
+
+    /// BFS from the roots.  Cut functions terminate descent: they are
+    /// returned in the second set (so the caller can report the
+    /// boundary) but their bodies are neither scanned nor traversed.
+    pub fn reachable(&self) -> (Vec<FnId>, HashSet<FnId>) {
+        let mut seen: HashSet<FnId> = HashSet::new();
+        let mut cuts: HashSet<FnId> = HashSet::new();
+        let mut order: Vec<FnId> = Vec::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for r in self.roots() {
+            if seen.insert(r) {
+                queue.push_back(r);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            if self.marks_of(id).cut {
+                cuts.insert(id);
+                continue;
+            }
+            order.push(id);
+            let item = self.item(id);
+            for call in &item.calls {
+                for &callee in self.resolve(&call.kind, &call.name, item.impl_type.as_deref()) {
+                    if seen.insert(callee) {
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+        (order, cuts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_fns;
+
+    fn build(srcs: &[&str]) -> (Vec<Vec<FnItem>>, Vec<Vec<FnMarks>>) {
+        let mut fns = Vec::new();
+        let mut marks = Vec::new();
+        for src in srcs {
+            let parsed = parse_fns(&lex(src), usize::MAX);
+            let m: Vec<FnMarks> = parsed
+                .iter()
+                .map(|f| FnMarks {
+                    root: f.name.starts_with("root_"),
+                    cut: f.name.starts_with("cut_"),
+                    alloc_ok_fn: false,
+                })
+                .collect();
+            fns.push(parsed);
+            marks.push(m);
+        }
+        (fns, marks)
+    }
+
+    fn graph<'a>(fns: &'a [Vec<FnItem>], marks: &[Vec<FnMarks>]) -> Graph<'a> {
+        Graph::new(
+            fns.iter().map(|v| v.iter().collect()).collect(),
+            marks.to_vec(),
+        )
+    }
+
+    #[test]
+    fn reaches_transitively_across_files() {
+        let (fns, marks) = build(&[
+            "fn root_a() { helper(); }",
+            "fn helper() { deep(); }\nfn deep() {}\nfn unrelated() {}",
+        ]);
+        let g = graph(&fns, &marks);
+        let (order, _) = g.reachable();
+        let names: Vec<&str> = order.iter().map(|&id| g.item(id).name.as_str()).collect();
+        assert!(names.contains(&"root_a"));
+        assert!(names.contains(&"helper"));
+        assert!(names.contains(&"deep"));
+        assert!(!names.contains(&"unrelated"));
+    }
+
+    #[test]
+    fn qualified_calls_resolve_exactly_when_the_impl_exists() {
+        let (fns, marks) = build(&[
+            "fn root_a() { Target::hit(); }",
+            "impl Target { fn hit(&self) { inner(); } }\n\
+             impl Other { fn hit(&self) { other_inner(); } }\n\
+             fn inner() {}\nfn other_inner() {}",
+        ]);
+        let g = graph(&fns, &marks);
+        let (order, _) = g.reachable();
+        let names: Vec<&str> = order.iter().map(|&id| g.item(id).name.as_str()).collect();
+        assert!(names.contains(&"inner"));
+        // Exact qualified resolution must NOT pull in Other::hit.
+        assert!(!names.contains(&"other_inner"), "{names:?}");
+    }
+
+    #[test]
+    fn method_calls_resolve_to_every_name_match() {
+        let (fns, marks) = build(&[
+            "fn root_a(x: &Thing) { x.poke(); }",
+            "impl A { fn poke(&self) { a_inner(); } }\nfn a_inner() {}",
+            "impl B { fn poke(&self) { b_inner(); } }\nfn b_inner() {}",
+        ]);
+        let g = graph(&fns, &marks);
+        let (order, _) = g.reachable();
+        let names: Vec<&str> = order.iter().map(|&id| g.item(id).name.as_str()).collect();
+        assert!(names.contains(&"a_inner") && names.contains(&"b_inner"));
+    }
+
+    #[test]
+    fn self_calls_resolve_through_the_enclosing_impl() {
+        let (fns, marks) = build(&[
+            "impl W {\n fn root_go(&self) { Self::local(); }\n fn local() { w_inner(); }\n}\n\
+             impl V { fn local() { v_inner(); } }\nfn w_inner() {}\nfn v_inner() {}",
+        ]);
+        let g = graph(&fns, &marks);
+        let (order, _) = g.reachable();
+        let names: Vec<&str> = order.iter().map(|&id| g.item(id).name.as_str()).collect();
+        assert!(names.contains(&"w_inner"));
+        assert!(!names.contains(&"v_inner"), "{names:?}");
+    }
+
+    #[test]
+    fn unknown_qualifiers_resolve_to_free_fns_but_never_to_methods() {
+        let (fns, marks) = build(&[
+            "fn root_a() { Vec::new(); kernel::probe(); }",
+            "impl Engine { fn new() { engine_inner(); } }\nfn engine_inner() {}\n\
+             fn probe() { probe_inner(); }\nfn probe_inner() {}",
+        ]);
+        let g = graph(&fns, &marks);
+        let (order, _) = g.reachable();
+        let names: Vec<&str> = order.iter().map(|&id| g.item(id).name.as_str()).collect();
+        // `Vec::new` is an external associated fn: it must not fan out
+        // to the workspace method `Engine::new`.
+        assert!(!names.contains(&"engine_inner"), "{names:?}");
+        // `kernel::probe` is a module-qualified free fn: it resolves.
+        assert!(names.contains(&"probe_inner"), "{names:?}");
+    }
+
+    #[test]
+    fn cuts_stop_descent_and_are_reported() {
+        let (fns, marks) = build(&[
+            "fn root_a() { cut_boundary(); straight(); }",
+            "fn cut_boundary() { beyond(); }\nfn beyond() {}\nfn straight() {}",
+        ]);
+        let g = graph(&fns, &marks);
+        let (order, cuts) = g.reachable();
+        let names: Vec<&str> = order.iter().map(|&id| g.item(id).name.as_str()).collect();
+        assert!(names.contains(&"straight"));
+        assert!(!names.contains(&"cut_boundary"), "cut body not scanned");
+        assert!(!names.contains(&"beyond"), "descent stopped at the cut");
+        assert_eq!(cuts.len(), 1);
+    }
+}

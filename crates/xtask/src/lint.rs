@@ -1,0 +1,206 @@
+//! `cargo xtask lint` — the per-line discipline rules R1–R5, now
+//! running on the lexer's masked views instead of the old `code_of`
+//! string stripper.
+//!
+//! The rules are unchanged (see DESIGN.md § Concurrency model):
+//!
+//! * **R1 ordering-comment** — in hot-path modules, every line
+//!   mentioning `Ordering::` needs a `// ordering:` comment within the
+//!   lookback window.
+//! * **R2 no-locks-in-hot-paths** — no `Mutex`/`RwLock` in hot-path
+//!   modules unless the file is allowlisted with a reason.
+//! * **R3 unsafe-allowlist** — `unsafe` only in allowlisted files, and
+//!   always with a `// SAFETY:` comment in the window.
+//! * **R4 no-std-atomics-in-ported-files** — eris-sync-ported modules
+//!   must not import std atomics/UnsafeCell/spin_loop directly.
+//! * **R5 deny-unsafe-op** — crates containing unsafe code carry
+//!   `#![deny(unsafe_op_in_unsafe_fn)]`.
+//!
+//! What the lexer swap fixes (regression-tested in the fixture suite):
+//! `//` inside a string no longer truncates real code, `'"'` no longer
+//! opens a phantom string, raw strings and block comments are masked,
+//! and justification markers now only count when they sit in an actual
+//! comment — a marker smuggled inside a string literal is ignored.
+
+use std::path::Path;
+
+use crate::lexer::lex;
+use crate::{Config, Violation, LOOKBACK, R4_FORBIDDEN};
+
+/// True when a comment containing `marker` sits on `idx` or within the
+/// lookback window above it.  Searches comment text only.
+pub fn has_comment_within_lookback(comments: &[String], idx: usize, marker: &str) -> bool {
+    let start = idx.saturating_sub(LOOKBACK);
+    let end = idx.min(comments.len().saturating_sub(1));
+    comments[start..=end].iter().any(|c| c.contains(marker))
+}
+
+/// True when `code` contains `unsafe` as a standalone token — not as
+/// part of an identifier like `unsafe_op_in_unsafe_fn`.
+pub fn contains_unsafe_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(i) = code[from..].find("unsafe") {
+        let at = from + i;
+        let end = at + "unsafe".len();
+        let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        let pre = at > 0 && ident(bytes[at - 1]);
+        let post = end < bytes.len() && ident(bytes[end]);
+        if !pre && !post {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+pub fn lint_file(path: &Path, config: &Config, out: &mut Vec<Violation>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        out.push(Violation {
+            rule: "R0",
+            file: path.to_path_buf(),
+            line: 0,
+            message: "unreadable file".into(),
+        });
+        return;
+    };
+    let lexed = lex(&text);
+    let cut = lexed.test_cut(&text);
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let is_hot = config.hot_paths.iter().any(|p| p == path);
+    let lock_allowed = config.lock_allowlist.iter().any(|p| p == path);
+    let unsafe_allowed = config.unsafe_allowlist.iter().any(|p| p == path);
+    let is_ported = config.ported_files.iter().any(|p| p == path);
+
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        // Test modules sit at the bottom of every module in this repo;
+        // everything from a column-0 `#[cfg(test)]` on is test code.
+        if idx >= cut {
+            break;
+        }
+        let code = &lexed.code[idx];
+        let lineno = idx + 1;
+
+        // R1: every ordering choice on a hot path is justified.
+        if is_hot
+            && code.contains("Ordering::")
+            && !has_comment_within_lookback(&lexed.comments, idx, "// ordering:")
+        {
+            out.push(Violation {
+                rule: "R1",
+                file: path.to_path_buf(),
+                line: lineno,
+                message: format!(
+                    "`Ordering::` with no `// ordering:` comment within \
+                     {LOOKBACK} lines: `{}`",
+                    raw.trim()
+                ),
+            });
+        }
+
+        // R2: no locks on latch-free paths.
+        if is_hot && !lock_allowed && (code.contains("Mutex") || code.contains("RwLock")) {
+            out.push(Violation {
+                rule: "R2",
+                file: path.to_path_buf(),
+                line: lineno,
+                message: format!(
+                    "lock on a hot path (allowlist it in xtask with a \
+                     reason if this is control-plane): `{}`",
+                    raw.trim()
+                ),
+            });
+        }
+
+        // R3: unsafe only where allowlisted, always argued.
+        if contains_unsafe_token(code) {
+            if !unsafe_allowed {
+                out.push(Violation {
+                    rule: "R3",
+                    file: path.to_path_buf(),
+                    line: lineno,
+                    message: format!("`unsafe` outside the allowlisted files: `{}`", raw.trim()),
+                });
+            } else if !has_comment_within_lookback(&lexed.comments, idx, "// SAFETY:") {
+                out.push(Violation {
+                    rule: "R3",
+                    file: path.to_path_buf(),
+                    line: lineno,
+                    message: format!(
+                        "`unsafe` with no `// SAFETY:` comment within \
+                         {LOOKBACK} lines: `{}`",
+                        raw.trim()
+                    ),
+                });
+            }
+        }
+
+        // R4: ported modules must stay on the eris-sync facade.
+        if is_ported {
+            for forbidden in R4_FORBIDDEN {
+                if code.contains(forbidden) {
+                    out.push(Violation {
+                        rule: "R4",
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        message: format!(
+                            "`{forbidden}` bypasses the eris-sync facade \
+                             (and loom): `{}`",
+                            raw.trim()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// R5: every crate with unsafe code denies `unsafe_op_in_unsafe_fn`.
+pub fn lint_crate_attrs(root: &Path, out: &mut Vec<Violation>) {
+    let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let crate_dir = entry.path();
+        if crate_dir.is_dir() {
+            check_crate_deny_attr(&crate_dir, out);
+        }
+    }
+    check_crate_deny_attr(&root.join("shims/loom"), out);
+}
+
+pub fn check_crate_deny_attr(crate_dir: &Path, out: &mut Vec<Violation>) {
+    let mut files = Vec::new();
+    crate::collect_rs_files(&crate_dir.join("src"), &mut files);
+    let has_unsafe = files.iter().any(|f| {
+        std::fs::read_to_string(f).is_ok_and(|text| {
+            let lexed = lex(&text);
+            let cut = lexed.test_cut(&text);
+            lexed
+                .code
+                .iter()
+                .take(cut)
+                .any(|l| contains_unsafe_token(l))
+        })
+    });
+    if !has_unsafe {
+        return;
+    }
+    let lib = crate_dir.join("src/lib.rs");
+    let denies = std::fs::read_to_string(&lib).is_ok_and(|text| {
+        lex(&text)
+            .code
+            .iter()
+            .any(|l| l.contains("#![deny(unsafe_op_in_unsafe_fn)]"))
+    });
+    if !denies {
+        out.push(Violation {
+            rule: "R5",
+            file: lib,
+            line: 1,
+            message: "crate contains unsafe code but lib.rs lacks \
+                      `#![deny(unsafe_op_in_unsafe_fn)]`"
+                .into(),
+        });
+    }
+}

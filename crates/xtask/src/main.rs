@@ -1,36 +1,32 @@
-//! `cargo xtask lint` — the concurrency-invariant linter.
+//! `cargo xtask` — dependency-free static checks for the ERIS tree.
 //!
-//! A dependency-free, line-based scanner that enforces the discipline the
-//! lock-free hot paths rely on.  It is deliberately a *discipline* linter,
-//! not a verifier: loom (see `shims/loom`) explores interleavings, Miri and
-//! TSan catch undefined behaviour, and this tool makes sure the source
-//! stays reviewable — every ordering choice justified, every unsafe block
-//! argued, no stray lock on a latch-free path.
+//! Two passes share one lexer (`lexer.rs`), one item parser
+//! (`parser.rs`) and one violation/self-check machinery:
 //!
-//! Rules (see DESIGN.md § Concurrency model):
+//! * `cargo xtask lint [--self-check]` — the per-line discipline rules
+//!   R1–R5 (ordering comments, no locks on hot paths, unsafe
+//!   allowlist, eris-sync facade, deny(unsafe_op_in_unsafe_fn)); see
+//!   `lint.rs`.
+//! * `cargo xtask analyze [--self-check]` — the transitive rules A1–A4
+//!   (panic-freedom, allocation-freedom, ordering pairing, no blocking
+//!   calls) over a conservative call graph rooted at `HOT-PATH-ROOT`
+//!   annotations; see `analyze.rs` and `graph.rs`.
 //!
-//! * **R1 ordering-comment** — in hot-path modules, every line mentioning
-//!   `Ordering::` must have a `// ordering:` comment on the same line or
-//!   within the preceding lookback window.
-//! * **R2 no-locks-in-hot-paths** — hot-path modules must not use
-//!   `Mutex`/`RwLock` unless the file is allowlisted with a reason.
-//! * **R3 unsafe-allowlist** — `unsafe` code may appear only in
-//!   allowlisted files, and every unsafe line needs a `// SAFETY:` comment
-//!   on the same line or within the lookback window.
-//! * **R4 no-std-atomics-in-ported-files** — modules ported to the
-//!   `eris-sync` facade must not reach for `std::sync::atomic`,
-//!   `std::cell::UnsafeCell`, or `std::hint::spin_loop` directly (that
-//!   would silently bypass loom).
-//! * **R5 deny-unsafe-op** — every crate containing unsafe code must
-//!   carry `#![deny(unsafe_op_in_unsafe_fn)]` in its `lib.rs`.
-//!
-//! Heuristics, stated plainly: the scan is per-line, test code is skipped
-//! from the first column-0 `#[cfg(test)]` to the end of the file (test
-//! modules sit at the bottom of every module in this repo), and comment
-//! adjacency is a fixed lookback window.  `--self-check` runs the rules
-//! against seeded violations in `crates/xtask/fixtures` and fails unless
-//! every rule fires, so a refactor that neuters a rule cannot land
-//! silently.
+//! Neither pass is a verifier: loom (see `shims/loom`) explores
+//! interleavings, Miri and TSan catch undefined behaviour, and these
+//! tools keep the source reviewable — every ordering choice justified
+//! and paired, every unsafe block argued, every panic/allocation/lock
+//! provably absent from (or explicitly argued on) the latch-free paths.
+//! `--self-check` runs each pass against seeded violations in
+//! `crates/xtask/fixtures` and fails unless every rule fires with the
+//! exact seeded count, so a refactor that neuters or over-fires a rule
+//! cannot land silently.
+
+mod analyze;
+mod graph;
+mod lexer;
+mod lint;
+mod parser;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -40,7 +36,7 @@ use std::process::ExitCode;
 const LOOKBACK: usize = 10;
 
 /// Hot-path modules: the latch-free structures and the counters updated
-/// per command.  R1 and R2 apply here.
+/// per command.  R1, R2, and the A3 pairing audit apply here.
 const HOT_PATHS: &[&str] = &[
     "crates/core/src/routing/incoming.rs",
     "crates/core/src/routing/outgoing.rs",
@@ -49,11 +45,13 @@ const HOT_PATHS: &[&str] = &[
     "crates/core/src/telemetry.rs",
     "crates/obs/src/ring.rs",
     "crates/obs/src/latency.rs",
+    "crates/obs/src/exemplar.rs",
     "crates/server/src/admission.rs",
 ];
 
 /// Hot-path files allowed to hold a lock, with the reason reviewers
 /// accepted.  Everything here is control-plane: never per-command.
+/// Shared by R2 (textual) and A4 (transitive).
 const LOCK_ALLOWLIST: &[(&str, &str)] = &[
     (
         "crates/core/src/routing/mod.rs",
@@ -71,6 +69,12 @@ const LOCK_ALLOWLIST: &[(&str, &str)] = &[
         "Mutex guards the latency-series map on the reporting path; the \
          record hot path only touches relaxed counters",
     ),
+    (
+        "crates/index/src/shared_tree.rs",
+        "Mutex guards arena segment installation, taken only on the \
+         first allocation in each 64Ki-node segment; the per-node fast \
+         path is a fetch_add plus an Acquire null check",
+    ),
 ];
 
 /// Files allowed to contain `unsafe`.  Everything else must stay safe.
@@ -82,6 +86,9 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/numa/src/affinity.rs",
     "crates/obs/src/exemplar.rs",
     "crates/obs/src/ring.rs",
+    // The loom shim's own checker test builds deliberately racy cells
+    // to prove the model catches them; every site is argued.
+    "shims/loom/tests/model_checker.rs",
 ];
 
 /// Modules ported onto the `eris-sync` facade: direct std primitives
@@ -98,11 +105,29 @@ const R4_FORBIDDEN: &[&str] = &[
     "std::hint::spin_loop",
 ];
 
-struct Violation {
-    rule: &'static str,
-    file: PathBuf,
-    line: usize,
-    message: String,
+/// The call-graph universe: library crates only.  `bench`, `tests` and
+/// `xtask` host harness code that legitimately panics and allocates;
+/// the shims are test-only stand-ins for external crates (loom's own
+/// `lock`/`store` impls must not swallow resolution of those names).
+const GRAPH_CRATES: &[&str] = &[
+    "crates/column",
+    "crates/core",
+    "crates/durability",
+    "crates/index",
+    "crates/mem",
+    "crates/numa",
+    "crates/obs",
+    "crates/query",
+    "crates/server",
+    "crates/sync",
+    "crates/workloads",
+];
+
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: PathBuf,
+    pub line: usize,
+    pub message: String,
 }
 
 impl fmt::Display for Violation {
@@ -120,27 +145,34 @@ impl fmt::Display for Violation {
 
 /// Which per-file rules to run and with what file classification.  The
 /// real tree and the self-check fixtures share every code path.
-struct Config {
-    hot_paths: Vec<PathBuf>,
-    lock_allowlist: Vec<PathBuf>,
-    unsafe_allowlist: Vec<PathBuf>,
-    ported_files: Vec<PathBuf>,
+pub struct Config {
+    pub hot_paths: Vec<PathBuf>,
+    pub lock_allowlist: Vec<PathBuf>,
+    pub unsafe_allowlist: Vec<PathBuf>,
+    pub ported_files: Vec<PathBuf>,
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = repo_root();
+    let self_check = args.iter().any(|a| a == "--self-check");
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let self_check = args.iter().any(|a| a == "--self-check");
             if self_check {
                 run_self_check(&root)
             } else {
                 run_lint(&root)
             }
         }
+        Some("analyze") => {
+            if self_check {
+                analyze::run_analyze_self_check(&root)
+            } else {
+                analyze::run_analyze(&root)
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint [--self-check]");
+            eprintln!("usage: cargo xtask <lint|analyze> [--self-check]");
             ExitCode::FAILURE
         }
     }
@@ -166,12 +198,15 @@ fn run_lint(root: &Path) -> ExitCode {
     };
     let mut files = Vec::new();
     collect_rs_files(&root.join("crates"), &mut files);
+    // The loom shim is protocol-adjacent (the model checker the ported
+    // files run under), so it is linted like first-party code.
+    collect_rs_files(&root.join("shims/loom"), &mut files);
     files.sort();
     let mut violations = Vec::new();
     for file in &files {
-        lint_file(file, &config, &mut violations);
+        lint::lint_file(file, &config, &mut violations);
     }
-    lint_crate_attrs(root, &mut violations);
+    lint::lint_crate_attrs(root, &mut violations);
     if violations.is_empty() {
         println!("invariant lint: {} files clean ({} rules)", files.len(), 5);
         ExitCode::SUCCESS
@@ -200,10 +235,10 @@ fn run_self_check(root: &Path) -> ExitCode {
     };
     let mut violations = Vec::new();
     for file in [&hot, &cold, &fake_lib] {
-        lint_file(file, &config, &mut violations);
+        lint::lint_file(file, &config, &mut violations);
     }
     // R5 on the fixture crate: it contains unsafe but no deny attribute.
-    check_crate_deny_attr(&fixtures.join("fake_crate"), &mut violations);
+    lint::check_crate_deny_attr(&fixtures.join("fake_crate"), &mut violations);
 
     let mut failed = false;
     for rule in ["R1", "R2", "R3", "R4", "R5"] {
@@ -232,9 +267,9 @@ fn run_self_check(root: &Path) -> ExitCode {
 }
 
 /// Fixtures carry a manifest of their own seeded violations as
-/// `// seed: R<N>` lines, one per expected hit, so the expected counts
-/// live next to the code that triggers them.
-fn seeded_count(rule: &str, files: &[&PathBuf]) -> usize {
+/// `// seed: R<N>`/`// seed: A<N>` lines, one per expected hit, so the
+/// expected counts live next to the code that triggers them.
+pub fn seeded_count(rule: &str, files: &[&PathBuf]) -> usize {
     files
         .iter()
         .filter_map(|f| std::fs::read_to_string(f).ok())
@@ -253,7 +288,7 @@ fn seeded_count(rule: &str, files: &[&PathBuf]) -> usize {
         .count()
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -270,193 +305,5 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
         }
-    }
-}
-
-/// A line of code with comments and string literals crudely stripped —
-/// enough to stop `// unsafe` or `"Mutex"` from counting as code.
-fn code_of(line: &str) -> String {
-    let line = match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    };
-    // Drop double-quoted string contents (no escape handling; good
-    // enough for a discipline linter over rustfmt'd code).
-    let mut out = String::with_capacity(line.len());
-    let mut in_str = false;
-    for c in line.chars() {
-        match c {
-            '"' => in_str = !in_str,
-            c if !in_str => out.push(c),
-            _ => {}
-        }
-    }
-    out
-}
-
-fn has_comment_within_lookback(lines: &[&str], idx: usize, marker: &str) -> bool {
-    let start = idx.saturating_sub(LOOKBACK);
-    lines[start..=idx].iter().any(|l| l.contains(marker))
-}
-
-/// True when `code` contains `unsafe` as a standalone token — not as
-/// part of an identifier like `unsafe_op_in_unsafe_fn` in a lint
-/// attribute.
-fn contains_unsafe_token(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut from = 0;
-    while let Some(i) = code[from..].find("unsafe") {
-        let at = from + i;
-        let end = at + "unsafe".len();
-        let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-        let pre = at > 0 && ident(bytes[at - 1]);
-        let post = end < bytes.len() && ident(bytes[end]);
-        if !pre && !post {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-fn lint_file(path: &Path, config: &Config, out: &mut Vec<Violation>) {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        out.push(Violation {
-            rule: "R0",
-            file: path.to_path_buf(),
-            line: 0,
-            message: "unreadable file".into(),
-        });
-        return;
-    };
-    let lines: Vec<&str> = text.lines().collect();
-    let is_hot = config.hot_paths.iter().any(|p| p == path);
-    let lock_allowed = config.lock_allowlist.iter().any(|p| p == path);
-    let unsafe_allowed = config.unsafe_allowlist.iter().any(|p| p == path);
-    let is_ported = config.ported_files.iter().any(|p| p == path);
-
-    for (idx, raw) in lines.iter().enumerate() {
-        // Test modules sit at the bottom of every module in this repo;
-        // everything from a column-0 `#[cfg(test)]` on is test code.
-        if raw.starts_with("#[cfg(test)]") {
-            break;
-        }
-        let code = code_of(raw);
-        let lineno = idx + 1;
-
-        // R1: every ordering choice on a hot path is justified.
-        if is_hot
-            && code.contains("Ordering::")
-            && !has_comment_within_lookback(&lines, idx, "// ordering:")
-        {
-            out.push(Violation {
-                rule: "R1",
-                file: path.to_path_buf(),
-                line: lineno,
-                message: format!(
-                    "`Ordering::` with no `// ordering:` comment within \
-                     {LOOKBACK} lines: `{}`",
-                    raw.trim()
-                ),
-            });
-        }
-
-        // R2: no locks on latch-free paths.
-        if is_hot && !lock_allowed && (code.contains("Mutex") || code.contains("RwLock")) {
-            out.push(Violation {
-                rule: "R2",
-                file: path.to_path_buf(),
-                line: lineno,
-                message: format!(
-                    "lock on a hot path (allowlist it in xtask with a \
-                     reason if this is control-plane): `{}`",
-                    raw.trim()
-                ),
-            });
-        }
-
-        // R3: unsafe only where allowlisted, always argued.
-        if contains_unsafe_token(&code) {
-            if !unsafe_allowed {
-                out.push(Violation {
-                    rule: "R3",
-                    file: path.to_path_buf(),
-                    line: lineno,
-                    message: format!("`unsafe` outside the allowlisted files: `{}`", raw.trim()),
-                });
-            } else if !has_comment_within_lookback(&lines, idx, "// SAFETY:") {
-                out.push(Violation {
-                    rule: "R3",
-                    file: path.to_path_buf(),
-                    line: lineno,
-                    message: format!(
-                        "`unsafe` with no `// SAFETY:` comment within \
-                         {LOOKBACK} lines: `{}`",
-                        raw.trim()
-                    ),
-                });
-            }
-        }
-
-        // R4: ported modules must stay on the eris-sync facade.
-        if is_ported {
-            for forbidden in R4_FORBIDDEN {
-                if code.contains(forbidden) {
-                    out.push(Violation {
-                        rule: "R4",
-                        file: path.to_path_buf(),
-                        line: lineno,
-                        message: format!(
-                            "`{forbidden}` bypasses the eris-sync facade \
-                             (and loom): `{}`",
-                            raw.trim()
-                        ),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// R5: every crate with unsafe code denies `unsafe_op_in_unsafe_fn`.
-fn lint_crate_attrs(root: &Path, out: &mut Vec<Violation>) {
-    let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let crate_dir = entry.path();
-        if crate_dir.is_dir() {
-            check_crate_deny_attr(&crate_dir, out);
-        }
-    }
-}
-
-fn check_crate_deny_attr(crate_dir: &Path, out: &mut Vec<Violation>) {
-    let mut files = Vec::new();
-    collect_rs_files(&crate_dir.join("src"), &mut files);
-    let has_unsafe = files.iter().any(|f| {
-        std::fs::read_to_string(f).is_ok_and(|text| {
-            text.lines()
-                .take_while(|l| !l.starts_with("#[cfg(test)]"))
-                .any(|l| contains_unsafe_token(&code_of(l)))
-        })
-    });
-    if !has_unsafe {
-        return;
-    }
-    let lib = crate_dir.join("src/lib.rs");
-    let denies = std::fs::read_to_string(&lib).is_ok_and(|text| {
-        text.lines()
-            .any(|l| code_of(l).contains("#![deny(unsafe_op_in_unsafe_fn)]"))
-    });
-    if !denies {
-        out.push(Violation {
-            rule: "R5",
-            file: lib,
-            line: 1,
-            message: "crate contains unsafe code but lib.rs lacks \
-                      `#![deny(unsafe_op_in_unsafe_fn)]`"
-                .into(),
-        });
     }
 }

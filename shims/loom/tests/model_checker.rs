@@ -53,7 +53,7 @@ fn fetch_add_never_loses_an_update() {
 /// Two racy cells behind the same `unsafe impl Sync` idiom the product
 /// code uses for its protocol-protected slots.
 struct Pair(UnsafeCell<u64>, UnsafeCell<u64>);
-// SAFETY (test fixture): deliberately unsound sharing — the model is
+// SAFETY: test fixture; deliberately unsound sharing — the model is
 // expected to catch the resulting tear.
 unsafe impl Sync for Pair {}
 unsafe impl Send for Pair {}
@@ -68,7 +68,7 @@ fn finds_a_torn_two_word_read() {
         let ready = Arc::new(AtomicBool::new(false));
         let (p2, r2) = (Arc::clone(&pair), Arc::clone(&ready));
         let w = loom::thread::spawn(move || {
-            // SAFETY (test fixture): deliberately unsynchronized — the
+            // SAFETY: test fixture; deliberately unsynchronized — the
             // model is expected to catch the tear.
             p2.0.with_mut(|a| unsafe { *a = 7 });
             r2.store(true, Ordering::Relaxed);
